@@ -1,0 +1,89 @@
+// Fig. 4(a): planning efficiency — satisfied vs submitted queries for
+// SQPR under three solver timeouts, the greedy heuristic, and the
+// optimistic aggregate-host bound.
+//
+// Paper setup: 50 hosts, 500 base streams, timeouts 5/30/60 s.
+// Scaled setup: 6 hosts, 48 base streams, timeouts 80/320/1280 ms.
+// Expected shape: SQPR(any timeout) >= heuristic, larger timeouts admit
+// at least as much, everything <= bound, SQPR within ~25% of the bound.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "planner/heuristic/heuristic_planner.h"
+#include "planner/optimistic/optimistic_bound.h"
+#include "planner/sqpr/sqpr_planner.h"
+
+using namespace sqpr;
+using namespace sqpr::bench;
+
+int main() {
+  ScenarioConfig config;
+  PrintHeader("Fig 4(a)", "planning efficiency: satisfied vs input queries",
+              config.seed);
+
+  const std::vector<int64_t> timeouts_ms = {80, 320, 1280};
+  std::vector<std::vector<int>> sqpr_admitted(timeouts_ms.size());
+  std::vector<int> heuristic_admitted, bound_admitted;
+
+  // Separate catalogs/planners per configuration, identical workloads.
+  for (size_t t = 0; t < timeouts_ms.size(); ++t) {
+    Scenario s = MakeScenario(config);
+    SqprPlanner::Options options;
+    options.timeout_ms = timeouts_ms[t];
+    SqprPlanner planner(s.cluster.get(), s.catalog.get(), options);
+    int admitted = 0;
+    for (StreamId q : s.workload.queries) {
+      auto stats = planner.SubmitQuery(q);
+      SQPR_CHECK(stats.ok());
+      admitted += stats->admitted && !stats->already_served;
+      sqpr_admitted[t].push_back(admitted);
+    }
+  }
+  {
+    Scenario s = MakeScenario(config);
+    HeuristicPlanner planner(s.cluster.get(), s.catalog.get(), {});
+    int admitted = 0;
+    for (StreamId q : s.workload.queries) {
+      auto stats = planner.SubmitQuery(q);
+      SQPR_CHECK(stats.ok());
+      admitted += stats->admitted && !stats->already_served;
+      heuristic_admitted.push_back(admitted);
+    }
+  }
+  {
+    Scenario s = MakeScenario(config);
+    // Full-closure credit: provably above any planner (the chosen-tree
+    // variant is tighter but a replanning planner can legitimately beat
+    // it by materialising reuse-friendlier trees).
+    OptimisticBound bound(*s.cluster, s.catalog.get(),
+                          OptimisticBound::ReuseCredit::kFullClosure);
+    int prev = 0;
+    for (StreamId q : s.workload.queries) {
+      auto r = bound.SubmitQuery(q);
+      SQPR_CHECK(r.ok());
+      (void)prev;
+      bound_admitted.push_back(bound.admitted_count());
+    }
+  }
+
+  std::printf("# submitted  bound  sqpr_1280ms  sqpr_320ms  sqpr_80ms  heuristic\n");
+  for (size_t i = 9; i < sqpr_admitted[0].size(); i += 10) {
+    std::printf("%10zu  %5d  %11d  %10d  %9d  %9d\n", i + 1,
+                bound_admitted[i], sqpr_admitted[2][i], sqpr_admitted[1][i],
+                sqpr_admitted[0][i], heuristic_admitted[i]);
+  }
+
+  const int last = static_cast<int>(sqpr_admitted[0].size()) - 1;
+  ShapeCheck(sqpr_admitted[2][last] >= heuristic_admitted[last],
+             "SQPR(1280ms) admits at least as many queries as the heuristic");
+  ShapeCheck(sqpr_admitted[2][last] + 2 >= sqpr_admitted[0][last],
+             "longer timeout admits at least as much as the short one "
+             "(small tolerance: fallback interplay adds noise)");
+  ShapeCheck(sqpr_admitted[2][last] <= bound_admitted[last],
+             "SQPR stays below the optimistic bound");
+  ShapeCheck(sqpr_admitted[2][last] >=
+                 static_cast<int>(0.75 * bound_admitted[last]),
+             "SQPR within ~25% of the optimistic bound (paper: <25% gap)");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Fig. 5(a): scalability in hosts — satisfiable queries vs cluster size,
+// against the optimistic bound. More hosts admit super-linearly more
+// queries (pooled reuse), but the gap to the bound widens because the
+// MILP grows quadratically in hosts and the fixed timeout bites.
+//
+// Paper setup: 25-150 hosts. Scaled: 2-8 hosts, 80 ms timeout.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "planner/optimistic/optimistic_bound.h"
+#include "planner/sqpr/sqpr_planner.h"
+
+using namespace sqpr;
+using namespace sqpr::bench;
+
+int main() {
+  PrintHeader("Fig 5(a)", "satisfiable queries vs number of hosts", 1);
+
+  const std::vector<int> host_counts = {2, 4, 6, 8};
+  std::vector<int> sqpr_admitted, bound_admitted;
+  std::vector<double> proved_fraction;
+
+  for (int hosts : host_counts) {
+    ScenarioConfig config;
+    config.hosts = hosts;
+    config.base_streams = 8 * hosts;
+    config.queries = 30 * hosts;  // enough submissions to saturate
+    Scenario s = MakeScenario(config);
+    SqprPlanner::Options options;
+    options.timeout_ms = 80;
+    SqprPlanner planner(s.cluster.get(), s.catalog.get(), options);
+    int admitted = 0;
+    int proved = 0, solves = 0;
+    for (StreamId q : s.workload.queries) {
+      auto stats = planner.SubmitQuery(q);
+      SQPR_CHECK(stats.ok());
+      admitted += stats->admitted && !stats->already_served;
+      if (!stats->already_served) {
+        ++solves;
+        proved += stats->proved_optimal;
+      }
+    }
+    sqpr_admitted.push_back(admitted);
+    proved_fraction.push_back(static_cast<double>(proved) /
+                              std::max(1, solves));
+
+    Scenario sb = MakeScenario(config);
+    // Full-closure credit: provably above any planner (the chosen-tree
+    // variant is tighter but a replanning planner can legitimately beat
+    // it by materialising reuse-friendlier trees).
+    OptimisticBound bound(*sb.cluster, sb.catalog.get(),
+                          OptimisticBound::ReuseCredit::kFullClosure);
+    for (StreamId q : sb.workload.queries) SQPR_CHECK(bound.SubmitQuery(q).ok());
+    bound_admitted.push_back(bound.admitted_count());
+  }
+
+  std::printf("# hosts  sqpr  optimistic_bound  sqpr/bound  proved_optimal\n");
+  for (size_t i = 0; i < host_counts.size(); ++i) {
+    std::printf("%7d  %4d  %16d  %10.2f  %13.0f%%\n", host_counts[i],
+                sqpr_admitted[i], bound_admitted[i],
+                static_cast<double>(sqpr_admitted[i]) / bound_admitted[i],
+                100.0 * proved_fraction[i]);
+  }
+
+  ShapeCheck(sqpr_admitted.back() > sqpr_admitted.front(),
+             "more hosts admit more queries");
+  // Super-linearity: doubling hosts 2->4 should more than double capacity
+  // thanks to reuse across a bigger pool.
+  ShapeCheck(sqpr_admitted[1] >= 2 * sqpr_admitted[0],
+             "admissions grow super-linearly in hosts (paper Fig 5a)");
+  ShapeCheck(sqpr_admitted.back() <= bound_admitted.back(),
+             "SQPR stays below the optimistic bound at every size");
+  // The paper's deterioration signal: bigger systems make the reduced
+  // MILP harder, so fewer per-query solves finish before the timeout.
+  // (Admission counts themselves are cushioned by the §VII greedy
+  // fallback; see EXPERIMENTS.md.)
+  ShapeCheck(proved_fraction.back() <= proved_fraction.front() - 0.2,
+             "optimality-proof rate drops sharply with hosts (paper: the "
+             "model does not scale in H)");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Fig. 5(b): scalability in resources — satisfiable queries vs CPU cores
+// per host, with network capacities scaled 10x so CPU is the binding
+// resource. The §IV-A problem reduction keeps the model size independent
+// of the CPU budget, so SQPR stays near the optimistic bound throughout.
+//
+// Paper setup: 1-8 cores, 1->10 Gbps. Scaled: cores 1-8 on a 4-host
+// cluster with 10x bandwidth.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "planner/optimistic/optimistic_bound.h"
+#include "planner/sqpr/sqpr_planner.h"
+
+using namespace sqpr;
+using namespace sqpr::bench;
+
+int main() {
+  PrintHeader("Fig 5(b)", "satisfiable queries vs CPU cores per host", 1);
+
+  const std::vector<int> cores = {1, 2, 4, 8};
+  std::vector<int> sqpr_admitted, bound_admitted;
+
+  for (int core_count : cores) {
+    ScenarioConfig config;
+    config.hosts = 4;
+    config.host_cpu = static_cast<double>(core_count);
+    config.nic_mbps = 1200.0;   // 10x the baseline: network non-binding
+    config.link_mbps = 2400.0;
+    config.base_streams = 32;
+    config.queries = 60 * core_count;
+    Scenario s = MakeScenario(config);
+    SqprPlanner::Options options;
+    options.timeout_ms = 80;
+    SqprPlanner planner(s.cluster.get(), s.catalog.get(), options);
+    int admitted = 0;
+    for (StreamId q : s.workload.queries) {
+      auto stats = planner.SubmitQuery(q);
+      SQPR_CHECK(stats.ok());
+      admitted += stats->admitted && !stats->already_served;
+    }
+    sqpr_admitted.push_back(admitted);
+
+    Scenario sb = MakeScenario(config);
+    // Full-closure credit: provably above any planner (the chosen-tree
+    // variant is tighter but a replanning planner can legitimately beat
+    // it by materialising reuse-friendlier trees).
+    OptimisticBound bound(*sb.cluster, sb.catalog.get(),
+                          OptimisticBound::ReuseCredit::kFullClosure);
+    for (StreamId q : sb.workload.queries) SQPR_CHECK(bound.SubmitQuery(q).ok());
+    bound_admitted.push_back(bound.admitted_count());
+  }
+
+  std::printf("# cores  sqpr  optimistic_bound  sqpr/bound\n");
+  for (size_t i = 0; i < cores.size(); ++i) {
+    std::printf("%7d  %4d  %16d  %10.2f\n", cores[i], sqpr_admitted[i],
+                bound_admitted[i],
+                static_cast<double>(sqpr_admitted[i]) / bound_admitted[i]);
+  }
+
+  ShapeCheck(sqpr_admitted.back() > 2 * sqpr_admitted.front(),
+             "admissions scale with CPU resources");
+  const double worst_ratio = [&] {
+    double worst = 1.0;
+    for (size_t i = 0; i < cores.size(); ++i) {
+      worst = std::min(worst, static_cast<double>(sqpr_admitted[i]) /
+                                  bound_admitted[i]);
+    }
+    return worst;
+  }();
+  ShapeCheck(worst_ratio >= 0.7,
+             "SQPR stays near the bound at every resource level "
+             "(paper: near-optimal)");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fig. 6(a): planner overhead vs number of hosts — average planning time
+// per query once the system sits at 75-95% CPU utilisation (the paper's
+// hardest regime). The MILP grows quadratically in hosts (x variables),
+// so planning time rises sharply and eventually saturates the timeout.
+//
+// Paper setup: 25-150 hosts, 100 s cap. Scaled: 2-8 hosts, 500 ms cap.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "planner/sqpr/sqpr_planner.h"
+
+using namespace sqpr;
+using namespace sqpr::bench;
+
+int main() {
+  PrintHeader("Fig 6(a)", "average planning time vs number of hosts", 1);
+  const int64_t kTimeoutMs = 500;
+
+  const std::vector<int> host_counts = {2, 4, 6, 8};
+  std::vector<double> mean_ms, p95_ms;
+  std::vector<double> utilization;
+
+  for (int hosts : host_counts) {
+    ScenarioConfig config;
+    config.hosts = hosts;
+    config.base_streams = 8 * hosts;
+    config.queries = 40 * hosts;
+    Scenario s = MakeScenario(config);
+    SqprPlanner::Options options;
+    options.timeout_ms = kTimeoutMs;
+    SqprPlanner planner(s.cluster.get(), s.catalog.get(), options);
+
+    RunningStats times;
+    std::vector<double> samples;
+    double total_cpu = s.cluster->TotalCpu();
+    for (StreamId q : s.workload.queries) {
+      const double used = planner.deployment().TotalCpuUsed();
+      const bool in_regime = used >= 0.75 * total_cpu;
+      auto stats = planner.SubmitQuery(q);
+      SQPR_CHECK(stats.ok());
+      if (in_regime && !stats->already_served) {
+        times.Add(stats->wall_ms);
+        samples.push_back(stats->wall_ms);
+      }
+    }
+    mean_ms.push_back(times.mean());
+    p95_ms.push_back(Percentile(samples, 0.95));
+    utilization.push_back(planner.deployment().TotalCpuUsed() / total_cpu);
+  }
+
+  std::printf("# hosts  mean_ms  p95_ms  final_cpu_util\n");
+  for (size_t i = 0; i < host_counts.size(); ++i) {
+    std::printf("%7d  %7.1f  %6.1f  %14.2f\n", host_counts[i], mean_ms[i],
+                p95_ms[i], utilization[i]);
+  }
+
+  ShapeCheck(mean_ms.back() > 2.0 * mean_ms.front(),
+             "planning time rises sharply with hosts (paper Fig 6a)");
+  ShapeCheck(mean_ms.front() < kTimeoutMs * 0.5,
+             "small systems solve well under the timeout");
+  return 0;
+}

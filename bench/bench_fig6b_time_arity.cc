@@ -1,0 +1,65 @@
+// Fig. 6(b): planner overhead vs query complexity — average planning
+// time per query for pure k-way-join workloads, k = 2..5, measured at
+// high utilisation on a fixed cluster. Complexity grows the reduced
+// model (more subset streams/operators), but far more gently than the
+// host count does: the paper's Fig 6(b) increase is a few seconds where
+// Fig 6(a) reaches 100 s.
+//
+// Paper setup: 50 hosts. Scaled: 4 hosts, 500 ms cap.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "planner/sqpr/sqpr_planner.h"
+
+using namespace sqpr;
+using namespace sqpr::bench;
+
+int main() {
+  PrintHeader("Fig 6(b)", "average planning time vs query arity", 1);
+  const int64_t kTimeoutMs = 500;
+
+  const std::vector<int> arities = {2, 3, 4, 5};
+  std::vector<double> mean_ms, p95_ms;
+
+  for (int arity : arities) {
+    ScenarioConfig config;
+    config.hosts = 4;
+    config.base_streams = 32;
+    config.arities = {arity};
+    config.queries = 60;
+    Scenario s = MakeScenario(config);
+    SqprPlanner::Options options;
+    options.timeout_ms = kTimeoutMs;
+    SqprPlanner planner(s.cluster.get(), s.catalog.get(), options);
+
+    RunningStats times;
+    std::vector<double> samples;
+    const double total_cpu = s.cluster->TotalCpu();
+    for (StreamId q : s.workload.queries) {
+      const bool in_regime =
+          planner.deployment().TotalCpuUsed() >= 0.5 * total_cpu;
+      auto stats = planner.SubmitQuery(q);
+      SQPR_CHECK(stats.ok());
+      if (in_regime && !stats->already_served) {
+        times.Add(stats->wall_ms);
+        samples.push_back(stats->wall_ms);
+      }
+    }
+    mean_ms.push_back(times.mean());
+    p95_ms.push_back(Percentile(samples, 0.95));
+  }
+
+  std::printf("# arity  mean_ms  p95_ms\n");
+  for (size_t i = 0; i < arities.size(); ++i) {
+    std::printf("%7d  %7.1f  %6.1f\n", arities[i], mean_ms[i], p95_ms[i]);
+  }
+
+  ShapeCheck(mean_ms.back() >= mean_ms.front(),
+             "complex queries take at least as long to plan");
+  ShapeCheck(mean_ms[0] < kTimeoutMs * 0.9 && mean_ms[1] < kTimeoutMs * 0.95,
+             "2-/3-way workloads stay under the solver cap (saturation "
+             "only at the largest arities)");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Fig. 7(b): distribution of CPU resources — CDF of per-host CPU
+// utilisation under SQPR and SODA at a low and a high input-query count
+// (the paper's 50 vs 150). Both planners balance load; the high-load
+// CDFs sit to the right of the low-load ones.
+//
+// Scaled: 8 hosts, waves to 30 ("-lo") and 100 ("-hi") input queries.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "planner/planner.h"
+#include "planner/soda/soda_planner.h"
+#include "planner/sqpr/sqpr_planner.h"
+
+using namespace sqpr;
+using namespace sqpr::bench;
+
+namespace {
+
+ScenarioConfig ClusterConfig(int queries) {
+  ScenarioConfig config;
+  config.hosts = 6;
+  config.base_streams = 60;
+  config.arities = {2, 3};
+  config.queries = queries;
+  config.seed = 7;
+  return config;
+}
+
+std::vector<double> CpuUtilisation(const Deployment& dep) {
+  std::vector<double> util;
+  for (HostId h = 0; h < dep.cluster().num_hosts(); ++h) {
+    util.push_back(100.0 * dep.CpuUsed(h) / dep.cluster().host(h).cpu);
+  }
+  return util;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Fig 7(b)", "CDF of per-host CPU utilisation, SQPR vs SODA", 7);
+
+  std::map<std::string, std::vector<double>> results;
+  for (int queries : {30, 100}) {
+    const std::string tag = queries == 30 ? "lo" : "hi";
+    {
+      Scenario s = MakeScenario(ClusterConfig(queries));
+      SqprPlanner::Options options;
+      options.timeout_ms = 400;
+      SqprPlanner planner(s.cluster.get(), s.catalog.get(), options);
+      for (StreamId q : s.workload.queries) SQPR_CHECK(planner.SubmitQuery(q).ok());
+      results["sqpr-" + tag] = CpuUtilisation(planner.deployment());
+    }
+    {
+      Scenario s = MakeScenario(ClusterConfig(queries));
+      SodaPlanner planner(s.cluster.get(), s.catalog.get(), {});
+      for (StreamId q : s.workload.queries) SQPR_CHECK(planner.SubmitQuery(q).ok());
+      results["soda-" + tag] = CpuUtilisation(planner.deployment());
+    }
+  }
+
+  for (const auto& [name, samples] : results) {
+    std::printf("# CDF %s (cpu%% -> cumulative probability)\n", name.c_str());
+    std::printf("%s", FormatCdf(EmpiricalCdf(samples)).c_str());
+  }
+
+  auto mean = [](const std::vector<double>& v) {
+    RunningStats s;
+    for (double x : v) s.Add(x);
+    return s.mean();
+  };
+  ShapeCheck(mean(results["sqpr-hi"]) > mean(results["sqpr-lo"]),
+             "SQPR high-load CDF sits right of the low-load CDF");
+  ShapeCheck(mean(results["soda-hi"]) >= mean(results["soda-lo"]),
+             "SODA high-load CDF sits right of the low-load CDF");
+  ShapeCheck(mean(results["sqpr-lo"]) >= mean(results["soda-lo"]) - 1.0,
+             "SQPR consumes at least as much CPU at low load (it admits "
+             "more queries, paper SQPR-50 vs SODA-50)");
+  // Load balancing: no host should be pinned while others idle at high
+  // load — the spread should stay bounded.
+  auto spread = [](const std::vector<double>& v) {
+    double lo = 1e9, hi = -1e9;
+    for (double x : v) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    return hi - lo;
+  };
+  ShapeCheck(spread(results["sqpr-hi"]) <= 60.0,
+             "SQPR balances CPU across hosts at high load");
+  return 0;
+}

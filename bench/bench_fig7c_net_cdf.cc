@@ -1,0 +1,80 @@
+// Fig. 7(c): distribution of network resources — CDF of per-host network
+// usage (sent + received Mbps) under SQPR and SODA at a low and a high
+// input-query count. Both planners roughly balance network usage; more
+// admitted queries mean more traffic.
+//
+// Scaled: 6 hosts, 30 ("-lo") and 100 ("-hi") input queries.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "planner/soda/soda_planner.h"
+#include "planner/sqpr/sqpr_planner.h"
+
+using namespace sqpr;
+using namespace sqpr::bench;
+
+namespace {
+
+ScenarioConfig ClusterConfig(int queries) {
+  ScenarioConfig config;
+  config.hosts = 6;
+  config.base_streams = 60;
+  config.arities = {2, 3};
+  config.queries = queries;
+  config.seed = 7;
+  return config;
+}
+
+std::vector<double> NetworkUsage(const Deployment& dep) {
+  std::vector<double> mbps;
+  for (HostId h = 0; h < dep.cluster().num_hosts(); ++h) {
+    mbps.push_back(dep.NicOutUsed(h) + dep.NicInUsed(h));
+  }
+  return mbps;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Fig 7(c)", "CDF of per-host network usage, SQPR vs SODA", 7);
+
+  std::map<std::string, std::vector<double>> results;
+  for (int queries : {30, 100}) {
+    const std::string tag = queries == 30 ? "lo" : "hi";
+    {
+      Scenario s = MakeScenario(ClusterConfig(queries));
+      SqprPlanner::Options options;
+      options.timeout_ms = 400;
+      SqprPlanner planner(s.cluster.get(), s.catalog.get(), options);
+      for (StreamId q : s.workload.queries) SQPR_CHECK(planner.SubmitQuery(q).ok());
+      results["sqpr-" + tag] = NetworkUsage(planner.deployment());
+    }
+    {
+      Scenario s = MakeScenario(ClusterConfig(queries));
+      SodaPlanner planner(s.cluster.get(), s.catalog.get(), {});
+      for (StreamId q : s.workload.queries) SQPR_CHECK(planner.SubmitQuery(q).ok());
+      results["soda-" + tag] = NetworkUsage(planner.deployment());
+    }
+  }
+
+  for (const auto& [name, samples] : results) {
+    std::printf("# CDF %s (sent+received Mbps -> cumulative probability)\n",
+                name.c_str());
+    std::printf("%s", FormatCdf(EmpiricalCdf(samples)).c_str());
+  }
+
+  auto mean = [](const std::vector<double>& v) {
+    RunningStats s;
+    for (double x : v) s.Add(x);
+    return s.mean();
+  };
+  ShapeCheck(mean(results["sqpr-hi"]) > mean(results["sqpr-lo"]),
+             "SQPR network usage grows with admitted load");
+  ShapeCheck(mean(results["soda-hi"]) >= mean(results["soda-lo"]),
+             "SODA network usage grows with admitted load");
+  return 0;
+}

@@ -1,0 +1,214 @@
+// Microbenchmarks (google-benchmark) for the solver substrate that
+// replaces CPLEX: cold simplex solves and branch-and-bound throughput at
+// the sizes the SQPR reduced models produce.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "milp/presolve.h"
+#include "milp/solver.h"
+#include "model/catalog.h"
+#include "model/cluster.h"
+#include "plan/deployment.h"
+#include "planner/sqpr/model_builder.h"
+
+namespace sqpr {
+namespace {
+
+lp::Model RandomLp(int vars, int rows, uint64_t seed) {
+  Rng rng(seed);
+  lp::Model m(lp::Sense::kMaximize);
+  std::vector<double> ref(vars);
+  for (int v = 0; v < vars; ++v) {
+    const double ub = rng.NextDouble(1.0, 10.0);
+    m.AddVariable(0.0, ub, rng.NextDouble(-1.0, 2.0));
+    ref[v] = rng.NextDouble(0.0, ub);
+  }
+  for (int r = 0; r < rows; ++r) {
+    std::vector<std::pair<int, double>> terms;
+    double activity = 0.0;
+    for (int v = 0; v < vars; ++v) {
+      if (rng.NextBool(0.3)) {
+        const double coef = rng.NextDouble(-2.0, 3.0);
+        terms.emplace_back(v, coef);
+        activity += coef * ref[v];
+      }
+    }
+    if (terms.empty()) continue;
+    m.AddRow(-lp::kInf, activity + rng.NextDouble(0.0, 3.0),
+             std::move(terms));
+  }
+  return m;
+}
+
+void BM_SimplexColdSolve(benchmark::State& state) {
+  const int vars = static_cast<int>(state.range(0));
+  const int rows = vars / 2;
+  const lp::Model m = RandomLp(vars, rows, 42);
+  lp::SimplexSolver solver;
+  for (auto _ : state) {
+    auto result = solver.Solve(m);
+    benchmark::DoNotOptimize(result.objective);
+  }
+  state.SetLabel(std::to_string(vars) + "v/" + std::to_string(rows) + "r");
+}
+BENCHMARK(BM_SimplexColdSolve)->Arg(50)->Arg(150)->Arg(400)->Arg(800);
+
+void BM_MilpKnapsack(benchmark::State& state) {
+  const int items = static_cast<int>(state.range(0));
+  Rng rng(7);
+  milp::Model m;
+  std::vector<std::pair<int, double>> terms;
+  for (int i = 0; i < items; ++i) {
+    const int v = m.AddBinary(rng.NextDouble(1.0, 5.0));
+    terms.emplace_back(v, rng.NextDouble(1.0, 4.0));
+  }
+  m.lp.AddRow(-lp::kInf, items * 0.8, terms, "weight");
+  milp::Solver solver;
+  for (auto _ : state) {
+    auto result = solver.Solve(m, {});
+    benchmark::DoNotOptimize(result.objective);
+  }
+}
+BENCHMARK(BM_MilpKnapsack)->Arg(10)->Arg(16)->Arg(24);
+
+void BM_SqprModelBuild(benchmark::State& state) {
+  const int hosts = static_cast<int>(state.range(0));
+  Catalog catalog{CostModel{}};
+  Cluster cluster(hosts, HostSpec{1.0, 120.0, 120.0, ""}, 240.0);
+  std::vector<StreamId> base;
+  for (int i = 0; i < 6; ++i) {
+    base.push_back(catalog.AddBaseStream(i % hosts, 10.0));
+  }
+  const StreamId q =
+      *catalog.CanonicalJoinStream({base[0], base[1], base[2]});
+  const Closure closure = *catalog.JoinClosure(q);
+  Deployment dep(&cluster, &catalog);
+  for (auto _ : state) {
+    SqprMip mip(dep, closure.streams, closure.operators, {{q, false}}, {});
+    benchmark::DoNotOptimize(mip.mip().lp.num_variables());
+  }
+}
+BENCHMARK(BM_SqprModelBuild)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SqprSingleQuerySolve(benchmark::State& state) {
+  const int hosts = static_cast<int>(state.range(0));
+  Catalog catalog{CostModel{}};
+  Cluster cluster(hosts, HostSpec{1.0, 120.0, 120.0, ""}, 240.0);
+  std::vector<StreamId> base;
+  for (int i = 0; i < 6; ++i) {
+    base.push_back(catalog.AddBaseStream(i % hosts, 10.0));
+  }
+  const StreamId q =
+      *catalog.CanonicalJoinStream({base[0], base[1], base[2]});
+  const Closure closure = *catalog.JoinClosure(q);
+  Deployment dep(&cluster, &catalog);
+  for (auto _ : state) {
+    SqprMip mip(dep, closure.streams, closure.operators, {{q, false}}, {});
+    SqprMip::CycleCutHandler handler(&mip);
+    milp::SolverOptions options;
+    options.lazy = &handler;
+    options.gap_abs = 0.1;
+    options.deadline = Deadline::AfterMillis(2000);
+    milp::Solver solver;
+    auto result = solver.Solve(mip.mip(), options);
+    benchmark::DoNotOptimize(result.nodes);
+  }
+}
+BENCHMARK(BM_SqprSingleQuerySolve)->Arg(2)->Arg(4)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+/// Presolve/cuts ablation on the reduced SQPR single-query model under
+/// the planner's per-query budget: arg0 = presolve, arg1 = root cuts.
+/// Wall time is fixed by the deadline, so the meaningful outputs are the
+/// residual optimality gap and the node/LP-iteration throughput at the
+/// moment the budget expires.
+void BM_SqprSolveAblation(benchmark::State& state) {
+  const bool presolve = state.range(0) != 0;
+  const bool cuts = state.range(1) != 0;
+  const int hosts = 5;
+  Catalog catalog{CostModel{}};
+  Cluster cluster(hosts, HostSpec{1.0, 120.0, 120.0, ""}, 240.0);
+  std::vector<StreamId> base;
+  for (int i = 0; i < 8; ++i) {
+    base.push_back(catalog.AddBaseStream(i % hosts, 10.0));
+  }
+  const StreamId q =
+      *catalog.CanonicalJoinStream({base[0], base[1], base[2]});
+  const Closure closure = *catalog.JoinClosure(q);
+  Deployment dep(&cluster, &catalog);
+  int64_t nodes = 0, iters = 0;
+  double gap = 0.0;
+  int solves = 0;
+  for (auto _ : state) {
+    SqprMip mip(dep, closure.streams, closure.operators, {{q, false}}, {});
+    SqprMip::CycleCutHandler handler(&mip);
+    milp::SolverOptions options;
+    options.lazy = &handler;
+    options.gap_abs = 0.1;
+    options.presolve = presolve;
+    options.cuts.enable = cuts;
+    options.deadline = Deadline::AfterMillis(250);  // planner-scale budget
+    milp::Solver solver;
+    auto result = solver.Solve(mip.mip(), options);
+    nodes += result.nodes;
+    iters += result.lp_iterations;
+    gap += std::min(result.Gap(), 1.0);
+    ++solves;
+    benchmark::DoNotOptimize(result.objective);
+  }
+  state.counters["nodes"] =
+      benchmark::Counter(static_cast<double>(nodes),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["lp_iters"] =
+      benchmark::Counter(static_cast<double>(iters),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["end_gap_pct"] = benchmark::Counter(
+      100.0 * gap / std::max(1, solves), benchmark::Counter::kAvgIterations);
+  state.SetLabel(std::string(presolve ? "presolve" : "nopresolve") + "/" +
+                 (cuts ? "cuts" : "nocuts"));
+}
+BENCHMARK(BM_SqprSolveAblation)
+    ->Args({1, 1})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({0, 0})
+    ->Unit(benchmark::kMillisecond);
+
+/// Presolve column elimination on a planner-style model where most
+/// decisions are pinned (the §IV-A fixing): measures the reduction pass
+/// itself, which must stay negligible next to the solve.
+void BM_PresolveApply(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(13);
+  milp::Model m;
+  std::vector<std::pair<int, double>> terms;
+  for (int i = 0; i < n; ++i) {
+    const int v = m.AddBinary(rng.NextDouble(0.5, 3.0));
+    if (rng.NextBool(0.7)) {
+      const double pin = rng.NextBool(0.5) ? 1.0 : 0.0;
+      m.lp.SetVariableBounds(v, pin, pin);
+    }
+    terms.emplace_back(v, rng.NextDouble(0.5, 2.0));
+    if (terms.size() == 16) {
+      m.lp.AddRow(-lp::kInf, 8.0, terms);
+      terms.clear();
+    }
+  }
+  for (auto _ : state) {
+    milp::Presolver pre;
+    auto stats = pre.Apply(m);
+    benchmark::DoNotOptimize(stats.fixed_columns);
+  }
+  state.SetLabel(std::to_string(n) + " cols");
+}
+BENCHMARK(BM_PresolveApply)->Arg(200)->Arg(1000)->Arg(4000);
+
+}  // namespace
+}  // namespace sqpr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+#ifndef SQPR_BENCH_BENCH_UTIL_H_
+#define SQPR_BENCH_BENCH_UTIL_H_
+
+// Shared scaffolding for the experiment benches (one binary per paper
+// figure; see DESIGN.md §3 and EXPERIMENTS.md).
+//
+// Scale note: the paper runs 50-150 hosts against CPLEX with 5-100 s
+// timeouts. Our from-scratch MILP solver is given proportionally smaller
+// clusters and millisecond timeouts (documented per bench) so that every
+// figure regenerates in seconds while preserving the *regimes* the paper
+// reports: deadline saturation with many hosts / complex queries /
+// batched submissions, CPU+bandwidth-constrained admission, etc.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "model/catalog.h"
+#include "model/cluster.h"
+#include "workload/generator.h"
+
+namespace sqpr {
+namespace bench {
+
+/// A fully-specified simulation scenario (cluster + workload).
+struct ScenarioConfig {
+  int hosts = 6;
+  double host_cpu = 0.8;        // ~12 two-way joins per host (§V-B scale)
+  double nic_mbps = 70.0;       // scarce: ~7 base-stream transfers
+  double link_mbps = 140.0;
+  int base_streams = 48;
+  double base_rate_mbps = 10.0;
+  /// 2-/3-way joins: the arity mix of the paper's cluster deployment.
+  /// Higher arities appear in the dedicated Fig 5(c)/6(b) sweeps with
+  /// proportionally larger solver budgets.
+  std::vector<int> arities = {2, 3};
+  double zipf = 1.0;
+  int queries = 90;
+  uint64_t seed = 1;
+};
+
+struct Scenario {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<Cluster> cluster;
+  Workload workload;
+};
+
+inline Scenario MakeScenario(const ScenarioConfig& config) {
+  Scenario s;
+  s.catalog = std::make_unique<Catalog>(CostModel{});
+  s.cluster = std::make_unique<Cluster>(
+      config.hosts,
+      HostSpec{config.host_cpu, config.nic_mbps, config.nic_mbps, ""},
+      config.link_mbps);
+  WorkloadConfig wc;
+  wc.num_base_streams = config.base_streams;
+  wc.base_rate_mbps = config.base_rate_mbps;
+  wc.zipf_s = config.zipf;
+  wc.arities = config.arities;
+  wc.num_queries = config.queries;
+  wc.seed = config.seed;
+  Result<Workload> workload = GenerateWorkload(wc, config.hosts, s.catalog.get());
+  SQPR_CHECK(workload.ok()) << workload.status().ToString();
+  s.workload = std::move(*workload);
+  return s;
+}
+
+/// Prints a PASS/FAIL line for a paper-shape acceptance criterion.
+inline bool ShapeCheck(bool ok, const std::string& what) {
+  std::printf("shape-check [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  return ok;
+}
+
+inline void PrintHeader(const char* figure, const char* description,
+                        uint64_t seed) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("(seed %llu; scaled-down reproduction, see EXPERIMENTS.md)\n",
+              static_cast<unsigned long long>(seed));
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace sqpr
+
+#endif  // SQPR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,68 @@
+#ifndef SQPR_COMMON_DEADLINE_H_
+#define SQPR_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sqpr {
+
+/// Wall-clock deadline used to bound branch-and-bound search, mirroring
+/// the fixed CPLEX timeout the paper gives the planner per query (§IV-C).
+/// A default-constructed Deadline never expires.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never-expiring deadline.
+  Deadline() : has_deadline_(false) {}
+
+  /// Expires `ms` milliseconds from now.
+  static Deadline AfterMillis(int64_t ms) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.expiry_ = Clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  static Deadline Infinite() { return Deadline(); }
+
+  bool Expired() const {
+    return has_deadline_ && Clock::now() >= expiry_;
+  }
+
+  bool is_finite() const { return has_deadline_; }
+
+  /// Milliseconds until expiry; large sentinel when infinite, 0 if passed.
+  int64_t RemainingMillis() const {
+    if (!has_deadline_) return INT64_MAX / 2;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    expiry_ - Clock::now())
+                    .count();
+    return left < 0 ? 0 : left;
+  }
+
+ private:
+  bool has_deadline_;
+  Clock::time_point expiry_{};
+};
+
+/// Simple wall-clock stopwatch for measuring planner latencies.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Deadline::Clock::now()) {}
+
+  void Reset() { start_ = Deadline::Clock::now(); }
+
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Deadline::Clock::now() -
+                                                     start_)
+        .count();
+  }
+
+ private:
+  Deadline::Clock::time_point start_;
+};
+
+}  // namespace sqpr
+
+#endif  // SQPR_COMMON_DEADLINE_H_

@@ -1,0 +1,57 @@
+#ifndef SQPR_COMMON_LOGGING_H_
+#define SQPR_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sqpr {
+namespace logging_internal {
+
+/// Collects a message via operator<< and emits it (plus abort for fatal
+/// severities) on destruction. Used only through the macros below.
+class LogMessage {
+ public:
+  LogMessage(const char* severity, const char* file, int line, bool fatal)
+      : fatal_(fatal) {
+    stream_ << "[" << severity << " " << file << ":" << line << "] ";
+  }
+  ~LogMessage() {
+    stream_ << "\n";
+    std::fputs(stream_.str().c_str(), stderr);
+    if (fatal_) std::abort();
+  }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+  bool fatal_;
+};
+
+}  // namespace logging_internal
+}  // namespace sqpr
+
+#define SQPR_LOG_INFO \
+  ::sqpr::logging_internal::LogMessage("INFO", __FILE__, __LINE__, false).stream()
+#define SQPR_LOG_WARN \
+  ::sqpr::logging_internal::LogMessage("WARN", __FILE__, __LINE__, false).stream()
+#define SQPR_LOG_FATAL \
+  ::sqpr::logging_internal::LogMessage("FATAL", __FILE__, __LINE__, true).stream()
+
+/// Aborts with a message when an invariant is violated. Active in all
+/// build modes: planner correctness depends on these invariants and the
+/// cost of the check is negligible next to simplex pivots.
+#define SQPR_CHECK(cond)                                        \
+  if (!(cond)) SQPR_LOG_FATAL << "Check failed: " #cond << " "
+
+#define SQPR_CHECK_OK(expr)                                          \
+  do {                                                               \
+    ::sqpr::Status _s = (expr);                                      \
+    if (!_s.ok()) SQPR_LOG_FATAL << "Status not OK: " << _s.ToString(); \
+  } while (0)
+
+#define SQPR_DCHECK(cond) SQPR_CHECK(cond)
+
+#endif  // SQPR_COMMON_LOGGING_H_

@@ -1,0 +1,71 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace sqpr {
+
+void RunningStats::Add(double v) {
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  sum_sq_ += v * v;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  const double m = mean();
+  double var = sum_sq_ / count_ - m * m;
+  return var < 0.0 ? 0.0 : var;  // clamp tiny negative rounding noise
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  SQPR_CHECK(q >= 0.0 && q <= 1.0) << "percentile q out of range: " << q;
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  const size_t index = rank == 0 ? 0 : rank - 1;
+  return samples[std::min(index, samples.size() - 1)];
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf(
+    std::vector<double> samples) {
+  std::vector<std::pair<double, double>> cdf;
+  if (samples.empty()) return cdf;
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  cdf.reserve(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    // Collapse ties onto the highest cumulative probability.
+    if (!cdf.empty() && cdf.back().first == samples[i]) {
+      cdf.back().second = static_cast<double>(i + 1) / n;
+    } else {
+      cdf.emplace_back(samples[i], static_cast<double>(i + 1) / n);
+    }
+  }
+  return cdf;
+}
+
+std::string FormatCdf(const std::vector<std::pair<double, double>>& cdf) {
+  std::string out;
+  char line[64];
+  for (const auto& [value, prob] : cdf) {
+    std::snprintf(line, sizeof(line), "%.6g\t%.4f\n", value, prob);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace sqpr

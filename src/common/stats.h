@@ -1,0 +1,47 @@
+#ifndef SQPR_COMMON_STATS_H_
+#define SQPR_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sqpr {
+
+/// Streaming accumulator for count/mean/min/max/stddev of a scalar series.
+class RunningStats {
+ public:
+  void Add(double v);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Population variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile (nearest-rank) of a sample set; copies and sorts.
+/// q in [0, 1]. Returns 0 for an empty sample.
+double Percentile(std::vector<double> samples, double q);
+
+/// Empirical CDF as sorted (value, cumulative probability) points, the
+/// format used by the Fig. 7(b)/(c) utilisation plots.
+std::vector<std::pair<double, double>> EmpiricalCdf(
+    std::vector<double> samples);
+
+/// Renders a CDF as gnuplot-ready rows "value<TAB>cum_prob\n".
+std::string FormatCdf(const std::vector<std::pair<double, double>>& cdf);
+
+}  // namespace sqpr
+
+#endif  // SQPR_COMMON_STATS_H_

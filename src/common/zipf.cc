@@ -1,0 +1,36 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sqpr {
+
+ZipfSampler::ZipfSampler(size_t n, double s) : s_(s) {
+  SQPR_CHECK(n > 0) << "ZipfSampler needs at least one rank";
+  SQPR_CHECK(s >= 0.0) << "Zipf parameter must be non-negative, got " << s;
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (double& v : cdf_) v /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(size_t k) const {
+  SQPR_CHECK(k < cdf_.size());
+  if (k == 0) return cdf_[0];
+  return cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace sqpr

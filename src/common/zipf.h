@@ -1,0 +1,39 @@
+#ifndef SQPR_COMMON_ZIPF_H_
+#define SQPR_COMMON_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sqpr {
+
+/// Samples ranks 0..n-1 with P(rank k) proportional to 1/(k+1)^s.
+///
+/// The paper draws the base streams of each query "according to a Zipfian
+/// distribution with parameter 1" (§V) and sweeps the parameter in
+/// [0, 2] for Fig. 4(c); s = 0 degenerates to the uniform distribution.
+/// n is at most a few thousand in all experiments, so we precompute the
+/// CDF once and sample by binary search, which is exact and O(log n).
+class ZipfSampler {
+ public:
+  /// Builds a sampler over n ranks with skew parameter s >= 0.
+  ZipfSampler(size_t n, double s);
+
+  /// Draws one rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+  double s() const { return s_; }
+
+  /// Probability of rank k (for tests and analytical expectations).
+  double Probability(size_t k) const;
+
+ private:
+  double s_ = 0.0;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k); cdf_.back() == 1.
+};
+
+}  // namespace sqpr
+
+#endif  // SQPR_COMMON_ZIPF_H_

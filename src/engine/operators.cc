@@ -1,0 +1,314 @@
+#include "engine/operators.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sqpr {
+namespace engine {
+
+SymmetricHashJoin::SymmetricHashJoin(Schema left, Schema right, int left_key,
+                                     int right_key, int64_t window_ms)
+    : window_ms_(window_ms),
+      output_schema_(Schema::Concat(left, right)) {
+  schemas_[0] = std::move(left);
+  schemas_[1] = std::move(right);
+  keys_[0] = left_key;
+  keys_[1] = right_key;
+  SQPR_CHECK(keys_[0] >= 0 && keys_[0] < schemas_[0].num_columns());
+  SQPR_CHECK(keys_[1] >= 0 && keys_[1] < schemas_[1].num_columns());
+  SQPR_CHECK(schemas_[0].column(keys_[0]).type == ValueType::kInt64);
+  SQPR_CHECK(schemas_[1].column(keys_[1]).type == ValueType::kInt64);
+  SQPR_CHECK(window_ms > 0);
+}
+
+void SymmetricHashJoin::Evict(int port, int64_t now_ms) {
+  auto& order = order_[port];
+  auto& window = windows_[port];
+  while (!order.empty() && order.front().first < now_ms - window_ms_) {
+    const auto [ts, key] = order.front();
+    order.pop_front();
+    auto it = window.find(key);
+    if (it == window.end()) continue;
+    auto& bucket = it->second;
+    while (!bucket.empty() && bucket.front().ts_ms < now_ms - window_ms_) {
+      bucket.pop_front();
+    }
+    if (bucket.empty()) window.erase(it);
+  }
+}
+
+Status SymmetricHashJoin::Push(int port, const Tuple& tuple,
+                               const EmitFn& emit) {
+  if (port < 0 || port > 1) return Status::InvalidArgument("bad join port");
+  SQPR_RETURN_IF_ERROR(CheckConforms(schemas_[port], tuple));
+  ++tuples_in_;
+  const int other = 1 - port;
+  Evict(other, tuple.ts_ms);
+
+  const int64_t key = std::get<int64_t>(tuple.values[keys_[port]]);
+  auto it = windows_[other].find(key);
+  if (it != windows_[other].end()) {
+    for (const Entry& match : it->second) {
+      if (match.ts_ms < tuple.ts_ms - window_ms_) continue;
+      Tuple out;
+      out.ts_ms = std::max(tuple.ts_ms, match.ts_ms);
+      const Tuple& left = port == 0 ? tuple : match.tuple;
+      const Tuple& right = port == 0 ? match.tuple : tuple;
+      out.values = left.values;
+      out.values.insert(out.values.end(), right.values.begin(),
+                        right.values.end());
+      ++tuples_out_;
+      emit(out);
+    }
+  }
+
+  windows_[port][key].push_back({tuple.ts_ms, tuple});
+  order_[port].emplace_back(tuple.ts_ms, key);
+  return Status::OK();
+}
+
+size_t SymmetricHashJoin::window_size(int port) const {
+  size_t total = 0;
+  for (const auto& [key, bucket] : windows_[port]) {
+    (void)key;
+    total += bucket.size();
+  }
+  return total;
+}
+
+ModuloFilter::ModuloFilter(Schema input, int column, int64_t modulus,
+                           int64_t remainder)
+    : schema_(std::move(input)),
+      column_(column),
+      modulus_(modulus),
+      remainder_(remainder) {
+  SQPR_CHECK(column >= 0 && column < schema_.num_columns());
+  SQPR_CHECK(schema_.column(column).type == ValueType::kInt64);
+  SQPR_CHECK(modulus > 0);
+}
+
+Status ModuloFilter::Push(int port, const Tuple& tuple, const EmitFn& emit) {
+  if (port != 0) return Status::InvalidArgument("filter has one port");
+  SQPR_RETURN_IF_ERROR(CheckConforms(schema_, tuple));
+  ++tuples_in_;
+  const int64_t v = std::get<int64_t>(tuple.values[column_]);
+  if (((v % modulus_) + modulus_) % modulus_ == remainder_) {
+    ++tuples_out_;
+    emit(tuple);
+  }
+  return Status::OK();
+}
+
+Project::Project(const Schema& input, std::vector<int> columns)
+    : columns_(std::move(columns)) {
+  Result<Schema> projected = input.Project(columns_);
+  SQPR_CHECK(projected.ok()) << projected.status().ToString();
+  schema_ = *projected;
+}
+
+Status Project::Push(int port, const Tuple& tuple, const EmitFn& emit) {
+  if (port != 0) return Status::InvalidArgument("project has one port");
+  ++tuples_in_;
+  Tuple out;
+  out.ts_ms = tuple.ts_ms;
+  out.values.reserve(columns_.size());
+  for (int c : columns_) {
+    if (c < 0 || c >= static_cast<int>(tuple.values.size())) {
+      return Status::InvalidArgument("projection index out of range");
+    }
+    out.values.push_back(tuple.values[c]);
+  }
+  ++tuples_out_;
+  emit(out);
+  return Status::OK();
+}
+
+Status Relay::Push(int port, const Tuple& tuple, const EmitFn& emit) {
+  if (port != 0) return Status::InvalidArgument("relay has one port");
+  ++tuples_in_;
+  ++tuples_out_;
+  emit(tuple);
+  return Status::OK();
+}
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount:
+      return "count";
+    case AggFn::kSum:
+      return "sum";
+    case AggFn::kAvg:
+      return "avg";
+    case AggFn::kMin:
+      return "min";
+    case AggFn::kMax:
+      return "max";
+  }
+  return "unknown";
+}
+
+TumblingAggregate::TumblingAggregate(Schema input, int key_column,
+                                     int value_column, AggFn fn,
+                                     int64_t window_ms)
+    : input_schema_(std::move(input)),
+      output_schema_(Schema({{"window_start", ValueType::kInt64},
+                             {"key", ValueType::kInt64},
+                             {std::string(AggFnName(fn)),
+                              ValueType::kDouble}})),
+      key_column_(key_column),
+      value_column_(value_column),
+      fn_(fn),
+      window_ms_(window_ms) {}
+
+void TumblingAggregate::EmitWindow(int64_t window_start,
+                                   const std::map<int64_t, Accum>& groups,
+                                   const EmitFn& emit) {
+  for (const auto& [key, acc] : groups) {
+    double out;
+    switch (fn_) {
+      case AggFn::kCount:
+        out = static_cast<double>(acc.count);
+        break;
+      case AggFn::kSum:
+        out = acc.sum;
+        break;
+      case AggFn::kAvg:
+        out = acc.count > 0 ? acc.sum / static_cast<double>(acc.count) : 0.0;
+        break;
+      case AggFn::kMin:
+        out = acc.min;
+        break;
+      case AggFn::kMax:
+        out = acc.max;
+        break;
+      default:
+        out = 0.0;
+        break;
+    }
+    Tuple result;
+    result.ts_ms = window_start + window_ms_;
+    result.values = {Value(window_start), Value(key), Value(out)};
+    ++tuples_out_;
+    emit(result);
+  }
+}
+
+Status TumblingAggregate::Push(int port, const Tuple& tuple,
+                               const EmitFn& emit) {
+  if (port != 0) return Status::InvalidArgument("aggregate has one port");
+  ++tuples_in_;
+  if (key_column_ < 0 || key_column_ >= input_schema_.num_columns() ||
+      !std::holds_alternative<int64_t>(tuple.values[key_column_])) {
+    return Status::InvalidArgument("bad aggregate key column");
+  }
+  double value = 0.0;
+  if (fn_ != AggFn::kCount) {
+    if (value_column_ < 0 || value_column_ >= input_schema_.num_columns()) {
+      return Status::InvalidArgument("bad aggregate value column");
+    }
+    const Value& v = tuple.values[value_column_];
+    if (std::holds_alternative<int64_t>(v)) {
+      value = static_cast<double>(std::get<int64_t>(v));
+    } else if (std::holds_alternative<double>(v)) {
+      value = std::get<double>(v);
+    } else {
+      return Status::InvalidArgument("aggregate value must be numeric");
+    }
+  }
+
+  // floor division for possibly-negative timestamps
+  int64_t w = tuple.ts_ms / window_ms_;
+  if (tuple.ts_ms < 0 && tuple.ts_ms % window_ms_ != 0) --w;
+  const int64_t window_start = w * window_ms_;
+  if (window_start < watermark_window_) {
+    ++late_drops_;
+    return Status::OK();
+  }
+  if (watermark_window_ == INT64_MIN) watermark_window_ = window_start;
+
+  Accum& acc = windows_[window_start][std::get<int64_t>(
+      tuple.values[key_column_])];
+  if (acc.count == 0) {
+    acc.min = value;
+    acc.max = value;
+  } else {
+    acc.min = std::min(acc.min, value);
+    acc.max = std::max(acc.max, value);
+  }
+  ++acc.count;
+  acc.sum += value;
+
+  // Flush every window strictly older than the newest one seen.
+  while (!windows_.empty() && windows_.begin()->first < window_start) {
+    EmitWindow(windows_.begin()->first, windows_.begin()->second, emit);
+    watermark_window_ =
+        std::max(watermark_window_, windows_.begin()->first + window_ms_);
+    windows_.erase(windows_.begin());
+  }
+  return Status::OK();
+}
+
+Status TumblingAggregate::Flush(const EmitFn& emit) {
+  while (!windows_.empty()) {
+    EmitWindow(windows_.begin()->first, windows_.begin()->second, emit);
+    watermark_window_ =
+        std::max(watermark_window_, windows_.begin()->first + window_ms_);
+    windows_.erase(windows_.begin());
+  }
+  return Status::OK();
+}
+
+Union::Union(Schema schema, int num_inputs)
+    : schema_(std::move(schema)),
+      num_inputs_(num_inputs),
+      port_counts_(static_cast<size_t>(num_inputs), 0) {}
+
+Status Union::Push(int port, const Tuple& tuple, const EmitFn& emit) {
+  if (port < 0 || port >= num_inputs_) {
+    return Status::InvalidArgument("union port out of range");
+  }
+  ++tuples_in_;
+  ++port_counts_[port];
+  ++tuples_out_;
+  emit(tuple);
+  return Status::OK();
+}
+
+RateSource::RateSource(double tuples_per_sec, int64_t key_domain,
+                       uint64_t seed)
+    : schema_(Schema({{"key", ValueType::kInt64},
+                      {"payload", ValueType::kDouble}})),
+      tuples_per_sec_(tuples_per_sec),
+      key_domain_(key_domain),
+      rng_(seed) {
+  SQPR_CHECK(tuples_per_sec > 0);
+  SQPR_CHECK(key_domain > 0);
+}
+
+int RateSource::EmitUntil(int64_t now_ms, const EmitFn& emit) {
+  const double interval_ms = 1000.0 / tuples_per_sec_;
+  int emitted = 0;
+  while (next_emit_ms_ <= static_cast<double>(now_ms)) {
+    Tuple t;
+    t.ts_ms = static_cast<int64_t>(next_emit_ms_);
+    t.values = {Value(static_cast<int64_t>(rng_.NextBounded(
+                    static_cast<uint64_t>(key_domain_)))),
+                Value(rng_.NextDouble())};
+    emit(t);
+    ++emitted;
+    next_emit_ms_ += interval_ms;
+  }
+  return emitted;
+}
+
+double ExpectedJoinRate(double left_rate, double right_rate,
+                        double window_sec, int64_t key_domain) {
+  // Each left arrival matches right_rate * window_sec tuples in
+  // expectation with probability 1/key_domain each, and vice versa.
+  return 2.0 * left_rate * right_rate * window_sec /
+         static_cast<double>(key_domain);
+}
+
+}  // namespace engine
+}  // namespace sqpr

@@ -1,0 +1,228 @@
+#ifndef SQPR_ENGINE_OPERATORS_H_
+#define SQPR_ENGINE_OPERATORS_H_
+
+#include <climits>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/tuple.h"
+
+namespace sqpr {
+namespace engine {
+
+/// Sink invoked for every tuple an operator emits.
+using EmitFn = std::function<void(const Tuple&)>;
+
+/// Push-based streaming operator: tuples arrive on numbered input ports
+/// and results are emitted through the sink. Implementations are
+/// single-threaded (DISSP hosts schedule operators on a worker pool; the
+/// simulator serialises per-operator work, which preserves semantics).
+class StreamOperator {
+ public:
+  virtual ~StreamOperator() = default;
+  virtual const char* kind() const = 0;
+  virtual int num_inputs() const = 0;
+  virtual const Schema& output_schema() const = 0;
+  /// Processes one input tuple; emits zero or more outputs via `emit`.
+  virtual Status Push(int port, const Tuple& tuple, const EmitFn& emit) = 0;
+
+  /// Tuples processed and emitted so far (monitoring counters the
+  /// resource monitors report to the planner, §IV-C).
+  int64_t tuples_in() const { return tuples_in_; }
+  int64_t tuples_out() const { return tuples_out_; }
+
+ protected:
+  int64_t tuples_in_ = 0;
+  int64_t tuples_out_ = 0;
+};
+
+/// Sliding-window symmetric hash join on one key column per side.
+/// Matches are exact equality on the key; each arriving tuple joins
+/// against the opposite window's hash bucket, then is inserted into its
+/// own window. Windows are time-based (`window_ms`) and evicted lazily.
+class SymmetricHashJoin : public StreamOperator {
+ public:
+  SymmetricHashJoin(Schema left, Schema right, int left_key, int right_key,
+                    int64_t window_ms);
+
+  const char* kind() const override { return "join"; }
+  int num_inputs() const override { return 2; }
+  const Schema& output_schema() const override { return output_schema_; }
+  Status Push(int port, const Tuple& tuple, const EmitFn& emit) override;
+
+  size_t window_size(int port) const;
+
+ private:
+  struct Entry {
+    int64_t ts_ms;
+    Tuple tuple;
+  };
+  void Evict(int port, int64_t now_ms);
+
+  Schema schemas_[2];
+  int keys_[2];
+  int64_t window_ms_;
+  Schema output_schema_;
+  std::unordered_map<int64_t, std::deque<Entry>> windows_[2];
+  std::deque<std::pair<int64_t, int64_t>> order_[2];  // (ts, key) for evict
+};
+
+/// Filter on a single int64 column: keeps tuples with value % modulus ==
+/// remainder (a deterministic, shareable predicate in the §II-C sense).
+class ModuloFilter : public StreamOperator {
+ public:
+  ModuloFilter(Schema input, int column, int64_t modulus, int64_t remainder);
+
+  const char* kind() const override { return "filter"; }
+  int num_inputs() const override { return 1; }
+  const Schema& output_schema() const override { return schema_; }
+  Status Push(int port, const Tuple& tuple, const EmitFn& emit) override;
+
+ private:
+  Schema schema_;
+  int column_;
+  int64_t modulus_;
+  int64_t remainder_;
+};
+
+/// Projection onto a subset of columns.
+class Project : public StreamOperator {
+ public:
+  Project(const Schema& input, std::vector<int> columns);
+
+  const char* kind() const override { return "project"; }
+  int num_inputs() const override { return 1; }
+  const Schema& output_schema() const override { return schema_; }
+  Status Push(int port, const Tuple& tuple, const EmitFn& emit) override;
+
+ private:
+  Schema schema_;
+  std::vector<int> columns_;
+};
+
+/// The µ relay operator of §II-C: forwards its input unchanged. Hosts
+/// use relays to make streams available to other hosts.
+class Relay : public StreamOperator {
+ public:
+  explicit Relay(Schema schema) : schema_(std::move(schema)) {}
+
+  const char* kind() const override { return "relay"; }
+  int num_inputs() const override { return 1; }
+  const Schema& output_schema() const override { return schema_; }
+  Status Push(int port, const Tuple& tuple, const EmitFn& emit) override;
+
+ private:
+  Schema schema_;
+};
+
+/// Aggregate functions supported by TumblingAggregate.
+enum class AggFn : uint8_t { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFnName(AggFn fn);
+
+/// Tumbling-window group-by aggregation over one numeric column.
+///
+/// Tuples are assigned to the window [k·w, (k+1)·w) containing their
+/// event time. When a tuple arrives for a later window, every completed
+/// window is flushed in (window, key) order — event time is assumed
+/// near-monotone per stream, as produced by RateSource; tuples older
+/// than the oldest open window are counted in late_drops() and dropped.
+/// Output schema: (window_start:i64, key:i64, agg:f64).
+class TumblingAggregate : public StreamOperator {
+ public:
+  /// `value_column` must be an int64 or double column; ignored (and -1
+  /// allowed) for kCount.
+  TumblingAggregate(Schema input, int key_column, int value_column, AggFn fn,
+                    int64_t window_ms);
+
+  const char* kind() const override { return "aggregate"; }
+  int num_inputs() const override { return 1; }
+  const Schema& output_schema() const override { return output_schema_; }
+  Status Push(int port, const Tuple& tuple, const EmitFn& emit) override;
+
+  /// Flushes every open window (end-of-stream).
+  Status Flush(const EmitFn& emit);
+
+  int64_t late_drops() const { return late_drops_; }
+
+ private:
+  struct Accum {
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  void EmitWindow(int64_t window_start,
+                  const std::map<int64_t, Accum>& groups, const EmitFn& emit);
+
+  Schema input_schema_;
+  Schema output_schema_;
+  int key_column_;
+  int value_column_;
+  AggFn fn_;
+  int64_t window_ms_;
+  // window start -> key -> accumulator; std::map keeps flush order
+  // deterministic.
+  std::map<int64_t, std::map<int64_t, Accum>> windows_;
+  int64_t late_drops_ = 0;
+  int64_t watermark_window_ = INT64_MIN;  // oldest open window start
+};
+
+/// N-way union of identical-schema streams: tuples pass through in
+/// arrival order. The planner models unions as relays with several
+/// inputs; the engine keeps them explicit for monitoring.
+class Union : public StreamOperator {
+ public:
+  Union(Schema schema, int num_inputs);
+
+  const char* kind() const override { return "union"; }
+  int num_inputs() const override { return num_inputs_; }
+  const Schema& output_schema() const override { return schema_; }
+  Status Push(int port, const Tuple& tuple, const EmitFn& emit) override;
+
+  /// Tuples seen per input port.
+  int64_t port_count(int port) const { return port_counts_[port]; }
+
+ private:
+  Schema schema_;
+  int num_inputs_;
+  std::vector<int64_t> port_counts_;
+};
+
+/// Deterministic base-stream source: emits tuples with a uniformly drawn
+/// key in [0, key_domain) and a payload, at a fixed inter-arrival time.
+/// The standard base-stream schema is (key:i64, payload:f64).
+class RateSource {
+ public:
+  RateSource(double tuples_per_sec, int64_t key_domain, uint64_t seed);
+
+  const Schema& schema() const { return schema_; }
+  /// Emits all tuples due in (last_emit, now_ms]; returns the count.
+  int EmitUntil(int64_t now_ms, const EmitFn& emit);
+  double tuples_per_sec() const { return tuples_per_sec_; }
+
+ private:
+  Schema schema_;
+  double tuples_per_sec_;
+  int64_t key_domain_;
+  Rng rng_;
+  double next_emit_ms_ = 0.0;
+};
+
+/// Expected join-output rate (tuples/sec) for two independent uniform
+/// key streams: r_l * r_r * window_sec / key_domain matches on each side.
+/// Used by engine tests to validate measured selectivity against theory.
+double ExpectedJoinRate(double left_rate, double right_rate,
+                        double window_sec, int64_t key_domain);
+
+}  // namespace engine
+}  // namespace sqpr
+
+#endif  // SQPR_ENGINE_OPERATORS_H_

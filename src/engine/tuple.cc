@@ -1,0 +1,91 @@
+#include "engine/tuple.h"
+
+namespace sqpr {
+namespace engine {
+
+ValueType TypeOf(const Value& v) {
+  if (std::holds_alternative<int64_t>(v)) return ValueType::kInt64;
+  if (std::holds_alternative<double>(v)) return ValueType::kDouble;
+  return ValueType::kString;
+}
+
+std::string ValueToString(const Value& v) {
+  switch (TypeOf(v)) {
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(v));
+    case ValueType::kDouble:
+      return std::to_string(std::get<double>(v));
+    case ValueType::kString:
+      return std::get<std::string>(v);
+  }
+  return "";
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (int i = 0; i < num_columns(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return -1;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> columns;
+  columns.reserve(left.num_columns() + right.num_columns());
+  for (int i = 0; i < left.num_columns(); ++i) {
+    columns.push_back(left.column(i));
+  }
+  for (int i = 0; i < right.num_columns(); ++i) {
+    Column c = right.column(i);
+    if (left.FindColumn(c.name) >= 0) c.name = "r_" + c.name;
+    columns.push_back(std::move(c));
+  }
+  return Schema(std::move(columns));
+}
+
+Result<Schema> Schema::Project(const std::vector<int>& indices) const {
+  std::vector<Column> columns;
+  columns.reserve(indices.size());
+  for (int i : indices) {
+    if (i < 0 || i >= num_columns()) {
+      return Status::InvalidArgument("projection index out of range");
+    }
+    columns.push_back(columns_[i]);
+  }
+  return Schema(std::move(columns));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (int i = 0; i < num_columns(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    switch (columns_[i].type) {
+      case ValueType::kInt64:
+        out += ":i64";
+        break;
+      case ValueType::kDouble:
+        out += ":f64";
+        break;
+      case ValueType::kString:
+        out += ":str";
+        break;
+    }
+  }
+  return out + ")";
+}
+
+Status CheckConforms(const Schema& schema, const Tuple& tuple) {
+  if (static_cast<int>(tuple.values.size()) != schema.num_columns()) {
+    return Status::InvalidArgument("tuple arity mismatch");
+  }
+  for (int i = 0; i < schema.num_columns(); ++i) {
+    if (TypeOf(tuple.values[i]) != schema.column(i).type) {
+      return Status::InvalidArgument("tuple type mismatch at column " +
+                                     schema.column(i).name);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace engine
+}  // namespace sqpr

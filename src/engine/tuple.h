@@ -1,0 +1,67 @@
+#ifndef SQPR_ENGINE_TUPLE_H_
+#define SQPR_ENGINE_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqpr {
+namespace engine {
+
+/// A relational value. The DISSP-like engine follows the paper's
+/// relational streaming model ("streams may consist of relational tuples
+/// with a given schema", §II-A).
+using Value = std::variant<int64_t, double, std::string>;
+
+enum class ValueType : uint8_t { kInt64, kDouble, kString };
+
+ValueType TypeOf(const Value& v);
+std::string ValueToString(const Value& v);
+
+/// Column description.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+};
+
+/// An ordered set of typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const { return columns_[i]; }
+
+  /// Index of a column by name; -1 when absent.
+  int FindColumn(const std::string& name) const;
+
+  /// Concatenation used by joins: left columns then right columns, with
+  /// right-side duplicates renamed with a "r_" prefix.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// Projection onto a subset of column indices.
+  Result<Schema> Project(const std::vector<int>& indices) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// A timestamped tuple. `ts_ms` is the event time used by windows.
+struct Tuple {
+  int64_t ts_ms = 0;
+  std::vector<Value> values;
+};
+
+/// Checks that a tuple's arity and value types match the schema.
+Status CheckConforms(const Schema& schema, const Tuple& tuple);
+
+}  // namespace engine
+}  // namespace sqpr
+
+#endif  // SQPR_ENGINE_TUPLE_H_

@@ -1,0 +1,90 @@
+#include "lp/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sqpr {
+namespace lp {
+
+int Model::AddVariable(double lb, double ub, double obj, std::string name) {
+  SQPR_CHECK(lb <= ub) << "variable bounds crossed: [" << lb << ", " << ub
+                       << "] for " << name;
+  var_lb_.push_back(lb);
+  var_ub_.push_back(ub);
+  obj_.push_back(obj);
+  var_names_.push_back(std::move(name));
+  return num_variables() - 1;
+}
+
+int Model::AddRow(double lb, double ub,
+                  std::vector<std::pair<int, double>> terms,
+                  std::string name) {
+  SQPR_CHECK(lb <= ub) << "row bounds crossed: [" << lb << ", " << ub
+                       << "] for " << name;
+  // Merge duplicate variable references and drop zero coefficients so the
+  // solver sees each column at most once per row.
+  std::sort(terms.begin(), terms.end());
+  std::vector<std::pair<int, double>> merged;
+  merged.reserve(terms.size());
+  for (const auto& [var, coef] : terms) {
+    SQPR_CHECK(var >= 0 && var < num_variables())
+        << "row " << name << " references unknown variable " << var;
+    if (!merged.empty() && merged.back().first == var) {
+      merged.back().second += coef;
+    } else {
+      merged.emplace_back(var, coef);
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const auto& t) { return t.second == 0.0; }),
+               merged.end());
+  row_lb_.push_back(lb);
+  row_ub_.push_back(ub);
+  rows_.push_back(std::move(merged));
+  row_names_.push_back(std::move(name));
+  return num_rows() - 1;
+}
+
+void Model::SetVariableBounds(int var, double lb, double ub) {
+  SQPR_CHECK(lb <= ub) << "variable bounds crossed on update: [" << lb << ", "
+                       << ub << "]";
+  var_lb_[var] = lb;
+  var_ub_[var] = ub;
+}
+
+double Model::ObjectiveValue(const std::vector<double>& v) const {
+  SQPR_CHECK(static_cast<int>(v.size()) == num_variables());
+  double total = 0.0;
+  for (int i = 0; i < num_variables(); ++i) total += obj_[i] * v[i];
+  return total;
+}
+
+Status Model::CheckFeasible(const std::vector<double>& v, double tol) const {
+  if (static_cast<int>(v.size()) != num_variables()) {
+    return Status::InvalidArgument("assignment size mismatch");
+  }
+  for (int i = 0; i < num_variables(); ++i) {
+    if (v[i] < var_lb_[i] - tol || v[i] > var_ub_[i] + tol) {
+      return Status::Infeasible("variable " + var_names_[i] + " = " +
+                                std::to_string(v[i]) + " outside [" +
+                                std::to_string(var_lb_[i]) + ", " +
+                                std::to_string(var_ub_[i]) + "]");
+    }
+  }
+  for (int r = 0; r < num_rows(); ++r) {
+    double activity = 0.0;
+    for (const auto& [var, coef] : rows_[r]) activity += coef * v[var];
+    if (activity < row_lb_[r] - tol || activity > row_ub_[r] + tol) {
+      return Status::Infeasible("row " + row_names_[r] + " activity " +
+                                std::to_string(activity) + " outside [" +
+                                std::to_string(row_lb_[r]) + ", " +
+                                std::to_string(row_ub_[r]) + "]");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lp
+}  // namespace sqpr

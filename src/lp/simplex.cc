@@ -1,0 +1,650 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace sqpr {
+namespace lp {
+namespace {
+
+constexpr double kPivotTol = 1e-9;
+
+/// Internal standard-form workspace:
+///   columns 0..n-1    structural variables
+///   columns n..n+m-1  row slacks (coefficient -1 in their row)
+/// with every equation  A_full * v = 0. There are no artificial columns:
+/// primal infeasibility is carried by out-of-bounds *basic* variables and
+/// removed by a composite (infeasibility-minimising) phase 1, which is
+/// what makes warm-starting from a related basis possible — the key to
+/// cheap branch-and-bound node re-solves.
+struct Tableau {
+  int m = 0;         // rows
+  int n_struct = 0;  // structural columns
+  int n_total = 0;   // structural + slack columns
+
+  // CSC storage of all columns.
+  std::vector<int> col_start;
+  std::vector<int> entry_row;
+  std::vector<double> entry_val;
+
+  std::vector<double> lb, ub;      // per column
+  std::vector<double> cost;        // phase-2 cost, minimisation sense
+  std::vector<BasisState> state;   // per column
+  std::vector<double> value;       // per column current value
+  std::vector<int> basis;          // basis[i] = column basic in row i
+  std::vector<int> basic_pos;      // basic_pos[col] = row position or -1
+
+  std::vector<double> binv;  // m*m column-major: binv[c*m + i]
+
+  int ColEntries(int c, const int** rows, const double** vals) const {
+    *rows = entry_row.data() + col_start[c];
+    *vals = entry_val.data() + col_start[c];
+    return col_start[c + 1] - col_start[c];
+  }
+};
+
+class SimplexImpl {
+ public:
+  SimplexImpl(const Model& model, const SimplexOptions& options)
+      : model_(model), options_(options) {}
+
+  SimplexResult Run();
+
+ private:
+  void BuildTableau();
+  // Installs the warm basis if provided and dimensionally sound,
+  // otherwise the all-slack basis.
+  void InstallBasis();
+  void InstallSlackBasis();
+  // Rebuilds the dense basis inverse. Returns false when singular.
+  bool Refactorize();
+  void RecomputeBasicValues();
+  double NonbasicValue(int c) const;
+  // Total primal infeasibility of basic variables.
+  double Infeasibility() const;
+  // One simplex iteration. phase1 selects the composite infeasibility
+  // objective. Returns: 0 = no improving column, 1 = pivoted,
+  // 2 = unbounded direction, 3 = singular refactorisation.
+  int Iterate(bool phase1, bool bland);
+  void Ftran(int col, std::vector<double>* w) const;
+  // Reduced costs for all nonbasic columns under the given basic cost
+  // vector cb (indexed by basis position) and per-column costs `cost`
+  // (nullptr = all-zero, used by phase 1).
+  void PriceAll(const std::vector<double>& cb, const double* column_cost,
+                std::vector<double>* reduced) const;
+
+  SimplexResult Finish(SolveStatus status);
+
+  const Model& model_;
+  SimplexOptions options_;
+  Tableau t_;
+  int64_t iterations_ = 0;
+  int64_t max_iterations_ = 0;
+  int pivots_since_refactor_ = 0;
+  int degenerate_run_ = 0;
+  double feas_tol_ = 1e-7;
+  double opt_tol_ = 1e-7;
+};
+
+void SimplexImpl::BuildTableau() {
+  const int n = model_.num_variables();
+  const int m = model_.num_rows();
+  t_.m = m;
+  t_.n_struct = n;
+  t_.n_total = n + m;
+
+  std::vector<int> counts(n, 0);
+  for (int r = 0; r < m; ++r) {
+    for (const auto& [var, coef] : model_.row_terms(r)) {
+      (void)coef;
+      ++counts[var];
+    }
+  }
+  t_.col_start.assign(n + m + 1, 0);
+  for (int c = 0; c < n; ++c) {
+    t_.col_start[c + 1] = t_.col_start[c] + counts[c];
+  }
+  for (int c = n; c < n + m; ++c) {
+    t_.col_start[c + 1] = t_.col_start[c] + 1;  // slack: one entry
+  }
+  const int nnz = t_.col_start[n + m];
+  t_.entry_row.resize(nnz);
+  t_.entry_val.resize(nnz);
+  std::vector<int> fill(n, 0);
+  for (int r = 0; r < m; ++r) {
+    for (const auto& [var, coef] : model_.row_terms(r)) {
+      const int pos = t_.col_start[var] + fill[var]++;
+      t_.entry_row[pos] = r;
+      t_.entry_val[pos] = coef;
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    const int pos = t_.col_start[n + i];
+    t_.entry_row[pos] = i;
+    t_.entry_val[pos] = -1.0;  // row activity - slack = 0
+  }
+
+  t_.lb.resize(n + m);
+  t_.ub.resize(n + m);
+  for (int c = 0; c < n; ++c) {
+    t_.lb[c] = model_.variable_lb(c);
+    t_.ub[c] = model_.variable_ub(c);
+  }
+  for (int i = 0; i < m; ++i) {
+    t_.lb[n + i] = model_.row_lb(i);
+    t_.ub[n + i] = model_.row_ub(i);
+  }
+  t_.cost.assign(n + m, 0.0);
+  const double sense = model_.sense() == Sense::kMaximize ? -1.0 : 1.0;
+  for (int c = 0; c < n; ++c) t_.cost[c] = sense * model_.objective(c);
+  t_.state.assign(n + m, BasisState::kAtLower);
+  t_.value.assign(n + m, 0.0);
+  t_.basic_pos.assign(n + m, -1);
+}
+
+double SimplexImpl::NonbasicValue(int c) const {
+  switch (t_.state[c]) {
+    case BasisState::kAtLower:
+      return t_.lb[c];
+    case BasisState::kAtUpper:
+      return t_.ub[c];
+    case BasisState::kFree:
+      return 0.0;
+    case BasisState::kBasic:
+      break;
+  }
+  SQPR_LOG_FATAL << "NonbasicValue on basic column";
+  return 0.0;
+}
+
+void SimplexImpl::InstallSlackBasis() {
+  const int n = t_.n_struct;
+  const int m = t_.m;
+  for (int c = 0; c < n; ++c) {
+    if (std::isfinite(t_.lb[c]) && std::isfinite(t_.ub[c])) {
+      t_.state[c] = (std::abs(t_.lb[c]) <= std::abs(t_.ub[c]))
+                        ? BasisState::kAtLower
+                        : BasisState::kAtUpper;
+    } else if (std::isfinite(t_.lb[c])) {
+      t_.state[c] = BasisState::kAtLower;
+    } else if (std::isfinite(t_.ub[c])) {
+      t_.state[c] = BasisState::kAtUpper;
+    } else {
+      t_.state[c] = BasisState::kFree;
+    }
+    t_.basic_pos[c] = -1;
+  }
+  t_.basis.resize(m);
+  for (int i = 0; i < m; ++i) {
+    const int slack = n + i;
+    t_.basis[i] = slack;
+    t_.state[slack] = BasisState::kBasic;
+    t_.basic_pos[slack] = i;
+  }
+}
+
+void SimplexImpl::InstallBasis() {
+  const int n = t_.n_struct;
+  const int m = t_.m;
+  bool warm_ok = false;
+  if (options_.warm_basis != nullptr) {
+    const std::vector<BasisState>& warm = *options_.warm_basis;
+    // A warm basis may come from the same model with fewer rows (lazy
+    // cuts appended since): pad by making the new slacks basic. Any
+    // other size mismatch is rejected.
+    if (warm.size() >= static_cast<size_t>(n) &&
+        warm.size() <= static_cast<size_t>(n + m)) {
+      std::vector<BasisState> padded(warm);
+      padded.resize(static_cast<size_t>(n + m), BasisState::kBasic);
+      int basic_count = 0;
+      for (BasisState s : padded) basic_count += s == BasisState::kBasic;
+      if (basic_count == m) {
+        t_.basis.clear();
+        for (int c = 0; c < n + m; ++c) {
+          t_.state[c] = padded[c];
+          if (t_.state[c] == BasisState::kBasic) {
+            t_.basic_pos[c] = static_cast<int>(t_.basis.size());
+            t_.basis.push_back(c);
+            continue;
+          }
+          // Nonbasic columns must rest on a finite bound; repair states
+          // that no longer match the (possibly branched) bounds.
+          if (t_.state[c] == BasisState::kAtLower &&
+              !std::isfinite(t_.lb[c])) {
+            t_.state[c] = std::isfinite(t_.ub[c]) ? BasisState::kAtUpper
+                                                  : BasisState::kFree;
+          } else if (t_.state[c] == BasisState::kAtUpper &&
+                     !std::isfinite(t_.ub[c])) {
+            t_.state[c] = std::isfinite(t_.lb[c]) ? BasisState::kAtLower
+                                                  : BasisState::kFree;
+          }
+          t_.basic_pos[c] = -1;
+        }
+        warm_ok = true;
+      }
+    }
+  }
+  if (!warm_ok) InstallSlackBasis();
+  if (!Refactorize()) {
+    // Singular warm basis: fall back to the always-regular slack basis.
+    InstallSlackBasis();
+    const bool ok = Refactorize();
+    SQPR_CHECK(ok) << "slack basis cannot be singular";
+  }
+  RecomputeBasicValues();
+}
+
+bool SimplexImpl::Refactorize() {
+  const int m = t_.m;
+  std::vector<double> mat(static_cast<size_t>(m) * m, 0.0);
+  for (int i = 0; i < m; ++i) {
+    const int col = t_.basis[i];
+    const int* rows;
+    const double* vals;
+    const int cnt = t_.ColEntries(col, &rows, &vals);
+    for (int k = 0; k < cnt; ++k) {
+      mat[static_cast<size_t>(i) * m + rows[k]] = vals[k];
+    }
+  }
+  t_.binv.assign(static_cast<size_t>(m) * m, 0.0);
+  for (int i = 0; i < m; ++i) t_.binv[static_cast<size_t>(i) * m + i] = 1.0;
+
+  // Gauss-Jordan with partial pivoting; mat and binv share row ops.
+  std::vector<int> perm(m);
+  for (int i = 0; i < m; ++i) perm[i] = i;
+  for (int k = 0; k < m; ++k) {
+    int piv = -1;
+    double best = kPivotTol;
+    for (int r = 0; r < m; ++r) {
+      if (perm[r] < 0) continue;
+      const double v = std::abs(mat[static_cast<size_t>(k) * m + r]);
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (piv < 0) return false;  // numerically singular basis
+    perm[piv] = -1;
+    const double p = mat[static_cast<size_t>(k) * m + piv];
+    for (int c = 0; c < m; ++c) {
+      mat[static_cast<size_t>(c) * m + piv] /= p;
+      t_.binv[static_cast<size_t>(c) * m + piv] /= p;
+    }
+    for (int r = 0; r < m; ++r) {
+      if (r == piv) continue;
+      const double f = mat[static_cast<size_t>(k) * m + r];
+      if (f == 0.0) continue;
+      for (int c = 0; c < m; ++c) {
+        mat[static_cast<size_t>(c) * m + r] -=
+            f * mat[static_cast<size_t>(c) * m + piv];
+        t_.binv[static_cast<size_t>(c) * m + r] -=
+            f * t_.binv[static_cast<size_t>(c) * m + piv];
+      }
+    }
+    if (piv != k) {
+      for (int c = 0; c < m; ++c) {
+        std::swap(mat[static_cast<size_t>(c) * m + piv],
+                  mat[static_cast<size_t>(c) * m + k]);
+        std::swap(t_.binv[static_cast<size_t>(c) * m + piv],
+                  t_.binv[static_cast<size_t>(c) * m + k]);
+      }
+      std::swap(perm[piv], perm[k]);
+    }
+  }
+  pivots_since_refactor_ = 0;
+  return true;
+}
+
+void SimplexImpl::RecomputeBasicValues() {
+  const int m = t_.m;
+  std::vector<double> q(m, 0.0);
+  for (int c = 0; c < t_.n_total; ++c) {
+    if (t_.state[c] == BasisState::kBasic) continue;
+    const double v = NonbasicValue(c);
+    t_.value[c] = v;
+    if (v == 0.0) continue;
+    const int* rows;
+    const double* vals;
+    const int cnt = t_.ColEntries(c, &rows, &vals);
+    for (int k = 0; k < cnt; ++k) q[rows[k]] += vals[k] * v;
+  }
+  for (int i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (int c = 0; c < m; ++c) {
+      acc += t_.binv[static_cast<size_t>(c) * m + i] * q[c];
+    }
+    t_.value[t_.basis[i]] = -acc;
+  }
+}
+
+double SimplexImpl::Infeasibility() const {
+  double total = 0.0;
+  for (int i = 0; i < t_.m; ++i) {
+    const int c = t_.basis[i];
+    if (t_.value[c] > t_.ub[c]) total += t_.value[c] - t_.ub[c];
+    if (t_.value[c] < t_.lb[c]) total += t_.lb[c] - t_.value[c];
+  }
+  return total;
+}
+
+void SimplexImpl::Ftran(int col, std::vector<double>* w) const {
+  const int m = t_.m;
+  w->assign(m, 0.0);
+  const int* rows;
+  const double* vals;
+  const int cnt = t_.ColEntries(col, &rows, &vals);
+  for (int k = 0; k < cnt; ++k) {
+    const double a = vals[k];
+    const double* bcol = t_.binv.data() + static_cast<size_t>(rows[k]) * m;
+    for (int i = 0; i < m; ++i) (*w)[i] += a * bcol[i];
+  }
+}
+
+void SimplexImpl::PriceAll(const std::vector<double>& cb,
+                           const double* column_cost,
+                           std::vector<double>* reduced) const {
+  const int m = t_.m;
+  std::vector<double> y(m, 0.0);
+  for (int c = 0; c < m; ++c) {
+    const double* bcol = t_.binv.data() + static_cast<size_t>(c) * m;
+    double acc = 0.0;
+    for (int i = 0; i < m; ++i) acc += cb[i] * bcol[i];
+    y[c] = acc;
+  }
+  reduced->assign(t_.n_total, 0.0);
+  for (int c = 0; c < t_.n_total; ++c) {
+    if (t_.state[c] == BasisState::kBasic) continue;
+    if (t_.lb[c] == t_.ub[c]) continue;  // fixed: never enters, skip price
+    const int* rows;
+    const double* vals;
+    const int cnt = t_.ColEntries(c, &rows, &vals);
+    double dot = 0.0;
+    for (int k = 0; k < cnt; ++k) dot += y[rows[k]] * vals[k];
+    (*reduced)[c] = (column_cost != nullptr ? column_cost[c] : 0.0) - dot;
+  }
+}
+
+int SimplexImpl::Iterate(bool phase1, bool bland) {
+  const int m = t_.m;
+
+  // Basic cost vector: the composite phase-1 gradient (+1 above ub, -1
+  // below lb) or the phase-2 objective restricted to the basis.
+  std::vector<double> cb(m);
+  if (phase1) {
+    for (int i = 0; i < m; ++i) {
+      const int c = t_.basis[i];
+      if (t_.value[c] > t_.ub[c] + feas_tol_) {
+        cb[i] = 1.0;
+      } else if (t_.value[c] < t_.lb[c] - feas_tol_) {
+        cb[i] = -1.0;
+      } else {
+        cb[i] = 0.0;
+      }
+    }
+  } else {
+    for (int i = 0; i < m; ++i) cb[i] = t_.cost[t_.basis[i]];
+  }
+  std::vector<double> reduced;
+  PriceAll(cb, phase1 ? nullptr : t_.cost.data(), &reduced);
+
+  int enter = -1;
+  int enter_dir = 0;
+  double best_score = opt_tol_;
+  for (int c = 0; c < t_.n_total; ++c) {
+    const BasisState st = t_.state[c];
+    if (st == BasisState::kBasic) continue;
+    if (t_.lb[c] == t_.ub[c]) continue;
+    const double d = reduced[c];
+    int dir = 0;
+    if (st == BasisState::kAtLower && d < -opt_tol_) {
+      dir = +1;
+    } else if (st == BasisState::kAtUpper && d > opt_tol_) {
+      dir = -1;
+    } else if (st == BasisState::kFree && std::abs(d) > opt_tol_) {
+      dir = d < 0 ? +1 : -1;
+    }
+    if (dir == 0) continue;
+    if (bland) {
+      enter = c;
+      enter_dir = dir;
+      break;
+    }
+    if (std::abs(d) > best_score) {
+      best_score = std::abs(d);
+      enter = c;
+      enter_dir = dir;
+    }
+  }
+  if (enter < 0) return 0;  // no improving column for this phase
+
+  std::vector<double> w;
+  Ftran(enter, &w);
+
+  // Two-pass (Harris-style) ratio test. Out-of-bounds basic variables
+  // (phase 1) contribute a breakpoint where they *reach* their violated
+  // bound; feasible ones where they would leave their range. The second
+  // pass picks the largest |pivot| among near-tied limits, which keeps
+  // the basis well conditioned through degenerate pivot chains.
+  const double range = t_.ub[enter] - t_.lb[enter];
+  auto row_limit = [&](int i, double* g_out, int* to_upper) -> double {
+    const double g = enter_dir * w[i];  // rate of decrease of basic value
+    const int bcol = t_.basis[i];
+    *g_out = g;
+    const double v = t_.value[bcol];
+    if (g > kPivotTol) {  // basic value decreasing
+      if (v < t_.lb[bcol] - feas_tol_) {
+        // Already below its lower bound and moving further away: no
+        // breakpoint — the phase-1 pricing charged for this movement.
+        return kInf;
+      }
+      double target;
+      if (v > t_.ub[bcol] + feas_tol_) {
+        target = t_.ub[bcol];  // infeasible above: stop once feasible
+        *to_upper = 1;
+      } else {
+        if (!std::isfinite(t_.lb[bcol])) return kInf;
+        target = t_.lb[bcol];
+        *to_upper = 0;
+      }
+      return std::max(0.0, v - target) / g;
+    }
+    if (g < -kPivotTol) {  // basic value increasing
+      if (v > t_.ub[bcol] + feas_tol_) {
+        return kInf;  // already above its upper bound, moving away
+      }
+      double target;
+      if (v < t_.lb[bcol] - feas_tol_) {
+        target = t_.lb[bcol];  // infeasible below: stop once feasible
+        *to_upper = 0;
+      } else {
+        if (!std::isfinite(t_.ub[bcol])) return kInf;
+        target = t_.ub[bcol];
+        *to_upper = 1;
+      }
+      return std::max(0.0, target - v) / (-g);
+    }
+    return kInf;
+  };
+
+  double min_limit = std::isfinite(range) ? range : kInf;
+  for (int i = 0; i < m; ++i) {
+    double g;
+    int tu;
+    min_limit = std::min(min_limit, row_limit(i, &g, &tu));
+  }
+  if (!std::isfinite(min_limit)) return 2;  // unbounded direction
+
+  const double tie_tol = 1e-9 + 1e-7 * min_limit;
+  int leave_pos = -1;
+  int leave_to_upper = 0;
+  double best_pivot = 0.0;
+  double limit = min_limit;
+  for (int i = 0; i < m; ++i) {
+    double g;
+    int tu = 0;
+    const double a = row_limit(i, &g, &tu);
+    if (a > min_limit + tie_tol) continue;
+    if (std::abs(g) > best_pivot) {
+      best_pivot = std::abs(g);
+      leave_pos = i;
+      leave_to_upper = tu;
+      limit = std::max(0.0, a);
+    }
+  }
+  const bool bound_flip =
+      leave_pos < 0 ||
+      (std::isfinite(range) && range <= min_limit + tie_tol &&
+       range <= limit);
+  if (bound_flip) limit = range;
+
+  degenerate_run_ = (limit < 1e-10) ? degenerate_run_ + 1 : 0;
+
+  const double alpha = limit;
+  for (int i = 0; i < m; ++i) {
+    if (w[i] != 0.0) t_.value[t_.basis[i]] -= enter_dir * alpha * w[i];
+  }
+  const double enter_val = t_.value[enter] + enter_dir * alpha;
+
+  if (bound_flip) {
+    t_.state[enter] =
+        enter_dir > 0 ? BasisState::kAtUpper : BasisState::kAtLower;
+    t_.value[enter] = NonbasicValue(enter);
+    return 1;
+  }
+
+  const int leave_col = t_.basis[leave_pos];
+  t_.state[leave_col] =
+      leave_to_upper ? BasisState::kAtUpper : BasisState::kAtLower;
+  t_.value[leave_col] = NonbasicValue(leave_col);
+  t_.basic_pos[leave_col] = -1;
+
+  t_.basis[leave_pos] = enter;
+  t_.state[enter] = BasisState::kBasic;
+  t_.basic_pos[enter] = leave_pos;
+  t_.value[enter] = enter_val;
+
+  const double piv = w[leave_pos];
+  if (std::abs(piv) < kPivotTol / 10) return 3;
+  for (int c = 0; c < m; ++c) {
+    double* bcol = t_.binv.data() + static_cast<size_t>(c) * m;
+    const double pr = bcol[leave_pos] / piv;
+    if (pr == 0.0) continue;
+    for (int i = 0; i < m; ++i) {
+      if (i == leave_pos) continue;
+      bcol[i] -= w[i] * pr;
+    }
+    bcol[leave_pos] = pr;
+  }
+
+  if (++pivots_since_refactor_ >= options_.refactor_interval) {
+    if (Refactorize()) {
+      RecomputeBasicValues();
+    } else {
+      return 3;
+    }
+  }
+  return 1;
+}
+
+SimplexResult SimplexImpl::Finish(SolveStatus status) {
+  SimplexResult result;
+  result.status = status;
+  result.iterations = iterations_;
+  result.values.assign(t_.value.begin(), t_.value.begin() + t_.n_struct);
+  result.objective = model_.ObjectiveValue(result.values);
+  result.basis_state = t_.state;
+  return result;
+}
+
+SimplexResult SimplexImpl::Run() {
+  feas_tol_ = options_.feasibility_tol;
+  opt_tol_ = options_.optimality_tol;
+  BuildTableau();
+  InstallBasis();
+
+  max_iterations_ = options_.max_iterations > 0
+                        ? options_.max_iterations
+                        : 200LL * (t_.m + t_.n_struct) + 2000;
+
+  int resets = 0;
+  while (true) {
+    if (iterations_ >= max_iterations_) {
+      return Finish(SolveStatus::kIterationLimit);
+    }
+    if ((iterations_ & 0x3f) == 0 && options_.deadline.Expired()) {
+      return Finish(SolveStatus::kTimeLimit);
+    }
+
+    const bool phase1 = Infeasibility() > feas_tol_;
+    const bool bland = degenerate_run_ > 40 || resets > 1;
+    const int step = Iterate(phase1, bland);
+    ++iterations_;
+
+    if (step == 1) continue;
+
+    if (step == 0) {
+      if (phase1) {
+        // Phase-1 stall with residual infeasibility: LP is infeasible.
+        return Finish(SolveStatus::kInfeasible);
+      }
+      // Phase-2 optimal. Only pay for a polish (refactorise + recompute)
+      // when enough product-form updates have accumulated to matter;
+      // warm-started solves typically finish in a handful of pivots on a
+      // freshly factorised basis.
+      if (pivots_since_refactor_ < 20) return Finish(SolveStatus::kOptimal);
+      if (Refactorize()) {
+        RecomputeBasicValues();
+        if (Infeasibility() > feas_tol_ * 100) {
+          // Drift surfaced by the polish: resume from phase 1.
+          if (++resets > 4) return Finish(SolveStatus::kIterationLimit);
+          continue;
+        }
+        return Finish(SolveStatus::kOptimal);
+      }
+      // Singular at polish: fall through to reset.
+    } else if (step == 2) {
+      if (!phase1) return Finish(SolveStatus::kUnbounded);
+      // An unbounded phase-1 ray is numerical nonsense; reset.
+    }
+
+    // step == 3 (singular) or numerical trouble: reset to slack basis.
+    if (++resets > 4) {
+      SQPR_LOG_WARN << "simplex giving up after repeated singular bases";
+      return Finish(SolveStatus::kIterationLimit);
+    }
+    InstallSlackBasis();
+    const bool ok = Refactorize();
+    SQPR_CHECK(ok) << "slack basis cannot be singular";
+    RecomputeBasicValues();
+    degenerate_run_ = 0;
+  }
+}
+
+}  // namespace
+
+const char* SolveStatusName(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal:
+      return "Optimal";
+    case SolveStatus::kInfeasible:
+      return "Infeasible";
+    case SolveStatus::kUnbounded:
+      return "Unbounded";
+    case SolveStatus::kIterationLimit:
+      return "IterationLimit";
+    case SolveStatus::kTimeLimit:
+      return "TimeLimit";
+  }
+  return "Unknown";
+}
+
+SimplexResult SimplexSolver::Solve(const Model& model) {
+  SimplexImpl impl(model, options_);
+  return impl.Run();
+}
+
+}  // namespace lp
+}  // namespace sqpr

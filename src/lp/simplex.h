@@ -1,0 +1,98 @@
+#ifndef SQPR_LP_SIMPLEX_H_
+#define SQPR_LP_SIMPLEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/deadline.h"
+#include "lp/model.h"
+
+namespace sqpr {
+namespace lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kTimeLimit,
+};
+
+const char* SolveStatusName(SolveStatus status);
+
+/// Column status in a simplex basis; the unit of warm-start exchange
+/// between solves. Order: structural columns 0..n-1, then row slacks.
+enum class BasisState : uint8_t {
+  kBasic,
+  kAtLower,
+  kAtUpper,
+  kFree,
+};
+
+struct SimplexOptions {
+  /// Hard cap on total simplex iterations across both phases. Zero means
+  /// "choose automatically from the problem size".
+  int64_t max_iterations = 0;
+  /// Wall-clock bound; checked every few iterations.
+  Deadline deadline;
+  /// Absolute primal feasibility / reduced-cost tolerance.
+  double feasibility_tol = 1e-7;
+  double optimality_tol = 1e-7;
+  /// Rebuild the basis inverse from scratch every this many pivots.
+  int refactor_interval = 100;
+  /// Optional starting basis (from a previous solve of a closely related
+  /// model, e.g. the parent branch-and-bound node). Must describe the
+  /// same columns; extra trailing rows (lazy cuts added since) are
+  /// padded with basic slacks. A singular or mismatched warm basis falls
+  /// back to the slack basis silently. The pointee must outlive Solve().
+  const std::vector<BasisState>* warm_basis = nullptr;
+};
+
+struct SimplexResult {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  /// Structural variable values (model.num_variables() entries). On
+  /// kOptimal this is the optimal vertex; on iteration/time limit in
+  /// phase 2 it is the last primal-feasible iterate.
+  std::vector<double> values;
+  /// Objective in the model's own sense.
+  double objective = 0.0;
+  int64_t iterations = 0;
+  /// Final basis, reusable as SimplexOptions::warm_basis for subsequent
+  /// related solves.
+  std::vector<BasisState> basis_state;
+};
+
+/// Two-phase bounded-variable revised primal simplex with a dense basis
+/// inverse and periodic refactorisation.
+///
+/// This is the LP engine underneath the branch-and-bound MILP solver that
+/// stands in for CPLEX in the SQPR reproduction. Design points:
+///  * rows are turned into equalities with bounded slack columns; a
+///    composite (infeasibility-minimising) phase 1 removes out-of-bound
+///    basic values, so any basis — including a warm one from a related
+///    solve — is a legal start;
+///  * Dantzig pricing with an automatic switch to Bland's rule after a
+///    run of degenerate pivots (anti-cycling);
+///  * bound flips are handled without basis changes;
+///  * the basis inverse is maintained column-major via product-form
+///    updates and rebuilt by Gauss-Jordan every refactor_interval pivots.
+///
+/// The solver is stateless across calls, but callers can chain solves
+/// cheaply by passing the previous SimplexResult::basis_state as the
+/// next SimplexOptions::warm_basis — branch-and-bound node re-solves
+/// then typically take a handful of iterations instead of hundreds.
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
+
+  /// Solves the LP. The model is read-only.
+  SimplexResult Solve(const Model& model);
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace lp
+}  // namespace sqpr
+
+#endif  // SQPR_LP_SIMPLEX_H_

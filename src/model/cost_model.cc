@@ -1,0 +1,39 @@
+#include "model/cost_model.h"
+
+namespace sqpr {
+namespace {
+
+uint64_t MixHash(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+double CostModel::JoinSelectivity(
+    const std::vector<int32_t>& sorted_leaves) const {
+  uint64_t h = selectivity_seed;
+  for (int32_t leaf : sorted_leaves) {
+    h = MixHash(h, static_cast<uint64_t>(leaf) + 1);
+  }
+  const double unit =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform in [0,1)
+  return selectivity_min + (selectivity_max - selectivity_min) * unit;
+}
+
+double CostModel::JoinOutputRate(const std::vector<int32_t>& sorted_leaves,
+                                 double sum_leaf_base_rates) const {
+  return JoinSelectivity(sorted_leaves) * sum_leaf_base_rates;
+}
+
+double CostModel::OperatorCpuCost(double sum_input_rates) const {
+  return cpu_per_mbps * sum_input_rates;
+}
+
+double CostModel::OperatorMemMb(double sum_input_rates) const {
+  return mem_per_mbps * sum_input_rates;
+}
+
+}  // namespace sqpr

@@ -1,0 +1,59 @@
+#ifndef SQPR_MODEL_COST_MODEL_H_
+#define SQPR_MODEL_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sqpr {
+
+/// The linear cost model of §II-B: operator CPU demand and composite
+/// stream rates are linear functions of the input stream rates.
+///
+/// Join selectivities are a deterministic pseudo-random function of the
+/// joined *base leaf set*, drawn from [selectivity_min, selectivity_max]
+/// (the paper uses 0.1%–0.5%, §V). Determinism in the leaf set — rather
+/// than in the join order — is what makes equivalent sub-queries have
+/// identical rates, which in turn makes stream reuse well-defined.
+struct CostModel {
+  /// CPU units consumed per Mbps of operator input (γ_o = cpu_per_mbps ×
+  /// Σ input rates). The cluster experiment calibration (§V-B: one host ≈
+  /// 15 concurrent 2-/3-way joins at ζ = 1.0 with 10 Mbps inputs) gives
+  /// the default 1 / (15 × 20).
+  double cpu_per_mbps = 1.0 / 300.0;
+
+  /// Join selectivity band, applied to the sum of input rates.
+  double selectivity_min = 0.001;
+  double selectivity_max = 0.005;
+
+  /// Seed mixed into the per-leaf-set selectivity hash.
+  uint64_t selectivity_seed = 0x5172u;
+
+  /// Memory (MB) an operator's window state holds per Mbps of input —
+  /// the §VII "more resources (including memory)" extension. A 1-second
+  /// tuple window on a 10 Mbps input is 10 Mbit = 1.25 MB, giving the
+  /// default 0.125 MB/Mbps. Hosts default to unlimited memory, so this
+  /// only binds when a Cluster is configured with finite HostSpec::mem_mb.
+  double mem_per_mbps = 0.125;
+
+  /// Selectivity of the join producing the given sorted base-leaf set.
+  double JoinSelectivity(const std::vector<int32_t>& sorted_leaves) const;
+
+  /// Output rate of the canonical join stream over `sorted_leaves`.
+  /// Defined from the summed *base* rates of the leaves (not from the
+  /// particular join order's intermediate rates) so that every join order
+  /// yields the same composite stream rate — a requirement for the §II-C
+  /// stream-equivalence used in reuse.
+  double JoinOutputRate(const std::vector<int32_t>& sorted_leaves,
+                        double sum_leaf_base_rates) const;
+
+  /// γ_o for an operator consuming `sum_input_rates` Mbps.
+  double OperatorCpuCost(double sum_input_rates) const;
+
+  /// Window-state memory (MB) of an operator consuming `sum_input_rates`
+  /// Mbps (linear, like the CPU model of §II-B).
+  double OperatorMemMb(double sum_input_rates) const;
+};
+
+}  // namespace sqpr
+
+#endif  // SQPR_MODEL_COST_MODEL_H_

@@ -1,0 +1,21 @@
+#ifndef SQPR_MODEL_IDS_H_
+#define SQPR_MODEL_IDS_H_
+
+#include <cstdint>
+
+namespace sqpr {
+
+/// Dense identifiers into the catalog/cluster tables. Kept as plain ints
+/// (not strong typedefs) because they index vectors on hot planner paths;
+/// the name of the alias documents intent at API boundaries.
+using HostId = int32_t;
+using StreamId = int32_t;
+using OperatorId = int32_t;
+
+inline constexpr HostId kInvalidHost = -1;
+inline constexpr StreamId kInvalidStream = -1;
+inline constexpr OperatorId kInvalidOperator = -1;
+
+}  // namespace sqpr
+
+#endif  // SQPR_MODEL_IDS_H_

@@ -1,0 +1,155 @@
+#include "monitor/resource_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.h"
+#include "plan/query_plan.h"
+
+namespace sqpr {
+namespace {
+
+/// True when `query`'s committed plan touches `host` (an operator, a
+/// relay hop or the client-serving arc).
+bool PlanUsesHost(const Deployment& deployment, StreamId query,
+                  HostId host) {
+  Result<QueryPlan> plan = ExtractPlan(deployment, query);
+  if (!plan.ok()) return false;
+  if (plan->serving_host == host) return true;
+  std::vector<const PlanNode*> stack = {plan->root.get()};
+  while (!stack.empty()) {
+    const PlanNode* node = stack.back();
+    stack.pop_back();
+    if (node == nullptr) continue;
+    if (node->host == host) return true;
+    for (const auto& child : node->children) stack.push_back(child.get());
+  }
+  return false;
+}
+
+/// First host whose committed usage exceeds any §II-B budget, or
+/// kInvalidHost when all ledgers fit.
+HostId FirstOverBudgetHost(const Deployment& deployment, double tol) {
+  const Cluster& cluster = deployment.cluster();
+  for (HostId h = 0; h < cluster.num_hosts(); ++h) {
+    const HostSpec& spec = cluster.host(h);
+    if (deployment.CpuUsed(h) > spec.cpu + tol ||
+        deployment.MemUsed(h) > spec.mem_mb + tol ||
+        deployment.NicOutUsed(h) > spec.nic_out_mbps + tol ||
+        deployment.NicInUsed(h) > spec.nic_in_mbps + tol) {
+      return h;
+    }
+    for (HostId m = 0; m < cluster.num_hosts(); ++m) {
+      if (m != h && deployment.LinkUsed(h, m) >
+                        cluster.link_mbps(h, m) + tol) {
+        return h;
+      }
+    }
+  }
+  return kInvalidHost;
+}
+
+}  // namespace
+
+DriftReport ResourceMonitor::Analyze(
+    const std::map<StreamId, double>& measured_base_rates,
+    const std::vector<double>& cpu_utilization,
+    const std::vector<StreamId>& admitted) const {
+  DriftReport report;
+
+  std::set<StreamId> drifted;
+  for (const auto& [s, measured] : measured_base_rates) {
+    if (s < 0 || s >= catalog_->num_streams()) continue;
+    const StreamInfo& info = catalog_->stream(s);
+    if (!info.is_base || info.rate_mbps <= 0) continue;
+    const double deviation =
+        std::abs(measured - info.rate_mbps) / info.rate_mbps;
+    if (deviation > options_.rate_threshold) drifted.insert(s);
+  }
+  report.drifted_base_streams.assign(drifted.begin(), drifted.end());
+
+  for (size_t h = 0; h < cpu_utilization.size(); ++h) {
+    if (cpu_utilization[h] > options_.shortage_utilization) {
+      report.overloaded_hosts.push_back(static_cast<HostId>(h));
+    }
+  }
+
+  // Affected queries: leaf set intersects a drifted stream. Host
+  // shortage maps to queries lazily in AdaptiveReplan, where the
+  // deployment is available; here we only surface rate-driven ones.
+  for (StreamId q : admitted) {
+    const StreamInfo& info = catalog_->stream(q);
+    const bool touched =
+        std::any_of(info.leaves.begin(), info.leaves.end(),
+                    [&](StreamId leaf) { return drifted.count(leaf) > 0; });
+    if (touched) report.queries_to_replan.push_back(q);
+  }
+  return report;
+}
+
+Result<std::vector<PlanningStats>> AdaptiveReplan(
+    SqprPlanner* planner, Catalog* catalog,
+    const std::map<StreamId, double>& measured_base_rates,
+    const DriftReport& report) {
+  // 1. Remove the flagged queries ("considering the system without
+  //    those queries", §IV-B).
+  // RemoveQuery audits the deployment after each removal; while the
+  // cycle is mid-flight the ledgers may legitimately be over budget
+  // (rates grew under committed state), so ResourceExhausted is not
+  // fatal here — the removal itself has been applied.
+  std::vector<StreamId> removed;
+  for (StreamId q : report.queries_to_replan) {
+    const Status st = planner->RemoveQuery(q);
+    if (st.ok() || st.IsResourceExhausted()) {
+      removed.push_back(q);
+    } else if (!st.IsNotFound()) {
+      return st;
+    }
+  }
+
+  // 2. Install measured rates; costs of still-committed operators may
+  //    change, so refresh the ledgers.
+  for (const auto& [s, rate] : measured_base_rates) {
+    if (s >= 0 && s < catalog->num_streams() && catalog->stream(s).is_base &&
+        std::abs(rate - catalog->stream(s).rate_mbps) > 1e-12) {
+      SQPR_RETURN_IF_ERROR(catalog->UpdateBaseRate(s, rate));
+    }
+  }
+  planner->RefreshAccounting();
+
+  // 3. Evict further queries while any budget is over-committed under
+  //    the new rates (§IV-B condition (b)).
+  while (true) {
+    const HostId h = FirstOverBudgetHost(planner->deployment(), 1e-6);
+    if (h == kInvalidHost) break;
+    StreamId victim = kInvalidStream;
+    for (StreamId q : planner->admitted_queries()) {
+      if (PlanUsesHost(planner->deployment(), q, h)) {
+        victim = q;
+        break;
+      }
+    }
+    if (victim == kInvalidStream) {
+      return Status::Internal(
+          "host " + std::to_string(h) +
+          " over budget with no admitted query to evict");
+    }
+    const Status st = planner->RemoveQuery(victim);
+    if (!st.ok() && !st.IsResourceExhausted()) return st;
+    planner->RefreshAccounting();
+    removed.push_back(victim);
+  }
+
+  // 4. Re-admission under the corrected estimates.
+  std::vector<PlanningStats> stats;
+  stats.reserve(removed.size());
+  for (StreamId q : removed) {
+    Result<PlanningStats> s = planner->SubmitQuery(q);
+    if (!s.ok()) return s.status();
+    stats.push_back(*s);
+  }
+  return stats;
+}
+
+}  // namespace sqpr

@@ -1,0 +1,85 @@
+#ifndef SQPR_MONITOR_RESOURCE_MONITOR_H_
+#define SQPR_MONITOR_RESOURCE_MONITOR_H_
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "model/catalog.h"
+#include "planner/planner.h"
+#include "planner/sqpr/sqpr_planner.h"
+
+namespace sqpr {
+
+/// Thresholds for the §IV-B drift detection.
+struct DriftOptions {
+  /// Relative deviation of a measured base-stream rate from the
+  /// catalog estimate that triggers re-planning ("differs from the
+  /// initial estimates by a given threshold").
+  double rate_threshold = 0.2;
+  /// CPU utilisation above which a host counts as suffering a resource
+  /// shortage (fraction of budget).
+  double shortage_utilization = 1.0;
+};
+
+/// What the monitor found in one reporting period.
+struct DriftReport {
+  /// Base streams whose measured rate deviates beyond the threshold.
+  std::vector<StreamId> drifted_base_streams;
+  /// Hosts whose measured CPU exceeds the shortage threshold.
+  std::vector<HostId> overloaded_hosts;
+  /// Admitted queries affected by either condition — the re-planning
+  /// list of §IV-B.
+  std::vector<StreamId> queries_to_replan;
+
+  bool empty() const {
+    return drifted_base_streams.empty() && overloaded_hosts.empty();
+  }
+};
+
+/// The planner-side half of the paper's resource monitoring loop
+/// (§IV-C): DISSP hosts sample utilisation and stream rates; this class
+/// compares the reports against the catalog's cost-model estimates and
+/// periodically constructs the list of queries needing re-planning
+/// (§IV-B conditions (a) estimate drift and (b) resource shortage).
+class ResourceMonitor {
+ public:
+  ResourceMonitor(const Catalog* catalog, DriftOptions options)
+      : catalog_(catalog), options_(options) {}
+
+  /// Analyses one reporting period.
+  ///  * `measured_base_rates` — observed Mbps per base stream (absent
+  ///    streams are assumed on-estimate);
+  ///  * `cpu_utilization` — per-host CPU as a fraction of budget (e.g.
+  ///    SimReport::cpu_utilization);
+  ///  * `admitted` — currently admitted queries, used to map drifted
+  ///    streams to affected queries via their leaf sets.
+  DriftReport Analyze(const std::map<StreamId, double>& measured_base_rates,
+                      const std::vector<double>& cpu_utilization,
+                      const std::vector<StreamId>& admitted) const;
+
+ private:
+  const Catalog* catalog_;
+  DriftOptions options_;
+};
+
+/// Executes the full §IV-B adaptive cycle against a live SQPR planner:
+///
+///  1. remove the report's re-planning list from the deployment;
+///  2. install the measured base rates into the catalog (composite
+///     rates and operator costs recompute exactly) and refresh the
+///     deployment's resource ledgers;
+///  3. while the refreshed deployment still over-commits a resource,
+///     evict additional admitted queries touching the offending host;
+///  4. re-admit every removed query through the planner (some may now
+///     be rejected — the correct outcome when rates grew).
+///
+/// Returns the re-admission stats in removal order.
+Result<std::vector<PlanningStats>> AdaptiveReplan(
+    SqprPlanner* planner, Catalog* catalog,
+    const std::map<StreamId, double>& measured_base_rates,
+    const DriftReport& report);
+
+}  // namespace sqpr
+
+#endif  // SQPR_MONITOR_RESOURCE_MONITOR_H_

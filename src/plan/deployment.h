@@ -1,0 +1,118 @@
+#ifndef SQPR_PLAN_DEPLOYMENT_H_
+#define SQPR_PLAN_DEPLOYMENT_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "model/catalog.h"
+#include "model/cluster.h"
+#include "model/ids.h"
+
+namespace sqpr {
+
+/// The global allocation state of the DSPS — the committed values of the
+/// paper's decision variables:
+///   serving map            d_hs = 1  (host h answers requests for s)
+///   flows                  x_hms = 1 (h sends stream s to m)
+///   operator placements    z_ho = 1  (h executes operator o)
+/// Availability (y_hs) is derived, not stored: a stream is available at a
+/// host iff it is *grounded* there (see GroundedAvailability below).
+///
+/// Deployment is a value type: planners copy it, edit the copy while
+/// solving, and commit by assignment — which is exactly how SQPR's
+/// replanning "removes and re-adds" queries (§IV-B).
+class Deployment {
+ public:
+  Deployment(const Cluster* cluster, const Catalog* catalog);
+
+  /// Resets to the empty allocation (Algorithm 1 line 1).
+  void Clear();
+
+  // ---- Mutators (resource aggregates maintained incrementally). ----
+  Status AddFlow(HostId from, HostId to, StreamId s);
+  Status RemoveFlow(HostId from, HostId to, StreamId s);
+  Status PlaceOperator(HostId h, OperatorId o);
+  Status RemoveOperator(HostId h, OperatorId o);
+  /// Marks host h as the (single) server of requested stream s; includes
+  /// the client-delivery bandwidth of (III.6c).
+  Status SetServing(StreamId s, HostId h);
+  Status ClearServing(StreamId s);
+
+  // ---- Lookups. ----
+  bool HasFlow(HostId from, HostId to, StreamId s) const;
+  bool RunsOperator(HostId h, OperatorId o) const;
+  /// Host serving stream s, or kInvalidHost.
+  HostId ServingHost(StreamId s) const;
+  /// All streams currently served (the admitted queries).
+  std::vector<StreamId> ServedStreams() const;
+  /// All flows carrying stream s as (from, to) pairs.
+  const std::vector<std::pair<HostId, HostId>>& FlowsOf(StreamId s) const;
+  /// All operators placed on host h.
+  const std::set<OperatorId>& OperatorsOn(HostId h) const;
+  /// Hosts executing operator o (the paper's model allows an operator to
+  /// be instantiated on several hosts for different queries' benefit).
+  std::vector<HostId> HostsRunning(OperatorId o) const;
+
+  // ---- Capacity headroom checks (used by the greedy planners). ----
+  /// True when the flow fits the sender NIC, receiver NIC and link.
+  bool CanAddFlow(HostId from, HostId to, StreamId s, double tol = 1e-9) const;
+  /// True when host h has CPU headroom for operator o.
+  bool CanPlaceOperator(HostId h, OperatorId o, double tol = 1e-9) const;
+  /// True when host h has outgoing NIC headroom to deliver s to clients.
+  bool CanServe(StreamId s, HostId h, double tol = 1e-9) const;
+
+  // ---- Resource accounting. ----
+  double CpuUsed(HostId h) const { return cpu_used_[h]; }
+  double MemUsed(HostId h) const { return mem_used_[h]; }
+  double NicOutUsed(HostId h) const { return nic_out_used_[h]; }
+  double NicInUsed(HostId h) const { return nic_in_used_[h]; }
+  double LinkUsed(HostId from, HostId to) const;
+  double TotalNetworkUsed() const;  // objective O2 over committed flows
+  double TotalCpuUsed() const;      // objective O3
+  double MaxHostCpuUsed() const;    // objective O4
+
+  /// Least-fixpoint availability: grounded[h * S + s] is true iff stream
+  /// s can causally reach host h through base injection, local operator
+  /// execution (all inputs grounded) or an incoming flow from a host
+  /// where s is grounded. Acausal flow cycles are *not* grounded — this
+  /// is the semantic content of the paper's acyclicity constraints
+  /// (III.7).
+  std::vector<bool> GroundedAvailability() const;
+
+  /// Rebuilds every resource ledger (CPU, memory, NIC, links) from the
+  /// committed placements, flows and servings using the catalog's
+  /// *current* costs and rates. Required after Catalog::UpdateBaseRate
+  /// (§IV-B), which changes costs under committed state.
+  void RecomputeAggregates();
+
+  /// Full §III feasibility audit of the committed state:
+  ///  * every flow leaves a host where the stream is grounded,
+  ///  * every operator has all inputs grounded at its host,
+  ///  * every served stream is grounded at its serving host,
+  ///  * CPU (III.6d), link (III.6a), NIC in/out (III.6b/c) within budget.
+  /// Returns OK or a description of the first violation.
+  Status Validate(double tol = 1e-6) const;
+
+  const Cluster& cluster() const { return *cluster_; }
+  const Catalog& catalog() const { return *catalog_; }
+
+  int num_flows() const;
+  int num_placed_operators() const;
+
+ private:
+  const Cluster* cluster_;
+  const Catalog* catalog_;
+
+  std::map<StreamId, std::vector<std::pair<HostId, HostId>>> flows_by_stream_;
+  std::vector<std::set<OperatorId>> ops_by_host_;
+  std::map<StreamId, HostId> serving_;
+
+  std::vector<double> cpu_used_, mem_used_, nic_out_used_, nic_in_used_;
+  std::map<std::pair<HostId, HostId>, double> link_used_;
+};
+
+}  // namespace sqpr
+
+#endif  // SQPR_PLAN_DEPLOYMENT_H_

@@ -1,0 +1,68 @@
+#ifndef SQPR_PLAN_QUERY_PLAN_H_
+#define SQPR_PLAN_QUERY_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/catalog.h"
+#include "plan/deployment.h"
+
+namespace sqpr {
+
+/// Node kinds of the §III-A query-plan tree. Operator nodes carry
+/// ⟨h, o⟩ labels, relay nodes ⟨h, µ⟩; base-source leaves model the
+/// external injection arcs into the DSPS.
+enum class PlanNodeKind : uint8_t {
+  kOperator,
+  kRelay,
+  kBaseSource,
+};
+
+/// A node of a query plan tree. The outgoing arc of every node carries
+/// `stream`; children provide the incoming arcs.
+struct PlanNode {
+  PlanNodeKind kind = PlanNodeKind::kOperator;
+  HostId host = kInvalidHost;
+  OperatorId op = kInvalidOperator;  // set iff kind == kOperator
+  StreamId stream = kInvalidStream;  // label of the outgoing arc
+  std::vector<std::unique_ptr<PlanNode>> children;
+};
+
+/// A complete query plan for one query (requested stream).
+struct QueryPlan {
+  StreamId query = kInvalidStream;
+  /// Host whose outgoing arc delivers the result to the client.
+  HostId serving_host = kInvalidHost;
+  std::unique_ptr<PlanNode> root;
+
+  /// Number of nodes (all kinds) in the tree.
+  int NodeCount() const;
+  /// Number of relay nodes (µ operators, §II-C).
+  int RelayCount() const;
+  /// Pretty-printed tree for logs and examples.
+  std::string ToString(const Catalog& catalog) const;
+};
+
+/// Checks the §III-A well-formedness conditions:
+///   C1 the root's outgoing arc is labelled with the query stream;
+///   C2 an operator node's children carry a superset of S_o and the node
+///      emits s_o;
+///   C3 a relay node has exactly one child carrying the same stream it
+///      emits;
+///   C4 base-source leaves emit a base stream from its source host.
+/// Also checks host consistency: a node's children either run on the same
+/// host or hand over via an inter-host arc that the child's host emits.
+Status ValidatePlanTree(const QueryPlan& plan, const Catalog& catalog);
+
+/// Extracts a query plan tree for `query` from a committed deployment by
+/// walking grounded supports (local producer first, then base injection,
+/// then incoming flows). Fails if the deployment does not actually serve
+/// the query. The extraction mirrors how DISSP would instantiate the
+/// admitted plan on hosts (§IV-C).
+Result<QueryPlan> ExtractPlan(const Deployment& deployment, StreamId query);
+
+}  // namespace sqpr
+
+#endif  // SQPR_PLAN_QUERY_PLAN_H_

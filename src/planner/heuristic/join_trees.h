@@ -1,0 +1,43 @@
+#ifndef SQPR_PLANNER_HEURISTIC_JOIN_TREES_H_
+#define SQPR_PLANNER_HEURISTIC_JOIN_TREES_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "model/catalog.h"
+
+namespace sqpr {
+
+/// A node of an abstract query plan (a join order): leaves are base
+/// streams, internal nodes are catalog join operators. "Abstract" in the
+/// paper's sense (§V-A): operators are not yet assigned to hosts.
+struct JoinTree {
+  StreamId stream = kInvalidStream;     // stream this subtree produces
+  OperatorId op = kInvalidOperator;     // producing operator; leaf if invalid
+  std::unique_ptr<JoinTree> left;
+  std::unique_ptr<JoinTree> right;
+
+  bool is_leaf() const { return op == kInvalidOperator; }
+};
+
+/// Enumerates every abstract query plan for the canonical join stream
+/// `query`: all (2k-3)!! unordered binary join trees over its k leaves
+/// (3 for k=3, 15 for k=4, 105 for k=5 — the §V-A heuristic relies on the
+/// arity being small enough for exhaustive enumeration). For a base
+/// stream this returns a single leaf tree.
+Result<std::vector<std::unique_ptr<JoinTree>>> EnumerateJoinTrees(
+    StreamId query, Catalog* catalog);
+
+/// A canonical single plan: the left-deep tree in increasing leaf order.
+/// This is the "user-given template" that the SODA comparison planner is
+/// bound to (§V-B).
+Result<std::unique_ptr<JoinTree>> LeftDeepTree(StreamId query,
+                                               Catalog* catalog);
+
+/// All operators of a tree in bottom-up (children before parent) order.
+std::vector<OperatorId> BottomUpOperators(const JoinTree& tree);
+
+}  // namespace sqpr
+
+#endif  // SQPR_PLANNER_HEURISTIC_JOIN_TREES_H_

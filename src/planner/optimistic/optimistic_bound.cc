@@ -1,0 +1,122 @@
+#include "planner/optimistic/optimistic_bound.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "lp/model.h"
+
+namespace sqpr {
+
+OptimisticBound::OptimisticBound(const Cluster& cluster, Catalog* catalog,
+                                 ReuseCredit credit)
+    : catalog_(catalog), credit_(credit), cpu_budget_(cluster.TotalCpu()) {}
+
+double OptimisticBound::MinIncrementalCpu(
+    StreamId stream, std::vector<OperatorId>* chosen_ops) {
+  if (catalog_->stream(stream).is_base || materialized_.count(stream)) {
+    return 0.0;
+  }
+
+  // Subset DP over the leaf set: cost(T) = min over splits (A, B) of
+  // cost(A) + cost(B) + γ(join(S_A, S_B)), with cost 0 for leaves and
+  // already-materialised subsets. (Copy the leaves: interning below may
+  // reallocate the catalog's stream table.)
+  const std::vector<StreamId> leaves = catalog_->stream(stream).leaves;
+  const int k = static_cast<int>(leaves.size());
+  SQPR_CHECK(k >= 2 && k <= 16);
+
+  // Ensure the closure exists so every subset stream/operator is interned.
+  Result<Closure> closure = catalog_->JoinClosure(stream);
+  SQPR_CHECK(closure.ok());
+
+  const uint32_t full = (1u << k) - 1;
+  std::vector<double> cost(full + 1, 0.0);
+  std::vector<std::pair<uint32_t, uint32_t>> split(full + 1, {0, 0});
+  std::vector<StreamId> by_mask(full + 1, kInvalidStream);
+  for (int i = 0; i < k; ++i) by_mask[1u << i] = leaves[i];
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    if (__builtin_popcount(mask) < 2) continue;
+    std::vector<StreamId> subset;
+    for (int i = 0; i < k; ++i) {
+      if (mask & (1u << i)) subset.push_back(leaves[i]);
+    }
+    Result<StreamId> sid = catalog_->CanonicalJoinStream(subset);
+    SQPR_CHECK(sid.ok());
+    by_mask[mask] = *sid;
+    if (materialized_.count(*sid)) {
+      cost[mask] = 0.0;
+      continue;
+    }
+    double best = lp::kInf;
+    std::pair<uint32_t, uint32_t> best_split = {0, 0};
+    for (uint32_t sub = (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask) {
+      const uint32_t other = mask ^ sub;
+      if (sub < other) continue;
+      const double join_cpu = catalog_->cost_model().OperatorCpuCost(
+          catalog_->stream(by_mask[sub]).rate_mbps +
+          catalog_->stream(by_mask[other]).rate_mbps);
+      const double total = cost[sub] + cost[other] + join_cpu;
+      if (total < best) {
+        best = total;
+        best_split = {sub, other};
+      }
+    }
+    cost[mask] = best;
+    split[mask] = best_split;
+  }
+
+  // Recover the argmin operator set (skipping already-materialised
+  // subtrees, whose cost is zero and split is unset).
+  std::vector<uint32_t> stack = {full};
+  while (!stack.empty()) {
+    const uint32_t mask = stack.back();
+    stack.pop_back();
+    if (__builtin_popcount(mask) < 2) continue;
+    if (materialized_.count(by_mask[mask])) continue;
+    const auto [a, b] = split[mask];
+    if (a == 0 && b == 0) continue;
+    Result<OperatorId> op = catalog_->JoinOperator(by_mask[a], by_mask[b]);
+    SQPR_CHECK(op.ok());
+    chosen_ops->push_back(*op);
+    stack.push_back(a);
+    stack.push_back(b);
+  }
+  return cost[full];
+}
+
+Result<bool> OptimisticBound::SubmitQuery(StreamId query) {
+  if (query < 0 || query >= catalog_->num_streams()) {
+    return Status::InvalidArgument("unknown stream");
+  }
+  if (served_.count(query)) {
+    return true;  // dedup: an equivalent query is already satisfied
+  }
+  std::vector<OperatorId> chosen;
+  const double extra = MinIncrementalCpu(query, &chosen);
+  if (cpu_used_ + extra > cpu_budget_ + 1e-9) return false;
+
+  cpu_used_ += extra;
+  ++admitted_count_;
+  served_.insert(query);
+  switch (credit_) {
+    case ReuseCredit::kChosenTree:
+      // Materialise what executing the chosen tree actually produces.
+      materialized_.insert(query);
+      for (OperatorId op : chosen) {
+        materialized_.insert(catalog_->op(op).output);
+      }
+      break;
+    case ReuseCredit::kFullClosure: {
+      // Materialise every subset join — an over-approximation of any
+      // planner's materialisation choices (see header).
+      Result<Closure> closure = catalog_->JoinClosure(query);
+      SQPR_CHECK(closure.ok());
+      for (StreamId s : closure->streams) materialized_.insert(s);
+      break;
+    }
+  }
+  return true;
+}
+
+}  // namespace sqpr

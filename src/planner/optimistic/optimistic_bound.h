@@ -1,0 +1,73 @@
+#ifndef SQPR_PLANNER_OPTIMISTIC_OPTIMISTIC_BOUND_H_
+#define SQPR_PLANNER_OPTIMISTIC_OPTIMISTIC_BOUND_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model/catalog.h"
+#include "model/cluster.h"
+#include "common/status.h"
+
+namespace sqpr {
+
+/// The §V-A optimistic upper bound: all hosts are collapsed into one
+/// aggregate host that owns every base stream and the pooled CPU budget;
+/// all network constraints vanish. On this synthetic host the planning
+/// model (III.8) "simplifies dramatically and allows for an analytical
+/// solution": a query is admitted iff the cheapest *incremental* CPU cost
+/// of producing its result — reusing every stream materialised by earlier
+/// admissions — fits the remaining budget. The cheapest increment is a
+/// subset dynamic program over join orders.
+///
+/// The resulting admission count upper-bounds what any distributed
+/// planner can achieve on the same submission sequence, because any
+/// distributed plan can be replayed on the aggregate host at no greater
+/// CPU cost and zero network cost.
+class OptimisticBound {
+ public:
+  /// Reuse credit given to an admission.
+  enum class ReuseCredit {
+    /// Materialise the outputs of the chosen cheapest join tree — what
+    /// an actual execution of the admitted plan produces. Tight, and
+    /// still above every planner evaluated here in practice.
+    kChosenTree,
+    /// Materialise the query's whole join closure (every subset join of
+    /// its leaves). Provably above any sequential planner regardless of
+    /// its tree choices, but the credit grows ~2^arity and the bound
+    /// becomes very loose for complex queries (see EXPERIMENTS.md).
+    kFullClosure,
+  };
+
+  explicit OptimisticBound(const Cluster& cluster, Catalog* catalog,
+                           ReuseCredit credit = ReuseCredit::kChosenTree);
+
+  std::string name() const { return "optimistic-bound"; }
+
+  /// Admission decision for the next query in sequence; commits the
+  /// chosen operators' CPU on success.
+  Result<bool> SubmitQuery(StreamId query);
+
+  int admitted_count() const { return admitted_count_; }
+  double cpu_used() const { return cpu_used_; }
+  double cpu_budget() const { return cpu_budget_; }
+
+ private:
+  /// Minimum extra CPU to materialise `stream`, given everything already
+  /// materialised; fills `chosen_ops` with the argmin operator set.
+  double MinIncrementalCpu(StreamId stream,
+                           std::vector<OperatorId>* chosen_ops);
+
+  Catalog* catalog_;
+  ReuseCredit credit_;
+  double cpu_budget_;
+  double cpu_used_ = 0.0;
+  int admitted_count_ = 0;
+  std::set<StreamId> materialized_;
+  std::set<StreamId> served_;
+};
+
+}  // namespace sqpr
+
+#endif  // SQPR_PLANNER_OPTIMISTIC_OPTIMISTIC_BOUND_H_

@@ -1,0 +1,57 @@
+#ifndef SQPR_PLANNER_PLANNER_H_
+#define SQPR_PLANNER_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/deployment.h"
+
+namespace sqpr {
+
+/// Per-submission planning outcome reported by every planner.
+struct PlanningStats {
+  /// Whether the query was admitted (resources committed).
+  bool admitted = false;
+  /// True when an equivalent query was already being served, so admission
+  /// was free (dedup hit on line 3 of Algorithm 1).
+  bool already_served = false;
+  /// Wall-clock planning latency.
+  double wall_ms = 0.0;
+  /// Branch-and-bound nodes explored (0 for non-MILP planners).
+  int64_t solver_nodes = 0;
+  int64_t lp_iterations = 0;
+  /// Objective value of the committed plan (planner-specific scale).
+  double objective = 0.0;
+  /// True when the solver proved optimality of the reduced problem
+  /// before its deadline.
+  bool proved_optimal = false;
+};
+
+/// Common interface of all query planners (SQPR, heuristic, SODA).
+///
+/// A planner owns a Deployment and mutates it as queries are admitted.
+/// Submitting a query never returns an error for a plain "cannot admit" —
+/// that is a normal outcome reported via PlanningStats::admitted. Errors
+/// are reserved for malformed inputs.
+class Planner {
+ public:
+  virtual ~Planner() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Plans (and on success commits) the requested stream. Repeated
+  /// submission of an already-served stream reports already_served.
+  virtual Result<PlanningStats> SubmitQuery(StreamId query) = 0;
+
+  /// The committed allocation state.
+  virtual const Deployment& deployment() const = 0;
+
+  /// Streams admitted so far, in submission order.
+  virtual const std::vector<StreamId>& admitted_queries() const = 0;
+};
+
+}  // namespace sqpr
+
+#endif  // SQPR_PLANNER_PLANNER_H_

@@ -1,0 +1,69 @@
+#ifndef SQPR_PLANNER_SODA_SODA_PLANNER_H_
+#define SQPR_PLANNER_SODA_SODA_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "model/catalog.h"
+#include "model/cluster.h"
+#include "plan/deployment.h"
+#include "planner/heuristic/join_trees.h"
+#include "planner/planner.h"
+
+namespace sqpr {
+
+/// Re-implementation of the basic SODA scheduler functionality used as
+/// the §V-B comparison baseline (Wolf et al., Middleware'08), with the
+/// structure the paper describes:
+///
+///  * **Templates.** Every query is bound to its user-given query plan —
+///    here the left-deep join tree in leaf order. SODA cannot restructure
+///    the plan ("the SODA scheduler is bound by the initial user-given
+///    query plan").
+///  * **macroQ** (admission): a system-wide resource check — the CPU the
+///    template's not-yet-placed operators need must fit the total spare
+///    CPU, and the template's transfer needs the total spare bandwidth.
+///  * **macroW** (placement): places each new operator, in template
+///    order, on the host minimising a load-balance score, fetching each
+///    input stream once from its producing host and propagating it
+///    locally thereafter (local reuse only).
+///  * **miniW** (improvement): bounded local-search passes that try to
+///    move each newly placed operator to a less-loaded host; improving
+///    moves are applied. miniW provides the final placement whether or
+///    not macroW succeeded in full.
+///
+/// Cross-query reuse is supported the way the paper configures it for
+/// the comparison: "each stream is generated once and used by all other
+/// queries when needed" — an operator whose output already exists
+/// anywhere is never re-instantiated; the existing stream is fetched.
+/// SODA never revisits previous placement decisions.
+class SodaPlanner : public Planner {
+ public:
+  struct Options {
+    /// miniW local-search passes over the newly placed operators.
+    int miniw_passes = 2;
+  };
+
+  SodaPlanner(const Cluster* cluster, Catalog* catalog, Options options);
+
+  std::string name() const override { return "soda"; }
+  Result<PlanningStats> SubmitQuery(StreamId query) override;
+  const Deployment& deployment() const override { return deployment_; }
+  const std::vector<StreamId>& admitted_queries() const override {
+    return admitted_;
+  }
+
+ private:
+  /// Load-balance score after hypothetically adding `cpu` to host h.
+  double HostScore(const Deployment& dep, HostId h, double cpu) const;
+
+  const Cluster* cluster_;
+  Catalog* catalog_;
+  Options options_;
+  Deployment deployment_;
+  std::vector<StreamId> admitted_;
+};
+
+}  // namespace sqpr
+
+#endif  // SQPR_PLANNER_SODA_SODA_PLANNER_H_

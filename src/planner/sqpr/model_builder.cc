@@ -1,0 +1,724 @@
+#include "planner/sqpr/model_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <set>
+
+#include "common/logging.h"
+
+namespace sqpr {
+namespace {
+
+/// Longest-outgoing-path depth of each host in one stream's flow DAG;
+/// used to construct warm-start potentials. Flows must be acyclic (true
+/// for any validated deployment).
+std::map<HostId, double> FlowPotentials(
+    const std::vector<std::pair<HostId, HostId>>& flows) {
+  std::map<HostId, std::vector<HostId>> out;
+  std::set<HostId> hosts;
+  for (const auto& [from, to] : flows) {
+    out[from].push_back(to);
+    hosts.insert(from);
+    hosts.insert(to);
+  }
+  std::map<HostId, double> depth;
+  // Memoised DFS; recursion depth bounded by host count.
+  std::function<double(HostId)> visit = [&](HostId h) -> double {
+    auto it = depth.find(h);
+    if (it != depth.end()) return it->second;
+    depth[h] = 0.0;  // provisional (breaks accidental cycles safely)
+    double best = 0.0;
+    auto oit = out.find(h);
+    if (oit != out.end()) {
+      for (HostId m : oit->second) best = std::max(best, 1.0 + visit(m));
+    }
+    depth[h] = best;
+    return best;
+  };
+  for (HostId h : hosts) visit(h);
+  return depth;
+}
+
+}  // namespace
+
+SqprMip::SqprMip(const Deployment& base, std::vector<StreamId> streams,
+                 std::vector<OperatorId> operators,
+                 std::vector<DemandSpec> demands,
+                 const SqprModelOptions& options)
+    : base_(base),
+      streams_(std::move(streams)),
+      ops_(std::move(operators)),
+      demands_(std::move(demands)),
+      num_hosts_(base.cluster().num_hosts()) {
+  std::sort(streams_.begin(), streams_.end());
+  streams_.erase(std::unique(streams_.begin(), streams_.end()),
+                 streams_.end());
+  std::sort(ops_.begin(), ops_.end());
+  ops_.erase(std::unique(ops_.begin(), ops_.end()), ops_.end());
+  for (size_t i = 0; i < streams_.size(); ++i) {
+    stream_index_[streams_[i]] = static_cast<int>(i);
+  }
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    op_index_[ops_[i]] = static_cast<int>(i);
+  }
+  Build(options);
+}
+
+int SqprMip::StreamIndex(StreamId s) const {
+  auto it = stream_index_.find(s);
+  return it == stream_index_.end() ? -1 : it->second;
+}
+
+int SqprMip::OpIndex(OperatorId o) const {
+  auto it = op_index_.find(o);
+  return it == op_index_.end() ? -1 : it->second;
+}
+
+int SqprMip::VarD(HostId h, StreamId s) const {
+  auto it = var_d_.find({h, s});
+  return it == var_d_.end() ? -1 : it->second;
+}
+
+int SqprMip::VarX(HostId from, HostId to, StreamId s) const {
+  const int si = StreamIndex(s);
+  if (si < 0) return -1;
+  const size_t slot =
+      (static_cast<size_t>(from) * num_hosts_ + to) * streams_.size() + si;
+  return var_x_[slot];
+}
+
+int SqprMip::VarY(HostId h, StreamId s) const {
+  const int si = StreamIndex(s);
+  if (si < 0) return -1;
+  return var_y_[static_cast<size_t>(h) * streams_.size() + si];
+}
+
+int SqprMip::VarZ(HostId h, OperatorId o) const {
+  const int oi = OpIndex(o);
+  if (oi < 0) return -1;
+  return var_z_[static_cast<size_t>(h) * ops_.size() + oi];
+}
+
+void SqprMip::Build(const SqprModelOptions& options) {
+  const Cluster& cluster = base_.cluster();
+  const Catalog& catalog = base_.catalog();
+  const int H = num_hosts_;
+  const int S = static_cast<int>(streams_.size());
+  const int O = static_cast<int>(ops_.size());
+
+  const std::set<StreamId> rel_streams(streams_.begin(), streams_.end());
+  const std::set<OperatorId> rel_ops(ops_.begin(), ops_.end());
+
+  // ---- Residual capacities: subtract the *irrelevant* committed load
+  // (fixed variables of §IV-A); relevant load is re-decided. ----
+  std::vector<double> cpu_resid(H), mem_resid(H), nic_out_resid(H),
+      nic_in_resid(H);
+  for (HostId h = 0; h < H; ++h) {
+    cpu_resid[h] = cluster.host(h).cpu - base_.CpuUsed(h);
+    mem_resid[h] = cluster.host(h).mem_mb - base_.MemUsed(h);
+    nic_out_resid[h] = cluster.host(h).nic_out_mbps - base_.NicOutUsed(h);
+    nic_in_resid[h] = cluster.host(h).nic_in_mbps - base_.NicInUsed(h);
+    for (OperatorId o : base_.OperatorsOn(h)) {
+      if (rel_ops.count(o)) {
+        cpu_resid[h] += catalog.op(o).cpu_cost;
+        mem_resid[h] += catalog.op(o).mem_mb;
+      }
+    }
+  }
+  std::map<std::pair<HostId, HostId>, double> link_extra;
+  for (StreamId s : streams_) {
+    const double rate = catalog.stream(s).rate_mbps;
+    for (const auto& [from, to] : base_.FlowsOf(s)) {
+      nic_out_resid[from] += rate;
+      nic_in_resid[to] += rate;
+      link_extra[{from, to}] += rate;
+    }
+    const HostId server = base_.ServingHost(s);
+    if (server != kInvalidHost) nic_out_resid[server] += rate;
+  }
+
+  // Availability pins and fixed producers from irrelevant operators that
+  // touch relevant streams.
+  std::vector<int> fixed_producer(static_cast<size_t>(H) * S, 0);
+  std::vector<bool> pin_y(static_cast<size_t>(H) * S, false);
+  for (HostId h = 0; h < H; ++h) {
+    for (OperatorId o : base_.OperatorsOn(h)) {
+      if (rel_ops.count(o)) continue;
+      const OperatorInfo& op = catalog.op(o);
+      const int out_si = StreamIndex(op.output);
+      if (out_si >= 0) {
+        fixed_producer[static_cast<size_t>(h) * S + out_si] += 1;
+      }
+      for (StreamId in : op.inputs) {
+        const int si = StreamIndex(in);
+        if (si >= 0) pin_y[static_cast<size_t>(h) * S + si] = true;
+      }
+    }
+  }
+
+  // ---- Objective weights (§IV-A defaults). ----
+  ObjectiveWeights w = options.weights;
+  if (w.lambda2 <= 0) {
+    w.lambda2 = 1.0 / std::max(1.0, cluster.TotalNicOut());
+  }
+  if (w.lambda3 <= 0) {
+    w.lambda3 = 1.0 / std::max(1.0, cluster.TotalLinkCapacity());
+  }
+  if (w.lambda4 < 0) w.lambda4 = 1.0;
+  if (w.lambda1 <= 0) {
+    // "Sufficiently large": admission of one query must outweigh every
+    // resource term combined. λ2·O2 ≤ 1 and λ3·O3 ≪ 1 by construction;
+    // λ4·O4 ≤ λ4·max ζ_h.
+    double max_cpu = 0.0;
+    for (HostId h = 0; h < H; ++h) max_cpu = std::max(max_cpu, cluster.host(h).cpu);
+    w.lambda1 = 100.0 * (2.0 + w.lambda4 * max_cpu);
+  }
+
+  // ---- Variables. ----
+  var_x_.assign(static_cast<size_t>(H) * H * S, -1);
+  var_y_.assign(static_cast<size_t>(H) * S, -1);
+  var_z_.assign(static_cast<size_t>(H) * O, -1);
+
+  // Tiny anchor cost on otherwise-free binaries. Availability flags that
+  // nothing consumes would be fractional noise at LP vertices and drag
+  // branch-and-bound through meaningless dichotomies; an epsilon well
+  // below any real objective difference pins them to 0.
+  constexpr double kEps = 1e-4;
+
+  for (HostId h = 0; h < H; ++h) {
+    for (int si = 0; si < S; ++si) {
+      const StreamId s = streams_[si];
+      const size_t hs = static_cast<size_t>(h) * S + si;
+      const double lb = pin_y[hs] ? 1.0 : 0.0;
+      var_y_[hs] = mip_.AddVariable(
+          lb, 1.0, -kEps, /*is_integer=*/true,
+          "y_h" + std::to_string(h) + "_s" + std::to_string(s),
+          /*priority=*/1);
+    }
+  }
+  for (HostId from = 0; from < H; ++from) {
+    for (HostId to = 0; to < H; ++to) {
+      if (from == to) continue;
+      const double cap = cluster.link_mbps(from, to);
+      for (int si = 0; si < S; ++si) {
+        const StreamId s = streams_[si];
+        const double rate = catalog.stream(s).rate_mbps;
+        if (rate > cap + 1e-9) continue;  // can never carry this stream
+        const size_t slot =
+            (static_cast<size_t>(from) * H + to) * S + si;
+        var_x_[slot] = mip_.AddVariable(
+            0.0, 1.0, -w.lambda2 * rate - kEps, /*is_integer=*/true,
+            "x_h" + std::to_string(from) + "_h" + std::to_string(to) + "_s" +
+                std::to_string(s),
+            /*priority=*/0);
+      }
+    }
+  }
+  for (HostId h = 0; h < H; ++h) {
+    for (int oi = 0; oi < O; ++oi) {
+      const OperatorInfo& op = catalog.op(ops_[oi]);
+      var_z_[static_cast<size_t>(h) * O + oi] = mip_.AddVariable(
+          0.0, 1.0, -w.lambda3 * op.cpu_cost - kEps, /*is_integer=*/true,
+          "z_h" + std::to_string(h) + "_o" + std::to_string(op.id),
+          /*priority=*/2);
+    }
+  }
+  for (const DemandSpec& demand : demands_) {
+    SQPR_CHECK(StreamIndex(demand.stream) >= 0)
+        << "demanded stream not in the relevant set";
+    for (HostId h = 0; h < H; ++h) {
+      var_d_[{h, demand.stream}] = mip_.AddVariable(
+          0.0, 1.0, w.lambda1, /*is_integer=*/true,
+          "d_h" + std::to_string(h) + "_s" + std::to_string(demand.stream),
+          /*priority=*/3);
+    }
+  }
+  // Load-balance auxiliary t >= per-host CPU (linearised O4).
+  const int var_t = mip_.AddVariable(0.0, lp::kInf, -w.lambda4,
+                                     /*is_integer=*/false, "t_loadbal");
+  // Potentials (III.7) when requested.
+  if (options.acyclicity == AcyclicityMode::kPotentials) {
+    var_p_.assign(static_cast<size_t>(H) * S, -1);
+    for (HostId h = 0; h < H; ++h) {
+      for (int si = 0; si < S; ++si) {
+        var_p_[static_cast<size_t>(h) * S + si] = mip_.AddVariable(
+            0.0, H + 1.0, 0.0, /*is_integer=*/false,
+            "p_h" + std::to_string(h) + "_s" + std::to_string(streams_[si]));
+      }
+    }
+  }
+
+  // ---- §VII host-subset restriction: pin fresh decisions outside the
+  // subset to zero. Availability pins (committed state) are preserved;
+  // presolve removes every pinned column before branch-and-bound. ----
+  if (!options.host_subset.empty()) {
+    std::vector<bool> in_subset(H, false);
+    for (HostId h : options.host_subset) {
+      if (h >= 0 && h < H) in_subset[h] = true;
+    }
+    for (HostId h = 0; h < H; ++h) {
+      if (in_subset[h]) continue;
+      for (int si = 0; si < S; ++si) {
+        const int y = var_y_[static_cast<size_t>(h) * S + si];
+        if (y >= 0 && mip_.lp.variable_lb(y) < 0.5) {
+          mip_.lp.SetVariableBounds(y, 0.0, 0.0);
+        }
+      }
+      for (int oi = 0; oi < O; ++oi) {
+        const int z = var_z_[static_cast<size_t>(h) * O + oi];
+        if (z >= 0) mip_.lp.SetVariableBounds(z, 0.0, 0.0);
+      }
+      for (const DemandSpec& demand : demands_) {
+        const int d = VarD(h, demand.stream);
+        if (d >= 0) mip_.lp.SetVariableBounds(d, 0.0, 0.0);
+      }
+    }
+    for (HostId from = 0; from < H; ++from) {
+      for (HostId to = 0; to < H; ++to) {
+        if (from == to || (in_subset[from] && in_subset[to])) continue;
+        for (int si = 0; si < S; ++si) {
+          const int x = var_x_[(static_cast<size_t>(from) * H + to) * S + si];
+          if (x >= 0) mip_.lp.SetVariableBounds(x, 0.0, 0.0);
+        }
+      }
+    }
+  }
+
+  // ---- Demand constraints (III.4a, III.4b / IV.9). ----
+  for (const DemandSpec& demand : demands_) {
+    std::vector<std::pair<int, double>> sum_terms;
+    for (HostId h = 0; h < H; ++h) {
+      const int d = VarD(h, demand.stream);
+      const int y = VarY(h, demand.stream);
+      // (III.4a): d_hs <= y_hs  (δ_s = 1 for every demanded stream).
+      mip_.lp.AddRow(-lp::kInf, 0.0, {{d, 1.0}, {y, -1.0}},
+                     "demand_avail_h" + std::to_string(h));
+      sum_terms.emplace_back(d, 1.0);
+    }
+    // (III.4b) or (IV.9).
+    if (demand.must_serve) {
+      mip_.lp.AddRow(1.0, 1.0, sum_terms,
+                     "keep_s" + std::to_string(demand.stream));
+    } else {
+      mip_.lp.AddRow(-lp::kInf, 1.0, sum_terms,
+                     "admit_s" + std::to_string(demand.stream));
+    }
+  }
+
+  // ---- Availability constraints (III.5a, III.5b, III.5c-aggregated). --
+  for (HostId m = 0; m < H; ++m) {
+    for (int si = 0; si < S; ++si) {
+      const StreamId s = streams_[si];
+      const StreamInfo& info = catalog.stream(s);
+      // (III.5a): y_ms <= Σ_h x_hms + Σ_{o: s_o = s} z_mo + 1[base at m]
+      //                 + fixed producers.
+      std::vector<std::pair<int, double>> terms;
+      terms.emplace_back(VarY(m, s), 1.0);
+      for (HostId h = 0; h < H; ++h) {
+        const int x = (h == m) ? -1 : VarX(h, m, s);
+        if (x >= 0) terms.emplace_back(x, -1.0);
+      }
+      for (OperatorId o : catalog.ProducersOf(s)) {
+        const int z = VarZ(m, o);
+        if (z >= 0) terms.emplace_back(z, -1.0);
+      }
+      double constant = 0.0;
+      if (info.is_base && info.source_host == m) constant += 1.0;
+      constant += fixed_producer[static_cast<size_t>(m) * S + si];
+      mip_.lp.AddRow(-lp::kInf, constant, std::move(terms),
+                     "avail_h" + std::to_string(m) + "_s" + std::to_string(s));
+    }
+  }
+  // (III.5b): z_ho <= y_hs for every input s of o, aggregated per
+  // operator as |S_o|·z_ho <= Σ_{s in S_o} y_hs. For binary variables
+  // this admits exactly the same integer points (z = 1 forces every y to
+  // 1) at a fraction of the row count; the LP relaxation is marginally
+  // weaker, which branching on z (priority 2) compensates for.
+  for (HostId h = 0; h < H; ++h) {
+    for (int oi = 0; oi < O; ++oi) {
+      const OperatorInfo& op = catalog.op(ops_[oi]);
+      const int z = var_z_[static_cast<size_t>(h) * O + oi];
+      std::vector<std::pair<int, double>> terms;
+      terms.emplace_back(z, static_cast<double>(op.inputs.size()));
+      for (StreamId in : op.inputs) {
+        const int y = VarY(h, in);
+        SQPR_CHECK(y >= 0) << "operator input outside the relevant set";
+        terms.emplace_back(y, -1.0);
+      }
+      mip_.lp.AddRow(-lp::kInf, 0.0, std::move(terms),
+                     "opin_h" + std::to_string(h) + "_o" +
+                         std::to_string(op.id));
+    }
+  }
+  // (III.5c) aggregated per (h, s): Σ_m x_hms <= (H-1) · y_hs. With
+  // binary x and y this admits exactly the same integer points as the
+  // disaggregated family while costing H·S rows instead of H²·S.
+  // In the no-relay ablation the right-hand side uses the *generation*
+  // capability instead of availability: hosts cannot forward streams
+  // they merely received.
+  for (HostId h = 0; h < H; ++h) {
+    for (int si = 0; si < S; ++si) {
+      const StreamId s = streams_[si];
+      std::vector<std::pair<int, double>> terms;
+      int fanout = 0;
+      for (HostId m = 0; m < H; ++m) {
+        const int x = (h == m) ? -1 : VarX(h, m, s);
+        if (x >= 0) {
+          terms.emplace_back(x, 1.0);
+          ++fanout;
+        }
+      }
+      // Client delivery (d) needs possession only, which (III.4a)
+      // already enforces — it is not forwarding, so it is exempt from
+      // the no-relay restriction and omitted here.
+      if (terms.empty()) continue;
+      const StreamInfo& info = catalog.stream(s);
+      double constant = 0.0;
+      if (options.enable_relay) {
+        terms.emplace_back(VarY(h, s), -static_cast<double>(fanout));
+      } else {
+        for (OperatorId o : catalog.ProducersOf(s)) {
+          const int z = VarZ(h, o);
+          if (z >= 0) terms.emplace_back(z, -static_cast<double>(fanout));
+        }
+        if (info.is_base && info.source_host == h) {
+          constant += fanout;
+        }
+        constant +=
+            static_cast<double>(fanout) *
+            fixed_producer[static_cast<size_t>(h) * S + si];
+      }
+      mip_.lp.AddRow(-lp::kInf, constant, std::move(terms),
+                     "send_h" + std::to_string(h) + "_s" + std::to_string(s));
+    }
+  }
+
+  // ---- Resource constraints (III.6a-d). ----
+  for (HostId from = 0; from < H; ++from) {
+    for (HostId to = 0; to < H; ++to) {
+      if (from == to) continue;
+      std::vector<std::pair<int, double>> terms;
+      for (int si = 0; si < S; ++si) {
+        const int x = var_x_[(static_cast<size_t>(from) * H + to) * S + si];
+        if (x >= 0) {
+          terms.emplace_back(x, catalog.stream(streams_[si]).rate_mbps);
+        }
+      }
+      if (terms.empty()) continue;
+      double cap = cluster.link_mbps(from, to);
+      auto it = link_extra.find({from, to});
+      const double used = base_.LinkUsed(from, to) -
+                          (it == link_extra.end() ? 0.0 : it->second);
+      cap -= used;
+      mip_.lp.AddRow(-lp::kInf, cap, std::move(terms),
+                     "link_" + std::to_string(from) + "_" +
+                         std::to_string(to));
+    }
+  }
+  for (HostId m = 0; m < H; ++m) {
+    // (III.6b) incoming NIC.
+    std::vector<std::pair<int, double>> in_terms;
+    for (HostId h = 0; h < H; ++h) {
+      if (h == m) continue;
+      for (int si = 0; si < S; ++si) {
+        const int x = var_x_[(static_cast<size_t>(h) * H + m) * S + si];
+        if (x >= 0) {
+          in_terms.emplace_back(x, catalog.stream(streams_[si]).rate_mbps);
+        }
+      }
+    }
+    if (!in_terms.empty()) {
+      mip_.lp.AddRow(-lp::kInf, nic_in_resid[m], std::move(in_terms),
+                     "nic_in_h" + std::to_string(m));
+    }
+    // (III.6c) outgoing NIC including client delivery.
+    std::vector<std::pair<int, double>> out_terms;
+    for (HostId to = 0; to < H; ++to) {
+      if (to == m) continue;
+      for (int si = 0; si < S; ++si) {
+        const int x = var_x_[(static_cast<size_t>(m) * H + to) * S + si];
+        if (x >= 0) {
+          out_terms.emplace_back(x, catalog.stream(streams_[si]).rate_mbps);
+        }
+      }
+    }
+    for (const DemandSpec& demand : demands_) {
+      const int d = VarD(m, demand.stream);
+      if (d >= 0) {
+        out_terms.emplace_back(d, catalog.stream(demand.stream).rate_mbps);
+      }
+    }
+    if (!out_terms.empty()) {
+      mip_.lp.AddRow(-lp::kInf, nic_out_resid[m], std::move(out_terms),
+                     "nic_out_h" + std::to_string(m));
+    }
+    // (III.6d) CPU plus the O4 linearisation row
+    //   Σ γ_o z_mo <= t - fixed_cpu(m)  ⇔  Σ γ z - t <= -fixed_cpu(m).
+    std::vector<std::pair<int, double>> cpu_terms;
+    for (int oi = 0; oi < O; ++oi) {
+      const int z = var_z_[static_cast<size_t>(m) * O + oi];
+      cpu_terms.emplace_back(z, catalog.op(ops_[oi]).cpu_cost);
+    }
+    if (!cpu_terms.empty()) {
+      mip_.lp.AddRow(-lp::kInf, cpu_resid[m], cpu_terms,
+                     "cpu_h" + std::to_string(m));
+    }
+    // Memory budget (the paper's §VII "more resources" extension): a row
+    // per host with a finite budget, shaped exactly like (III.6d).
+    if (std::isfinite(cluster.host(m).mem_mb)) {
+      std::vector<std::pair<int, double>> mem_terms;
+      for (int oi = 0; oi < O; ++oi) {
+        const double mem = catalog.op(ops_[oi]).mem_mb;
+        if (mem <= 0.0) continue;
+        mem_terms.emplace_back(var_z_[static_cast<size_t>(m) * O + oi], mem);
+      }
+      if (!mem_terms.empty()) {
+        mip_.lp.AddRow(-lp::kInf, mem_resid[m], std::move(mem_terms),
+                       "mem_h" + std::to_string(m));
+      }
+    }
+    const double fixed_cpu = cluster.host(m).cpu - cpu_resid[m];
+    cpu_terms.emplace_back(var_t, -1.0);
+    mip_.lp.AddRow(-lp::kInf, -fixed_cpu, std::move(cpu_terms),
+                   "loadbal_h" + std::to_string(m));
+  }
+
+  // ---- Acyclicity (III.7), potential formulation. ----
+  if (options.acyclicity == AcyclicityMode::kPotentials) {
+    const double big_m = H + 2.0;
+    for (HostId h = 0; h < H; ++h) {
+      for (HostId m = 0; m < H; ++m) {
+        if (h == m) continue;
+        for (int si = 0; si < S; ++si) {
+          const int x = var_x_[(static_cast<size_t>(h) * H + m) * S + si];
+          if (x < 0) continue;
+          const int ph = var_p_[static_cast<size_t>(h) * S + si];
+          const int pm = var_p_[static_cast<size_t>(m) * S + si];
+          // p_hs >= p_ms + 1 - M(1 - x_hms)
+          //   ⇔  -p_hs + p_ms + M·x_hms <= M - 1.
+          mip_.lp.AddRow(-lp::kInf, big_m - 1.0,
+                         {{ph, -1.0}, {pm, 1.0}, {x, big_m}},
+                         "acyc");
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> SqprMip::WarmStart() const {
+  const Catalog& catalog = base_.catalog();
+  std::vector<double> x(mip_.lp.num_variables(), 0.0);
+
+  // Committed flows / placements / servings restricted to relevant sets.
+  for (StreamId s : streams_) {
+    for (const auto& [from, to] : base_.FlowsOf(s)) {
+      const int var = VarX(from, to, s);
+      if (var >= 0) x[var] = 1.0;
+    }
+  }
+  for (HostId h = 0; h < num_hosts_; ++h) {
+    for (OperatorId o : base_.OperatorsOn(h)) {
+      const int var = VarZ(h, o);
+      if (var >= 0) x[var] = 1.0;
+    }
+  }
+  for (const DemandSpec& demand : demands_) {
+    const HostId server = base_.ServingHost(demand.stream);
+    if (server != kInvalidHost) {
+      const int var = VarD(server, demand.stream);
+      if (var >= 0) x[var] = 1.0;
+    }
+  }
+
+  // Availability from grounded state; pinned y bounds are honoured by
+  // construction because pins only arise from supported consumers.
+  const std::vector<bool> grounded = base_.GroundedAvailability();
+  const int num_streams_total = catalog.num_streams();
+  for (HostId h = 0; h < num_hosts_; ++h) {
+    for (StreamId s : streams_) {
+      if (grounded[static_cast<size_t>(h) * num_streams_total + s]) {
+        const int var = VarY(h, s);
+        if (var >= 0) x[var] = 1.0;
+      }
+    }
+  }
+
+  // Load-balance auxiliary: max committed CPU over hosts.
+  double max_cpu = 0.0;
+  for (HostId h = 0; h < num_hosts_; ++h) {
+    max_cpu = std::max(max_cpu, base_.CpuUsed(h));
+  }
+  // var_t is the first non-(y,x,z,d) variable; find it by name cost:
+  // cheaper to recompute its index: it was added right after the last d.
+  // We locate it as the unique continuous variable with objective < 0
+  // among non-p variables — instead, simply recompute: t index =
+  // number of y + x + z + d variables.
+  size_t t_index = 0;
+  for (int v = 0; v < mip_.lp.num_variables(); ++v) {
+    if (mip_.lp.variable_name(v) == "t_loadbal") {
+      t_index = static_cast<size_t>(v);
+      break;
+    }
+  }
+  x[t_index] = max_cpu;
+
+  // Potentials from per-stream flow DAG depths.
+  if (!var_p_.empty()) {
+    for (size_t si = 0; si < streams_.size(); ++si) {
+      const StreamId s = streams_[si];
+      const auto depths = FlowPotentials(base_.FlowsOf(s));
+      for (const auto& [h, depth] : depths) {
+        const int var = var_p_[static_cast<size_t>(h) * streams_.size() + si];
+        if (var >= 0) x[var] = depth;
+      }
+    }
+  }
+  return x;
+}
+
+bool SqprMip::Serves(const std::vector<double>& x, StreamId s) const {
+  for (HostId h = 0; h < num_hosts_; ++h) {
+    const int var = VarD(h, s);
+    if (var >= 0 && x[var] > 0.5) return true;
+  }
+  return false;
+}
+
+Status SqprMip::Commit(const std::vector<double>& x,
+                       Deployment* target) const {
+  // Clear all relevant state (it was re-decided).
+  for (StreamId s : streams_) {
+    auto flows = target->FlowsOf(s);  // copy: we mutate while iterating
+    for (const auto& [from, to] : flows) {
+      SQPR_RETURN_IF_ERROR(target->RemoveFlow(from, to, s));
+    }
+    if (target->ServingHost(s) != kInvalidHost) {
+      SQPR_RETURN_IF_ERROR(target->ClearServing(s));
+    }
+  }
+  for (HostId h = 0; h < num_hosts_; ++h) {
+    std::vector<OperatorId> to_remove;
+    for (OperatorId o : target->OperatorsOn(h)) {
+      if (op_index_.count(o)) to_remove.push_back(o);
+    }
+    for (OperatorId o : to_remove) {
+      SQPR_RETURN_IF_ERROR(target->RemoveOperator(h, o));
+    }
+  }
+
+  // Install the solution.
+  for (HostId h = 0; h < num_hosts_; ++h) {
+    for (OperatorId o : ops_) {
+      const int z = VarZ(h, o);
+      if (z >= 0 && x[z] > 0.5) {
+        SQPR_RETURN_IF_ERROR(target->PlaceOperator(h, o));
+      }
+    }
+  }
+  for (HostId from = 0; from < num_hosts_; ++from) {
+    for (HostId to = 0; to < num_hosts_; ++to) {
+      if (from == to) continue;
+      for (StreamId s : streams_) {
+        const int var = VarX(from, to, s);
+        if (var >= 0 && x[var] > 0.5) {
+          SQPR_RETURN_IF_ERROR(target->AddFlow(from, to, s));
+        }
+      }
+    }
+  }
+  for (const DemandSpec& demand : demands_) {
+    for (HostId h = 0; h < num_hosts_; ++h) {
+      const int d = VarD(h, demand.stream);
+      if (d >= 0 && x[d] > 0.5) {
+        SQPR_RETURN_IF_ERROR(target->SetServing(demand.stream, h));
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+int SqprMip::CycleCutHandler::Separate(const std::vector<double>& point,
+                                        double arc_threshold,
+                                        lp::Model* relaxation) {
+  const SqprMip& mip = *owner_;
+  const int H = mip.num_hosts_;
+  int cuts = 0;
+
+  for (StreamId s : mip.streams_) {
+    // Adjacency over arcs above the threshold.
+    std::vector<std::vector<HostId>> next(H);
+    bool any = false;
+    for (HostId from = 0; from < H; ++from) {
+      for (HostId to = 0; to < H; ++to) {
+        if (from == to) continue;
+        const int var = mip.VarX(from, to, s);
+        if (var >= 0 && point[var] > arc_threshold) {
+          next[from].push_back(to);
+          any = true;
+        }
+      }
+    }
+    if (!any) continue;
+
+    // DFS cycle detection with colouring; finds one cycle per stream per
+    // invocation (the fractional loop re-separates until clean).
+    std::vector<int> colour(H, 0);  // 0 white, 1 grey, 2 black
+    std::vector<HostId> parent(H, kInvalidHost);
+    std::vector<HostId> cycle;
+    std::function<bool(HostId)> dfs = [&](HostId u) -> bool {
+      colour[u] = 1;
+      for (HostId v : next[u]) {
+        if (colour[v] == 0) {
+          parent[v] = u;
+          if (dfs(v)) return true;
+        } else if (colour[v] == 1) {
+          cycle.clear();
+          cycle.push_back(v);
+          for (HostId w = u; w != v; w = parent[w]) cycle.push_back(w);
+          std::reverse(cycle.begin() + 1, cycle.end());
+          return true;
+        }
+      }
+      colour[u] = 2;
+      return false;
+    };
+    for (HostId h = 0; h < H && cycle.empty(); ++h) {
+      if (colour[h] == 0) dfs(h);
+    }
+    if (cycle.empty()) continue;
+
+    // Cut Σ arcs of the cycle <= |C| - 1, added only if violated.
+    std::vector<std::pair<int, double>> terms;
+    double activity = 0.0;
+    for (size_t i = 0; i < cycle.size(); ++i) {
+      const HostId from = cycle[i];
+      const HostId to = cycle[(i + 1) % cycle.size()];
+      const int var = mip.VarX(from, to, s);
+      SQPR_CHECK(var >= 0);
+      terms.emplace_back(var, 1.0);
+      activity += point[var];
+    }
+    const double rhs = static_cast<double>(cycle.size()) - 1.0;
+    if (activity <= rhs + 1e-7) continue;  // heuristic cycle not violated
+    relaxation->AddRow(-lp::kInf, rhs, std::move(terms),
+                       "cycle_cut_s" + std::to_string(s));
+    ++cuts;
+  }
+  return cuts;
+}
+
+int SqprMip::CycleCutHandler::AddViolatedCuts(
+    const std::vector<double>& candidate, lp::Model* relaxation) {
+  return Separate(candidate, /*arc_threshold=*/0.5, relaxation);
+}
+
+int SqprMip::CycleCutHandler::AddFractionalCuts(
+    const std::vector<double>& point, lp::Model* relaxation) {
+  // Arcs above 0.35 can participate in violated 2- and 3-cycles; the
+  // violation test filters false positives from longer cycles.
+  return Separate(point, /*arc_threshold=*/0.35, relaxation);
+}
+
+}  // namespace sqpr

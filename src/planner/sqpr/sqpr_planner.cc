@@ -1,0 +1,263 @@
+#include "planner/sqpr/sqpr_planner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "milp/solver.h"
+#include "planner/heuristic/heuristic_planner.h"
+
+namespace sqpr {
+
+SqprPlanner::SqprPlanner(const Cluster* cluster, Catalog* catalog,
+                         Options options)
+    : cluster_(cluster),
+      catalog_(catalog),
+      options_(options),
+      deployment_(cluster, catalog) {}
+
+Result<SqprPlanner::RelevantSets> SqprPlanner::ComputeRelevantSets(
+    const std::vector<StreamId>& new_queries) {
+  RelevantSets sets;
+  std::set<StreamId> stream_set;
+  std::set<OperatorId> op_set;
+
+  auto add_closure = [&](StreamId q) -> Status {
+    Result<Closure> closure = catalog_->JoinClosure(q);
+    if (!closure.ok()) return closure.status();
+    stream_set.insert(closure->streams.begin(), closure->streams.end());
+    op_set.insert(closure->operators.begin(), closure->operators.end());
+    return Status::OK();
+  };
+
+  for (StreamId q : new_queries) SQPR_RETURN_IF_ERROR(add_closure(q));
+  if (!options_.reduce_problem) {
+    // Full re-planning: every admitted query joins the model.
+    for (StreamId q : admitted_) SQPR_RETURN_IF_ERROR(add_closure(q));
+  }
+
+  sets.streams.assign(stream_set.begin(), stream_set.end());
+  sets.operators.assign(op_set.begin(), op_set.end());
+
+  // Demands: new queries are optional (admission maximised); admitted
+  // queries inside the relevant set carry the (IV.9) no-drop equality.
+  std::set<StreamId> demanded;
+  for (StreamId q : new_queries) {
+    if (demanded.insert(q).second) {
+      sets.demands.push_back({q, /*must_serve=*/false});
+    }
+  }
+  for (StreamId q : admitted_) {
+    if (stream_set.count(q) && demanded.insert(q).second) {
+      sets.demands.push_back({q, /*must_serve=*/true});
+    }
+  }
+  return sets;
+}
+
+Result<PlanningStats> SqprPlanner::SubmitQuery(StreamId query) {
+  Result<std::vector<PlanningStats>> batch = SubmitBatch({query});
+  if (!batch.ok()) return batch.status();
+  return batch->front();
+}
+
+Result<std::vector<PlanningStats>> SqprPlanner::SubmitBatch(
+    const std::vector<StreamId>& queries) {
+  Stopwatch watch;
+  std::vector<PlanningStats> stats(queries.size());
+
+  // Algorithm 1 line 3: drop already-admitted duplicates from the solve.
+  std::vector<StreamId> fresh;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (deployment_.ServingHost(queries[i]) != kInvalidHost) {
+      stats[i].admitted = true;
+      stats[i].already_served = true;
+    } else {
+      fresh.push_back(queries[i]);
+    }
+  }
+  std::sort(fresh.begin(), fresh.end());
+  fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+  if (fresh.empty()) {
+    for (auto& s : stats) s.wall_ms = watch.ElapsedMillis();
+    return stats;
+  }
+
+  Result<RelevantSets> sets = ComputeRelevantSets(fresh);
+  if (!sets.ok()) return sets.status();
+
+  SqprMip mip(deployment_, sets->streams, sets->operators, sets->demands,
+              options_.model);
+  const std::vector<double> warm = mip.WarmStart();
+  SqprMip::CycleCutHandler cycle_handler(&mip);
+
+  milp::SolverOptions solver_options;
+  solver_options.deadline = Deadline::AfterMillis(
+      options_.timeout_ms * static_cast<int64_t>(fresh.size()));
+  solver_options.max_nodes = options_.max_nodes;
+  solver_options.gap_abs = options_.mip_gap_abs;
+  solver_options.gap_rel = options_.mip_gap_rel;
+  solver_options.warm_start = &warm;
+  if (options_.model.acyclicity == AcyclicityMode::kLazyCycleCuts) {
+    solver_options.lazy = &cycle_handler;
+  }
+
+  milp::Solver solver;
+  milp::MipResult result = solver.Solve(mip.mip(), solver_options);
+
+  if (result.has_solution()) {
+    SQPR_CHECK_OK(mip.Commit(result.x, &deployment_));
+    if (options_.validate_commits) {
+      const Status valid = deployment_.Validate();
+      SQPR_CHECK(valid.ok()) << "commit broke deployment invariants: "
+                             << valid.ToString();
+    }
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (stats[i].already_served) continue;
+      if (mip.Serves(result.x, queries[i]) ||
+          deployment_.ServingHost(queries[i]) != kInvalidHost) {
+        stats[i].admitted = true;
+        // A batch may contain duplicates; admit each stream once.
+        if (std::find(admitted_.begin(), admitted_.end(), queries[i]) ==
+            admitted_.end()) {
+          admitted_.push_back(queries[i]);
+        }
+      }
+    }
+  }
+
+  // §VII greedy fallback: queries the deadline-bound solver could not
+  // place may still have a straightforward single-host plan.
+  if (options_.greedy_fallback &&
+      result.status != milp::MipStatus::kOptimal) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (stats[i].admitted) continue;
+      if (deployment_.ServingHost(queries[i]) != kInvalidHost) continue;
+      if (GreedyAdmit(*cluster_, catalog_, queries[i],
+                      options_.model.weights, &deployment_)) {
+        stats[i].admitted = true;
+        admitted_.push_back(queries[i]);
+        if (options_.validate_commits) {
+          const Status valid = deployment_.Validate();
+          SQPR_CHECK(valid.ok()) << valid.ToString();
+        }
+      }
+    }
+  }
+
+  const double elapsed = watch.ElapsedMillis();
+  for (auto& s : stats) {
+    s.wall_ms = elapsed;
+    s.solver_nodes = result.nodes;
+    s.lp_iterations = result.lp_iterations;
+    s.objective = result.has_solution() ? result.objective : 0.0;
+    s.proved_optimal = result.status == milp::MipStatus::kOptimal;
+  }
+  return stats;
+}
+
+Status SqprPlanner::RemoveQuery(StreamId query) {
+  auto it = std::find(admitted_.begin(), admitted_.end(), query);
+  if (it == admitted_.end()) {
+    return Status::NotFound("query not admitted");
+  }
+  admitted_.erase(it);
+  SQPR_RETURN_IF_ERROR(deployment_.ClearServing(query));
+  GarbageCollect();
+  if (options_.validate_commits) {
+    SQPR_RETURN_IF_ERROR(deployment_.Validate());
+  }
+  return Status::OK();
+}
+
+void SqprPlanner::GarbageCollect() {
+  const Catalog& catalog = *catalog_;
+  const int num_streams = catalog.num_streams();
+  const std::vector<bool> grounded = deployment_.GroundedAvailability();
+  auto idx = [num_streams](HostId h, StreamId s) {
+    return static_cast<size_t>(h) * num_streams + s;
+  };
+
+  // Mark phase: (host, stream) needs seeded by the served streams; every
+  // grounded support of a needed pair is kept (conservative: redundant
+  // supports of live streams survive).
+  std::set<std::pair<HostId, StreamId>> needed;
+  std::vector<std::pair<HostId, StreamId>> worklist;
+  for (StreamId s : deployment_.ServedStreams()) {
+    const HostId h = deployment_.ServingHost(s);
+    if (needed.insert({h, s}).second) worklist.push_back({h, s});
+  }
+  std::set<std::pair<HostId, OperatorId>> live_ops;
+  std::set<std::tuple<HostId, HostId, StreamId>> live_flows;
+  while (!worklist.empty()) {
+    const auto [h, s] = worklist.back();
+    worklist.pop_back();
+    // Local producers with grounded inputs.
+    for (OperatorId o : deployment_.OperatorsOn(h)) {
+      const OperatorInfo& op = catalog.op(o);
+      if (op.output != s) continue;
+      bool ok = true;
+      for (StreamId in : op.inputs) {
+        if (!grounded[idx(h, in)]) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      if (live_ops.insert({h, o}).second) {
+        for (StreamId in : op.inputs) {
+          if (needed.insert({h, in}).second) worklist.push_back({h, in});
+        }
+      }
+    }
+    // Incoming flows from grounded senders.
+    for (const auto& [from, to] : deployment_.FlowsOf(s)) {
+      if (to != h || !grounded[idx(from, s)]) continue;
+      if (live_flows.insert({from, to, s}).second) {
+        if (needed.insert({from, s}).second) worklist.push_back({from, s});
+      }
+    }
+  }
+
+  // Sweep phase.
+  for (HostId h = 0; h < cluster_->num_hosts(); ++h) {
+    std::vector<OperatorId> dead;
+    for (OperatorId o : deployment_.OperatorsOn(h)) {
+      if (live_ops.count({h, o}) == 0) dead.push_back(o);
+    }
+    for (OperatorId o : dead) {
+      SQPR_CHECK_OK(deployment_.RemoveOperator(h, o));
+    }
+  }
+  std::vector<std::tuple<HostId, HostId, StreamId>> dead_flows;
+  for (StreamId s = 0; s < num_streams; ++s) {
+    for (const auto& [from, to] : deployment_.FlowsOf(s)) {
+      if (live_flows.count({from, to, s}) == 0) {
+        dead_flows.emplace_back(from, to, s);
+      }
+    }
+  }
+  for (const auto& [from, to, s] : dead_flows) {
+    SQPR_CHECK_OK(deployment_.RemoveFlow(from, to, s));
+  }
+}
+
+Result<std::vector<PlanningStats>> SqprPlanner::ReplanQueries(
+    const std::vector<StreamId>& queries) {
+  // §IV-B: remove the drifted queries, then re-admit them one by one
+  // against the slimmed-down deployment.
+  for (StreamId q : queries) {
+    const Status removed = RemoveQuery(q);
+    if (!removed.ok() && !removed.IsNotFound()) return removed;
+  }
+  std::vector<PlanningStats> all;
+  all.reserve(queries.size());
+  for (StreamId q : queries) {
+    Result<PlanningStats> stats = SubmitQuery(q);
+    if (!stats.ok()) return stats.status();
+    all.push_back(*stats);
+  }
+  return all;
+}
+
+}  // namespace sqpr

@@ -1,0 +1,109 @@
+#ifndef SQPR_PLANNER_SQPR_SQPR_PLANNER_H_
+#define SQPR_PLANNER_SQPR_SQPR_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "model/catalog.h"
+#include "model/cluster.h"
+#include "plan/deployment.h"
+#include "planner/planner.h"
+#include "planner/sqpr/model_builder.h"
+
+namespace sqpr {
+
+/// The SQPR planner (§IV): query admission, operator placement and reuse
+/// solved as one reduced MILP per submission (Algorithm 1).
+///
+/// Key behaviours reproduced from the paper:
+///  * dedup of already-admitted queries (line 3);
+///  * problem reduction to S(q)/O(q) with all other decisions fixed
+///    (line 4) — switchable off for the ablation benchmark;
+///  * the no-drop constraint (IV.9) for admitted queries that fall inside
+///    the relevant set, while still allowing their operators to migrate;
+///  * a fixed per-query solver timeout after which the best incumbent is
+///    used, or the query rejected if none admits it (§IV-C);
+///  * batched submission with an n-fold timeout (Fig. 4(b));
+///  * adaptive re-planning by removing and re-adding queries (§IV-B).
+class SqprPlanner : public Planner {
+ public:
+  struct Options {
+    /// Per-query CPLEX-analogue timeout. Batches get n× this budget.
+    int64_t timeout_ms = 1000;
+    int64_t max_nodes = 1000000;
+    /// Optimality-gap tolerances handed to the MILP solver. Admission is
+    /// worth λ1 (hundreds), so a small absolute gap can never flip an
+    /// admission decision — it only stops the search from grinding
+    /// through symmetric placements of equal quality.
+    double mip_gap_abs = 0.1;
+    double mip_gap_rel = 1e-4;
+    /// §IV-A problem reduction; false re-plans every admitted query on
+    /// each submission (the ablation configuration).
+    bool reduce_problem = true;
+    /// Re-audit the committed deployment after every commit. Cheap at
+    /// experiment scale and catches planner bugs immediately.
+    bool validate_commits = true;
+    /// When the MILP hits its deadline without an admitting incumbent,
+    /// fall back to the §V-A greedy placement before rejecting — the
+    /// "combine heuristics with SQPR to increase satisfied queries"
+    /// extension the paper proposes in §VII. The MILP keeps first say,
+    /// so reuse/replanning quality is unchanged whenever the solver
+    /// finishes in time.
+    bool greedy_fallback = true;
+    SqprModelOptions model;
+  };
+
+  SqprPlanner(const Cluster* cluster, Catalog* catalog, Options options);
+
+  std::string name() const override { return "sqpr"; }
+  Result<PlanningStats> SubmitQuery(StreamId query) override;
+  const Deployment& deployment() const override { return deployment_; }
+  const std::vector<StreamId>& admitted_queries() const override {
+    return admitted_;
+  }
+
+  /// Plans `queries` as one joint model with an |queries|-fold timeout
+  /// (Fig. 4(b) batching). Per-query admission is reported positionally.
+  Result<std::vector<PlanningStats>> SubmitBatch(
+      const std::vector<StreamId>& queries);
+
+  /// Removes an admitted query and garbage-collects operators and flows
+  /// that no longer support any served stream.
+  Status RemoveQuery(StreamId query);
+
+  /// Rebuilds the deployment's resource ledgers from the catalog's
+  /// current costs — required after Catalog::UpdateBaseRate (§IV-B).
+  void RefreshAccounting() { deployment_.RecomputeAggregates(); }
+
+  /// §IV-B adaptive re-planning: conceptually removes the queries and
+  /// re-admits them one by one (e.g. after resource-estimate drift).
+  /// Returns one stats entry per query in order.
+  Result<std::vector<PlanningStats>> ReplanQueries(
+      const std::vector<StreamId>& queries);
+
+ private:
+  struct RelevantSets {
+    std::vector<StreamId> streams;
+    std::vector<OperatorId> operators;
+    std::vector<DemandSpec> demands;
+  };
+
+  /// Computes S(q)/O(q) (or the full sets when reduction is off) plus the
+  /// demand list for a submission of `new_queries`.
+  Result<RelevantSets> ComputeRelevantSets(
+      const std::vector<StreamId>& new_queries);
+
+  /// Removes operators/flows not (transitively) supporting any served
+  /// stream.
+  void GarbageCollect();
+
+  const Cluster* cluster_;
+  Catalog* catalog_;
+  Options options_;
+  Deployment deployment_;
+  std::vector<StreamId> admitted_;
+};
+
+}  // namespace sqpr
+
+#endif  // SQPR_PLANNER_SQPR_SQPR_PLANNER_H_

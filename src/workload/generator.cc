@@ -1,0 +1,63 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/zipf.h"
+
+namespace sqpr {
+
+int Workload::DistinctQueryCount() const {
+  std::set<StreamId> distinct(queries.begin(), queries.end());
+  return static_cast<int>(distinct.size());
+}
+
+Result<Workload> GenerateWorkload(const WorkloadConfig& config,
+                                  int num_hosts, Catalog* catalog) {
+  if (config.num_base_streams <= 0) {
+    return Status::InvalidArgument("need at least one base stream");
+  }
+  if (num_hosts <= 0) {
+    return Status::InvalidArgument("need at least one host");
+  }
+  if (config.arities.empty()) {
+    return Status::InvalidArgument("need at least one query arity");
+  }
+  int max_arity = 0;
+  for (int a : config.arities) {
+    if (a < 2) return Status::InvalidArgument("join arity must be >= 2");
+    max_arity = std::max(max_arity, a);
+  }
+  if (max_arity > config.num_base_streams) {
+    return Status::InvalidArgument("arity exceeds base stream pool");
+  }
+
+  Rng rng(config.seed);
+  Workload workload;
+  workload.base_streams.reserve(config.num_base_streams);
+  for (int i = 0; i < config.num_base_streams; ++i) {
+    // "Base streams uniformly distributed over the hosts" (§V).
+    const HostId host = static_cast<HostId>(i % num_hosts);
+    workload.base_streams.push_back(
+        catalog->AddBaseStream(host, config.base_rate_mbps));
+  }
+
+  const ZipfSampler zipf(workload.base_streams.size(), config.zipf_s);
+  workload.queries.reserve(config.num_queries);
+  for (int qi = 0; qi < config.num_queries; ++qi) {
+    const int arity = config.arities[rng.NextBounded(config.arities.size())];
+    // Draw `arity` distinct base streams by Zipf rank; rejection on
+    // duplicates keeps the marginal distribution intact.
+    std::set<StreamId> chosen;
+    while (static_cast<int>(chosen.size()) < arity) {
+      chosen.insert(workload.base_streams[zipf.Sample(rng)]);
+    }
+    Result<StreamId> query = catalog->CanonicalJoinStream(
+        std::vector<StreamId>(chosen.begin(), chosen.end()));
+    if (!query.ok()) return query.status();
+    workload.queries.push_back(*query);
+  }
+  return workload;
+}
+
+}  // namespace sqpr

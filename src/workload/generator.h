@@ -1,0 +1,47 @@
+#ifndef SQPR_WORKLOAD_GENERATOR_H_
+#define SQPR_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "model/catalog.h"
+#include "model/ids.h"
+
+namespace sqpr {
+
+/// Parameters of the §V evaluation workload: k-way join queries over a
+/// pool of base streams picked with Zipfian skew (parameter 1 in the
+/// baseline setup; swept over [0, 2] in Fig. 4(c)).
+struct WorkloadConfig {
+  int num_base_streams = 500;
+  double base_rate_mbps = 10.0;
+  /// Zipf skew for base-stream popularity; 0 = uniform.
+  double zipf_s = 1.0;
+  /// Query arities drawn uniformly ("equal parts of two-way, three-way
+  /// and four-way joins", §V).
+  std::vector<int> arities = {2, 3, 4};
+  int num_queries = 1000;
+  uint64_t seed = 1;
+};
+
+/// A generated workload: the base stream pool plus the sequence of
+/// requested (canonical) result streams. Repeats are possible and
+/// intentional — they exercise the dedup path of Algorithm 1 line 3.
+struct Workload {
+  std::vector<StreamId> base_streams;
+  std::vector<StreamId> queries;
+
+  /// Number of distinct requested streams (repeat submissions collapse).
+  int DistinctQueryCount() const;
+};
+
+/// Registers base streams (uniformly spread over `num_hosts` hosts, §V)
+/// and draws the query sequence into `catalog`.
+Result<Workload> GenerateWorkload(const WorkloadConfig& config,
+                                  int num_hosts, Catalog* catalog);
+
+}  // namespace sqpr
+
+#endif  // SQPR_WORKLOAD_GENERATOR_H_

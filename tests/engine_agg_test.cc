@@ -1,0 +1,149 @@
+// Tests for the windowed aggregation and union operators.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engine/operators.h"
+
+namespace sqpr {
+namespace engine {
+namespace {
+
+Schema KeyValueSchema() {
+  return Schema({{"key", ValueType::kInt64}, {"value", ValueType::kDouble}});
+}
+
+Tuple KV(int64_t ts, int64_t key, double value) {
+  Tuple t;
+  t.ts_ms = ts;
+  t.values = {Value(key), Value(value)};
+  return t;
+}
+
+struct Collector {
+  std::vector<Tuple> tuples;
+  EmitFn fn() {
+    return [this](const Tuple& t) { tuples.push_back(t); };
+  }
+  int64_t WindowOf(size_t i) const {
+    return std::get<int64_t>(tuples[i].values[0]);
+  }
+  int64_t KeyOf(size_t i) const {
+    return std::get<int64_t>(tuples[i].values[1]);
+  }
+  double AggOf(size_t i) const {
+    return std::get<double>(tuples[i].values[2]);
+  }
+};
+
+TEST(TumblingAggregateTest, CountsPerKeyPerWindow) {
+  TumblingAggregate agg(KeyValueSchema(), 0, -1, AggFn::kCount, 100);
+  Collector out;
+  // Window [0,100): key 1 twice, key 2 once. Window [100,200): key 1 once.
+  ASSERT_TRUE(agg.Push(0, KV(10, 1, 0), out.fn()).ok());
+  ASSERT_TRUE(agg.Push(0, KV(20, 2, 0), out.fn()).ok());
+  ASSERT_TRUE(agg.Push(0, KV(90, 1, 0), out.fn()).ok());
+  EXPECT_TRUE(out.tuples.empty());  // window still open
+  ASSERT_TRUE(agg.Push(0, KV(150, 1, 0), out.fn()).ok());  // closes [0,100)
+  ASSERT_EQ(out.tuples.size(), 2u);
+  EXPECT_EQ(out.WindowOf(0), 0);
+  EXPECT_EQ(out.KeyOf(0), 1);
+  EXPECT_DOUBLE_EQ(out.AggOf(0), 2.0);
+  EXPECT_EQ(out.KeyOf(1), 2);
+  EXPECT_DOUBLE_EQ(out.AggOf(1), 1.0);
+  ASSERT_TRUE(agg.Flush(out.fn()).ok());
+  ASSERT_EQ(out.tuples.size(), 3u);
+  EXPECT_EQ(out.WindowOf(2), 100);
+  EXPECT_DOUBLE_EQ(out.AggOf(2), 1.0);
+}
+
+TEST(TumblingAggregateTest, SumAvgMinMax) {
+  struct Case {
+    AggFn fn;
+    double expected;
+  };
+  const std::vector<Case> cases = {
+      {AggFn::kSum, 9.0},
+      {AggFn::kAvg, 3.0},
+      {AggFn::kMin, 1.0},
+      {AggFn::kMax, 5.0},
+  };
+  for (const Case& c : cases) {
+    TumblingAggregate agg(KeyValueSchema(), 0, 1, c.fn, 1000);
+    Collector out;
+    ASSERT_TRUE(agg.Push(0, KV(1, 7, 3.0), out.fn()).ok());
+    ASSERT_TRUE(agg.Push(0, KV(2, 7, 1.0), out.fn()).ok());
+    ASSERT_TRUE(agg.Push(0, KV(3, 7, 5.0), out.fn()).ok());
+    ASSERT_TRUE(agg.Flush(out.fn()).ok());
+    ASSERT_EQ(out.tuples.size(), 1u) << AggFnName(c.fn);
+    EXPECT_DOUBLE_EQ(out.AggOf(0), c.expected) << AggFnName(c.fn);
+  }
+}
+
+TEST(TumblingAggregateTest, IntegerValueColumnsAreAccepted) {
+  Schema schema({{"key", ValueType::kInt64}, {"v", ValueType::kInt64}});
+  TumblingAggregate agg(schema, 0, 1, AggFn::kSum, 50);
+  Collector out;
+  Tuple t;
+  t.ts_ms = 5;
+  t.values = {Value(int64_t{1}), Value(int64_t{4})};
+  ASSERT_TRUE(agg.Push(0, t, out.fn()).ok());
+  ASSERT_TRUE(agg.Flush(out.fn()).ok());
+  ASSERT_EQ(out.tuples.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.AggOf(0), 4.0);
+}
+
+TEST(TumblingAggregateTest, LateTuplesAreDroppedAndCounted) {
+  TumblingAggregate agg(KeyValueSchema(), 0, 1, AggFn::kSum, 100);
+  Collector out;
+  ASSERT_TRUE(agg.Push(0, KV(50, 1, 1.0), out.fn()).ok());
+  ASSERT_TRUE(agg.Push(0, KV(250, 1, 1.0), out.fn()).ok());  // closes [0,100)
+  EXPECT_EQ(agg.late_drops(), 0);
+  ASSERT_TRUE(agg.Push(0, KV(60, 1, 99.0), out.fn()).ok());  // late
+  EXPECT_EQ(agg.late_drops(), 1);
+  ASSERT_TRUE(agg.Flush(out.fn()).ok());
+  double total = 0.0;
+  for (size_t i = 0; i < out.tuples.size(); ++i) total += out.AggOf(i);
+  EXPECT_DOUBLE_EQ(total, 2.0);  // the late 99 never contributes
+}
+
+TEST(TumblingAggregateTest, MultipleWindowGapsFlushInOrder) {
+  TumblingAggregate agg(KeyValueSchema(), 0, 1, AggFn::kCount, 10);
+  Collector out;
+  ASSERT_TRUE(agg.Push(0, KV(5, 1, 0), out.fn()).ok());
+  ASSERT_TRUE(agg.Push(0, KV(25, 1, 0), out.fn()).ok());
+  ASSERT_TRUE(agg.Push(0, KV(95, 1, 0), out.fn()).ok());
+  ASSERT_TRUE(agg.Flush(out.fn()).ok());
+  ASSERT_EQ(out.tuples.size(), 3u);
+  EXPECT_LT(out.WindowOf(0), out.WindowOf(1));
+  EXPECT_LT(out.WindowOf(1), out.WindowOf(2));
+}
+
+TEST(TumblingAggregateTest, RejectsNonNumericValueColumn) {
+  Schema schema({{"key", ValueType::kInt64}, {"s", ValueType::kString}});
+  TumblingAggregate agg(schema, 0, 1, AggFn::kSum, 100);
+  Collector out;
+  Tuple t;
+  t.ts_ms = 1;
+  t.values = {Value(int64_t{1}), Value(std::string("x"))};
+  EXPECT_FALSE(agg.Push(0, t, out.fn()).ok());
+}
+
+TEST(UnionTest, MergesPortsAndCounts) {
+  Union u(KeyValueSchema(), 3);
+  Collector out;
+  ASSERT_TRUE(u.Push(0, KV(1, 1, 1.0), out.fn()).ok());
+  ASSERT_TRUE(u.Push(2, KV(2, 2, 2.0), out.fn()).ok());
+  ASSERT_TRUE(u.Push(0, KV(3, 3, 3.0), out.fn()).ok());
+  EXPECT_EQ(out.tuples.size(), 3u);
+  EXPECT_EQ(u.port_count(0), 2);
+  EXPECT_EQ(u.port_count(1), 0);
+  EXPECT_EQ(u.port_count(2), 1);
+  EXPECT_EQ(u.tuples_out(), 3);
+  EXPECT_FALSE(u.Push(3, KV(4, 4, 4.0), out.fn()).ok());
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace sqpr

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engine/operators.h"
+#include "engine/tuple.h"
+
+namespace sqpr {
+namespace engine {
+namespace {
+
+Schema BaseSchema() {
+  return Schema({{"key", ValueType::kInt64}, {"payload", ValueType::kDouble}});
+}
+
+Tuple MakeTuple(int64_t ts, int64_t key, double payload = 0.5) {
+  Tuple t;
+  t.ts_ms = ts;
+  t.values = {Value(key), Value(payload)};
+  return t;
+}
+
+// ----------------------------------------------------------------- Tuple
+
+TEST(SchemaTest, FindColumn) {
+  Schema s = BaseSchema();
+  EXPECT_EQ(s.FindColumn("key"), 0);
+  EXPECT_EQ(s.FindColumn("payload"), 1);
+  EXPECT_EQ(s.FindColumn("missing"), -1);
+}
+
+TEST(SchemaTest, ConcatRenamesDuplicates) {
+  Schema joined = Schema::Concat(BaseSchema(), BaseSchema());
+  EXPECT_EQ(joined.num_columns(), 4);
+  EXPECT_EQ(joined.column(2).name, "r_key");
+  EXPECT_EQ(joined.column(3).name, "r_payload");
+}
+
+TEST(SchemaTest, ProjectSubset) {
+  auto projected = BaseSchema().Project({1});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->num_columns(), 1);
+  EXPECT_EQ(projected->column(0).name, "payload");
+  EXPECT_FALSE(BaseSchema().Project({5}).ok());
+}
+
+TEST(TupleTest, ConformanceChecks) {
+  const Schema s = BaseSchema();
+  EXPECT_TRUE(CheckConforms(s, MakeTuple(0, 1)).ok());
+  Tuple wrong_arity;
+  wrong_arity.values = {Value(int64_t{1})};
+  EXPECT_FALSE(CheckConforms(s, wrong_arity).ok());
+  Tuple wrong_type;
+  wrong_type.values = {Value(1.5), Value(1.5)};
+  EXPECT_FALSE(CheckConforms(s, wrong_type).ok());
+}
+
+TEST(TupleTest, ValueToString) {
+  EXPECT_EQ(ValueToString(Value(int64_t{7})), "7");
+  EXPECT_EQ(ValueToString(Value(std::string("x"))), "x");
+}
+
+// ------------------------------------------------------------------ Join
+
+TEST(JoinTest, MatchesEqualKeysWithinWindow) {
+  SymmetricHashJoin join(BaseSchema(), BaseSchema(), 0, 0, 1000);
+  std::vector<Tuple> out;
+  auto emit = [&](const Tuple& t) { out.push_back(t); };
+  ASSERT_TRUE(join.Push(0, MakeTuple(0, 42), emit).ok());
+  EXPECT_TRUE(out.empty());  // nothing on the other side yet
+  ASSERT_TRUE(join.Push(1, MakeTuple(100, 42), emit).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].values.size(), 4u);
+  EXPECT_EQ(std::get<int64_t>(out[0].values[0]), 42);
+  EXPECT_EQ(out[0].ts_ms, 100);  // max of the two sides
+}
+
+TEST(JoinTest, NoMatchOnDifferentKeys) {
+  SymmetricHashJoin join(BaseSchema(), BaseSchema(), 0, 0, 1000);
+  std::vector<Tuple> out;
+  auto emit = [&](const Tuple& t) { out.push_back(t); };
+  ASSERT_TRUE(join.Push(0, MakeTuple(0, 1), emit).ok());
+  ASSERT_TRUE(join.Push(1, MakeTuple(0, 2), emit).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(JoinTest, WindowExpiryPreventsOldMatches) {
+  SymmetricHashJoin join(BaseSchema(), BaseSchema(), 0, 0, 100);
+  std::vector<Tuple> out;
+  auto emit = [&](const Tuple& t) { out.push_back(t); };
+  ASSERT_TRUE(join.Push(0, MakeTuple(0, 5), emit).ok());
+  ASSERT_TRUE(join.Push(1, MakeTuple(500, 5), emit).ok());  // too late
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(JoinTest, MultipleMatchesEmitAll) {
+  SymmetricHashJoin join(BaseSchema(), BaseSchema(), 0, 0, 1000);
+  std::vector<Tuple> out;
+  auto emit = [&](const Tuple& t) { out.push_back(t); };
+  ASSERT_TRUE(join.Push(0, MakeTuple(0, 9), emit).ok());
+  ASSERT_TRUE(join.Push(0, MakeTuple(10, 9), emit).ok());
+  ASSERT_TRUE(join.Push(1, MakeTuple(20, 9), emit).ok());
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(JoinTest, LeftRightOrderPreserved) {
+  SymmetricHashJoin join(BaseSchema(), BaseSchema(), 0, 0, 1000);
+  std::vector<Tuple> out;
+  auto emit = [&](const Tuple& t) { out.push_back(t); };
+  // Right arrives first; output must still be (left values, right values).
+  ASSERT_TRUE(join.Push(1, MakeTuple(0, 3, 0.25), emit).ok());
+  ASSERT_TRUE(join.Push(0, MakeTuple(5, 3, 0.75), emit).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(std::get<double>(out[0].values[1]), 0.75);  // left payload
+  EXPECT_DOUBLE_EQ(std::get<double>(out[0].values[3]), 0.25);  // right payload
+}
+
+TEST(JoinTest, EvictionShrinksWindow) {
+  SymmetricHashJoin join(BaseSchema(), BaseSchema(), 0, 0, 100);
+  auto emit = [](const Tuple&) {};
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(join.Push(0, MakeTuple(i * 10, i), emit).ok());
+  }
+  // Pushing on the other side at a late timestamp evicts old entries.
+  ASSERT_TRUE(join.Push(1, MakeTuple(1000, 999), emit).ok());
+  EXPECT_LT(join.window_size(0), 50u);
+}
+
+TEST(JoinTest, InvalidPortRejected) {
+  SymmetricHashJoin join(BaseSchema(), BaseSchema(), 0, 0, 100);
+  auto emit = [](const Tuple&) {};
+  EXPECT_FALSE(join.Push(2, MakeTuple(0, 1), emit).ok());
+}
+
+TEST(JoinTest, CountersTrackTraffic) {
+  SymmetricHashJoin join(BaseSchema(), BaseSchema(), 0, 0, 1000);
+  auto emit = [](const Tuple&) {};
+  ASSERT_TRUE(join.Push(0, MakeTuple(0, 1), emit).ok());
+  ASSERT_TRUE(join.Push(1, MakeTuple(1, 1), emit).ok());
+  EXPECT_EQ(join.tuples_in(), 2);
+  EXPECT_EQ(join.tuples_out(), 1);
+}
+
+// ------------------------------------------------------- Filter / Project
+
+TEST(FilterTest, KeepsMatchingTuples) {
+  ModuloFilter filter(BaseSchema(), 0, 2, 0);
+  std::vector<Tuple> out;
+  auto emit = [&](const Tuple& t) { out.push_back(t); };
+  ASSERT_TRUE(filter.Push(0, MakeTuple(0, 4), emit).ok());
+  ASSERT_TRUE(filter.Push(0, MakeTuple(1, 5), emit).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(out[0].values[0]), 4);
+}
+
+TEST(FilterTest, NegativeKeysHandled) {
+  ModuloFilter filter(BaseSchema(), 0, 3, 1);
+  std::vector<Tuple> out;
+  auto emit = [&](const Tuple& t) { out.push_back(t); };
+  ASSERT_TRUE(filter.Push(0, MakeTuple(0, -2), emit).ok());  // -2 mod 3 == 1
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(ProjectTest, SelectsColumns) {
+  Project project(BaseSchema(), {1});
+  std::vector<Tuple> out;
+  auto emit = [&](const Tuple& t) { out.push_back(t); };
+  ASSERT_TRUE(project.Push(0, MakeTuple(3, 7, 0.9), emit).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].values.size(), 1u);
+  EXPECT_DOUBLE_EQ(std::get<double>(out[0].values[0]), 0.9);
+  EXPECT_EQ(out[0].ts_ms, 3);
+}
+
+TEST(RelayTest, PassesThroughUnchanged) {
+  Relay relay(BaseSchema());
+  std::vector<Tuple> out;
+  auto emit = [&](const Tuple& t) { out.push_back(t); };
+  ASSERT_TRUE(relay.Push(0, MakeTuple(1, 2), emit).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(out[0].values[0]), 2);
+  EXPECT_EQ(relay.tuples_out(), 1);
+}
+
+// ----------------------------------------------------------------- Source
+
+TEST(RateSourceTest, EmitsAtConfiguredRate) {
+  RateSource src(100.0, 16, 1);  // 100 tuples/sec
+  int count = 0;
+  src.EmitUntil(1000, [&](const Tuple&) { ++count; });
+  EXPECT_NEAR(count, 101, 2);  // t=0 inclusive
+}
+
+TEST(RateSourceTest, KeysWithinDomain) {
+  RateSource src(1000.0, 8, 2);
+  src.EmitUntil(1000, [&](const Tuple& t) {
+    const int64_t key = std::get<int64_t>(t.values[0]);
+    EXPECT_GE(key, 0);
+    EXPECT_LT(key, 8);
+  });
+}
+
+TEST(RateSourceTest, TimestampsMonotone) {
+  RateSource src(500.0, 8, 3);
+  int64_t last = -1;
+  src.EmitUntil(2000, [&](const Tuple& t) {
+    EXPECT_GE(t.ts_ms, last);
+    last = t.ts_ms;
+  });
+}
+
+// ------------------------------------ Statistical selectivity validation
+
+TEST(JoinStatisticsTest, MeasuredRateMatchesTheory) {
+  // Two independent 200-tuple/sec streams with key domain 64 and a 500 ms
+  // window: expected output 2*200*200*0.5/64 = 625 tuples/sec.
+  const double rate = 200.0;
+  const int64_t domain = 64;
+  const int64_t window_ms = 500;
+  SymmetricHashJoin join(BaseSchema(), BaseSchema(), 0, 0, window_ms);
+  RateSource left(rate, domain, 10);
+  RateSource right(rate, domain, 20);
+  int64_t matches = 0;
+  auto emit = [&](const Tuple&) { ++matches; };
+  const int64_t duration_ms = 20000;
+  for (int64_t now = 0; now <= duration_ms; now += 10) {
+    left.EmitUntil(now, [&](const Tuple& t) {
+      ASSERT_TRUE(join.Push(0, t, emit).ok());
+    });
+    right.EmitUntil(now, [&](const Tuple& t) {
+      ASSERT_TRUE(join.Push(1, t, emit).ok());
+    });
+  }
+  const double measured = static_cast<double>(matches) / (duration_ms / 1000.0);
+  const double expected =
+      ExpectedJoinRate(rate, rate, window_ms / 1000.0, domain);
+  EXPECT_NEAR(measured / expected, 1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace sqpr

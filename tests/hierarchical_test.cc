@@ -1,0 +1,155 @@
+// Tests for the §VII hierarchical planner: site partitioning, query
+// assignment, subset construction, end-to-end admission and the
+// invariant that committed plans never use out-of-subset hosts beyond
+// the allowed border roles.
+
+#include "planner/hierarchical/hierarchical_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "planner/sqpr/sqpr_planner.h"
+#include "workload/generator.h"
+
+namespace sqpr {
+namespace {
+
+struct Fixture {
+  explicit Fixture(int hosts, int sites, uint64_t seed = 3)
+      : catalog(CostModel{}),
+        cluster(hosts, HostSpec{0.8, 120.0, 120.0, ""}, 240.0) {
+    WorkloadConfig wc;
+    wc.num_base_streams = 6 * hosts;
+    wc.num_queries = 12 * hosts;
+    wc.arities = {2, 3};
+    wc.seed = seed;
+    workload = *GenerateWorkload(wc, hosts, &catalog);
+    HierarchicalPlanner::Options options;
+    options.num_sites = sites;
+    options.timeout_ms = 150;
+    planner = std::make_unique<HierarchicalPlanner>(&cluster, &catalog,
+                                                    options);
+  }
+
+  Catalog catalog;
+  Cluster cluster;
+  Workload workload;
+  std::unique_ptr<HierarchicalPlanner> planner;
+};
+
+TEST(HierarchicalTest, SitesPartitionHosts) {
+  Fixture f(7, 3);
+  std::set<HostId> seen;
+  int total = 0;
+  for (int site = 0; site < 3; ++site) {
+    for (HostId h : f.planner->SiteHosts(site)) {
+      EXPECT_TRUE(seen.insert(h).second) << "host in two sites";
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 7);
+}
+
+TEST(HierarchicalTest, AssignPrefersLeafMajoritySite) {
+  // 4 hosts, 2 sites {0,1} and {2,3}. A join whose leaves both live on
+  // site-1 hosts must be assigned to site 1.
+  Catalog catalog(CostModel{});
+  Cluster cluster(4, HostSpec{1.0, 100.0, 100.0, ""}, 200.0);
+  const StreamId a = catalog.AddBaseStream(2, 10.0, "a");
+  const StreamId b = catalog.AddBaseStream(3, 10.0, "b");
+  const StreamId ab = *catalog.CanonicalJoinStream({a, b});
+  HierarchicalPlanner::Options options;
+  options.num_sites = 2;
+  HierarchicalPlanner planner(&cluster, &catalog, options);
+  EXPECT_EQ(*planner.AssignSite(ab), 1);
+}
+
+TEST(HierarchicalTest, AdmitsAndValidates) {
+  Fixture f(6, 2);
+  int admitted = 0;
+  for (StreamId q : f.workload.queries) {
+    Result<PlanningStats> stats = f.planner->SubmitQuery(q);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    admitted += stats->admitted && !stats->already_served;
+  }
+  EXPECT_GT(admitted, 0);
+  EXPECT_TRUE(f.planner->deployment().Validate().ok());
+  EXPECT_EQ(static_cast<int>(f.planner->admitted_queries().size()),
+            admitted);
+}
+
+TEST(HierarchicalTest, DedupReportsAlreadyServed) {
+  Fixture f(4, 2);
+  StreamId q = f.workload.queries.front();
+  Result<PlanningStats> first = f.planner->SubmitQuery(q);
+  ASSERT_TRUE(first.ok());
+  if (first->admitted) {
+    Result<PlanningStats> again = f.planner->SubmitQuery(q);
+    ASSERT_TRUE(again.ok());
+    EXPECT_TRUE(again->already_served);
+    EXPECT_TRUE(again->admitted);
+  }
+}
+
+TEST(HierarchicalTest, SingleSiteMatchesFlatSqprClosely) {
+  // With one site the subset covers the whole cluster, so admissions
+  // should be in the same ballpark as flat SQPR without its fallback.
+  Fixture f(4, 1, /*seed=*/11);
+
+  Catalog catalog2(CostModel{});
+  Cluster cluster2(4, HostSpec{0.8, 120.0, 120.0, ""}, 240.0);
+  WorkloadConfig wc;
+  wc.num_base_streams = 24;
+  wc.num_queries = 48;
+  wc.arities = {2, 3};
+  wc.seed = 11;
+  Workload workload2 = *GenerateWorkload(wc, 4, &catalog2);
+  SqprPlanner::Options flat_options;
+  flat_options.timeout_ms = 150;
+  flat_options.greedy_fallback = false;
+  SqprPlanner flat(&cluster2, &catalog2, flat_options);
+
+  int hier = 0, flat_admitted = 0;
+  for (StreamId q : f.workload.queries) {
+    hier += f.planner->SubmitQuery(q)->admitted ? 1 : 0;
+  }
+  for (StreamId q : workload2.queries) {
+    flat_admitted += flat.SubmitQuery(q)->admitted ? 1 : 0;
+  }
+  // Identical models modulo solver nondeterminism-free; allow slack for
+  // objective-equivalent plans that change later admissions.
+  EXPECT_NEAR(hier, flat_admitted, 0.25 * flat_admitted + 3.0);
+}
+
+TEST(HierarchicalTest, OperatorsStayWithinAssignedSubset) {
+  // After planning, every placed operator must sit on a host that is in
+  // some site's subset-eligible role: since subsets are per-query we
+  // check the weaker global invariant that hosts running operators also
+  // carry CPU accounting and the deployment validates; plus at least one
+  // site boundary is respected: no operator host is outside the union of
+  // all sites (trivially all hosts) — so instead check per-query subset
+  // on a fresh single submission.
+  Catalog catalog(CostModel{});
+  Cluster cluster(6, HostSpec{1.0, 200.0, 200.0, ""}, 400.0);
+  const StreamId a = catalog.AddBaseStream(0, 10.0, "a");
+  const StreamId b = catalog.AddBaseStream(1, 10.0, "b");
+  const StreamId ab = *catalog.CanonicalJoinStream({a, b});
+  HierarchicalPlanner::Options options;
+  options.num_sites = 3;  // sites {0,1} {2,3} {4,5}
+  HierarchicalPlanner planner(&cluster, &catalog, options);
+
+  Result<PlanningStats> stats = planner.SubmitQuery(ab);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->admitted);
+  // Leaves live on hosts 0 and 1 -> site 0; subset = {0, 1}. Hosts 2..5
+  // must be untouched.
+  for (HostId h = 2; h < 6; ++h) {
+    EXPECT_TRUE(planner.deployment().OperatorsOn(h).empty()) << h;
+    EXPECT_DOUBLE_EQ(planner.deployment().CpuUsed(h), 0.0) << h;
+    EXPECT_DOUBLE_EQ(planner.deployment().NicOutUsed(h), 0.0) << h;
+  }
+}
+
+}  // namespace
+}  // namespace sqpr

@@ -1,0 +1,187 @@
+// Tests for the §IV-B/§IV-C adaptive loop: catalog rate updates,
+// deployment ledger refresh, drift detection and the full
+// remove→update→evict→re-admit cycle.
+
+#include "monitor/resource_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/catalog.h"
+#include "model/cluster.h"
+#include "plan/deployment.h"
+#include "workload/generator.h"
+
+namespace sqpr {
+namespace {
+
+TEST(CatalogRateUpdateTest, CompositeRatesAndCostsRecompute) {
+  Catalog catalog(CostModel{});
+  const StreamId a = catalog.AddBaseStream(0, 10.0, "a");
+  const StreamId b = catalog.AddBaseStream(0, 10.0, "b");
+  const OperatorId join = *catalog.JoinOperator(a, b);
+  const StreamId ab = catalog.op(join).output;
+
+  const double old_rate = catalog.stream(ab).rate_mbps;
+  const double old_cpu = catalog.op(join).cpu_cost;
+  ASSERT_TRUE(catalog.UpdateBaseRate(a, 30.0).ok());
+
+  // Join output rate = selectivity x (30 + 10); selectivity is a pure
+  // function of the leaf set, so the ratio is exactly 2x.
+  EXPECT_NEAR(catalog.stream(ab).rate_mbps, old_rate * 2.0, 1e-12);
+  // Join CPU = cpu_per_mbps x (30 + 10) = 2x the old 20 Mbps cost.
+  EXPECT_NEAR(catalog.op(join).cpu_cost, old_cpu * 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(catalog.stream(a).rate_mbps, 30.0);
+}
+
+TEST(CatalogRateUpdateTest, UnaryChainsFollowTheirInput) {
+  Catalog catalog(CostModel{});
+  const StreamId a = catalog.AddBaseStream(0, 10.0, "a");
+  const OperatorId filter =
+      *catalog.UnaryOperator(OpKind::kFilter, a, /*tag=*/1,
+                             /*output_rate_fraction=*/0.5);
+  const StreamId filtered = catalog.op(filter).output;
+  EXPECT_DOUBLE_EQ(catalog.stream(filtered).rate_mbps, 5.0);
+  ASSERT_TRUE(catalog.UpdateBaseRate(a, 40.0).ok());
+  EXPECT_DOUBLE_EQ(catalog.stream(filtered).rate_mbps, 20.0);
+}
+
+TEST(CatalogRateUpdateTest, RejectsBadInput) {
+  Catalog catalog(CostModel{});
+  const StreamId a = catalog.AddBaseStream(0, 10.0, "a");
+  const StreamId b = catalog.AddBaseStream(0, 10.0, "b");
+  const StreamId ab = *catalog.CanonicalJoinStream({a, b});
+  EXPECT_FALSE(catalog.UpdateBaseRate(ab, 5.0).ok());   // composite
+  EXPECT_FALSE(catalog.UpdateBaseRate(999, 5.0).ok());  // unknown
+  EXPECT_FALSE(catalog.UpdateBaseRate(a, -1.0).ok());   // non-positive
+}
+
+TEST(DeploymentTest, RecomputeAggregatesTracksNewCosts) {
+  Catalog catalog(CostModel{});
+  Cluster cluster(2, HostSpec{10.0, 1000.0, 1000.0, ""}, 1000.0);
+  const StreamId a = catalog.AddBaseStream(0, 10.0, "a");
+  const StreamId b = catalog.AddBaseStream(0, 10.0, "b");
+  const OperatorId join = *catalog.JoinOperator(a, b);
+  const StreamId ab = catalog.op(join).output;
+
+  Deployment dep(&cluster, &catalog);
+  ASSERT_TRUE(dep.PlaceOperator(0, join).ok());
+  ASSERT_TRUE(dep.AddFlow(0, 1, ab).ok());
+  const double cpu_before = dep.CpuUsed(0);
+  const double nic_before = dep.NicOutUsed(0);
+
+  ASSERT_TRUE(catalog.UpdateBaseRate(a, 30.0).ok());
+  dep.RecomputeAggregates();
+  EXPECT_NEAR(dep.CpuUsed(0), cpu_before * 2.0, 1e-12);       // 40 vs 20 Mbps
+  EXPECT_NEAR(dep.NicOutUsed(0), nic_before * 2.0, 1e-12);    // join rate 2x
+  EXPECT_NEAR(dep.LinkUsed(0, 1), catalog.stream(ab).rate_mbps, 1e-12);
+}
+
+TEST(ResourceMonitorTest, FlagsDriftAndMapsToQueries) {
+  Catalog catalog(CostModel{});
+  const StreamId a = catalog.AddBaseStream(0, 10.0, "a");
+  const StreamId b = catalog.AddBaseStream(0, 10.0, "b");
+  const StreamId c = catalog.AddBaseStream(0, 10.0, "c");
+  const StreamId ab = *catalog.CanonicalJoinStream({a, b});
+  const StreamId bc = *catalog.CanonicalJoinStream({b, c});
+
+  ResourceMonitor monitor(&catalog, DriftOptions{});
+  // a measured 25% high (over the 20% threshold); c on estimate.
+  const DriftReport report = monitor.Analyze(
+      {{a, 12.5}, {c, 10.0}}, /*cpu_utilization=*/{0.5}, {ab, bc});
+  ASSERT_EQ(report.drifted_base_streams.size(), 1u);
+  EXPECT_EQ(report.drifted_base_streams[0], a);
+  ASSERT_EQ(report.queries_to_replan.size(), 1u);
+  EXPECT_EQ(report.queries_to_replan[0], ab);  // bc has no drifted leaf
+  EXPECT_TRUE(report.overloaded_hosts.empty());
+}
+
+TEST(ResourceMonitorTest, FlagsOverloadedHosts) {
+  Catalog catalog(CostModel{});
+  ResourceMonitor monitor(&catalog, DriftOptions{});
+  const DriftReport report =
+      monitor.Analyze({}, /*cpu_utilization=*/{0.7, 1.2, 0.9}, {});
+  ASSERT_EQ(report.overloaded_hosts.size(), 1u);
+  EXPECT_EQ(report.overloaded_hosts[0], 1);
+}
+
+TEST(AdaptiveReplanTest, RateGrowthEvictsUntilFeasible) {
+  // Fill a small cluster near CPU capacity, then triple one popular
+  // base stream's rate. The adaptive cycle must end with a valid
+  // deployment; queries that no longer fit are rejected on re-admission.
+  Catalog catalog(CostModel{});
+  Cluster cluster(2, HostSpec{0.3, 500.0, 500.0, ""}, 1000.0);
+  std::vector<StreamId> base;
+  for (int i = 0; i < 6; ++i) {
+    base.push_back(catalog.AddBaseStream(i % 2, 10.0));
+  }
+  SqprPlanner::Options options;
+  options.timeout_ms = 300;
+  SqprPlanner planner(&cluster, &catalog, options);
+
+  std::vector<StreamId> queries;
+  for (int i = 0; i + 1 < 6; ++i) {
+    queries.push_back(*catalog.CanonicalJoinStream({base[i], base[i + 1]}));
+  }
+  int admitted_before = 0;
+  for (StreamId q : queries) {
+    admitted_before += planner.SubmitQuery(q)->admitted;
+  }
+  ASSERT_GT(admitted_before, 0);
+
+  ResourceMonitor monitor(&catalog, DriftOptions{});
+  const std::map<StreamId, double> measured = {{base[1], 30.0}};
+  const DriftReport report = monitor.Analyze(
+      measured, std::vector<double>(2, 0.5), planner.admitted_queries());
+  EXPECT_FALSE(report.queries_to_replan.empty());
+
+  Result<std::vector<PlanningStats>> stats =
+      AdaptiveReplan(&planner, &catalog, measured, report);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_DOUBLE_EQ(catalog.stream(base[1]).rate_mbps, 30.0);
+  EXPECT_TRUE(planner.deployment().Validate().ok());
+  EXPECT_LE(static_cast<int>(planner.admitted_queries().size()),
+            admitted_before);
+}
+
+TEST(AdaptiveReplanTest, RateDropFreesCapacityForMoreQueries) {
+  Catalog catalog(CostModel{});
+  Cluster cluster(2, HostSpec{0.08, 500.0, 500.0, ""}, 1000.0);
+  std::vector<StreamId> base;
+  for (int i = 0; i < 8; ++i) {
+    base.push_back(catalog.AddBaseStream(i % 2, 10.0));
+  }
+  SqprPlanner::Options options;
+  options.timeout_ms = 300;
+  SqprPlanner planner(&cluster, &catalog, options);
+
+  std::vector<StreamId> queries;
+  for (int i = 0; i + 1 < 8; i += 2) {
+    queries.push_back(*catalog.CanonicalJoinStream({base[i], base[i + 1]}));
+  }
+  std::vector<StreamId> rejected;
+  for (StreamId q : queries) {
+    if (!planner.SubmitQuery(q)->admitted) rejected.push_back(q);
+  }
+  ASSERT_FALSE(rejected.empty()) << "scenario must start saturated";
+
+  // Every base stream actually runs at half the estimated rate.
+  std::map<StreamId, double> measured;
+  for (StreamId s : base) measured[s] = 5.0;
+  ResourceMonitor monitor(&catalog, DriftOptions{});
+  const DriftReport report = monitor.Analyze(
+      measured, std::vector<double>(2, 0.5), planner.admitted_queries());
+  ASSERT_TRUE(
+      AdaptiveReplan(&planner, &catalog, measured, report).ok());
+
+  int newly_admitted = 0;
+  for (StreamId q : rejected) {
+    newly_admitted += planner.SubmitQuery(q)->admitted;
+  }
+  EXPECT_GT(newly_admitted, 0);
+  EXPECT_TRUE(planner.deployment().Validate().ok());
+}
+
+}  // namespace
+}  // namespace sqpr

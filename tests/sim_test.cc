@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "model/catalog.h"
+#include "model/cluster.h"
+#include "plan/deployment.h"
+#include "planner/sqpr/sqpr_planner.h"
+#include "sim/cluster_sim.h"
+
+namespace sqpr {
+namespace {
+
+SimConfig FastSim() {
+  SimConfig config;
+  config.tuple_bytes = 1250.0;
+  config.rate_scale = 0.01;  // keep tuple counts small in unit tests
+  config.window_ms = 1000;
+  config.duration_ms = 5000;
+  return config;
+}
+
+TEST(ClusterSimTest, RejectsInvalidDeployment) {
+  Catalog catalog{CostModel{}};
+  Cluster cluster(2, HostSpec{1.0, 100.0, 100.0, ""}, 1000.0);
+  const StreamId a = catalog.AddBaseStream(0, 10.0);
+  Deployment dep(&cluster, &catalog);
+  ASSERT_TRUE(dep.SetServing(a, 1).ok());  // a not available at host 1
+  ClusterSim sim(dep, FastSim());
+  EXPECT_FALSE(sim.Setup().ok());
+}
+
+TEST(ClusterSimTest, DeliversServedBaseStream) {
+  Catalog catalog{CostModel{}};
+  Cluster cluster(2, HostSpec{1.0, 100.0, 100.0, ""}, 1000.0);
+  const StreamId a = catalog.AddBaseStream(0, 10.0);
+  Deployment dep(&cluster, &catalog);
+  ASSERT_TRUE(dep.SetServing(a, 0).ok());
+  ClusterSim sim(dep, FastSim());
+  ASSERT_TRUE(sim.Setup().ok());
+  auto report = sim.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->delivered_tuples[a], 0);
+  // Delivery consumes outgoing bandwidth at the serving host.
+  EXPECT_GT(report->network_mbps[0], 0.0);
+}
+
+TEST(ClusterSimTest, RelayedStreamReachesRemoteServer) {
+  Catalog catalog{CostModel{}};
+  Cluster cluster(3, HostSpec{1.0, 100.0, 100.0, ""}, 1000.0);
+  const StreamId a = catalog.AddBaseStream(0, 10.0);
+  Deployment dep(&cluster, &catalog);
+  ASSERT_TRUE(dep.AddFlow(0, 1, a).ok());
+  ASSERT_TRUE(dep.AddFlow(1, 2, a).ok());
+  ASSERT_TRUE(dep.SetServing(a, 2).ok());
+  ClusterSim sim(dep, FastSim());
+  ASSERT_TRUE(sim.Setup().ok());
+  auto report = sim.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->delivered_tuples[a], 0);
+  // The relay host sees both directions of traffic.
+  EXPECT_GT(report->network_mbps[1], 0.0);
+}
+
+TEST(ClusterSimTest, JoinDeploymentProducesResults) {
+  Catalog catalog{CostModel{}};
+  Cluster cluster(2, HostSpec{2.0, 100.0, 100.0, ""}, 1000.0);
+  const StreamId a = catalog.AddBaseStream(0, 10.0);
+  const StreamId b = catalog.AddBaseStream(1, 10.0);
+  auto op = catalog.JoinOperator(a, b);
+  ASSERT_TRUE(op.ok());
+  const StreamId ab = catalog.op(*op).output;
+  Deployment dep(&cluster, &catalog);
+  ASSERT_TRUE(dep.AddFlow(1, 0, b).ok());
+  ASSERT_TRUE(dep.PlaceOperator(0, *op).ok());
+  ASSERT_TRUE(dep.SetServing(ab, 0).ok());
+
+  SimConfig config = FastSim();
+  config.rate_scale = 0.05;
+  config.duration_ms = 20000;
+  ClusterSim sim(dep, config);
+  ASSERT_TRUE(sim.Setup().ok());
+  auto report = sim.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->delivered_tuples[ab], 0);
+  EXPECT_GT(report->total_tuples_processed, 0);
+  // The host running the join does measurable CPU work.
+  EXPECT_GT(report->cpu_utilization[0], 0.0);
+  // Host 1 only forwards; it burns network, not CPU.
+  EXPECT_DOUBLE_EQ(report->cpu_utilization[1], 0.0);
+  EXPECT_GT(report->network_mbps[1], 0.0);
+}
+
+TEST(ClusterSimTest, CpuUtilizationTracksPlannerEstimate) {
+  // The measured CPU fraction at the join host should be within a small
+  // factor of γ_o / ζ_h — the quantity the planner budgeted (§II-B).
+  Catalog catalog{CostModel{}};
+  Cluster cluster(2, HostSpec{1.0, 100.0, 100.0, ""}, 1000.0);
+  const StreamId a = catalog.AddBaseStream(0, 10.0);
+  const StreamId b = catalog.AddBaseStream(0, 10.0);
+  auto op = catalog.JoinOperator(a, b);
+  ASSERT_TRUE(op.ok());
+  const StreamId ab = catalog.op(*op).output;
+  Deployment dep(&cluster, &catalog);
+  ASSERT_TRUE(dep.PlaceOperator(0, *op).ok());
+  ASSERT_TRUE(dep.SetServing(ab, 0).ok());
+
+  SimConfig config = FastSim();
+  config.rate_scale = 0.02;
+  config.duration_ms = 20000;
+  ClusterSim sim(dep, config);
+  ASSERT_TRUE(sim.Setup().ok());
+  auto report = sim.Run();
+  ASSERT_TRUE(report.ok());
+  const double expected = catalog.op(*op).cpu_cost / cluster.host(0).cpu;
+  EXPECT_NEAR(report->cpu_utilization[0], expected, expected * 0.2);
+}
+
+TEST(ClusterSimTest, EndToEndWithSqprPlanner) {
+  // Plan with SQPR, then actually execute the committed deployment.
+  Catalog catalog{CostModel{}};
+  Cluster cluster(3, HostSpec{2.0, 100.0, 100.0, ""}, 1000.0);
+  std::vector<StreamId> base;
+  for (int i = 0; i < 6; ++i) {
+    base.push_back(catalog.AddBaseStream(i % 3, 10.0));
+  }
+  SqprPlanner planner(&cluster, &catalog, {});
+  auto q1 = catalog.CanonicalJoinStream({base[0], base[1]});
+  auto q2 = catalog.CanonicalJoinStream({base[2], base[3]});
+  ASSERT_TRUE(planner.SubmitQuery(*q1)->admitted);
+  ASSERT_TRUE(planner.SubmitQuery(*q2)->admitted);
+
+  SimConfig config = FastSim();
+  config.rate_scale = 0.05;
+  config.duration_ms = 30000;
+  ClusterSim sim(planner.deployment(), config);
+  ASSERT_TRUE(sim.Setup().ok());
+  auto report = sim.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->delivered_tuples[*q1], 0);
+  EXPECT_GT(report->delivered_tuples[*q2], 0);
+}
+
+TEST(ClusterSimTest, MeasuredCompositeRateNearCostModel) {
+  // §IV-B drift detection input: the measured composite rate should land
+  // within a factor of ~2 of the catalog's cost-model rate (key domains
+  // are derived from the mid-band selectivity).
+  Catalog catalog{CostModel{}};
+  Cluster cluster(1, HostSpec{2.0, 100.0, 100.0, ""}, 1000.0);
+  const StreamId a = catalog.AddBaseStream(0, 10.0);
+  const StreamId b = catalog.AddBaseStream(0, 10.0);
+  auto op = catalog.JoinOperator(a, b);
+  ASSERT_TRUE(op.ok());
+  const StreamId ab = catalog.op(*op).output;
+  Deployment dep(&cluster, &catalog);
+  ASSERT_TRUE(dep.PlaceOperator(0, *op).ok());
+  ASSERT_TRUE(dep.SetServing(ab, 0).ok());
+
+  SimConfig config = FastSim();
+  config.rate_scale = 0.05;
+  config.duration_ms = 30000;
+  ClusterSim sim(dep, config);
+  ASSERT_TRUE(sim.Setup().ok());
+  auto report = sim.Run();
+  ASSERT_TRUE(report.ok());
+  const double modelled = catalog.stream(ab).rate_mbps;
+  const double measured = report->measured_rate_mbps[ab];
+  EXPECT_GT(measured, 0.0);
+  EXPECT_LT(measured / modelled, 4.0);
+  EXPECT_GT(measured / modelled, 0.25);
+}
+
+}  // namespace
+}  // namespace sqpr
