@@ -1,0 +1,99 @@
+// Service churn bench: sustained arrival/departure/failure/drift load
+// through the continuous PlanningService (no paper figure — this
+// measures the event loop the paper assumes around the planner, §IV).
+//
+// Scaled setup: 6 hosts, 48 base streams, 600 events at the default
+// trace mix (arrival-heavy with steady departures, occasional host
+// failures/rejoins and monitor drift reports).
+// Expected shape: the service consumes the whole trace, survives >= 1
+// host failure, finishes with a valid committed deployment, the plan
+// cache absorbs repeat arrivals (nonzero hits), and per-event latency
+// stays bounded (max event << total).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/deadline.h"
+#include "service/planning_service.h"
+#include "workload/trace.h"
+
+using namespace sqpr;
+using namespace sqpr::bench;
+
+int main() {
+  ScenarioConfig config;
+  config.queries = 400;
+  config.seed = 11;
+  PrintHeader("Service churn",
+              "event-driven admission / departure / failure / drift",
+              config.seed);
+  Scenario scenario = MakeScenario(config);
+
+  TraceConfig tc;
+  tc.num_events = 600;
+  tc.seed = config.seed;
+  tc.min_failures = 2;
+  tc.min_drift_reports = 3;
+  Result<std::vector<Event>> trace = GenerateTrace(
+      tc, scenario.workload, config.hosts, *scenario.catalog);
+  SQPR_CHECK(trace.ok()) << trace.status().ToString();
+
+  ServiceOptions options;
+  options.planner.timeout_ms = 60;
+  PlanningService service(scenario.cluster.get(), scenario.catalog.get(),
+                          options);
+  for (const Event& e : *trace) {
+    SQPR_CHECK_OK(service.Enqueue(e));
+  }
+
+  Stopwatch watch;
+  double max_event_ms = 0.0;
+  while (service.HasPendingEvents()) {
+    Result<EventOutcome> outcome = service.Step();
+    SQPR_CHECK(outcome.ok()) << outcome.status().ToString();
+    max_event_ms = std::max(max_event_ms, outcome->wall_ms);
+  }
+  const double total_ms = watch.ElapsedMillis();
+
+  const ServiceStats& stats = service.stats();
+  std::printf("\n%zu events in %.1f ms (%.1f events/s), max event %.1f ms\n",
+              trace->size(), total_ms, 1000.0 * trace->size() / total_ms,
+              max_event_ms);
+  std::printf("arrivals %lld: admitted %lld (dedup %lld, cache %lld), "
+              "rejected %lld\n",
+              static_cast<long long>(stats.arrivals),
+              static_cast<long long>(stats.admitted),
+              static_cast<long long>(stats.dedup_hits),
+              static_cast<long long>(stats.cache_fast_path),
+              static_cast<long long>(stats.rejected));
+  std::printf("churn: %lld departures, %lld failures, %lld joins, "
+              "%lld drift reports; %lld evictions, %lld/%lld re-admitted\n",
+              static_cast<long long>(stats.departures),
+              static_cast<long long>(stats.host_failures),
+              static_cast<long long>(stats.host_joins),
+              static_cast<long long>(stats.monitor_reports),
+              static_cast<long long>(stats.evictions),
+              static_cast<long long>(stats.replanned_admitted),
+              static_cast<long long>(stats.replanned_admitted +
+                                     stats.replanned_rejected));
+  std::printf("plan cache: %lld exact + %lld partial hits, %lld misses\n",
+              static_cast<long long>(service.plan_cache().exact_hits()),
+              static_cast<long long>(service.plan_cache().partial_hits()),
+              static_cast<long long>(service.plan_cache().misses()));
+
+  const Status audit = service.deployment().Validate();
+  bool ok = true;
+  ok &= ShapeCheck(stats.events == static_cast<int64_t>(trace->size()),
+                   "every trace event consumed");
+  ok &= ShapeCheck(stats.host_failures >= 2 && stats.monitor_reports >= 3,
+                   "trace exercised failures and drift reports");
+  ok &= ShapeCheck(audit.ok(), "final committed deployment validates");
+  ok &= ShapeCheck(stats.admitted > 0, "service admitted queries");
+  ok &= ShapeCheck(service.plan_cache().hits() > 0,
+                   "plan cache absorbed repeat/sub-query arrivals");
+  ok &= ShapeCheck(max_event_ms <= std::max(1000.0, total_ms / 4),
+                   "per-event latency bounded (no event monopolised loop)");
+  return ok ? 0 : 1;
+}

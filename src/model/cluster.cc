@@ -40,6 +40,12 @@ void Cluster::SetLink(HostId from, HostId to, double mbps) {
   link_overrides_.emplace_back(key, mbps);
 }
 
+void Cluster::SetHostSpec(HostId h, const HostSpec& spec) {
+  SQPR_CHECK(h >= 0 && h < num_hosts());
+  hosts_[h] = spec;
+  if (hosts_[h].name.empty()) hosts_[h].name = "host" + std::to_string(h);
+}
+
 void Cluster::ScaleCpu(double factor) {
   for (HostSpec& h : hosts_) h.cpu *= factor;
 }

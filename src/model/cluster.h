@@ -47,6 +47,13 @@ class Cluster {
   /// Overrides the capacity of one directed link.
   void SetLink(HostId from, HostId to, double mbps);
 
+  /// Replaces one host's resource budgets in place. The planning service
+  /// models host failure/rejoin by swapping a host's spec for an
+  /// all-zero one and back — committed state indexed by HostId stays
+  /// stable, while every §III capacity constraint immediately forbids
+  /// new work on the failed host.
+  void SetHostSpec(HostId h, const HostSpec& spec);
+
   /// Scales every host's CPU budget (fig. 5(b) resource sweeps).
   void ScaleCpu(double factor);
   /// Scales every NIC and link capacity.

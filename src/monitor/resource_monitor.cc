@@ -8,28 +8,7 @@
 #include "plan/query_plan.h"
 
 namespace sqpr {
-namespace {
 
-/// True when `query`'s committed plan touches `host` (an operator, a
-/// relay hop or the client-serving arc).
-bool PlanUsesHost(const Deployment& deployment, StreamId query,
-                  HostId host) {
-  Result<QueryPlan> plan = ExtractPlan(deployment, query);
-  if (!plan.ok()) return false;
-  if (plan->serving_host == host) return true;
-  std::vector<const PlanNode*> stack = {plan->root.get()};
-  while (!stack.empty()) {
-    const PlanNode* node = stack.back();
-    stack.pop_back();
-    if (node == nullptr) continue;
-    if (node->host == host) return true;
-    for (const auto& child : node->children) stack.push_back(child.get());
-  }
-  return false;
-}
-
-/// First host whose committed usage exceeds any §II-B budget, or
-/// kInvalidHost when all ledgers fit.
 HostId FirstOverBudgetHost(const Deployment& deployment, double tol) {
   const Cluster& cluster = deployment.cluster();
   for (HostId h = 0; h < cluster.num_hosts(); ++h) {
@@ -50,17 +29,20 @@ HostId FirstOverBudgetHost(const Deployment& deployment, double tol) {
   return kInvalidHost;
 }
 
-}  // namespace
-
 DriftReport ResourceMonitor::Analyze(
     const std::map<StreamId, double>& measured_base_rates,
     const std::vector<double>& cpu_utilization,
-    const std::vector<StreamId>& admitted) const {
+    const std::vector<StreamId>& admitted,
+    const Deployment* deployment) const {
   DriftReport report;
 
   std::set<StreamId> drifted;
   for (const auto& [s, measured] : measured_base_rates) {
     if (s < 0 || s >= catalog_->num_streams()) continue;
+    // Non-positive measurements cannot be installed as catalog rates
+    // (UpdateBaseRate rejects them), so flagging them as drift would
+    // evict queries for ever without the estimate ever converging.
+    if (measured <= 0) continue;
     const StreamInfo& info = catalog_->stream(s);
     if (!info.is_base || info.rate_mbps <= 0) continue;
     const double deviation =
@@ -75,16 +57,30 @@ DriftReport ResourceMonitor::Analyze(
     }
   }
 
-  // Affected queries: leaf set intersects a drifted stream. Host
-  // shortage maps to queries lazily in AdaptiveReplan, where the
-  // deployment is available; here we only surface rate-driven ones.
+  // Affected queries, deduplicated across both §IV-B conditions: a query
+  // implicated by a drifted leaf *and* an overloaded host must be
+  // re-planned once per round, not twice. Host shortage maps to queries
+  // only when the committed deployment is supplied; otherwise it is
+  // resolved lazily in AdaptiveReplan. Each query's plan is extracted at
+  // most once, regardless of how many hosts are overloaded.
+  const std::set<HostId> overloaded(report.overloaded_hosts.begin(),
+                                    report.overloaded_hosts.end());
+  std::set<StreamId> to_replan;
   for (StreamId q : admitted) {
     const StreamInfo& info = catalog_->stream(q);
     const bool touched =
         std::any_of(info.leaves.begin(), info.leaves.end(),
                     [&](StreamId leaf) { return drifted.count(leaf) > 0; });
-    if (touched) report.queries_to_replan.push_back(q);
+    if (touched) {
+      to_replan.insert(q);
+      continue;
+    }
+    if (deployment != nullptr &&
+        PlanUsesAnyHost(*deployment, q, overloaded)) {
+      to_replan.insert(q);
+    }
   }
+  report.queries_to_replan.assign(to_replan.begin(), to_replan.end());
   return report;
 }
 
@@ -98,8 +94,12 @@ Result<std::vector<PlanningStats>> AdaptiveReplan(
   // cycle is mid-flight the ledgers may legitimately be over budget
   // (rates grew under committed state), so ResourceExhausted is not
   // fatal here — the removal itself has been applied.
+  // Defensive dedup: Analyze already emits a unique list, but a caller-
+  // assembled report must not re-plan one query twice per round.
   std::vector<StreamId> removed;
+  std::set<StreamId> seen;
   for (StreamId q : report.queries_to_replan) {
+    if (!seen.insert(q).second) continue;
     const Status st = planner->RemoveQuery(q);
     if (st.ok() || st.IsResourceExhausted()) {
       removed.push_back(q);
@@ -111,7 +111,8 @@ Result<std::vector<PlanningStats>> AdaptiveReplan(
   // 2. Install measured rates; costs of still-committed operators may
   //    change, so refresh the ledgers.
   for (const auto& [s, rate] : measured_base_rates) {
-    if (s >= 0 && s < catalog->num_streams() && catalog->stream(s).is_base &&
+    if (s >= 0 && s < catalog->num_streams() && rate > 0 &&
+        catalog->stream(s).is_base &&
         std::abs(rate - catalog->stream(s).rate_mbps) > 1e-12) {
       SQPR_RETURN_IF_ERROR(catalog->UpdateBaseRate(s, rate));
     }

@@ -29,7 +29,9 @@ struct DriftReport {
   /// Hosts whose measured CPU exceeds the shortage threshold.
   std::vector<HostId> overloaded_hosts;
   /// Admitted queries affected by either condition — the re-planning
-  /// list of §IV-B.
+  /// list of §IV-B. Deduplicated (sorted, unique): a query implicated by
+  /// both a drifted base stream and an overloaded host appears once, so
+  /// one reporting period re-plans it exactly once.
   std::vector<StreamId> queries_to_replan;
 
   bool empty() const {
@@ -53,15 +55,27 @@ class ResourceMonitor {
   ///  * `cpu_utilization` — per-host CPU as a fraction of budget (e.g.
   ///    SimReport::cpu_utilization);
   ///  * `admitted` — currently admitted queries, used to map drifted
-  ///    streams to affected queries via their leaf sets.
+  ///    streams to affected queries via their leaf sets;
+  ///  * `deployment` — optional committed state; when provided, queries
+  ///    whose plans touch an overloaded host are also added to the
+  ///    re-planning list (otherwise host shortages map to queries lazily
+  ///    in AdaptiveReplan, where the deployment is available).
+  /// The re-planning list is deduplicated across both conditions.
   DriftReport Analyze(const std::map<StreamId, double>& measured_base_rates,
                       const std::vector<double>& cpu_utilization,
-                      const std::vector<StreamId>& admitted) const;
+                      const std::vector<StreamId>& admitted,
+                      const Deployment* deployment = nullptr) const;
 
  private:
   const Catalog* catalog_;
   DriftOptions options_;
 };
+
+/// First host whose committed usage exceeds any §II-B budget (CPU,
+/// memory, NIC in/out or an outgoing link), or kInvalidHost when every
+/// ledger fits. Used by the adaptive cycle and the planning service to
+/// drive shortage-triggered eviction.
+HostId FirstOverBudgetHost(const Deployment& deployment, double tol);
 
 /// Executes the full §IV-B adaptive cycle against a live SQPR planner:
 ///

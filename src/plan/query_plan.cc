@@ -225,4 +225,21 @@ Result<QueryPlan> ExtractPlan(const Deployment& deployment, StreamId query) {
   return plan;
 }
 
+bool PlanUsesAnyHost(const Deployment& deployment, StreamId query,
+                     const std::set<HostId>& hosts) {
+  if (hosts.empty()) return false;
+  Result<QueryPlan> plan = ExtractPlan(deployment, query);
+  if (!plan.ok()) return false;
+  if (hosts.count(plan->serving_host) > 0) return true;
+  std::vector<const PlanNode*> stack = {plan->root.get()};
+  while (!stack.empty()) {
+    const PlanNode* node = stack.back();
+    stack.pop_back();
+    if (node == nullptr) continue;
+    if (hosts.count(node->host) > 0) return true;
+    for (const auto& child : node->children) stack.push_back(child.get());
+  }
+  return false;
+}
+
 }  // namespace sqpr

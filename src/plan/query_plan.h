@@ -2,6 +2,7 @@
 #define SQPR_PLAN_QUERY_PLAN_H_
 
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,19 @@ Status ValidatePlanTree(const QueryPlan& plan, const Catalog& catalog);
 /// the query. The extraction mirrors how DISSP would instantiate the
 /// admitted plan on hosts (§IV-C).
 Result<QueryPlan> ExtractPlan(const Deployment& deployment, StreamId query);
+
+/// True when `query`'s committed plan touches any host in `hosts` — an
+/// operator node, a relay hop or the client-serving arc. Extracts the
+/// plan once regardless of the host-set size. Used by the resource
+/// monitor to map host shortages to affected queries (§IV-B) and by the
+/// planning service to compute host-failure fallout. False when the
+/// deployment does not serve the query.
+bool PlanUsesAnyHost(const Deployment& deployment, StreamId query,
+                     const std::set<HostId>& hosts);
+inline bool PlanUsesHost(const Deployment& deployment, StreamId query,
+                         HostId host) {
+  return PlanUsesAnyHost(deployment, query, {host});
+}
 
 }  // namespace sqpr
 

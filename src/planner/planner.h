@@ -27,6 +27,10 @@ struct PlanningStats {
   /// True when the solver proved optimality of the reduced problem
   /// before its deadline.
   bool proved_optimal = false;
+  /// True when admission bypassed the solver entirely because the
+  /// requested stream was already materialised by committed operators
+  /// (plan-reuse cache fast path; see service/plan_cache.h).
+  bool via_cache = false;
 };
 
 /// Common interface of all query planners (SQPR, heuristic, SODA).

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "milp/solver.h"
+#include "plan/query_plan.h"
 #include "planner/heuristic/heuristic_planner.h"
 
 namespace sqpr {
@@ -168,6 +169,114 @@ Status SqprPlanner::RemoveQuery(StreamId query) {
     SQPR_RETURN_IF_ERROR(deployment_.Validate());
   }
   return Status::OK();
+}
+
+Result<PlanningStats> SqprPlanner::AdmitMaterialized(
+    StreamId query, const std::vector<HostId>& hosts) {
+  Stopwatch watch;
+  if (query < 0 || query >= catalog_->num_streams()) {
+    return Status::InvalidArgument("unknown stream");
+  }
+  for (HostId host : hosts) {
+    if (host < 0 || host >= cluster_->num_hosts()) {
+      return Status::InvalidArgument("unknown host");
+    }
+  }
+  PlanningStats stats;
+  if (deployment_.ServingHost(query) != kInvalidHost) {
+    stats.admitted = true;
+    stats.already_served = true;
+    stats.wall_ms = watch.ElapsedMillis();
+    return stats;
+  }
+  const int num_streams = catalog_->num_streams();
+  const std::vector<bool> grounded = deployment_.GroundedAvailability();
+  bool any_grounded = false;
+  for (HostId host : hosts) {
+    if (!grounded[static_cast<size_t>(host) * num_streams + query]) continue;
+    any_grounded = true;
+    if (!deployment_.CanServe(query, host)) continue;
+    SQPR_RETURN_IF_ERROR(deployment_.SetServing(query, host));
+    admitted_.push_back(query);
+    if (options_.validate_commits) {
+      const Status valid = deployment_.Validate();
+      if (!valid.ok()) {
+        admitted_.pop_back();
+        SQPR_CHECK_OK(deployment_.ClearServing(query));
+        return valid;
+      }
+    }
+    stats.admitted = true;
+    stats.via_cache = true;
+    stats.wall_ms = watch.ElapsedMillis();
+    return stats;
+  }
+  if (any_grounded) {
+    return Status::ResourceExhausted(
+        "no serving NIC headroom on any materialising host");
+  }
+  return Status::FailedPrecondition(
+      "stream not materialised at any candidate host");
+}
+
+Result<std::vector<StreamId>> SqprPlanner::EvictHost(HostId host) {
+  if (host < 0 || host >= cluster_->num_hosts()) {
+    return Status::InvalidArgument("unknown host");
+  }
+
+  // Pass 1: queries whose extracted plan runs through the host. The
+  // removals may legitimately leave the ledgers over a (shrunken) budget
+  // mid-flight, so ResourceExhausted from the post-removal audit is not
+  // fatal — the removal itself has been applied.
+  std::vector<StreamId> affected;
+  for (StreamId q : admitted_) {
+    if (PlanUsesHost(deployment_, q, host)) affected.push_back(q);
+  }
+  for (StreamId q : affected) {
+    const Status st = RemoveQuery(q);
+    if (!st.ok() && !st.IsResourceExhausted() && !st.IsNotFound()) return st;
+  }
+
+  // Pass 2: purge residual allocations — redundant supports of surviving
+  // queries that the conservative per-query GC keeps alive.
+  const std::vector<OperatorId> residual_ops(
+      deployment_.OperatorsOn(host).begin(),
+      deployment_.OperatorsOn(host).end());
+  for (OperatorId o : residual_ops) {
+    SQPR_RETURN_IF_ERROR(deployment_.RemoveOperator(host, o));
+  }
+  for (StreamId s = 0; s < catalog_->num_streams(); ++s) {
+    const auto flows = deployment_.FlowsOf(s);  // copy: mutation below
+    for (const auto& [from, to] : flows) {
+      if (from == host || to == host) {
+        SQPR_RETURN_IF_ERROR(deployment_.RemoveFlow(from, to, s));
+      }
+    }
+  }
+
+  // Pass 3: the purge may have been the sole support of a surviving
+  // query that extraction happened to route around — evict those too,
+  // then GC the now-unsupported residue.
+  const int num_streams = catalog_->num_streams();
+  const std::vector<bool> grounded = deployment_.GroundedAvailability();
+  const std::vector<StreamId> admitted_snapshot = admitted_;
+  for (StreamId q : admitted_snapshot) {
+    const HostId server = deployment_.ServingHost(q);
+    if (server == kInvalidHost ||
+        !grounded[static_cast<size_t>(server) * num_streams + q]) {
+      const Status st = RemoveQuery(q);
+      if (!st.ok() && !st.IsResourceExhausted() && !st.IsNotFound()) {
+        return st;
+      }
+      affected.push_back(q);
+    }
+  }
+  GarbageCollect();
+  if (options_.validate_commits) {
+    const Status valid = deployment_.Validate();
+    if (!valid.ok() && !valid.IsResourceExhausted()) return valid;
+  }
+  return affected;
 }
 
 void SqprPlanner::GarbageCollect() {

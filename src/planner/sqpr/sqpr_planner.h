@@ -71,6 +71,28 @@ class SqprPlanner : public Planner {
   /// that no longer support any served stream.
   Status RemoveQuery(StreamId query);
 
+  /// Plan-reuse fast path (§II-C made O(1) by the service's PlanCache):
+  /// admits `query` by adding only the client-serving arc at the first
+  /// candidate host where the stream is already grounded through
+  /// committed operators/flows and the serving NIC has headroom. No
+  /// MILP solve; the availability fixpoint is computed once for the
+  /// whole candidate list. Fails FailedPrecondition when the stream is
+  /// not materialised at any candidate and ResourceExhausted when it is
+  /// materialised but no candidate has serving headroom; neither
+  /// failure mutates the deployment.
+  Result<PlanningStats> AdmitMaterialized(StreamId query,
+                                          const std::vector<HostId>& hosts);
+  Result<PlanningStats> AdmitMaterialized(StreamId query, HostId host) {
+    return AdmitMaterialized(query, std::vector<HostId>{host});
+  }
+
+  /// Host-failure fallout (§IV-C): removes every admitted query whose
+  /// committed plan touches `host`, purges residual operators/flows on
+  /// the host (redundant supports the per-query GC keeps), then evicts
+  /// any query whose serving lost groundedness in the purge. Returns the
+  /// removed queries, in eviction order, for the caller to re-admit.
+  Result<std::vector<StreamId>> EvictHost(HostId host);
+
   /// Rebuilds the deployment's resource ledgers from the catalog's
   /// current costs — required after Catalog::UpdateBaseRate (§IV-B).
   void RefreshAccounting() { deployment_.RecomputeAggregates(); }

@@ -1,0 +1,112 @@
+#include "service/event_loop.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace sqpr {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kQueryArrival:
+      return "arrival";
+    case EventKind::kQueryDeparture:
+      return "departure";
+    case EventKind::kHostJoin:
+      return "host-join";
+    case EventKind::kHostFailure:
+      return "host-failure";
+    case EventKind::kMonitorReport:
+      return "monitor-report";
+    case EventKind::kTick:
+      return "tick";
+  }
+  return "unknown";
+}
+
+Event Event::Arrival(int64_t t, StreamId q) {
+  Event e;
+  e.time_ms = t;
+  e.kind = EventKind::kQueryArrival;
+  e.query = q;
+  return e;
+}
+
+Event Event::Departure(int64_t t, StreamId q) {
+  Event e;
+  e.time_ms = t;
+  e.kind = EventKind::kQueryDeparture;
+  e.query = q;
+  return e;
+}
+
+Event Event::HostJoin(int64_t t, HostId h) {
+  Event e;
+  e.time_ms = t;
+  e.kind = EventKind::kHostJoin;
+  e.host = h;
+  return e;
+}
+
+Event Event::HostFailure(int64_t t, HostId h) {
+  Event e;
+  e.time_ms = t;
+  e.kind = EventKind::kHostFailure;
+  e.host = h;
+  return e;
+}
+
+Event Event::MonitorReport(int64_t t, std::map<StreamId, double> rates,
+                           std::vector<double> cpu) {
+  Event e;
+  e.time_ms = t;
+  e.kind = EventKind::kMonitorReport;
+  e.measured_base_rates = std::move(rates);
+  e.cpu_utilization = std::move(cpu);
+  return e;
+}
+
+Event Event::Tick(int64_t t) {
+  Event e;
+  e.time_ms = t;
+  e.kind = EventKind::kTick;
+  return e;
+}
+
+std::string Event::ToString() const {
+  std::string out =
+      "t=" + std::to_string(time_ms) + " " + EventKindName(kind);
+  switch (kind) {
+    case EventKind::kQueryArrival:
+    case EventKind::kQueryDeparture:
+      out += " query=" + std::to_string(query);
+      break;
+    case EventKind::kHostJoin:
+    case EventKind::kHostFailure:
+      out += " host=" + std::to_string(host);
+      break;
+    case EventKind::kMonitorReport:
+      out += " rates=" + std::to_string(measured_base_rates.size());
+      break;
+    case EventKind::kTick:
+      break;
+  }
+  return out;
+}
+
+void EventQueue::Push(Event event) {
+  heap_.push(Entry{next_seq_++, std::move(event)});
+}
+
+int64_t EventQueue::NextTime() const {
+  return heap_.empty() ? kNoEvent : heap_.top().event.time_ms;
+}
+
+Event EventQueue::Pop() {
+  SQPR_CHECK(!heap_.empty());
+  Event event = heap_.top().event;
+  heap_.pop();
+  return event;
+}
+
+}  // namespace sqpr

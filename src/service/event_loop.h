@@ -1,0 +1,113 @@
+#ifndef SQPR_SERVICE_EVENT_LOOP_H_
+#define SQPR_SERVICE_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/ids.h"
+
+namespace sqpr {
+
+/// Kinds of events the continuous planning service consumes. Together
+/// they cover the lifecycle the paper assumes around the SQPR planner:
+/// queries arrive and depart over time (§IV-A), hosts join and fail, and
+/// the DISSP resource monitor periodically reports measured utilisation
+/// and stream rates (§IV-B/§IV-C).
+enum class EventKind : uint8_t {
+  kQueryArrival,
+  kQueryDeparture,
+  kHostJoin,
+  kHostFailure,
+  kMonitorReport,
+  kTick,
+};
+
+const char* EventKindName(EventKind kind);
+
+/// One timestamped input to the planning service. Only the fields
+/// relevant to `kind` are meaningful:
+///   kQueryArrival / kQueryDeparture — `query`;
+///   kHostJoin / kHostFailure       — `host`;
+///   kMonitorReport                 — `measured_base_rates` and/or
+///                                    `cpu_utilization`;
+///   kTick                          — none (drives deferred re-planning
+///                                    rounds and optional simulation).
+struct Event {
+  int64_t time_ms = 0;
+  EventKind kind = EventKind::kTick;
+  StreamId query = kInvalidStream;
+  HostId host = kInvalidHost;
+  /// Observed Mbps per base stream (absent streams are on-estimate).
+  std::map<StreamId, double> measured_base_rates;
+  /// Per-host CPU as a fraction of budget (empty = no CPU observations).
+  std::vector<double> cpu_utilization;
+
+  static Event Arrival(int64_t t, StreamId q);
+  static Event Departure(int64_t t, StreamId q);
+  static Event HostJoin(int64_t t, HostId h);
+  static Event HostFailure(int64_t t, HostId h);
+  static Event MonitorReport(int64_t t, std::map<StreamId, double> rates,
+                             std::vector<double> cpu = {});
+  static Event Tick(int64_t t);
+
+  std::string ToString() const;
+};
+
+/// Injectable virtual clock. The service and its tests advance time by
+/// consuming events, never by reading the wall clock, so every replay of
+/// the same trace is bit-for-bit reproducible.
+class VirtualClock {
+ public:
+  int64_t now_ms() const { return now_ms_; }
+
+  /// Moves time forward; moving backwards is a programming error and is
+  /// clamped (events are popped in timestamp order).
+  void AdvanceTo(int64_t t_ms) {
+    if (t_ms > now_ms_) now_ms_ = t_ms;
+  }
+
+ private:
+  int64_t now_ms_ = 0;
+};
+
+/// Deterministic event queue: events pop in (timestamp, insertion
+/// sequence) order, so same-timestamp events preserve their submission
+/// order regardless of heap internals.
+class EventQueue {
+ public:
+  void Push(Event event);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Timestamp of the next event; kNoEvent when empty.
+  static constexpr int64_t kNoEvent = INT64_MAX;
+  int64_t NextTime() const;
+
+  /// Pops the earliest event. Requires !empty().
+  Event Pop();
+
+ private:
+  struct Entry {
+    int64_t seq;
+    Event event;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.event.time_ms != b.event.time_ms) {
+        return a.event.time_ms > b.event.time_ms;
+      }
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  int64_t next_seq_ = 0;
+};
+
+}  // namespace sqpr
+
+#endif  // SQPR_SERVICE_EVENT_LOOP_H_

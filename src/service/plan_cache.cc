@@ -1,0 +1,117 @@
+#include "service/plan_cache.h"
+
+#include <algorithm>
+
+namespace sqpr {
+
+void PlanCache::Rebuild(const Deployment& deployment) {
+  by_stream_.clear();
+  by_signature_.clear();
+  served_.clear();
+
+  const int num_hosts = deployment.cluster().num_hosts();
+  const int num_streams = catalog_->num_streams();
+  const std::vector<bool> grounded = deployment.GroundedAvailability();
+
+  // Only streams actually produced or carried by committed state can be
+  // grounded somewhere, so the signature table stays proportional to the
+  // deployment, not the catalog.
+  for (StreamId s = 0; s < num_streams; ++s) {
+    const StreamInfo& info = catalog_->stream(s);
+    if (info.is_base) continue;  // base reuse is just the injection host
+    std::vector<HostId> hosts;
+    for (HostId h = 0; h < num_hosts; ++h) {
+      if (grounded[static_cast<size_t>(h) * num_streams + s]) {
+        hosts.push_back(h);
+      }
+    }
+    if (hosts.empty()) continue;
+    by_signature_[info.leaves] = s;
+    by_stream_.emplace(s, std::move(hosts));
+  }
+
+  for (StreamId s : deployment.ServedStreams()) {
+    served_[s] = deployment.ServingHost(s);
+  }
+}
+
+bool PlanCache::FindMaterialized(StreamId stream, Hit* hit) const {
+  auto it = by_stream_.find(stream);
+  if (it == by_stream_.end()) return false;
+  if (hit != nullptr) {
+    hit->stream = stream;
+    hit->hosts = it->second;
+  }
+  return true;
+}
+
+namespace {
+
+/// Enumerates the proper subsets of `leaves` with >= 2 elements, largest
+/// cardinality first, invoking `fn(subset)`. Arities in the evaluation
+/// workloads are small (<= 12 enforced by the trace tools), so the 2^k
+/// enumeration stays tiny; each subset costs one map lookup.
+template <typename Fn>
+void ForEachProperSubset(const std::vector<StreamId>& leaves, Fn fn) {
+  const int k = static_cast<int>(leaves.size());
+  if (k > 16) return;  // defensive: skip enumeration for absurd arities
+  std::vector<uint32_t> masks;
+  masks.reserve((1u << k) - 2);
+  for (uint32_t mask = 1; mask + 1 < (1u << k); ++mask) {
+    if (__builtin_popcount(mask) >= 2) masks.push_back(mask);
+  }
+  std::stable_sort(masks.begin(), masks.end(),
+                   [](uint32_t a, uint32_t b) {
+                     return __builtin_popcount(a) > __builtin_popcount(b);
+                   });
+  std::vector<StreamId> subset;
+  for (uint32_t mask : masks) {
+    subset.clear();
+    for (int i = 0; i < k; ++i) {
+      if (mask & (1u << i)) subset.push_back(leaves[i]);
+    }
+    fn(subset);
+  }
+}
+
+}  // namespace
+
+PlanCache::Lookup PlanCache::OnArrival(StreamId query) {
+  Lookup result;
+
+  auto served_it = served_.find(query);
+  if (served_it != served_.end()) {
+    result.exact = true;
+    result.served = true;
+    result.exact_hit.stream = query;
+    result.exact_hit.hosts = {served_it->second};
+  } else if (FindMaterialized(query, &result.exact_hit)) {
+    result.exact = true;
+  }
+
+  // Canonical subquery probes: the leaf vector of every subset is already
+  // sorted (subsequence of the query's sorted leaves), i.e. exactly the
+  // signature the catalog interned.
+  const StreamInfo& info = catalog_->stream(query);
+  if (!info.is_base) {
+    ForEachProperSubset(info.leaves, [&](const std::vector<StreamId>& sig) {
+      auto it = by_signature_.find(sig);
+      if (it == by_signature_.end()) return;
+      Hit hit;
+      if (FindMaterialized(it->second, &hit)) {
+        result.partial.push_back(std::move(hit));
+      }
+    });
+  }
+
+  if (result.exact) {
+    ++exact_hits_;
+  } else if (!result.partial.empty()) {
+    ++partial_hits_;
+  } else {
+    ++misses_;
+  }
+  return result;
+}
+
+}  // namespace sqpr

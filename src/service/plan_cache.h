@@ -1,0 +1,94 @@
+#ifndef SQPR_SERVICE_PLAN_CACHE_H_
+#define SQPR_SERVICE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "model/catalog.h"
+#include "plan/deployment.h"
+
+namespace sqpr {
+
+/// Arrival-time reuse index over the committed deployment (§II-C/§III).
+///
+/// The SQPR model discovers reuse through the availability constraint
+/// (III.5a), but only for streams that enter the MILP. The cache makes
+/// the *lookup* side O(log n): it indexes every composite stream that is
+/// currently materialised — grounded at some host through committed
+/// operators and flows — keyed by its canonical leaf signature. On query
+/// arrival the service can then answer, without scanning the catalog or
+/// re-deriving availability:
+///   * exact hit  — the requested canonical stream is already served
+///     (dedup, Algorithm 1 line 3) or materialised but unserved, in
+///     which case admission degenerates to adding one client-serving
+///     arc (no solve);
+///   * partial hit — some proper subquery is materialised, i.e. the
+///     MILP has a warm reuse opportunity (surfaced as candidates).
+///
+/// The index is rebuilt from the deployment once per mutating event:
+/// cost O(hosts × catalog streams) for the grounded fixpoint plus
+/// O(placed operators) for the signature table. The *table* stays
+/// proportional to the deployment, but the rebuild scan does grow with
+/// the catalog (the join closure of every query ever seen) — the
+/// ROADMAP's incremental-maintenance item targets exactly that scan.
+class PlanCache {
+ public:
+  explicit PlanCache(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// A materialised stream and the hosts where it is grounded.
+  struct Hit {
+    StreamId stream = kInvalidStream;
+    std::vector<HostId> hosts;
+  };
+
+  /// What the cache knows about an arriving query.
+  struct Lookup {
+    /// The query stream itself is materialised (hosts in `exact`).
+    bool exact = false;
+    /// The query is already being served (subset of `exact` situations).
+    bool served = false;
+    Hit exact_hit;
+    /// Materialised proper subqueries (canonical substreams), largest
+    /// leaf set first.
+    std::vector<Hit> partial;
+  };
+
+  /// Reindexes materialised streams from the committed deployment.
+  void Rebuild(const Deployment& deployment);
+
+  /// Arrival-time lookup; updates the hit/miss counters. A hit is an
+  /// exact match (served or materialised); a partial-only match counts
+  /// as a partial hit; neither counts as a miss.
+  Lookup OnArrival(StreamId query);
+
+  /// Pure exact-signature probe (no counter updates).
+  bool FindMaterialized(StreamId stream, Hit* hit) const;
+
+  int64_t exact_hits() const { return exact_hits_; }
+  int64_t partial_hits() const { return partial_hits_; }
+  int64_t misses() const { return misses_; }
+  /// Total arrivals that found something reusable.
+  int64_t hits() const { return exact_hits_ + partial_hits_; }
+  int num_indexed() const { return static_cast<int>(by_stream_.size()); }
+
+ private:
+  const Catalog* catalog_;
+
+  /// Materialised composite streams with their grounded host lists.
+  std::map<StreamId, std::vector<HostId>> by_stream_;
+  /// Canonical leaf signature -> materialised stream. Signatures are the
+  /// sorted base-leaf sets the catalog hash-conses on, so two join
+  /// orders of the same leaves share one entry.
+  std::map<std::vector<StreamId>, StreamId> by_signature_;
+  /// Streams currently served (exact dedup hits).
+  std::map<StreamId, HostId> served_;
+
+  int64_t exact_hits_ = 0;
+  int64_t partial_hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace sqpr
+
+#endif  // SQPR_SERVICE_PLAN_CACHE_H_

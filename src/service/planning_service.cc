@@ -1,0 +1,379 @@
+#include "service/planning_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/deadline.h"
+#include "common/logging.h"
+#include "plan/query_plan.h"
+
+namespace sqpr {
+
+std::string EventOutcome::ToString(const Catalog& catalog) const {
+  std::string out = event.ToString();
+  if (event.kind == EventKind::kQueryArrival) {
+    if (event.query >= 0 && event.query < catalog.num_streams() &&
+        !catalog.stream(event.query).name.empty()) {
+      out += " (" + catalog.stream(event.query).name + ")";
+    }
+    out += already_served ? " dedup"
+           : admitted     ? (via_cache ? " admit[cache]" : " admit")
+                          : " reject";
+    if (reuse_candidates > 0) {
+      out += " reuse-candidates=" + std::to_string(reuse_candidates);
+    }
+  }
+  if (evicted > 0) out += " evicted=" + std::to_string(evicted);
+  if (replanned_admitted + replanned_rejected > 0) {
+    out += " replanned=" + std::to_string(replanned_admitted) + "/" +
+           std::to_string(replanned_admitted + replanned_rejected);
+  }
+  return out;
+}
+
+PlanningService::PlanningService(Cluster* cluster, Catalog* catalog,
+                                 ServiceOptions options)
+    : cluster_(cluster),
+      catalog_(catalog),
+      options_(options),
+      planner_(cluster, catalog, options.planner),
+      monitor_(catalog, options.drift),
+      cache_(catalog),
+      scheduler_(options.replan) {
+  SQPR_CHECK(cluster != nullptr && catalog != nullptr);
+}
+
+Status PlanningService::Enqueue(Event event) {
+  if (event.time_ms < clock_.now_ms()) {
+    return Status::InvalidArgument(
+        "event at t=" + std::to_string(event.time_ms) +
+        " is before the virtual clock (t=" + std::to_string(clock_.now_ms()) +
+        ")");
+  }
+  queue_.Push(std::move(event));
+  return Status::OK();
+}
+
+bool PlanningService::HostActive(HostId h) const {
+  return h >= 0 && h < cluster_->num_hosts() && failed_hosts_.count(h) == 0;
+}
+
+Result<EventOutcome> PlanningService::Step() {
+  if (queue_.empty()) {
+    return Status::FailedPrecondition("no pending events");
+  }
+  Stopwatch watch;
+  Event event = queue_.Pop();
+  clock_.AdvanceTo(event.time_ms);
+
+  EventOutcome outcome;
+  outcome.event = event;
+  ++stats_.events;
+
+  Status st;
+  switch (event.kind) {
+    case EventKind::kQueryArrival:
+      HandleArrival(event, &outcome);
+      break;
+    case EventKind::kQueryDeparture:
+      HandleDeparture(event, &outcome);
+      break;
+    case EventKind::kHostFailure:
+      st = HandleHostFailure(event, &outcome);
+      break;
+    case EventKind::kHostJoin:
+      st = HandleHostJoin(event, &outcome);
+      break;
+    case EventKind::kMonitorReport:
+      st = HandleMonitorReport(event, &outcome);
+      break;
+    case EventKind::kTick:
+      ++stats_.ticks;
+      break;
+  }
+  if (!st.ok()) return st;
+
+  // Every event ends with bounded re-admission work, so fallout queued
+  // by failures and drift reports drains steadily without ever letting
+  // one event monopolise the loop.
+  DrainReplanRounds(&outcome);
+
+  // One reuse-index rebuild per mutating event, not per mutation.
+  if (options_.use_plan_cache && cache_dirty_) {
+    cache_.Rebuild(deployment());
+    cache_dirty_ = false;
+  }
+
+  outcome.wall_ms = watch.ElapsedMillis();
+  stats_.total_wall_ms += outcome.wall_ms;
+  stats_.max_event_ms = std::max(stats_.max_event_ms, outcome.wall_ms);
+  return outcome;
+}
+
+Status PlanningService::RunUntilIdle(std::vector<EventOutcome>* outcomes) {
+  while (HasPendingEvents()) {
+    Result<EventOutcome> outcome = Step();
+    if (!outcome.ok()) return outcome.status();
+    if (outcomes != nullptr) outcomes->push_back(std::move(*outcome));
+  }
+  return Status::OK();
+}
+
+Result<PlanningStats> PlanningService::Admit(StreamId query,
+                                             int* reuse_candidates) {
+  if (query < 0 || query >= catalog_->num_streams()) {
+    return Status::InvalidArgument("unknown stream " + std::to_string(query));
+  }
+
+  if (options_.use_plan_cache) {
+    PlanCache::Lookup lookup = cache_.OnArrival(query);
+    if (reuse_candidates != nullptr) {
+      *reuse_candidates = static_cast<int>(lookup.partial.size());
+    }
+    if (lookup.exact && !lookup.served) {
+      // Materialised but unserved: admission is one serving arc. The
+      // planner tries the grounded hosts in order over one availability
+      // fixpoint; capacity misses fall through to the solver, which may
+      // still admit by re-routing.
+      Result<PlanningStats> fast =
+          planner_.AdmitMaterialized(query, lookup.exact_hit.hosts);
+      if (fast.ok()) {
+        cache_dirty_ = true;
+        return fast;
+      }
+      if (fast.status().IsInvalidArgument()) return fast.status();
+    }
+    // Served streams fall through to SubmitQuery's dedup short-circuit,
+    // which is authoritative and O(log n).
+  }
+
+  Result<PlanningStats> stats = planner_.SubmitQuery(query);
+  if (stats.ok() && stats->admitted && !stats->already_served) {
+    cache_dirty_ = true;
+  }
+  return stats;
+}
+
+void PlanningService::RememberRejected(StreamId query) {
+  if (!options_.retry_rejected_on_join) return;
+  if (std::find(rejected_recently_.begin(), rejected_recently_.end(),
+                query) != rejected_recently_.end()) {
+    return;
+  }
+  rejected_recently_.push_back(query);
+  while (static_cast<int>(rejected_recently_.size()) >
+         std::max(0, options_.max_rejected_remembered)) {
+    rejected_recently_.pop_front();
+  }
+}
+
+void PlanningService::HandleArrival(const Event& event,
+                                    EventOutcome* outcome) {
+  ++stats_.arrivals;
+  Result<PlanningStats> stats = Admit(event.query, &outcome->reuse_candidates);
+  if (!stats.ok()) {
+    SQPR_LOG_WARN << "arrival of query " << event.query
+                  << " failed: " << stats.status().ToString();
+    ++stats_.rejected;
+    return;
+  }
+  outcome->admitted = stats->admitted;
+  outcome->already_served = stats->already_served;
+  outcome->via_cache = stats->via_cache;
+  if (stats->already_served) {
+    ++stats_.dedup_hits;
+    ++stats_.admitted;
+  } else if (stats->admitted) {
+    ++stats_.admitted;
+    if (stats->via_cache) ++stats_.cache_fast_path;
+  } else {
+    ++stats_.rejected;
+    RememberRejected(event.query);
+  }
+}
+
+void PlanningService::HandleDeparture(const Event& event,
+                                      EventOutcome* outcome) {
+  (void)outcome;
+  ++stats_.departures;
+  scheduler_.Discard(event.query);
+  auto it = std::find(rejected_recently_.begin(), rejected_recently_.end(),
+                      event.query);
+  if (it != rejected_recently_.end()) rejected_recently_.erase(it);
+
+  const Status st = planner_.RemoveQuery(event.query);
+  if (st.IsNotFound()) return;  // never admitted (or already departed)
+  if (!st.ok() && !st.IsResourceExhausted()) {
+    SQPR_LOG_WARN << "departure of query " << event.query
+                  << " failed: " << st.ToString();
+    return;
+  }
+  cache_dirty_ = true;
+}
+
+Status PlanningService::HandleHostFailure(const Event& event,
+                                          EventOutcome* outcome) {
+  ++stats_.host_failures;
+  const HostId h = event.host;
+  if (h < 0 || h >= cluster_->num_hosts()) {
+    return Status::InvalidArgument("unknown host " + std::to_string(h));
+  }
+  if (failed_hosts_.count(h) > 0) return Status::OK();  // already down
+
+  // Zero the budgets first so every constraint (and the post-removal
+  // audits) immediately sees the host as unusable, then clear its
+  // fallout. Operators and flows indexed by HostId stay addressable.
+  HostSpec dead;
+  dead.cpu = 0.0;
+  dead.nic_out_mbps = 0.0;
+  dead.nic_in_mbps = 0.0;
+  dead.mem_mb = 0.0;
+  dead.name = cluster_->host(h).name;
+  failed_hosts_[h] = cluster_->host(h);
+  cluster_->SetHostSpec(h, dead);
+
+  Result<std::vector<StreamId>> evicted = planner_.EvictHost(h);
+  if (!evicted.ok()) return evicted.status();
+  for (StreamId q : *evicted) {
+    scheduler_.Enqueue(q);
+    ++outcome->evicted;
+    ++stats_.evictions;
+  }
+  cache_dirty_ = true;
+  return Status::OK();
+}
+
+Status PlanningService::HandleHostJoin(const Event& event,
+                                       EventOutcome* outcome) {
+  (void)outcome;
+  ++stats_.host_joins;
+  const HostId h = event.host;
+  if (h < 0 || h >= cluster_->num_hosts()) {
+    return Status::InvalidArgument("unknown host " + std::to_string(h));
+  }
+  auto it = failed_hosts_.find(h);
+  if (it == failed_hosts_.end()) return Status::OK();  // already active
+  cluster_->SetHostSpec(h, it->second);
+  failed_hosts_.erase(it);
+
+  // Fresh capacity: give recently rejected queries another chance
+  // through the bounded rounds.
+  if (options_.retry_rejected_on_join) {
+    for (StreamId q : rejected_recently_) scheduler_.Enqueue(q);
+    rejected_recently_.clear();
+  }
+  return Status::OK();
+}
+
+Status PlanningService::HandleMonitorReport(const Event& event,
+                                            EventOutcome* outcome) {
+  ++stats_.monitor_reports;
+  const DriftReport report =
+      monitor_.Analyze(event.measured_base_rates, event.cpu_utilization,
+                       planner_.admitted_queries(), &deployment());
+
+  // Note: steps 2 and 3 run even when the report flags nothing —
+  // sub-threshold measurements are still installed (matching
+  // AdaptiveReplan), so estimates converge instead of sitting
+  // permanently just under the drift threshold.
+
+  // §IV-B step 1: remove the affected queries (deduplicated by Analyze)
+  // and queue them for bounded re-admission. Mid-cycle the ledgers may
+  // legitimately over-commit, so ResourceExhausted is tolerated.
+  for (StreamId q : report.queries_to_replan) {
+    const Status st = planner_.RemoveQuery(q);
+    if (st.IsNotFound()) continue;
+    if (!st.ok() && !st.IsResourceExhausted()) return st;
+    scheduler_.Enqueue(q);
+    ++outcome->evicted;
+    ++stats_.evictions;
+  }
+
+  // Step 2: install the measured base rates; composite rates and
+  // operator costs recompute exactly, then the ledgers are rebuilt.
+  for (const auto& [s, rate] : event.measured_base_rates) {
+    if (s >= 0 && s < catalog_->num_streams() &&
+        catalog_->stream(s).is_base && rate > 0 &&
+        std::abs(rate - catalog_->stream(s).rate_mbps) > 1e-12) {
+      SQPR_RETURN_IF_ERROR(catalog_->UpdateBaseRate(s, rate));
+    }
+  }
+  planner_.RefreshAccounting();
+
+  // Step 3: under the corrected costs the committed state may exceed a
+  // budget (§IV-B condition (b)) — evict queries touching the offending
+  // host until every ledger fits again.
+  while (true) {
+    const HostId h = FirstOverBudgetHost(deployment(), 1e-6);
+    if (h == kInvalidHost) break;
+    StreamId victim = kInvalidStream;
+    for (StreamId q : planner_.admitted_queries()) {
+      if (PlanUsesHost(deployment(), q, h)) {
+        victim = q;
+        break;
+      }
+    }
+    if (victim != kInvalidStream) {
+      const Status st = planner_.RemoveQuery(victim);
+      if (!st.ok() && !st.IsResourceExhausted() && !st.IsNotFound()) {
+        return st;
+      }
+      scheduler_.Enqueue(victim);
+      ++outcome->evicted;
+      ++stats_.evictions;
+      continue;
+    }
+    // No extractable plan touches the host: the usage is redundant
+    // support — purge it.
+    Result<std::vector<StreamId>> purged = planner_.EvictHost(h);
+    if (!purged.ok()) return purged.status();
+    for (StreamId q : *purged) {
+      scheduler_.Enqueue(q);
+      ++outcome->evicted;
+      ++stats_.evictions;
+    }
+    if (FirstOverBudgetHost(deployment(), 1e-6) == h) {
+      return Status::Internal("host " + std::to_string(h) +
+                              " over budget with nothing left to evict");
+    }
+  }
+  // Rate updates alone do not change groundedness, so the cache only
+  // goes stale when queries were actually removed.
+  if (outcome->evicted > 0) cache_dirty_ = true;
+  return Status::OK();
+}
+
+void PlanningService::DrainReplanRounds(EventOutcome* outcome) {
+  const int max_rounds = std::max(1, options_.replan.max_rounds_per_event);
+  for (int round = 0; round < max_rounds && scheduler_.HasPending();
+       ++round) {
+    ++stats_.replan_rounds;
+    for (StreamId q : scheduler_.NextRound()) {
+      Result<PlanningStats> stats = Admit(q, nullptr);
+      if (stats.ok() && stats->admitted) {
+        ++outcome->replanned_admitted;
+        ++stats_.replanned_admitted;
+      } else {
+        ++outcome->replanned_rejected;
+        ++stats_.replanned_rejected;
+        if (stats.ok()) RememberRejected(q);
+      }
+    }
+  }
+}
+
+Event PlanningService::MonitorReportFromSim(int64_t time_ms,
+                                            const SimReport& report) const {
+  std::map<StreamId, double> base_rates;
+  for (const auto& [s, rate] : report.measured_rate_mbps) {
+    if (s >= 0 && s < catalog_->num_streams() &&
+        catalog_->stream(s).is_base) {
+      base_rates[s] = rate;
+    }
+  }
+  return Event::MonitorReport(time_ms, std::move(base_rates),
+                              report.cpu_utilization);
+}
+
+}  // namespace sqpr

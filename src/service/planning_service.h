@@ -1,0 +1,181 @@
+#ifndef SQPR_SERVICE_PLANNING_SERVICE_H_
+#define SQPR_SERVICE_PLANNING_SERVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/catalog.h"
+#include "model/cluster.h"
+#include "monitor/resource_monitor.h"
+#include "planner/sqpr/sqpr_planner.h"
+#include "service/event_loop.h"
+#include "service/plan_cache.h"
+#include "service/replan_policy.h"
+#include "sim/cluster_sim.h"
+
+namespace sqpr {
+
+/// Configuration of the continuous planning service.
+struct ServiceOptions {
+  SqprPlanner::Options planner;
+  DriftOptions drift;
+  ReplanPolicyOptions replan;
+  /// Consult the plan-reuse cache on arrivals: exact hits admit without
+  /// a solve (dedup or one serving arc); misses fall through to the
+  /// reduced MILP.
+  bool use_plan_cache = true;
+  /// After a host (re)joins, retry recently rejected queries through the
+  /// bounded re-planning rounds.
+  bool retry_rejected_on_join = true;
+  /// Cap on the rejected queries remembered for such retries.
+  int max_rejected_remembered = 64;
+};
+
+/// What happened while processing one event.
+struct EventOutcome {
+  Event event;
+  /// Arrival disposition (meaningful for kQueryArrival only).
+  bool admitted = false;
+  bool already_served = false;
+  bool via_cache = false;
+  /// Materialised proper-subquery candidates the cache surfaced for the
+  /// arrival (reuse opportunities the MILP can exploit).
+  int reuse_candidates = 0;
+  /// Queries evicted by failure fallout or shortage this event.
+  int evicted = 0;
+  /// Re-planning round results drained while processing this event.
+  int replanned_admitted = 0;
+  int replanned_rejected = 0;
+  /// Wall-clock latency of processing the event end to end.
+  double wall_ms = 0.0;
+
+  std::string ToString(const Catalog& catalog) const;
+};
+
+/// Aggregate counters over the service lifetime.
+struct ServiceStats {
+  int64_t events = 0;
+  int64_t arrivals = 0;
+  int64_t admitted = 0;
+  int64_t rejected = 0;
+  int64_t dedup_hits = 0;
+  int64_t cache_fast_path = 0;
+  int64_t departures = 0;
+  int64_t host_failures = 0;
+  int64_t host_joins = 0;
+  int64_t monitor_reports = 0;
+  int64_t ticks = 0;
+  int64_t evictions = 0;
+  int64_t replan_rounds = 0;
+  int64_t replanned_admitted = 0;
+  int64_t replanned_rejected = 0;
+  double total_wall_ms = 0.0;
+  double max_event_ms = 0.0;
+};
+
+/// The long-running DISSP-side planning loop the paper assumes around
+/// the SQPR planner (§IV): queries arrive and depart over time, hosts
+/// join and fail, and the resource monitor's reports trigger adaptive
+/// re-planning. The service owns the planner, the resource monitor, a
+/// plan-reuse cache and a deterministic event queue driven by an
+/// injectable virtual clock; it updates the committed Deployment
+/// incrementally, event by event.
+///
+/// Event semantics:
+///   kQueryArrival   — admit via cache fast path or reduced MILP solve;
+///   kQueryDeparture — remove + garbage-collect unshared support;
+///   kHostFailure    — zero the host's budgets, evict its fallout and
+///                     queue the evicted queries for re-admission;
+///   kHostJoin       — restore the host's budgets; optionally retry
+///                     recently rejected queries;
+///   kMonitorReport  — §IV-B drift analysis: install measured rates,
+///                     evict while over budget, queue affected queries;
+///   kTick           — drain pending re-planning rounds only.
+/// Every event ends by draining at most
+/// ReplanPolicyOptions::max_rounds_per_event bounded re-admission
+/// rounds, so planning latency per event stays bounded no matter how
+/// large a failure or drift report is.
+class PlanningService {
+ public:
+  /// The service mutates `cluster` (host failure/rejoin) and `catalog`
+  /// (measured-rate installation); both must outlive it.
+  PlanningService(Cluster* cluster, Catalog* catalog, ServiceOptions options);
+
+  /// Schedules an event. Events may be enqueued in any order; they are
+  /// consumed in (timestamp, enqueue order). Rejects events timestamped
+  /// before the virtual clock (already-consumed past).
+  Status Enqueue(Event event);
+
+  bool HasPendingEvents() const { return !queue_.empty(); }
+
+  /// Consumes the next event and returns what happened.
+  Result<EventOutcome> Step();
+
+  /// Drains the queue; outcomes are appended when `outcomes` != nullptr.
+  Status RunUntilIdle(std::vector<EventOutcome>* outcomes = nullptr);
+
+  /// Translates a cluster-simulation report into a monitor-report event
+  /// (base-stream rates + per-host CPU) — the §IV-C loop where DISSP
+  /// hosts sample utilisation and rates and feed the planner.
+  Event MonitorReportFromSim(int64_t time_ms, const SimReport& report) const;
+
+  const SqprPlanner& planner() const { return planner_; }
+  const Deployment& deployment() const { return planner_.deployment(); }
+  const PlanCache& plan_cache() const { return cache_; }
+  const ServiceStats& stats() const { return stats_; }
+  const VirtualClock& clock() const { return clock_; }
+  const std::vector<StreamId>& admitted_queries() const {
+    return planner_.admitted_queries();
+  }
+  bool HostActive(HostId h) const;
+  int pending_replans() const {
+    return static_cast<int>(scheduler_.pending());
+  }
+
+ private:
+  void HandleArrival(const Event& event, EventOutcome* outcome);
+  void HandleDeparture(const Event& event, EventOutcome* outcome);
+  Status HandleHostFailure(const Event& event, EventOutcome* outcome);
+  Status HandleHostJoin(const Event& event, EventOutcome* outcome);
+  Status HandleMonitorReport(const Event& event, EventOutcome* outcome);
+
+  /// Runs up to max_rounds_per_event bounded re-admission rounds.
+  void DrainReplanRounds(EventOutcome* outcome);
+
+  /// Admits one query (cache fast path, then MILP); shared by arrivals
+  /// and re-planning rounds. When `reuse_candidates` is non-null it
+  /// receives the number of materialised proper-subquery hits.
+  Result<PlanningStats> Admit(StreamId query, int* reuse_candidates);
+
+  void RememberRejected(StreamId query);
+
+  Cluster* cluster_;
+  Catalog* catalog_;
+  ServiceOptions options_;
+  SqprPlanner planner_;
+  ResourceMonitor monitor_;
+  PlanCache cache_;
+  ReplanScheduler scheduler_;
+  VirtualClock clock_;
+  EventQueue queue_;
+  ServiceStats stats_;
+
+  /// Set when an event's handling mutated the deployment; the plan
+  /// cache is rebuilt once at the end of Step() rather than after every
+  /// mutation (intra-event lookups may see a snapshot from the event's
+  /// start — safe, because AdmitMaterialized re-checks groundedness and
+  /// SubmitQuery's dedup is authoritative).
+  bool cache_dirty_ = false;
+  /// Saved specs of failed hosts, restored on rejoin.
+  std::map<HostId, HostSpec> failed_hosts_;
+  /// Recently rejected queries (FIFO, bounded), retried after joins.
+  std::deque<StreamId> rejected_recently_;
+};
+
+}  // namespace sqpr
+
+#endif  // SQPR_SERVICE_PLANNING_SERVICE_H_

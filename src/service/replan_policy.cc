@@ -1,0 +1,30 @@
+#include "service/replan_policy.h"
+
+#include <algorithm>
+
+namespace sqpr {
+
+bool ReplanScheduler::Enqueue(StreamId query) {
+  if (!pending_.insert(query).second) return false;
+  fifo_.push_back(query);
+  return true;
+}
+
+void ReplanScheduler::Discard(StreamId query) {
+  if (pending_.erase(query) == 0) return;
+  fifo_.erase(std::find(fifo_.begin(), fifo_.end(), query));
+}
+
+std::vector<StreamId> ReplanScheduler::NextRound() {
+  std::vector<StreamId> round;
+  const int limit = std::max(1, options_.max_queries_per_round);
+  while (!fifo_.empty() && static_cast<int>(round.size()) < limit) {
+    const StreamId q = fifo_.front();
+    fifo_.pop_front();
+    pending_.erase(q);
+    round.push_back(q);
+  }
+  return round;
+}
+
+}  // namespace sqpr

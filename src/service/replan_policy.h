@@ -1,0 +1,59 @@
+#ifndef SQPR_SERVICE_REPLAN_POLICY_H_
+#define SQPR_SERVICE_REPLAN_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "model/ids.h"
+
+namespace sqpr {
+
+/// Bounds on the §IV-B/§IV-C adaptive re-planning work the service is
+/// willing to do per consumed event. The paper re-plans by removing and
+/// re-admitting affected queries; each re-admission is a full reduced
+/// MILP solve, so an unbounded drift report (or a failed host carrying
+/// many queries) could stall the event loop. The policy batches all
+/// pending candidates into rounds of at most `max_queries_per_round`
+/// solves and drains at most `max_rounds_per_event` rounds whenever an
+/// event is processed; the remainder stays queued for later events and
+/// ticks.
+struct ReplanPolicyOptions {
+  int max_queries_per_round = 8;
+  int max_rounds_per_event = 2;
+};
+
+/// Deduplicating FIFO of re-planning candidates. Candidates accumulate
+/// from monitor drift reports, host-failure fallout and (optionally)
+/// rejected-query retries after topology changes; enqueueing an already
+/// pending query is a no-op, so a query implicated by several conditions
+/// in one period is re-planned once (the §IV-B round semantics).
+class ReplanScheduler {
+ public:
+  explicit ReplanScheduler(ReplanPolicyOptions options)
+      : options_(options) {}
+
+  /// Adds a candidate; returns false when it was already pending.
+  bool Enqueue(StreamId query);
+
+  /// Drops a pending candidate (e.g. the query departed while waiting).
+  void Discard(StreamId query);
+
+  /// Pops up to max_queries_per_round candidates in FIFO order.
+  std::vector<StreamId> NextRound();
+
+  bool HasPending() const { return !fifo_.empty(); }
+  size_t pending() const { return fifo_.size(); }
+  const ReplanPolicyOptions& options() const { return options_; }
+
+ private:
+  ReplanPolicyOptions options_;
+  std::deque<StreamId> fifo_;
+  std::set<StreamId> pending_;
+};
+
+}  // namespace sqpr
+
+#endif  // SQPR_SERVICE_REPLAN_POLICY_H_

@@ -1,0 +1,272 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace sqpr {
+namespace {
+
+/// Event kinds weighted for sampling; eligibility is state-dependent.
+enum Kind { kArr, kDep, kFail, kJoin, kDrift, kTick, kKindCount };
+
+}  // namespace
+
+Result<std::vector<Event>> GenerateTrace(const TraceConfig& config,
+                                         const Workload& workload,
+                                         int num_hosts,
+                                         const Catalog& catalog) {
+  if (config.num_events <= 0) {
+    return Status::InvalidArgument("trace needs at least one event");
+  }
+  if (workload.queries.empty()) {
+    return Status::InvalidArgument("workload has no queries");
+  }
+  if (workload.base_streams.empty()) {
+    return Status::InvalidArgument("workload has no base streams");
+  }
+  if (num_hosts < 2 && (config.failure_weight > 0 || config.min_failures > 0)) {
+    return Status::InvalidArgument(
+        "host failures need at least two hosts");
+  }
+
+  Rng rng(config.seed);
+  std::vector<Event> events;
+  events.reserve(config.num_events);
+
+  int64_t now = 0;
+  size_t next_arrival = 0;            // index into workload.queries
+  std::vector<StreamId> active;       // arrived, not yet departed
+  std::set<HostId> failed;
+  int failures = 0, drifts = 0;
+
+  const double weights[kKindCount] = {
+      config.arrival_weight, config.departure_weight, config.failure_weight,
+      config.join_weight,    config.drift_weight,     config.tick_weight,
+  };
+
+  for (int i = 0; i < config.num_events; ++i) {
+    now += 1 + static_cast<int64_t>(
+                   rng.NextBounded(std::max<int64_t>(1, 2 * config.mean_gap_ms)));
+
+    // Eligibility under the current trace state.
+    bool eligible[kKindCount];
+    eligible[kArr] = true;
+    eligible[kDep] = !active.empty();
+    eligible[kFail] =
+        static_cast<int>(failed.size()) + 2 <= num_hosts;  // keep a survivor
+    eligible[kJoin] = !failed.empty();
+    eligible[kDrift] = true;
+    eligible[kTick] = true;
+
+    // Tail enforcement of the failure/drift floors: once the remaining
+    // slots shrink to the outstanding minimums, stop sampling and emit
+    // them. An owed failure reserves two slots: when every remaining
+    // host but one is already down (failure ineligible), a host-join is
+    // emitted first to make the failure possible on the next event.
+    const int remaining = config.num_events - i;
+    const int owed_failures =
+        std::max(0, config.min_failures - failures);
+    const int owed_drifts = std::max(0, config.min_drift_reports - drifts);
+    int kind;
+    if (owed_failures + owed_drifts > 0 &&
+        2 * owed_failures + owed_drifts >= remaining) {
+      if (owed_failures > 0) {
+        // Failure ineligible implies a failed host exists, so the join
+        // is always available as the unblocking move.
+        kind = eligible[kFail] ? kFail : kJoin;
+      } else {
+        kind = kDrift;
+      }
+    } else {
+      double total = 0.0;
+      for (int k = 0; k < kKindCount; ++k) {
+        if (eligible[k] && weights[k] > 0) total += weights[k];
+      }
+      if (total <= 0) {
+        kind = kTick;
+      } else {
+        double draw = rng.NextDouble(0.0, total);
+        kind = kTick;
+        for (int k = 0; k < kKindCount; ++k) {
+          if (!eligible[k] || weights[k] <= 0) continue;
+          draw -= weights[k];
+          if (draw <= 0) {
+            kind = k;
+            break;
+          }
+        }
+      }
+    }
+
+    switch (kind) {
+      case kArr: {
+        const StreamId q =
+            workload.queries[next_arrival++ % workload.queries.size()];
+        events.push_back(Event::Arrival(now, q));
+        active.push_back(q);
+        break;
+      }
+      case kDep: {
+        const size_t pick = rng.NextBounded(active.size());
+        const StreamId q = active[pick];
+        active.erase(active.begin() + static_cast<int64_t>(pick));
+        events.push_back(Event::Departure(now, q));
+        break;
+      }
+      case kFail: {
+        HostId h;
+        do {
+          h = static_cast<HostId>(rng.NextBounded(num_hosts));
+        } while (failed.count(h) > 0);
+        failed.insert(h);
+        ++failures;
+        events.push_back(Event::HostFailure(now, h));
+        break;
+      }
+      case kJoin: {
+        const size_t pick = rng.NextBounded(failed.size());
+        auto it = failed.begin();
+        std::advance(it, static_cast<int64_t>(pick));
+        const HostId h = *it;
+        failed.erase(it);
+        events.push_back(Event::HostJoin(now, h));
+        break;
+      }
+      case kDrift: {
+        std::map<StreamId, double> rates;
+        const int samples =
+            std::max(1, std::min(config.drift_streams_per_report,
+                                 static_cast<int>(workload.base_streams.size())));
+        while (static_cast<int>(rates.size()) < samples) {
+          const StreamId s = workload.base_streams[rng.NextBounded(
+              workload.base_streams.size())];
+          const double scale =
+              rng.NextDouble(config.drift_scale_lo, config.drift_scale_hi);
+          rates[s] = catalog.stream(s).rate_mbps * scale;
+        }
+        ++drifts;
+        events.push_back(Event::MonitorReport(now, std::move(rates)));
+        break;
+      }
+      case kTick:
+      default:
+        events.push_back(Event::Tick(now));
+        break;
+    }
+  }
+  return events;
+}
+
+Status SaveTrace(const std::vector<Event>& events, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot open " + path);
+  out << "# sqpr service trace v1 (" << events.size() << " events)\n";
+  for (const Event& e : events) {
+    out << e.time_ms << ' ';
+    switch (e.kind) {
+      case EventKind::kQueryArrival:
+        out << "arrival " << e.query;
+        break;
+      case EventKind::kQueryDeparture:
+        out << "departure " << e.query;
+        break;
+      case EventKind::kHostFailure:
+        out << "host-failure " << e.host;
+        break;
+      case EventKind::kHostJoin:
+        out << "host-join " << e.host;
+        break;
+      case EventKind::kMonitorReport: {
+        out << "monitor " << e.measured_base_rates.size();
+        char buf[64];
+        for (const auto& [s, rate] : e.measured_base_rates) {
+          std::snprintf(buf, sizeof(buf), " %d %.17g", s, rate);
+          out << buf;
+        }
+        if (!e.cpu_utilization.empty()) {
+          out << " cpu " << e.cpu_utilization.size();
+          for (double u : e.cpu_utilization) {
+            std::snprintf(buf, sizeof(buf), " %.17g", u);
+            out << buf;
+          }
+        }
+        break;
+      }
+      case EventKind::kTick:
+        out << "tick";
+        break;
+    }
+    out << '\n';
+  }
+  return out.good() ? Status::OK()
+                    : Status::Internal("write failed: " + path);
+}
+
+Result<std::vector<Event>> LoadTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::vector<Event> events;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    int64_t t;
+    std::string kind;
+    if (!(ss >> t >> kind)) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": malformed line");
+    }
+    auto bad = [&](const char* what) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": " + what);
+    };
+    if (kind == "arrival" || kind == "departure") {
+      StreamId q;
+      if (!(ss >> q)) return bad("missing stream id");
+      events.push_back(kind == "arrival" ? Event::Arrival(t, q)
+                                         : Event::Departure(t, q));
+    } else if (kind == "host-failure" || kind == "host-join") {
+      HostId h;
+      if (!(ss >> h)) return bad("missing host id");
+      events.push_back(kind == "host-failure" ? Event::HostFailure(t, h)
+                                              : Event::HostJoin(t, h));
+    } else if (kind == "monitor") {
+      size_t n;
+      if (!(ss >> n)) return bad("missing rate count");
+      std::map<StreamId, double> rates;
+      for (size_t i = 0; i < n; ++i) {
+        StreamId s;
+        double rate;
+        if (!(ss >> s >> rate)) return bad("missing rate entry");
+        rates[s] = rate;
+      }
+      std::vector<double> cpu;
+      std::string marker;
+      if (ss >> marker) {
+        if (marker != "cpu") return bad("unexpected trailing token");
+        size_t m;
+        if (!(ss >> m)) return bad("missing cpu count");
+        cpu.resize(m);
+        for (size_t i = 0; i < m; ++i) {
+          if (!(ss >> cpu[i])) return bad("missing cpu entry");
+        }
+      }
+      events.push_back(
+          Event::MonitorReport(t, std::move(rates), std::move(cpu)));
+    } else if (kind == "tick") {
+      events.push_back(Event::Tick(t));
+    } else {
+      return bad("unknown event kind");
+    }
+  }
+  return events;
+}
+
+}  // namespace sqpr

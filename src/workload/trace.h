@@ -1,0 +1,71 @@
+#ifndef SQPR_WORKLOAD_TRACE_H_
+#define SQPR_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "service/event_loop.h"
+#include "workload/generator.h"
+
+namespace sqpr {
+
+/// Parameters of a synthetic service trace: the event mix the continuous
+/// planning loop faces in sustained operation — arrivals and departures
+/// (query churn), host failures and rejoins (topology churn), monitor
+/// drift reports and periodic ticks (§IV-B/§IV-C).
+struct TraceConfig {
+  int num_events = 200;
+  /// Virtual-time gap between consecutive events, drawn uniformly from
+  /// [1, 2 * mean_gap_ms).
+  int64_t mean_gap_ms = 50;
+
+  /// Relative weights of the event kinds. Departures only fire while
+  /// queries are active, joins only while hosts are down, failures only
+  /// while at least two hosts are up (the planner needs a survivor).
+  double arrival_weight = 1.0;
+  double departure_weight = 0.35;
+  double failure_weight = 0.03;
+  double join_weight = 0.06;
+  double drift_weight = 0.05;
+  double tick_weight = 0.10;
+
+  /// Floors enforced by swapping kinds in the tail of the trace, so any
+  /// trace long enough is guaranteed to exercise failure recovery and
+  /// the adaptive loop at least this often.
+  int min_failures = 1;
+  int min_drift_reports = 1;
+
+  /// Measured-rate multiplier range for drift reports (both directions:
+  /// values < 1 free capacity, > 1 trigger shortage eviction).
+  double drift_scale_lo = 0.5;
+  double drift_scale_hi = 2.5;
+  /// Base streams sampled per drift report.
+  int drift_streams_per_report = 2;
+
+  uint64_t seed = 1;
+};
+
+/// Generates a deterministic event trace over an already generated
+/// workload (the arrivals consume `workload.queries` in order, wrapping
+/// around). Requires num_hosts >= 2 when failures are enabled.
+Result<std::vector<Event>> GenerateTrace(const TraceConfig& config,
+                                         const Workload& workload,
+                                         int num_hosts,
+                                         const Catalog& catalog);
+
+/// Human-readable/diffable text serialisation, one event per line:
+///   # comments and blank lines ignored
+///   <t_ms> arrival <stream>
+///   <t_ms> departure <stream>
+///   <t_ms> host-failure <host>
+///   <t_ms> host-join <host>
+///   <t_ms> monitor <n> <stream> <mbps> ... [cpu <m> <u0> ...]
+///   <t_ms> tick
+Status SaveTrace(const std::vector<Event>& events, const std::string& path);
+Result<std::vector<Event>> LoadTrace(const std::string& path);
+
+}  // namespace sqpr
+
+#endif  // SQPR_WORKLOAD_TRACE_H_

@@ -97,6 +97,57 @@ TEST(ResourceMonitorTest, FlagsDriftAndMapsToQueries) {
   EXPECT_TRUE(report.overloaded_hosts.empty());
 }
 
+TEST(ResourceMonitorTest, DeduplicatesQueriesImplicatedByBothConditions) {
+  // A query hit by condition (a) estimate drift AND condition (b)
+  // resource shortage on a host its plan touches must appear in the
+  // re-planning list exactly once — double-listing would re-plan it
+  // twice per round.
+  Catalog catalog(CostModel{});
+  Cluster cluster(1, HostSpec{5.0, 1000.0, 1000.0, ""}, 1000.0);
+  const StreamId a = catalog.AddBaseStream(0, 10.0, "a");
+  const StreamId b = catalog.AddBaseStream(0, 10.0, "b");
+  SqprPlanner planner(&cluster, &catalog, {});
+  const StreamId ab = *catalog.CanonicalJoinStream({a, b});
+  ASSERT_TRUE(planner.SubmitQuery(ab)->admitted);
+
+  ResourceMonitor monitor(&catalog, DriftOptions{});
+  // a drifted 50% high; the single host (which runs ab's plan) is
+  // overloaded at 150% CPU.
+  const DriftReport report =
+      monitor.Analyze({{a, 15.0}}, /*cpu_utilization=*/{1.5},
+                      planner.admitted_queries(), &planner.deployment());
+  ASSERT_EQ(report.drifted_base_streams.size(), 1u);
+  ASSERT_EQ(report.overloaded_hosts.size(), 1u);
+  ASSERT_EQ(report.queries_to_replan.size(), 1u);  // once, not twice
+  EXPECT_EQ(report.queries_to_replan[0], ab);
+}
+
+TEST(ResourceMonitorTest, MapsOverloadedHostsToQueriesWithDeployment) {
+  // With the committed deployment supplied, a pure host shortage (no
+  // rate drift) also surfaces the affected queries.
+  Catalog catalog(CostModel{});
+  Cluster cluster(1, HostSpec{5.0, 1000.0, 1000.0, ""}, 1000.0);
+  const StreamId a = catalog.AddBaseStream(0, 10.0, "a");
+  const StreamId b = catalog.AddBaseStream(0, 10.0, "b");
+  SqprPlanner planner(&cluster, &catalog, {});
+  const StreamId ab = *catalog.CanonicalJoinStream({a, b});
+  ASSERT_TRUE(planner.SubmitQuery(ab)->admitted);
+
+  ResourceMonitor monitor(&catalog, DriftOptions{});
+  const DriftReport report =
+      monitor.Analyze({}, /*cpu_utilization=*/{1.5},
+                      planner.admitted_queries(), &planner.deployment());
+  ASSERT_EQ(report.queries_to_replan.size(), 1u);
+  EXPECT_EQ(report.queries_to_replan[0], ab);
+
+  // Without the deployment the host shortage cannot be mapped here (it
+  // resolves lazily in AdaptiveReplan) — the list stays empty.
+  const DriftReport lazy =
+      monitor.Analyze({}, {1.5}, planner.admitted_queries());
+  EXPECT_TRUE(lazy.queries_to_replan.empty());
+  EXPECT_FALSE(lazy.empty());  // the overloaded host is still reported
+}
+
 TEST(ResourceMonitorTest, FlagsOverloadedHosts) {
   Catalog catalog(CostModel{});
   ResourceMonitor monitor(&catalog, DriftOptions{});

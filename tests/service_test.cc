@@ -1,0 +1,400 @@
+// Tests for the continuous planning service: deterministic event loop,
+// plan-reuse cache, bounded re-planning rounds, host failure/rejoin
+// fallout and the monitor→re-plan round trip (§IV-B/§IV-C).
+
+#include "service/planning_service.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "model/catalog.h"
+#include "model/cluster.h"
+#include "service/event_loop.h"
+#include "service/plan_cache.h"
+#include "service/replan_policy.h"
+#include "sim/cluster_sim.h"
+#include "workload/generator.h"
+#include "workload/trace.h"
+
+namespace sqpr {
+namespace {
+
+// ---- Event queue / virtual clock. ----
+
+TEST(EventQueueTest, PopsInTimestampThenInsertionOrder) {
+  EventQueue queue;
+  queue.Push(Event::Tick(30));
+  queue.Push(Event::Arrival(10, 1));
+  queue.Push(Event::Departure(10, 2));  // same time as the arrival
+  queue.Push(Event::Tick(20));
+
+  EXPECT_EQ(queue.NextTime(), 10);
+  Event first = queue.Pop();
+  EXPECT_EQ(first.kind, EventKind::kQueryArrival);  // inserted before
+  Event second = queue.Pop();
+  EXPECT_EQ(second.kind, EventKind::kQueryDeparture);
+  EXPECT_EQ(queue.Pop().time_ms, 20);
+  EXPECT_EQ(queue.Pop().time_ms, 30);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(VirtualClockTest, NeverMovesBackwards) {
+  VirtualClock clock;
+  clock.AdvanceTo(100);
+  clock.AdvanceTo(50);
+  EXPECT_EQ(clock.now_ms(), 100);
+}
+
+// ---- Re-planning scheduler. ----
+
+TEST(ReplanSchedulerTest, DeduplicatesAndBoundsRounds) {
+  ReplanPolicyOptions options;
+  options.max_queries_per_round = 2;
+  ReplanScheduler scheduler(options);
+  EXPECT_TRUE(scheduler.Enqueue(7));
+  EXPECT_FALSE(scheduler.Enqueue(7));  // already pending
+  EXPECT_TRUE(scheduler.Enqueue(8));
+  EXPECT_TRUE(scheduler.Enqueue(9));
+  EXPECT_EQ(scheduler.pending(), 3u);
+
+  const std::vector<StreamId> round1 = scheduler.NextRound();
+  ASSERT_EQ(round1.size(), 2u);  // bounded
+  EXPECT_EQ(round1[0], 7);       // FIFO
+  EXPECT_EQ(round1[1], 8);
+  // Popped queries can be enqueued again.
+  EXPECT_TRUE(scheduler.Enqueue(7));
+  scheduler.Discard(7);
+  const std::vector<StreamId> round2 = scheduler.NextRound();
+  ASSERT_EQ(round2.size(), 1u);
+  EXPECT_EQ(round2[0], 9);
+  EXPECT_FALSE(scheduler.HasPending());
+}
+
+// ---- Plan cache. ----
+
+TEST(PlanCacheTest, IndexesMaterializedStreamsBySignature) {
+  Catalog catalog(CostModel{});
+  Cluster cluster(2, HostSpec{10.0, 1000.0, 1000.0, ""}, 1000.0);
+  const StreamId a = catalog.AddBaseStream(0, 10.0, "a");
+  const StreamId b = catalog.AddBaseStream(0, 10.0, "b");
+  const StreamId c = catalog.AddBaseStream(1, 10.0, "c");
+  const OperatorId join_ab = *catalog.JoinOperator(a, b);
+  const StreamId ab = catalog.op(join_ab).output;
+  const StreamId abc = *catalog.CanonicalJoinStream({a, b, c});
+
+  Deployment dep(&cluster, &catalog);
+  ASSERT_TRUE(dep.PlaceOperator(0, join_ab).ok());
+
+  PlanCache cache(&catalog);
+  cache.Rebuild(dep);
+
+  PlanCache::Hit hit;
+  ASSERT_TRUE(cache.FindMaterialized(ab, &hit));
+  ASSERT_EQ(hit.hosts.size(), 1u);
+  EXPECT_EQ(hit.hosts[0], 0);
+
+  // Exact hit for ab itself.
+  PlanCache::Lookup exact = cache.OnArrival(ab);
+  EXPECT_TRUE(exact.exact);
+  EXPECT_FALSE(exact.served);
+
+  // abc gets ab as a canonical proper-subquery candidate.
+  PlanCache::Lookup partial = cache.OnArrival(abc);
+  EXPECT_FALSE(partial.exact);
+  ASSERT_EQ(partial.partial.size(), 1u);
+  EXPECT_EQ(partial.partial[0].stream, ab);
+
+  EXPECT_EQ(cache.exact_hits(), 1);
+  EXPECT_EQ(cache.partial_hits(), 1);
+
+  // A flow materialises the stream at the receiving host too.
+  ASSERT_TRUE(dep.AddFlow(0, 1, ab).ok());
+  cache.Rebuild(dep);
+  ASSERT_TRUE(cache.FindMaterialized(ab, &hit));
+  EXPECT_EQ(hit.hosts.size(), 2u);
+}
+
+// ---- Service scaffolding shared by the scenario tests. ----
+
+struct ServiceFixture {
+  ServiceFixture(int hosts, double cpu, int bases,
+                 ServiceOptions options = {})
+      : cluster(hosts, HostSpec{cpu, 500.0, 500.0, ""}, 1000.0),
+        catalog(CostModel{}) {
+    for (int i = 0; i < bases; ++i) {
+      base.push_back(catalog.AddBaseStream(i % hosts, 10.0));
+    }
+    options.planner.timeout_ms = 200;
+    service = std::make_unique<PlanningService>(&cluster, &catalog, options);
+  }
+
+  StreamId Join(std::initializer_list<int> leaves) {
+    std::vector<StreamId> ids;
+    for (int i : leaves) ids.push_back(base[i]);
+    return *catalog.CanonicalJoinStream(std::move(ids));
+  }
+
+  EventOutcome StepOne(Event event) {
+    EXPECT_TRUE(service->Enqueue(event).ok());
+    Result<EventOutcome> outcome = service->Step();
+    EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+    return outcome.ok() ? *outcome : EventOutcome{};
+  }
+
+  Cluster cluster;
+  Catalog catalog;
+  std::vector<StreamId> base;
+  std::unique_ptr<PlanningService> service;
+};
+
+TEST(PlanningServiceTest, ArrivalDepartureLifecycle) {
+  ServiceFixture fx(2, 2.0, 4);
+  const StreamId q = fx.Join({0, 1});
+
+  EventOutcome arrival = fx.StepOne(Event::Arrival(10, q));
+  EXPECT_TRUE(arrival.admitted);
+  EXPECT_FALSE(arrival.already_served);
+  ASSERT_EQ(fx.service->admitted_queries().size(), 1u);
+
+  // Repeat arrival dedups via the cache/planner (free admission).
+  EventOutcome repeat = fx.StepOne(Event::Arrival(20, q));
+  EXPECT_TRUE(repeat.admitted);
+  EXPECT_TRUE(repeat.already_served);
+  EXPECT_EQ(fx.service->stats().dedup_hits, 1);
+  EXPECT_EQ(fx.service->plan_cache().exact_hits(), 1);
+
+  fx.StepOne(Event::Departure(30, q));
+  EXPECT_TRUE(fx.service->admitted_queries().empty());
+  EXPECT_EQ(fx.service->deployment().num_placed_operators(), 0);
+  EXPECT_TRUE(fx.service->deployment().Validate().ok());
+  EXPECT_EQ(fx.service->clock().now_ms(), 30);
+}
+
+TEST(PlanningServiceTest, CacheFastPathServesMaterializedSubquery) {
+  ServiceFixture fx(2, 4.0, 3);
+  const StreamId abc = fx.Join({0, 1, 2});
+  EventOutcome arrival = fx.StepOne(Event::Arrival(1, abc));
+  ASSERT_TRUE(arrival.admitted);
+
+  // The committed 3-way plan materialises exactly one 2-way
+  // intermediate; its arrival needs only a serving arc — no solve.
+  const std::vector<StreamId> subs = {fx.Join({0, 1}), fx.Join({1, 2}),
+                                      fx.Join({0, 2})};
+  int fast = 0, admitted = 0;
+  int64_t t = 2;
+  for (StreamId s : subs) {
+    EventOutcome outcome = fx.StepOne(Event::Arrival(t++, s));
+    fast += outcome.via_cache;
+    admitted += outcome.admitted;
+  }
+  EXPECT_EQ(fast, 1);
+  EXPECT_EQ(fx.service->stats().cache_fast_path, 1);
+  EXPECT_GE(admitted, 1);
+  EXPECT_TRUE(fx.service->deployment().Validate().ok());
+}
+
+TEST(PlanningServiceTest, RejectsEventsBeforeTheVirtualClock) {
+  ServiceFixture fx(2, 2.0, 2);
+  fx.StepOne(Event::Tick(100));
+  EXPECT_FALSE(fx.service->Enqueue(Event::Tick(50)).ok());
+  EXPECT_TRUE(fx.service->Enqueue(Event::Tick(100)).ok());
+}
+
+// Satellite: the §IV-B monitor→re-plan round trip, driven by a
+// SimReport-shaped measurement with a synthetic rate drift.
+TEST(PlanningServiceTest, MonitorReportDriftTriggersReplanAndRevalidates) {
+  ServiceFixture fx(2, 2.0, 4);
+  const StreamId q01 = fx.Join({0, 1});
+  const StreamId q23 = fx.Join({2, 3});
+  ASSERT_TRUE(fx.StepOne(Event::Arrival(1, q01)).admitted);
+  ASSERT_TRUE(fx.StepOne(Event::Arrival(2, q23)).admitted);
+
+  // Synthetic measurement: base[0] runs at half its estimate (a 50%
+  // drift, beyond the 20% threshold); everything else on estimate.
+  SimReport report;
+  report.measured_rate_mbps[fx.base[0]] = 5.0;
+  report.measured_rate_mbps[q01] = 2.5;  // composite: ignored by monitor
+  report.cpu_utilization = {0.4, 0.4};
+
+  const Event event = fx.service->MonitorReportFromSim(10, report);
+  ASSERT_EQ(event.measured_base_rates.size(), 1u);  // composites filtered
+
+  EventOutcome outcome = fx.StepOne(event);
+  // q01 was removed (evicted) and re-admitted within the same event's
+  // bounded rounds; q23 was untouched.
+  EXPECT_EQ(outcome.evicted, 1);
+  EXPECT_GE(outcome.replanned_admitted, 1);
+  EXPECT_DOUBLE_EQ(fx.catalog.stream(fx.base[0]).rate_mbps, 5.0);
+  const auto& admitted = fx.service->admitted_queries();
+  EXPECT_NE(std::find(admitted.begin(), admitted.end(), q01),
+            admitted.end());
+  EXPECT_NE(std::find(admitted.begin(), admitted.end(), q23),
+            admitted.end());
+  // The re-admission went through the planner's validate_commits path;
+  // the final committed state must audit clean under the new rates.
+  EXPECT_TRUE(fx.service->deployment().Validate().ok());
+}
+
+TEST(PlanningServiceTest, RateGrowthEvictsUntilFeasible) {
+  // Near-saturated cluster; a popular base stream triples. The service
+  // must end every event with a valid deployment, shedding queries that
+  // no longer fit.
+  ServiceFixture fx(2, 0.3, 6);
+  int64_t t = 1;
+  int admitted_before = 0;
+  for (int i = 0; i + 1 < 6; ++i) {
+    admitted_before += fx.StepOne(Event::Arrival(t++, fx.Join({i, i + 1})))
+                           .admitted;
+  }
+  ASSERT_GT(admitted_before, 0);
+
+  EventOutcome outcome = fx.StepOne(
+      Event::MonitorReport(t, {{fx.base[1], 30.0}}));
+  EXPECT_GE(outcome.evicted, 1);
+  EXPECT_TRUE(fx.service->deployment().Validate().ok());
+  EXPECT_LE(static_cast<int>(fx.service->admitted_queries().size()),
+            admitted_before);
+}
+
+TEST(PlanningServiceTest, HostFailureEvictsAndRejoinRestores) {
+  ServiceFixture fx(3, 1.0, 6);
+  int64_t t = 1;
+  std::vector<StreamId> queries;
+  for (int i = 0; i + 1 < 6; i += 2) queries.push_back(fx.Join({i, i + 1}));
+  int admitted = 0;
+  for (StreamId q : queries) {
+    admitted += fx.StepOne(Event::Arrival(t++, q)).admitted;
+  }
+  ASSERT_GT(admitted, 0);
+
+  const HostId failed = 1;
+  EventOutcome failure = fx.StepOne(Event::HostFailure(t++, failed));
+  EXPECT_FALSE(fx.service->HostActive(failed));
+  EXPECT_EQ(fx.cluster.host(failed).cpu, 0.0);
+  // Nothing may remain allocated on the dead host, and the survivors
+  // must still validate.
+  EXPECT_TRUE(fx.service->deployment().OperatorsOn(failed).empty());
+  EXPECT_NEAR(fx.service->deployment().NicOutUsed(failed), 0.0, 1e-9);
+  EXPECT_TRUE(fx.service->deployment().Validate().ok());
+  // Fallout was queued and (bounded-round) re-admission attempted.
+  EXPECT_GE(failure.evicted + failure.replanned_admitted +
+                failure.replanned_rejected,
+            0);
+
+  EventOutcome join = fx.StepOne(Event::HostJoin(t++, failed));
+  (void)join;
+  EXPECT_TRUE(fx.service->HostActive(failed));
+  EXPECT_GT(fx.cluster.host(failed).cpu, 0.0);
+  EXPECT_TRUE(fx.service->deployment().Validate().ok());
+}
+
+TEST(PlanningServiceTest, ReplayIsDeterministic) {
+  auto run = [](uint64_t seed) {
+    Cluster cluster(3, HostSpec{0.8, 70.0, 70.0, ""}, 140.0);
+    Catalog catalog(CostModel{});
+    WorkloadConfig wc;
+    wc.num_base_streams = 24;
+    wc.num_queries = 40;
+    wc.seed = seed;
+    Result<Workload> workload = GenerateWorkload(wc, 3, &catalog);
+    EXPECT_TRUE(workload.ok());
+    TraceConfig tc;
+    tc.num_events = 40;
+    tc.seed = seed;
+    Result<std::vector<Event>> trace =
+        GenerateTrace(tc, *workload, 3, catalog);
+    EXPECT_TRUE(trace.ok());
+
+    ServiceOptions options;
+    // Determinism must not depend on machine load: bound the solver by
+    // node count (deterministic) rather than by wall clock.
+    options.planner.timeout_ms = 60000;
+    options.planner.max_nodes = 150;
+    PlanningService service(&cluster, &catalog, options);
+    for (const Event& e : *trace) EXPECT_TRUE(service.Enqueue(e).ok());
+    EXPECT_TRUE(service.RunUntilIdle().ok());
+    EXPECT_TRUE(service.deployment().Validate().ok());
+    std::vector<StreamId> admitted = service.admitted_queries();
+    std::sort(admitted.begin(), admitted.end());
+    return std::make_tuple(admitted, service.stats().admitted,
+                           service.stats().rejected,
+                           service.stats().evictions);
+  };
+  EXPECT_EQ(run(5), run(5));
+}
+
+// ---- Trace generation / serialisation. ----
+
+TEST(TraceTest, GeneratesRequiredEventMixDeterministically) {
+  Catalog catalog(CostModel{});
+  WorkloadConfig wc;
+  wc.num_base_streams = 24;
+  wc.num_queries = 50;
+  Result<Workload> workload = GenerateWorkload(wc, 4, &catalog);
+  ASSERT_TRUE(workload.ok());
+
+  TraceConfig tc;
+  tc.num_events = 200;
+  tc.seed = 9;
+  Result<std::vector<Event>> trace =
+      GenerateTrace(tc, *workload, 4, catalog);
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace->size(), 200u);
+
+  int failures = 0, drifts = 0, arrivals = 0;
+  int64_t last_t = 0;
+  for (const Event& e : *trace) {
+    EXPECT_GT(e.time_ms, last_t);  // strictly increasing virtual time
+    last_t = e.time_ms;
+    failures += e.kind == EventKind::kHostFailure;
+    drifts += e.kind == EventKind::kMonitorReport;
+    arrivals += e.kind == EventKind::kQueryArrival;
+  }
+  EXPECT_GE(failures, tc.min_failures);
+  EXPECT_GE(drifts, tc.min_drift_reports);
+  EXPECT_GT(arrivals, 0);
+
+  // Same seed, same trace.
+  Result<std::vector<Event>> again =
+      GenerateTrace(tc, *workload, 4, catalog);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->size(), trace->size());
+  for (size_t i = 0; i < trace->size(); ++i) {
+    EXPECT_EQ((*again)[i].time_ms, (*trace)[i].time_ms);
+    EXPECT_EQ((*again)[i].kind, (*trace)[i].kind);
+    EXPECT_EQ((*again)[i].query, (*trace)[i].query);
+    EXPECT_EQ((*again)[i].host, (*trace)[i].host);
+  }
+}
+
+TEST(TraceTest, SaveLoadRoundTrip) {
+  std::vector<Event> events;
+  events.push_back(Event::Arrival(10, 3));
+  events.push_back(Event::Departure(20, 3));
+  events.push_back(Event::HostFailure(30, 1));
+  events.push_back(Event::HostJoin(45, 1));
+  events.push_back(
+      Event::MonitorReport(50, {{0, 12.3456789}, {2, 0.25}}, {0.5, 1.25}));
+  events.push_back(Event::Tick(60));
+
+  const std::string path =
+      ::testing::TempDir() + "/sqpr_trace_roundtrip.txt";
+  ASSERT_TRUE(SaveTrace(events, path).ok());
+  Result<std::vector<Event>> loaded = LoadTrace(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].time_ms, events[i].time_ms);
+    EXPECT_EQ((*loaded)[i].kind, events[i].kind);
+    EXPECT_EQ((*loaded)[i].query, events[i].query);
+    EXPECT_EQ((*loaded)[i].host, events[i].host);
+    EXPECT_EQ((*loaded)[i].measured_base_rates,
+              events[i].measured_base_rates);
+    EXPECT_EQ((*loaded)[i].cpu_utilization, events[i].cpu_utilization);
+  }
+}
+
+}  // namespace
+}  // namespace sqpr

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification wrapper: configure, build, and run the full ctest
+# suite — the same sequence CI runs (see .github/workflows/ci.yml).
+#
+# Usage:
+#   tools/run_tier1.sh [build-dir]
+#
+# Environment:
+#   CC / CXX          compiler override (e.g. CC=clang CXX=clang++)
+#   CMAKE_BUILD_TYPE  defaults to RelWithDebInfo
+#   CTEST_PARALLEL    ctest -j value (defaults to nproc)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+build_type="${CMAKE_BUILD_TYPE:-RelWithDebInfo}"
+jobs="${CTEST_PARALLEL:-$(nproc)}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE="${build_type}"
+cmake --build "${build_dir}" -j "${jobs}"
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"

@@ -1,0 +1,277 @@
+// Continuous planning service runner: stands up a synthetic DSPS
+// (cluster + Zipf join workload, the §V setup), generates or loads a
+// timestamped event trace — query arrivals/departures, host
+// failures/rejoins, monitor drift reports, ticks — and replays it
+// through the PlanningService, reporting per-event latency and
+// admission statistics, plan-cache effectiveness and the final
+// committed deployment audit.
+//
+// Examples:
+//   sqpr_service --hosts 6 --events 200 --seed 7
+//   sqpr_service --events 500 --save-trace /tmp/churn.trace --verbose
+//   sqpr_service --trace /tmp/churn.trace
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "model/catalog.h"
+#include "model/cluster.h"
+#include "service/planning_service.h"
+#include "workload/generator.h"
+#include "workload/trace.h"
+
+namespace {
+
+struct Args {
+  int hosts = 6;
+  double cpu = 0.8;
+  double nic_mbps = 70.0;
+  double link_mbps = 140.0;
+  int streams = 48;
+  double rate_mbps = 10.0;
+  int queries = 400;  // arrival pool (reused cyclically by the trace)
+  std::vector<int> arities = {2, 3};
+  double zipf = 1.0;
+  uint64_t seed = 1;
+  int events = 200;
+  int64_t timeout_ms = 150;
+  int replan_round = 8;
+  std::string trace_path;       // load instead of generating
+  std::string save_trace_path;  // write the generated trace
+  bool verbose = false;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: sqpr_service [--hosts N] [--cpu F] [--nic MBPS] [--link MBPS]\n"
+      "  [--streams N] [--rate MBPS] [--queries N] [--arities 2,3,...]\n"
+      "  [--zipf S] [--seed N] [--events N] [--timeout-ms N]\n"
+      "  [--replan-round N] [--trace FILE] [--save-trace FILE] [--verbose]\n");
+}
+
+bool ParseArities(const std::string& text, std::vector<int>* out) {
+  out->clear();
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t next = text.find(',', pos);
+    if (next == std::string::npos) next = text.size();
+    const int k = std::atoi(text.substr(pos, next - pos).c_str());
+    if (k < 2 || k > 12) return false;
+    out->push_back(k);
+    pos = next + 1;
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sqpr;
+
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (flag == "--hosts" && (v = next())) {
+      args.hosts = std::atoi(v);
+    } else if (flag == "--cpu" && (v = next())) {
+      args.cpu = std::atof(v);
+    } else if (flag == "--nic" && (v = next())) {
+      args.nic_mbps = std::atof(v);
+    } else if (flag == "--link" && (v = next())) {
+      args.link_mbps = std::atof(v);
+    } else if (flag == "--streams" && (v = next())) {
+      args.streams = std::atoi(v);
+    } else if (flag == "--rate" && (v = next())) {
+      args.rate_mbps = std::atof(v);
+    } else if (flag == "--queries" && (v = next())) {
+      args.queries = std::atoi(v);
+    } else if (flag == "--arities" && (v = next())) {
+      if (!ParseArities(v, &args.arities)) {
+        Usage();
+        return 2;
+      }
+    } else if (flag == "--zipf" && (v = next())) {
+      args.zipf = std::atof(v);
+    } else if (flag == "--seed" && (v = next())) {
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--events" && (v = next())) {
+      args.events = std::atoi(v);
+    } else if (flag == "--timeout-ms" && (v = next())) {
+      args.timeout_ms = std::atoll(v);
+    } else if (flag == "--replan-round" && (v = next())) {
+      args.replan_round = std::atoi(v);
+    } else if (flag == "--trace" && (v = next())) {
+      args.trace_path = v;
+    } else if (flag == "--save-trace" && (v = next())) {
+      args.save_trace_path = v;
+    } else if (flag == "--verbose") {
+      args.verbose = true;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (args.hosts < 2 || args.streams < 1 || args.queries < 1 ||
+      args.events < 1) {
+    Usage();
+    return 2;
+  }
+
+  Cluster cluster(args.hosts,
+                  HostSpec{args.cpu, args.nic_mbps, args.nic_mbps, ""},
+                  args.link_mbps);
+  Catalog catalog{CostModel{}};
+
+  WorkloadConfig wc;
+  wc.num_base_streams = args.streams;
+  wc.base_rate_mbps = args.rate_mbps;
+  wc.zipf_s = args.zipf;
+  wc.arities = args.arities;
+  wc.num_queries = args.queries;
+  wc.seed = args.seed;
+  Result<Workload> workload = GenerateWorkload(wc, args.hosts, &catalog);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<Event> trace;
+  if (!args.trace_path.empty()) {
+    Result<std::vector<Event>> loaded = LoadTrace(args.trace_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "trace: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    trace = std::move(*loaded);
+  } else {
+    TraceConfig tc;
+    tc.num_events = args.events;
+    tc.seed = args.seed;
+    Result<std::vector<Event>> generated =
+        GenerateTrace(tc, *workload, args.hosts, catalog);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "trace: %s\n",
+                   generated.status().ToString().c_str());
+      return 1;
+    }
+    trace = std::move(*generated);
+  }
+  if (!args.save_trace_path.empty()) {
+    const Status saved = SaveTrace(trace, args.save_trace_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "save-trace: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+  }
+
+  ServiceOptions options;
+  options.planner.timeout_ms = args.timeout_ms;
+  options.replan.max_queries_per_round = args.replan_round;
+  PlanningService service(&cluster, &catalog, options);
+  for (const Event& e : trace) {
+    const Status st = service.Enqueue(e);
+    if (!st.ok()) {
+      std::fprintf(stderr, "enqueue: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf(
+      "scenario: %d hosts (cpu %.2f, nic %.0f, link %.0f), %d base streams "
+      "@ %.0f Mbps, zipf %.1f, seed %llu\n",
+      args.hosts, args.cpu, args.nic_mbps, args.link_mbps, args.streams,
+      args.rate_mbps, args.zipf, static_cast<unsigned long long>(args.seed));
+  std::printf("replaying %zu events through the planning service...\n\n",
+              trace.size());
+
+  // Per-event-kind latency aggregation.
+  double kind_ms[6] = {};
+  double kind_max_ms[6] = {};
+  int64_t kind_count[6] = {};
+  while (service.HasPendingEvents()) {
+    Result<EventOutcome> outcome = service.Step();
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "service: %s\n",
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    const int k = static_cast<int>(outcome->event.kind);
+    kind_ms[k] += outcome->wall_ms;
+    kind_max_ms[k] = std::max(kind_max_ms[k], outcome->wall_ms);
+    ++kind_count[k];
+    if (args.verbose) {
+      std::printf("  %-70s %7.2f ms\n",
+                  outcome->ToString(catalog).c_str(), outcome->wall_ms);
+    }
+  }
+
+  const ServiceStats& stats = service.stats();
+  std::printf("events consumed: %lld in %.1f ms virtual-final t=%lld ms\n",
+              static_cast<long long>(stats.events), stats.total_wall_ms,
+              static_cast<long long>(service.clock().now_ms()));
+  std::printf("\nper-event-kind latency:\n");
+  static const char* kKindNames[] = {"arrival",     "departure",
+                                     "host-join",   "host-failure",
+                                     "monitor",     "tick"};
+  static const EventKind kKinds[] = {
+      EventKind::kQueryArrival, EventKind::kQueryDeparture,
+      EventKind::kHostJoin,     EventKind::kHostFailure,
+      EventKind::kMonitorReport, EventKind::kTick};
+  for (int i = 0; i < 6; ++i) {
+    const int k = static_cast<int>(kKinds[i]);
+    if (kind_count[k] == 0) continue;
+    std::printf("  %-13s %5lld events  avg %7.2f ms  max %7.2f ms\n",
+                kKindNames[i], static_cast<long long>(kind_count[k]),
+                kind_ms[k] / kind_count[k], kind_max_ms[k]);
+  }
+
+  std::printf("\nadmission: %lld arrivals -> %lld admitted "
+              "(%lld dedup, %lld cache fast-path), %lld rejected\n",
+              static_cast<long long>(stats.arrivals),
+              static_cast<long long>(stats.admitted),
+              static_cast<long long>(stats.dedup_hits),
+              static_cast<long long>(stats.cache_fast_path),
+              static_cast<long long>(stats.rejected));
+  std::printf("churn: %lld departures, %lld failures, %lld joins, "
+              "%lld monitor reports\n",
+              static_cast<long long>(stats.departures),
+              static_cast<long long>(stats.host_failures),
+              static_cast<long long>(stats.host_joins),
+              static_cast<long long>(stats.monitor_reports));
+  std::printf("re-planning: %lld evictions, %lld rounds, "
+              "%lld re-admitted, %lld rejected, %d still pending\n",
+              static_cast<long long>(stats.evictions),
+              static_cast<long long>(stats.replan_rounds),
+              static_cast<long long>(stats.replanned_admitted),
+              static_cast<long long>(stats.replanned_rejected),
+              service.pending_replans());
+
+  const PlanCache& cache = service.plan_cache();
+  std::printf("plan cache: %lld exact hits, %lld partial hits, "
+              "%lld misses (%d streams indexed)\n",
+              static_cast<long long>(cache.exact_hits()),
+              static_cast<long long>(cache.partial_hits()),
+              static_cast<long long>(cache.misses()), cache.num_indexed());
+
+  const Deployment& dep = service.deployment();
+  std::printf("\nfinal deployment: %zu queries served, %d operators, "
+              "%d flows\n",
+              service.admitted_queries().size(), dep.num_placed_operators(),
+              dep.num_flows());
+  const Status audit = dep.Validate();
+  std::printf("deployment audit: %s\n", audit.ToString().c_str());
+  if (!audit.ok()) return 1;
+  if (cache.hits() == 0) {
+    std::fprintf(stderr, "warning: no plan-cache hits in this trace\n");
+  }
+  return 0;
+}
