@@ -1,0 +1,73 @@
+#ifndef SQPR_COMMON_TASK_QUEUE_H_
+#define SQPR_COMMON_TASK_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sqpr {
+
+/// Count-down latch (a C++17-compatible stand-in for std::latch). The
+/// planning service pairs one Latch with each round of worker-pool
+/// solves; Wait() establishes the happens-before edge that makes results
+/// written before the matching CountDown() visible to the waiter.
+class Latch {
+ public:
+  explicit Latch(int count) : count_(count < 0 ? 0 : count) {}
+
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  /// Decrements the count; wakes waiters when it reaches zero.
+  /// Decrementing past zero is a no-op.
+  void CountDown();
+
+  /// Blocks until the count reaches zero.
+  void Wait();
+
+  /// Non-blocking probe: true when the count has reached zero.
+  bool TryWait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_;
+};
+
+/// Fixed-size FIFO worker pool for CPU-bound planning work. Tasks are
+/// opaque closures; completion signalling and result ordering are the
+/// caller's business (the planning service pairs each round of solve
+/// tasks with a Latch and commits the results on its own thread in
+/// deterministic order — see docs/ARCHITECTURE.md).
+///
+/// The destructor drains every queued task before joining, so a Latch
+/// counted down by queued tasks always completes.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; runs on some worker thread in FIFO dispatch order.
+  void Submit(std::function<void()> task);
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace sqpr
+
+#endif  // SQPR_COMMON_TASK_QUEUE_H_

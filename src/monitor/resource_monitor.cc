@@ -84,10 +84,10 @@ DriftReport ResourceMonitor::Analyze(
   return report;
 }
 
-Result<std::vector<PlanningStats>> AdaptiveReplan(
-    SqprPlanner* planner, Catalog* catalog,
-    const std::map<StreamId, double>& measured_base_rates,
-    const DriftReport& report) {
+Status RunDriftCycle(SqprPlanner* planner, Catalog* catalog,
+                     const std::map<StreamId, double>& measured_base_rates,
+                     const DriftReport& report,
+                     const std::function<void(StreamId)>& readmit_sink) {
   // 1. Remove the flagged queries ("considering the system without
   //    those queries", §IV-B).
   // RemoveQuery audits the deployment after each removal; while the
@@ -96,16 +96,13 @@ Result<std::vector<PlanningStats>> AdaptiveReplan(
   // fatal here — the removal itself has been applied.
   // Defensive dedup: Analyze already emits a unique list, but a caller-
   // assembled report must not re-plan one query twice per round.
-  std::vector<StreamId> removed;
   std::set<StreamId> seen;
   for (StreamId q : report.queries_to_replan) {
     if (!seen.insert(q).second) continue;
     const Status st = planner->RemoveQuery(q);
-    if (st.ok() || st.IsResourceExhausted()) {
-      removed.push_back(q);
-    } else if (!st.IsNotFound()) {
-      return st;
-    }
+    if (st.IsNotFound()) continue;
+    if (!st.ok() && !st.IsResourceExhausted()) return st;
+    readmit_sink(q);
   }
 
   // 2. Install measured rates; costs of still-committed operators may
@@ -120,7 +117,10 @@ Result<std::vector<PlanningStats>> AdaptiveReplan(
   planner->RefreshAccounting();
 
   // 3. Evict further queries while any budget is over-committed under
-  //    the new rates (§IV-B condition (b)).
+  //    the new rates (§IV-B condition (b)). When no extractable plan
+  //    touches the offending host, the usage is redundant support —
+  //    purge it via EvictHost (which also evicts queries whose serving
+  //    loses groundedness in the purge).
   while (true) {
     const HostId h = FirstOverBudgetHost(planner->deployment(), 1e-6);
     if (h == kInvalidHost) break;
@@ -131,18 +131,36 @@ Result<std::vector<PlanningStats>> AdaptiveReplan(
         break;
       }
     }
-    if (victim == kInvalidStream) {
-      return Status::Internal(
-          "host " + std::to_string(h) +
-          " over budget with no admitted query to evict");
+    if (victim != kInvalidStream) {
+      const Status st = planner->RemoveQuery(victim);
+      if (!st.ok() && !st.IsResourceExhausted() && !st.IsNotFound()) {
+        return st;
+      }
+      readmit_sink(victim);
+      continue;
     }
-    const Status st = planner->RemoveQuery(victim);
-    if (!st.ok() && !st.IsResourceExhausted()) return st;
-    planner->RefreshAccounting();
-    removed.push_back(victim);
+    Result<std::vector<StreamId>> purged = planner->EvictHost(h);
+    if (!purged.ok()) return purged.status();
+    for (StreamId q : *purged) readmit_sink(q);
+    if (FirstOverBudgetHost(planner->deployment(), 1e-6) == h) {
+      return Status::Internal("host " + std::to_string(h) +
+                              " over budget with nothing left to evict");
+    }
   }
+  return Status::OK();
+}
 
-  // 4. Re-admission under the corrected estimates.
+Result<std::vector<PlanningStats>> AdaptiveReplan(
+    SqprPlanner* planner, Catalog* catalog,
+    const std::map<StreamId, double>& measured_base_rates,
+    const DriftReport& report) {
+  // Steps 1–3 via the shared cycle, collecting removals for immediate
+  // re-admission (step 4) under the corrected estimates.
+  std::vector<StreamId> removed;
+  SQPR_RETURN_IF_ERROR(
+      RunDriftCycle(planner, catalog, measured_base_rates, report,
+                    [&removed](StreamId q) { removed.push_back(q); }));
+
   std::vector<PlanningStats> stats;
   stats.reserve(removed.size());
   for (StreamId q : removed) {

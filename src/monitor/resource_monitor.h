@@ -1,6 +1,7 @@
 #ifndef SQPR_MONITOR_RESOURCE_MONITOR_H_
 #define SQPR_MONITOR_RESOURCE_MONITOR_H_
 
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -77,16 +78,35 @@ class ResourceMonitor {
 /// drive shortage-triggered eviction.
 HostId FirstOverBudgetHost(const Deployment& deployment, double tol);
 
-/// Executes the full §IV-B adaptive cycle against a live SQPR planner:
+/// The shared remove+install+evict core of the §IV-B adaptive cycle,
+/// parameterised on the re-admission sink — the ONE implementation both
+/// §IV-B call sites use (AdaptiveReplan re-admits immediately; the
+/// planning service feeds its bounded-round scheduler):
 ///
-///  1. remove the report's re-planning list from the deployment;
+///  1. remove the report's re-planning list (deduplicated) from the
+///     deployment, handing each removed query to `readmit_sink`;
 ///  2. install the measured base rates into the catalog (composite
 ///     rates and operator costs recompute exactly) and refresh the
 ///     deployment's resource ledgers;
-///  3. while the refreshed deployment still over-commits a resource,
-///     evict additional admitted queries touching the offending host;
-///  4. re-admit every removed query through the planner (some may now
-///     be rejected — the correct outcome when rates grew).
+///  3. while the refreshed deployment still over-commits a resource
+///     (§IV-B condition (b)), evict admitted queries touching the
+///     offending host — falling back to an EvictHost purge when only
+///     redundant support, not an extractable plan, pins the host — and
+///     hand those to `readmit_sink` too.
+///
+/// Mid-cycle the ledgers may legitimately over-commit (rates grew under
+/// committed state), so ResourceExhausted from removal audits is
+/// tolerated throughout. The sink is invoked once per removed query, in
+/// removal order; re-admission policy is entirely the caller's.
+Status RunDriftCycle(SqprPlanner* planner, Catalog* catalog,
+                     const std::map<StreamId, double>& measured_base_rates,
+                     const DriftReport& report,
+                     const std::function<void(StreamId)>& readmit_sink);
+
+/// Executes the full §IV-B adaptive cycle against a live SQPR planner:
+/// RunDriftCycle (steps 1–3 above) followed by immediate re-admission of
+/// every removed query through the planner (some may now be rejected —
+/// the correct outcome when rates grew).
 ///
 /// Returns the re-admission stats in removal order.
 Result<std::vector<PlanningStats>> AdaptiveReplan(

@@ -349,4 +349,102 @@ Status Deployment::Validate(double tol) const {
   return Status::OK();
 }
 
+std::string Deployment::Fingerprint() const {
+  std::string out;
+  for (const auto& [s, h] : serving_) {
+    out += "serve " + std::to_string(s) + "@" + std::to_string(h) + "\n";
+  }
+  for (HostId h = 0; h < cluster_->num_hosts(); ++h) {
+    for (OperatorId o : ops_by_host_[h]) {
+      out += "op " + std::to_string(h) + ":" + std::to_string(o) + "\n";
+    }
+  }
+  for (const auto& [s, flows] : flows_by_stream_) {
+    // Flow lists are append-ordered; sort for canonical output.
+    std::vector<std::pair<HostId, HostId>> sorted = flows;
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& [from, to] : sorted) {
+      out += "flow " + std::to_string(from) + ">" + std::to_string(to) + ":" +
+             std::to_string(s) + "\n";
+    }
+  }
+  return out;
+}
+
+DeploymentDelta DiffDeployments(const Deployment& base,
+                                const Deployment& next) {
+  DeploymentDelta delta;
+  const Cluster& cluster = base.cluster();
+  const int num_streams = base.catalog().num_streams();
+
+  for (HostId h = 0; h < cluster.num_hosts(); ++h) {
+    for (OperatorId o : next.OperatorsOn(h)) {
+      if (!base.RunsOperator(h, o)) delta.ops_added.emplace_back(h, o);
+    }
+    for (OperatorId o : base.OperatorsOn(h)) {
+      if (!next.RunsOperator(h, o)) delta.ops_removed.emplace_back(h, o);
+    }
+  }
+
+  for (StreamId s = 0; s < num_streams; ++s) {
+    for (const auto& [from, to] : next.FlowsOf(s)) {
+      if (!base.HasFlow(from, to, s)) {
+        delta.flows_added.emplace_back(from, to, s);
+      }
+    }
+    for (const auto& [from, to] : base.FlowsOf(s)) {
+      if (!next.HasFlow(from, to, s)) {
+        delta.flows_removed.emplace_back(from, to, s);
+      }
+    }
+    const HostId before = base.ServingHost(s);
+    const HostId after = next.ServingHost(s);
+    if (before != after) {
+      delta.serving_changes.push_back({s, before, after});
+    }
+  }
+  return delta;
+}
+
+Status ApplyDeploymentDelta(const DeploymentDelta& delta,
+                            Deployment* deployment) {
+  // Removals first, so freed capacity and slots are available to the
+  // additions below (the delta's source deployment interleaved them).
+  for (const auto& [from, to, s] : delta.flows_removed) {
+    if (!deployment->HasFlow(from, to, s)) continue;  // already gone
+    SQPR_RETURN_IF_ERROR(deployment->RemoveFlow(from, to, s));
+  }
+  for (const auto& [h, o] : delta.ops_removed) {
+    if (!deployment->RunsOperator(h, o)) continue;  // already gone
+    SQPR_RETURN_IF_ERROR(deployment->RemoveOperator(h, o));
+  }
+  for (const DeploymentDelta::ServingChange& change : delta.serving_changes) {
+    const HostId current = deployment->ServingHost(change.stream);
+    // Idempotent: an earlier commit (solved from the same snapshot)
+    // already made this exact move — e.g. two proposals migrating the
+    // same shared-support query identically.
+    if (current == change.after) continue;
+    if (current != change.before) {
+      return Status::FailedPrecondition(
+          "serving of stream " + std::to_string(change.stream) +
+          " changed since the delta was computed");
+    }
+    if (change.before != kInvalidHost) {
+      SQPR_RETURN_IF_ERROR(deployment->ClearServing(change.stream));
+    }
+    if (change.after != kInvalidHost) {
+      SQPR_RETURN_IF_ERROR(deployment->SetServing(change.stream, change.after));
+    }
+  }
+  for (const auto& [h, o] : delta.ops_added) {
+    if (deployment->RunsOperator(h, o)) continue;  // shared with another plan
+    SQPR_RETURN_IF_ERROR(deployment->PlaceOperator(h, o));
+  }
+  for (const auto& [from, to, s] : delta.flows_added) {
+    if (deployment->HasFlow(from, to, s)) continue;  // shared
+    SQPR_RETURN_IF_ERROR(deployment->AddFlow(from, to, s));
+  }
+  return Status::OK();
+}
+
 }  // namespace sqpr

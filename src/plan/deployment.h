@@ -3,6 +3,9 @@
 
 #include <map>
 #include <set>
+#include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -101,6 +104,13 @@ class Deployment {
   int num_flows() const;
   int num_placed_operators() const;
 
+  /// Canonical textual dump of the committed decision variables
+  /// (serving arcs, operator placements, flows) in fixed enumeration
+  /// order. Two deployments over the same catalog/cluster are equal iff
+  /// their fingerprints match — the replay-equality check behind the
+  /// determinism contract (docs/ARCHITECTURE.md).
+  std::string Fingerprint() const;
+
  private:
   const Cluster* cluster_;
   const Catalog* catalog_;
@@ -112,6 +122,53 @@ class Deployment {
   std::vector<double> cpu_used_, mem_used_, nic_out_used_, nic_in_used_;
   std::map<std::pair<HostId, HostId>, double> link_used_;
 };
+
+/// The difference between two deployments over the same cluster and
+/// catalog, expressed as the mutator calls that turn `base` into `next`.
+/// This is the unit of work a speculative (worker-thread) solve hands
+/// back to the event loop: the solve edits a private copy of the
+/// committed state, and the loop thread later re-applies the diff to the
+/// live state — which may have drifted — via ApplyDeploymentDelta.
+struct DeploymentDelta {
+  struct ServingChange {
+    StreamId stream = kInvalidStream;
+    /// kInvalidHost means the stream was unserved before (after).
+    HostId before = kInvalidHost;
+    HostId after = kInvalidHost;
+  };
+
+  std::vector<std::pair<HostId, OperatorId>> ops_added;
+  std::vector<std::pair<HostId, OperatorId>> ops_removed;
+  std::vector<std::tuple<HostId, HostId, StreamId>> flows_added;
+  std::vector<std::tuple<HostId, HostId, StreamId>> flows_removed;
+  std::vector<ServingChange> serving_changes;
+
+  bool empty() const {
+    return ops_added.empty() && ops_removed.empty() && flows_added.empty() &&
+           flows_removed.empty() && serving_changes.empty();
+  }
+};
+
+/// Computes the delta turning `base` into `next`. Both must be built
+/// over the same cluster and catalog. Enumeration order is canonical
+/// (hosts, then streams ascending), so equal inputs yield equal deltas.
+DeploymentDelta DiffDeployments(const Deployment& base,
+                                const Deployment& next);
+
+/// Re-applies a delta to a deployment that may have drifted since the
+/// delta was computed. Additions already present and removals already
+/// gone are skipped (another commit got there first — shared reuse);
+/// a serving change whose `before` no longer matches, or an addition the
+/// mutators reject, returns FailedPrecondition: the delta conflicts with
+/// the drift and the caller should fall back to a fresh solve. On any
+/// error the deployment is left partially modified — apply to a scratch
+/// copy and swap on success (Deployment is a value type).
+///
+/// Note: this re-checks *structural* applicability only; callers must
+/// run Deployment::Validate() afterwards to audit groundedness and
+/// resource budgets before adopting the result.
+Status ApplyDeploymentDelta(const DeploymentDelta& delta,
+                            Deployment* deployment);
 
 }  // namespace sqpr
 

@@ -25,6 +25,17 @@ namespace sqpr {
 ///    used, or the query rejected if none admits it (§IV-C);
 ///  * batched submission with an n-fold timeout (Fig. 4(b));
 ///  * adaptive re-planning by removing and re-adding queries (§IV-B).
+/// A side-effect-free admission solve, produced by ProposeAdmission —
+/// possibly on a worker-pool thread — and applied later, on the thread
+/// owning the planner, by CommitProposal. `delta` is relative to the
+/// committed deployment the proposal was solved against; it is empty
+/// when the solve did not admit the query.
+struct AdmissionProposal {
+  StreamId query = kInvalidStream;
+  PlanningStats stats;
+  DeploymentDelta delta;
+};
+
 class SqprPlanner : public Planner {
  public:
   struct Options {
@@ -102,6 +113,36 @@ class SqprPlanner : public Planner {
   /// Returns one stats entry per query in order.
   Result<std::vector<PlanningStats>> ReplanQueries(
       const std::vector<StreamId>& queries);
+
+  // ---- Speculative solves for the service's worker pool. ----
+  //
+  // Concurrency contract: ProposeAdmission never mutates the planner or
+  // the shared catalog/cluster, so any number of calls may run in
+  // parallel on an *immutable* planner — provided (a) WarmCatalog(query)
+  // was called single-threaded first (it pre-interns every stream and
+  // operator a solve for `query` can touch, making the workers' catalog
+  // accesses pure reads), and (b) nobody mutates the catalog, cluster or
+  // this planner while the calls are in flight. The planning service
+  // enforces both (see docs/ARCHITECTURE.md).
+
+  /// Pre-interns the join closure of `query` (every subset stream and
+  /// binary split operator) so that a subsequent solve for it — MILP
+  /// relevant-set construction and greedy-fallback join-tree enumeration
+  /// alike — performs no catalog writes.
+  Status WarmCatalog(StreamId query);
+
+  /// Solves admission for `query` against a private copy of the
+  /// committed state and returns the stats plus the deployment delta the
+  /// solve would commit, without mutating the planner.
+  Result<AdmissionProposal> ProposeAdmission(StreamId query) const;
+
+  /// Applies a proposal's delta to the committed state. Returns
+  /// FailedPrecondition when the deployment drifted since the proposal
+  /// was solved such that the delta no longer applies cleanly (structural
+  /// conflict, or the merged state fails the §III audit); the caller
+  /// should then fall back to a fresh synchronous solve. A proposal whose
+  /// solve rejected the query commits nothing and reports the rejection.
+  Result<PlanningStats> CommitProposal(const AdmissionProposal& proposal);
 
  private:
   struct RelevantSets {

@@ -32,6 +32,16 @@ std::string EventOutcome::ToString(const Catalog& catalog) const {
   return out;
 }
 
+void ServiceStats::AddSolveSample(double ms) {
+  if (solve_samples_ms.size() < kMaxSolveSamples) {
+    solve_samples_ms.push_back(ms);
+  } else {
+    // solve_ms counts every sample ever recorded; reuse it as the
+    // ring cursor so the window slides deterministically.
+    solve_samples_ms[(solve_ms.count() - 1) % kMaxSolveSamples] = ms;
+  }
+}
+
 PlanningService::PlanningService(Cluster* cluster, Catalog* catalog,
                                  ServiceOptions options)
     : cluster_(cluster),
@@ -42,6 +52,9 @@ PlanningService::PlanningService(Cluster* cluster, Catalog* catalog,
       cache_(catalog),
       scheduler_(options.replan) {
   SQPR_CHECK(cluster != nullptr && catalog != nullptr);
+  if (options_.replan.workers > 0) {
+    pool_ = std::make_unique<ThreadPool>(options_.replan.workers);
+  }
 }
 
 Status PlanningService::Enqueue(Event event) {
@@ -70,6 +83,21 @@ Result<EventOutcome> PlanningService::Step() {
   EventOutcome outcome;
   outcome.event = event;
   ++stats_.events;
+
+  // Handlers below mutate state the worker solves read through shared
+  // pointers — the catalog (rate installation) and the cluster (host
+  // spec swaps) — so they must retire the in-flight round first. This
+  // barrier is also what keeps replays deterministic: rounds commit at
+  // fixed logical points, never "when the solve happens to finish".
+  switch (event.kind) {
+    case EventKind::kHostFailure:
+    case EventKind::kHostJoin:
+    case EventKind::kMonitorReport:
+      CommitInFlightRound(&outcome);
+      break;
+    default:
+      break;
+  }
 
   Status st;
   switch (event.kind) {
@@ -117,14 +145,31 @@ Status PlanningService::RunUntilIdle(std::vector<EventOutcome>* outcomes) {
     if (!outcome.ok()) return outcome.status();
     if (outcomes != nullptr) outcomes->push_back(std::move(*outcome));
   }
+  FinishInFlightRound();
   return Status::OK();
 }
 
+void PlanningService::FinishInFlightRound() {
+  if (!inflight_) return;
+  EventOutcome scratch;  // results land in the aggregate stats_
+  CommitInFlightRound(&scratch);
+  if (options_.use_plan_cache && cache_dirty_) {
+    cache_.Rebuild(deployment());
+    cache_dirty_ = false;
+  }
+}
+
 Result<PlanningStats> PlanningService::Admit(StreamId query,
-                                             int* reuse_candidates) {
+                                             int* reuse_candidates,
+                                             EventOutcome* outcome) {
   if (query < 0 || query >= catalog_->num_streams()) {
     return Status::InvalidArgument("unknown stream " + std::to_string(query));
   }
+
+  // Admission latency is timed in two segments so that retiring an
+  // in-flight round — reported separately as barrier/commit/solve time
+  // — is not misattributed to this admission.
+  Stopwatch watch;
 
   if (options_.use_plan_cache) {
     PlanCache::Lookup lookup = cache_.OnArrival(query);
@@ -135,23 +180,40 @@ Result<PlanningStats> PlanningService::Admit(StreamId query,
       // Materialised but unserved: admission is one serving arc. The
       // planner tries the grounded hosts in order over one availability
       // fixpoint; capacity misses fall through to the solver, which may
-      // still admit by re-routing.
+      // still admit by re-routing. This path only touches the
+      // loop-owned deployment, so it coexists with an in-flight round —
+      // the arrivals-keep-admitting half of the threading model.
       Result<PlanningStats> fast =
           planner_.AdmitMaterialized(query, lookup.exact_hit.hosts);
       if (fast.ok()) {
         cache_dirty_ = true;
+        stats_.admit_ms.Add(watch.ElapsedMillis());
         return fast;
       }
-      if (fast.status().IsInvalidArgument()) return fast.status();
+      if (fast.status().IsInvalidArgument()) {
+        stats_.admit_ms.Add(watch.ElapsedMillis());
+        return fast.status();
+      }
     }
     // Served streams fall through to SubmitQuery's dedup short-circuit,
     // which is authoritative and O(log n).
   }
+  const double pre_barrier_ms = watch.ElapsedMillis();
 
+  // An inline solve interns streams/operators in the shared catalog:
+  // retire the in-flight round before touching it.
+  CommitInFlightRound(outcome);
+
+  watch.Reset();
   Result<PlanningStats> stats = planner_.SubmitQuery(query);
-  if (stats.ok() && stats->admitted && !stats->already_served) {
-    cache_dirty_ = true;
+  if (stats.ok()) {
+    if (!stats->already_served && !stats->via_cache) {
+      stats_.solve_ms.Add(stats->wall_ms);
+      stats_.AddSolveSample(stats->wall_ms);
+    }
+    if (stats->admitted && !stats->already_served) cache_dirty_ = true;
   }
+  stats_.admit_ms.Add(pre_barrier_ms + watch.ElapsedMillis());
   return stats;
 }
 
@@ -171,7 +233,8 @@ void PlanningService::RememberRejected(StreamId query) {
 void PlanningService::HandleArrival(const Event& event,
                                     EventOutcome* outcome) {
   ++stats_.arrivals;
-  Result<PlanningStats> stats = Admit(event.query, &outcome->reuse_candidates);
+  Result<PlanningStats> stats =
+      Admit(event.query, &outcome->reuse_candidates, outcome);
   if (!stats.ok()) {
     SQPR_LOG_WARN << "arrival of query " << event.query
                   << " failed: " << stats.status().ToString();
@@ -198,6 +261,11 @@ void PlanningService::HandleDeparture(const Event& event,
   (void)outcome;
   ++stats_.departures;
   scheduler_.Discard(event.query);
+  if (inflight_ &&
+      std::find(inflight_->queries.begin(), inflight_->queries.end(),
+                event.query) != inflight_->queries.end()) {
+    inflight_discards_.insert(event.query);
+  }
   auto it = std::find(rejected_recently_.begin(), rejected_recently_.end(),
                       event.query);
   if (it != rejected_recently_.end()) rejected_recently_.erase(it);
@@ -273,71 +341,22 @@ Status PlanningService::HandleMonitorReport(const Event& event,
       monitor_.Analyze(event.measured_base_rates, event.cpu_utilization,
                        planner_.admitted_queries(), &deployment());
 
-  // Note: steps 2 and 3 run even when the report flags nothing —
-  // sub-threshold measurements are still installed (matching
+  // Note: the cycle's install step runs even when the report flags
+  // nothing — sub-threshold measurements are still installed (matching
   // AdaptiveReplan), so estimates converge instead of sitting
   // permanently just under the drift threshold.
+  //
+  // The §IV-B remove+install+evict cycle itself is the shared
+  // RunDriftCycle; this call site's re-admission sink is the bounded
+  // scheduler (AdaptiveReplan's is immediate re-admission).
+  SQPR_RETURN_IF_ERROR(RunDriftCycle(
+      &planner_, catalog_, event.measured_base_rates, report,
+      [this, outcome](StreamId q) {
+        scheduler_.Enqueue(q);
+        ++outcome->evicted;
+        ++stats_.evictions;
+      }));
 
-  // §IV-B step 1: remove the affected queries (deduplicated by Analyze)
-  // and queue them for bounded re-admission. Mid-cycle the ledgers may
-  // legitimately over-commit, so ResourceExhausted is tolerated.
-  for (StreamId q : report.queries_to_replan) {
-    const Status st = planner_.RemoveQuery(q);
-    if (st.IsNotFound()) continue;
-    if (!st.ok() && !st.IsResourceExhausted()) return st;
-    scheduler_.Enqueue(q);
-    ++outcome->evicted;
-    ++stats_.evictions;
-  }
-
-  // Step 2: install the measured base rates; composite rates and
-  // operator costs recompute exactly, then the ledgers are rebuilt.
-  for (const auto& [s, rate] : event.measured_base_rates) {
-    if (s >= 0 && s < catalog_->num_streams() &&
-        catalog_->stream(s).is_base && rate > 0 &&
-        std::abs(rate - catalog_->stream(s).rate_mbps) > 1e-12) {
-      SQPR_RETURN_IF_ERROR(catalog_->UpdateBaseRate(s, rate));
-    }
-  }
-  planner_.RefreshAccounting();
-
-  // Step 3: under the corrected costs the committed state may exceed a
-  // budget (§IV-B condition (b)) — evict queries touching the offending
-  // host until every ledger fits again.
-  while (true) {
-    const HostId h = FirstOverBudgetHost(deployment(), 1e-6);
-    if (h == kInvalidHost) break;
-    StreamId victim = kInvalidStream;
-    for (StreamId q : planner_.admitted_queries()) {
-      if (PlanUsesHost(deployment(), q, h)) {
-        victim = q;
-        break;
-      }
-    }
-    if (victim != kInvalidStream) {
-      const Status st = planner_.RemoveQuery(victim);
-      if (!st.ok() && !st.IsResourceExhausted() && !st.IsNotFound()) {
-        return st;
-      }
-      scheduler_.Enqueue(victim);
-      ++outcome->evicted;
-      ++stats_.evictions;
-      continue;
-    }
-    // No extractable plan touches the host: the usage is redundant
-    // support — purge it.
-    Result<std::vector<StreamId>> purged = planner_.EvictHost(h);
-    if (!purged.ok()) return purged.status();
-    for (StreamId q : *purged) {
-      scheduler_.Enqueue(q);
-      ++outcome->evicted;
-      ++stats_.evictions;
-    }
-    if (FirstOverBudgetHost(deployment(), 1e-6) == h) {
-      return Status::Internal("host " + std::to_string(h) +
-                              " over budget with nothing left to evict");
-    }
-  }
   // Rate updates alone do not change groundedness, so the cache only
   // goes stale when queries were actually removed.
   if (outcome->evicted > 0) cache_dirty_ = true;
@@ -345,12 +364,21 @@ Status PlanningService::HandleMonitorReport(const Event& event,
 }
 
 void PlanningService::DrainReplanRounds(EventOutcome* outcome) {
+  if (pool_ != nullptr) {
+    // Async mode: retire the round dispatched during a previous event —
+    // it had that event's entire processing to solve in the background —
+    // then launch the next one, snapshotting the state as of *this*
+    // event's mutations.
+    CommitInFlightRound(outcome);
+    DispatchReplanRound();
+    return;
+  }
   const int max_rounds = std::max(1, options_.replan.max_rounds_per_event);
   for (int round = 0; round < max_rounds && scheduler_.HasPending();
        ++round) {
     ++stats_.replan_rounds;
     for (StreamId q : scheduler_.NextRound()) {
-      Result<PlanningStats> stats = Admit(q, nullptr);
+      Result<PlanningStats> stats = Admit(q, nullptr, outcome);
       if (stats.ok() && stats->admitted) {
         ++outcome->replanned_admitted;
         ++stats_.replanned_admitted;
@@ -361,6 +389,107 @@ void PlanningService::DrainReplanRounds(EventOutcome* outcome) {
       }
     }
   }
+}
+
+void PlanningService::DispatchReplanRound() {
+  if (pool_ == nullptr || inflight_ || !scheduler_.HasPending()) return;
+
+  InFlightRound flight;
+  flight.queries = scheduler_.NextRound();
+  // Pre-intern, on this thread, everything the worker solves can touch
+  // in the shared catalog; the workers' catalog accesses are then pure
+  // reads until the round is committed.
+  for (StreamId q : flight.queries) {
+    const Status warmed = planner_.WarmCatalog(q);
+    if (!warmed.ok()) {
+      SQPR_LOG_WARN << "warming catalog for query " << q
+                    << " failed: " << warmed.ToString();
+    }
+  }
+  flight.snapshot = std::make_shared<const SqprPlanner>(planner_);
+  flight.proposals = std::make_shared<std::vector<Result<AdmissionProposal>>>(
+      flight.queries.size(),
+      Result<AdmissionProposal>(Status::Internal("not solved yet")));
+  flight.latch = std::make_shared<Latch>(
+      static_cast<int>(flight.queries.size()));
+  for (size_t i = 0; i < flight.queries.size(); ++i) {
+    // Tasks capture the shared state by value, never `this`: the pool's
+    // destructor (which drains and joins) is then always safe.
+    pool_->Submit([snapshot = flight.snapshot, proposals = flight.proposals,
+                   latch = flight.latch, i, query = flight.queries[i]] {
+      (*proposals)[i] = snapshot->ProposeAdmission(query);
+      latch->CountDown();
+    });
+  }
+  inflight_ = std::move(flight);
+  inflight_discards_.clear();
+  ++stats_.replan_dispatches;
+}
+
+void PlanningService::CommitInFlightRound(EventOutcome* outcome) {
+  if (!inflight_) return;
+  InFlightRound flight = std::move(*inflight_);
+  inflight_.reset();
+
+  Stopwatch wait;
+  flight.latch->Wait();
+  stats_.barrier_ms.Add(wait.ElapsedMillis());
+
+  ++stats_.replan_rounds;
+  for (size_t i = 0; i < flight.queries.size(); ++i) {
+    const StreamId q = flight.queries[i];
+    const Result<AdmissionProposal>& proposal = (*flight.proposals)[i];
+    if (inflight_discards_.count(q) > 0) continue;  // departed meanwhile
+
+    bool resolved = false;
+    bool admitted = false;
+    bool solve_failed = false;
+    if (proposal.ok()) {
+      stats_.solve_ms.Add(proposal->stats.wall_ms);
+      stats_.AddSolveSample(proposal->stats.wall_ms);
+      Stopwatch commit_watch;
+      Result<PlanningStats> committed = planner_.CommitProposal(*proposal);
+      stats_.commit_ms.Add(commit_watch.ElapsedMillis());
+      if (committed.ok()) {
+        resolved = true;
+        admitted = committed->admitted;
+        if (admitted && !committed->already_served) cache_dirty_ = true;
+      } else if (!committed.status().IsFailedPrecondition()) {
+        // Hard error (malformed input) — mirrors an inline solve error.
+        SQPR_LOG_WARN << "committing proposal for query " << q
+                      << " failed: " << committed.status().ToString();
+        resolved = true;
+        solve_failed = true;
+      }
+      // FailedPrecondition: the deployment drifted under the proposal
+      // (a departure, a cache fast-path admission or an earlier commit
+      // in this round took the capacity or support it assumed). Fall
+      // through to a synchronous re-solve against the live state —
+      // still deterministic, since it depends only on the commit order.
+    } else {
+      SQPR_LOG_WARN << "speculative solve for query " << q
+                    << " failed: " << proposal.status().ToString();
+      resolved = true;
+      solve_failed = true;
+    }
+
+    if (!resolved) {
+      ++stats_.commit_conflicts;
+      Result<PlanningStats> stats = Admit(q, nullptr, outcome);
+      admitted = stats.ok() && stats->admitted;
+      solve_failed = !stats.ok();
+    }
+
+    if (admitted) {
+      ++outcome->replanned_admitted;
+      ++stats_.replanned_admitted;
+    } else {
+      ++outcome->replanned_rejected;
+      ++stats_.replanned_rejected;
+      if (!solve_failed) RememberRejected(q);
+    }
+  }
+  inflight_discards_.clear();
 }
 
 Event PlanningService::MonitorReportFromSim(int64_t time_ms,

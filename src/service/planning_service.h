@@ -4,10 +4,15 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/status.h"
+#include "common/task_queue.h"
 #include "model/catalog.h"
 #include "model/cluster.h"
 #include "monitor/resource_monitor.h"
@@ -73,8 +78,34 @@ struct ServiceStats {
   int64_t replan_rounds = 0;
   int64_t replanned_admitted = 0;
   int64_t replanned_rejected = 0;
+  /// Async (worker-pool) mode only: rounds dispatched to the pool, and
+  /// proposals that no longer applied at commit time and were re-solved
+  /// synchronously on the loop thread.
+  int64_t replan_dispatches = 0;
+  int64_t commit_conflicts = 0;
   double total_wall_ms = 0.0;
   double max_event_ms = 0.0;
+
+  // ---- Per-stage latency, from the loop thread's perspective. ----
+  /// One admission through the cache-then-solve path (arrivals and
+  /// re-planning re-solves), excluding any in-flight-round retirement
+  /// it triggered — that time is reported under barrier/commit/solve.
+  RunningStats admit_ms;
+  /// Individual planner solves: inline arrival/re-planning solves and
+  /// worker-side speculative solves alike.
+  RunningStats solve_ms;
+  /// Applying one worker proposal to the committed state.
+  RunningStats commit_ms;
+  /// Loop-thread blocking waits for an in-flight round to finish.
+  RunningStats barrier_ms;
+  /// Recent solve wall-clock samples (same population as solve_ms),
+  /// kept for percentile reporting in the tools and benches. Bounded:
+  /// once full, the oldest samples are overwritten (sliding window),
+  /// so a long-running service does not grow without limit.
+  static constexpr size_t kMaxSolveSamples = 1 << 16;
+  std::vector<double> solve_samples_ms;
+  /// Appends to solve_samples_ms with the sliding-window bound.
+  void AddSolveSample(double ms);
 };
 
 /// The long-running DISSP-side planning loop the paper assumes around
@@ -99,6 +130,18 @@ struct ServiceStats {
 /// ReplanPolicyOptions::max_rounds_per_event bounded re-admission
 /// rounds, so planning latency per event stays bounded no matter how
 /// large a failure or drift report is.
+///
+/// Threading (ReplanPolicyOptions::workers >= 1): re-planning rounds are
+/// solved speculatively on a worker pool against an immutable snapshot
+/// of the planner while the loop thread keeps consuming events; results
+/// are committed back on the loop thread in FIFO order, with a
+/// synchronous re-solve when a proposal conflicts with state that
+/// changed under it. Commits happen only at deterministic points — the
+/// end of the next Step(), or earlier when an event needs to mutate
+/// state the workers read (monitor reports, host failure/join, inline
+/// arrival solves) — so a replay commits the same deployments regardless
+/// of the worker count. See docs/ARCHITECTURE.md for the full model and
+/// determinism contract.
 class PlanningService {
  public:
   /// The service mutates `cluster` (host failure/rejoin) and `catalog`
@@ -116,7 +159,15 @@ class PlanningService {
   Result<EventOutcome> Step();
 
   /// Drains the queue; outcomes are appended when `outcomes` != nullptr.
+  /// Ends by retiring any in-flight re-planning round (async mode), so
+  /// the returned-to deployment reflects every dispatched solve.
   Status RunUntilIdle(std::vector<EventOutcome>* outcomes = nullptr);
+
+  /// Async mode: waits for and commits the in-flight re-planning round,
+  /// if any (no-op inline or when nothing is in flight). Queued backlog
+  /// beyond the in-flight round stays pending, as in inline mode. Call
+  /// after stepping the service manually to a stopping point.
+  void FinishInFlightRound();
 
   /// Translates a cluster-simulation report into a monitor-report event
   /// (base-stream rates + per-host CPU) — the §IV-C loop where DISSP
@@ -132,24 +183,59 @@ class PlanningService {
     return planner_.admitted_queries();
   }
   bool HostActive(HostId h) const;
+  /// Re-planning candidates not yet resolved: queued in the scheduler
+  /// plus (async mode) solving in the in-flight round.
   int pending_replans() const {
-    return static_cast<int>(scheduler_.pending());
+    return static_cast<int>(scheduler_.pending()) +
+           (inflight_ ? static_cast<int>(inflight_->queries.size()) : 0);
   }
+  /// Worker threads solving re-planning rounds (0 = inline mode).
+  int workers() const { return pool_ ? pool_->num_threads() : 0; }
 
  private:
+  /// One re-planning round solving on the worker pool. Tasks capture
+  /// the shared_ptr state (never `this`), so destruction order is never
+  /// a hazard: the pool joins before anything else is torn down.
+  struct InFlightRound {
+    std::vector<StreamId> queries;
+    /// Immutable copy of the planner the solves run against.
+    std::shared_ptr<const SqprPlanner> snapshot;
+    /// Slot i is written by the task solving queries[i]; the latch's
+    /// CountDown/Wait pair publishes the writes to the loop thread.
+    std::shared_ptr<std::vector<Result<AdmissionProposal>>> proposals;
+    std::shared_ptr<Latch> latch;
+  };
+
   void HandleArrival(const Event& event, EventOutcome* outcome);
   void HandleDeparture(const Event& event, EventOutcome* outcome);
   Status HandleHostFailure(const Event& event, EventOutcome* outcome);
   Status HandleHostJoin(const Event& event, EventOutcome* outcome);
   Status HandleMonitorReport(const Event& event, EventOutcome* outcome);
 
-  /// Runs up to max_rounds_per_event bounded re-admission rounds.
+  /// Runs up to max_rounds_per_event bounded re-admission rounds
+  /// (inline mode), or retires the in-flight round and dispatches the
+  /// next one (async mode).
   void DrainReplanRounds(EventOutcome* outcome);
+
+  /// Async mode: pops the next round off the scheduler, pre-warms the
+  /// catalog for its queries and hands the solves to the worker pool.
+  /// At most one round is in flight at a time.
+  void DispatchReplanRound();
+
+  /// Async mode: blocks until the in-flight round (if any) is solved,
+  /// then commits its proposals in FIFO order on the calling (loop)
+  /// thread; a proposal that no longer applies is re-solved
+  /// synchronously. The barrier every handler that mutates worker-shared
+  /// state (catalog, cluster) must cross first.
+  void CommitInFlightRound(EventOutcome* outcome);
 
   /// Admits one query (cache fast path, then MILP); shared by arrivals
   /// and re-planning rounds. When `reuse_candidates` is non-null it
-  /// receives the number of materialised proper-subquery hits.
-  Result<PlanningStats> Admit(StreamId query, int* reuse_candidates);
+  /// receives the number of materialised proper-subquery hits. Commits
+  /// the in-flight round before any inline solve (`outcome` receives
+  /// that round's results).
+  Result<PlanningStats> Admit(StreamId query, int* reuse_candidates,
+                              EventOutcome* outcome);
 
   void RememberRejected(StreamId query);
 
@@ -174,6 +260,16 @@ class PlanningService {
   std::map<HostId, HostSpec> failed_hosts_;
   /// Recently rejected queries (FIFO, bounded), retried after joins.
   std::deque<StreamId> rejected_recently_;
+
+  /// Async re-planning state (ReplanPolicyOptions::workers >= 1). The
+  /// pool is declared last so it is destroyed — joining its threads —
+  /// before any other member; tasks only capture the shared_ptrs inside
+  /// InFlightRound, never `this`.
+  std::optional<InFlightRound> inflight_;
+  /// In-flight queries that departed after dispatch; their proposals are
+  /// dropped at commit (the async twin of ReplanScheduler::Discard).
+  std::set<StreamId> inflight_discards_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace sqpr

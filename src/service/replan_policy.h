@@ -23,6 +23,16 @@ namespace sqpr {
 struct ReplanPolicyOptions {
   int max_queries_per_round = 8;
   int max_rounds_per_event = 2;
+  /// Worker-pool threads solving re-planning rounds off the event-loop
+  /// thread. 0 (default) keeps the original inline mode: rounds solve
+  /// synchronously on the consuming thread. With workers >= 1 a round's
+  /// queries are solved speculatively against a snapshot of the
+  /// committed state while the loop keeps consuming events (arrivals
+  /// keep admitting via the plan-cache fast path); results are committed
+  /// back on the loop thread in FIFO order at deterministic points, so
+  /// the worker *count* never changes the committed deployments — only
+  /// how fast the round finishes (see docs/ARCHITECTURE.md).
+  int workers = 0;
 };
 
 /// Deduplicating FIFO of re-planning candidates. Candidates accumulate

@@ -262,5 +262,67 @@ TEST(QueryPlanTest, ToStringMentionsHostsAndStreams) {
   EXPECT_NE(text.find("join"), std::string::npos);
 }
 
+// ------------------------------------------------- DeploymentDelta
+
+TEST(DeploymentDeltaTest, DiffThenApplyReproducesTheTarget) {
+  Fixture f;
+  Deployment base(&f.cluster, &f.catalog);
+  ASSERT_TRUE(base.AddFlow(1, 0, f.b).ok());
+
+  Deployment next = base;  // value type: speculative copy
+  ASSERT_TRUE(next.PlaceOperator(0, f.join_ab).ok());
+  ASSERT_TRUE(next.AddFlow(0, 2, f.ab).ok());
+  ASSERT_TRUE(next.SetServing(f.ab, 2).ok());
+  ASSERT_TRUE(next.RemoveFlow(1, 0, f.b).ok());
+  ASSERT_TRUE(next.AddFlow(1, 0, f.b).ok());  // re-added: no net change
+
+  const DeploymentDelta delta = DiffDeployments(base, next);
+  EXPECT_EQ(delta.ops_added.size(), 1u);
+  EXPECT_TRUE(delta.ops_removed.empty());
+  EXPECT_EQ(delta.flows_added.size(), 1u);
+  EXPECT_TRUE(delta.flows_removed.empty());
+  ASSERT_EQ(delta.serving_changes.size(), 1u);
+  EXPECT_EQ(delta.serving_changes[0].stream, f.ab);
+  EXPECT_EQ(delta.serving_changes[0].before, kInvalidHost);
+  EXPECT_EQ(delta.serving_changes[0].after, 2);
+
+  Deployment replay = base;
+  ASSERT_TRUE(ApplyDeploymentDelta(delta, &replay).ok());
+  EXPECT_EQ(replay.Fingerprint(), next.Fingerprint());
+  EXPECT_TRUE(DiffDeployments(base, base).empty());
+}
+
+TEST(DeploymentDeltaTest, ApplySkipsWorkAnotherCommitAlreadyDid) {
+  Fixture f;
+  Deployment base(&f.cluster, &f.catalog);
+  Deployment next = base;
+  ASSERT_TRUE(next.PlaceOperator(0, f.join_ab).ok());
+  const DeploymentDelta delta = DiffDeployments(base, next);
+
+  // A competing commit placed the same operator first: applying the
+  // delta shares it instead of failing.
+  Deployment live = base;
+  ASSERT_TRUE(live.PlaceOperator(0, f.join_ab).ok());
+  ASSERT_TRUE(ApplyDeploymentDelta(delta, &live).ok());
+  EXPECT_EQ(live.Fingerprint(), next.Fingerprint());
+}
+
+TEST(DeploymentDeltaTest, ApplyConflictsWhenServingDrifted) {
+  Fixture f;
+  Deployment base(&f.cluster, &f.catalog);
+  ASSERT_TRUE(base.PlaceOperator(0, f.join_ab).ok());
+  Deployment next = base;
+  ASSERT_TRUE(next.SetServing(f.ab, 0).ok());
+  const DeploymentDelta delta = DiffDeployments(base, next);
+
+  // Meanwhile the live deployment started serving ab elsewhere: the
+  // delta's `before` no longer matches and the apply must refuse.
+  Deployment live = base;
+  ASSERT_TRUE(live.AddFlow(0, 1, f.ab).ok());
+  ASSERT_TRUE(live.SetServing(f.ab, 1).ok());
+  const Status st = ApplyDeploymentDelta(delta, &live);
+  EXPECT_TRUE(st.IsFailedPrecondition()) << st.ToString();
+}
+
 }  // namespace
 }  // namespace sqpr

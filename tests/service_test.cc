@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "model/catalog.h"
@@ -288,6 +291,111 @@ TEST(PlanningServiceTest, HostFailureEvictsAndRejoinRestores) {
   EXPECT_TRUE(fx.service->HostActive(failed));
   EXPECT_GT(fx.cluster.host(failed).cpu, 0.0);
   EXPECT_TRUE(fx.service->deployment().Validate().ok());
+}
+
+// Tentpole: an EvictHost (host failure) arriving while a re-planning
+// round is solving on the worker pool. The service must retire the
+// round (committing or conflict-re-solving its proposals) before the
+// host's budgets are zeroed, honour departures that raced the round,
+// and keep the committed deployment valid throughout — with the same
+// final state for any worker count.
+TEST(PlanningServiceTest, EvictHostWhileRoundInFlightStaysConsistent) {
+  auto run = [](int workers) {
+    ServiceOptions options;
+    options.replan.workers = workers;
+    // Deterministic solver: node-bounded, not wall-clock-bounded.
+    options.planner.timeout_ms = 60000;
+    options.planner.max_nodes = 150;
+    ServiceFixture fx(2, 0.3, 6, options);
+
+    int64_t t = 1;
+    std::vector<StreamId> queries;
+    for (int i = 0; i + 1 < 6; ++i) queries.push_back(fx.Join({i, i + 1}));
+    int admitted = 0;
+    for (StreamId q : queries) {
+      admitted += fx.StepOne(Event::Arrival(t++, q)).admitted;
+    }
+    EXPECT_GT(admitted, 0);
+
+    // A tripled base rate makes the near-saturated cluster shed load:
+    // evictions queue and (async mode) a round goes in flight.
+    EventOutcome drift = fx.StepOne(
+        Event::MonitorReport(t++, {{fx.base[1], 30.0}}));
+    EXPECT_GE(drift.evicted, 1);
+    if (workers > 0) {
+      EXPECT_GT(fx.service->pending_replans(), 0);
+    }
+
+    // While the round solves: a departure races it (its proposal must
+    // be dropped, not committed)...
+    const StreamId departed = queries[0];
+    fx.StepOne(Event::Departure(t++, departed));
+
+    // ...and then a host fails. The failure must retire the round
+    // before zeroing budgets and evicting fallout.
+    fx.StepOne(Event::HostFailure(t++, 1));
+    EXPECT_FALSE(fx.service->HostActive(1));
+    EXPECT_TRUE(fx.service->deployment().OperatorsOn(1).empty());
+    EXPECT_NEAR(fx.service->deployment().NicOutUsed(1), 0.0, 1e-9);
+    EXPECT_TRUE(fx.service->deployment().Validate().ok());
+
+    fx.StepOne(Event::HostJoin(t++, 1));
+    fx.StepOne(Event::Tick(t++));
+    fx.service->FinishInFlightRound();
+
+    EXPECT_TRUE(fx.service->deployment().Validate().ok());
+    const auto& admitted_now = fx.service->admitted_queries();
+    EXPECT_EQ(std::find(admitted_now.begin(), admitted_now.end(), departed),
+              admitted_now.end())
+        << "departed query must not be re-admitted by an in-flight round";
+    return fx.service->deployment().Fingerprint();
+  };
+
+  const std::string one = run(1);
+  const std::string four = run(4);
+  EXPECT_EQ(one, four);
+}
+
+// Tentpole acceptance: replaying one churn trace with 1 and with 4
+// workers commits bit-for-bit identical deployments and admission
+// statistics — the worker count only changes wall-clock, never results.
+TEST(PlanningServiceTest, WorkerCountDoesNotChangeCommittedDeployments) {
+  auto run = [](int workers) {
+    Cluster cluster(3, HostSpec{0.8, 70.0, 70.0, ""}, 140.0);
+    Catalog catalog(CostModel{});
+    WorkloadConfig wc;
+    wc.num_base_streams = 24;
+    wc.num_queries = 40;
+    wc.seed = 17;
+    Result<Workload> workload = GenerateWorkload(wc, 3, &catalog);
+    EXPECT_TRUE(workload.ok());
+    TraceConfig tc;
+    tc.num_events = 60;
+    tc.seed = 17;
+    tc.min_failures = 2;
+    tc.min_drift_reports = 3;
+    Result<std::vector<Event>> trace =
+        GenerateTrace(tc, *workload, 3, catalog);
+    EXPECT_TRUE(trace.ok());
+
+    ServiceOptions options;
+    options.planner.timeout_ms = 60000;
+    options.planner.max_nodes = 150;
+    options.replan.workers = workers;
+    PlanningService service(&cluster, &catalog, options);
+    for (const Event& e : *trace) EXPECT_TRUE(service.Enqueue(e).ok());
+    EXPECT_TRUE(service.RunUntilIdle().ok());
+    EXPECT_TRUE(service.deployment().Validate().ok());
+    const ServiceStats& stats = service.stats();
+    return std::make_tuple(service.deployment().Fingerprint(),
+                           stats.admitted, stats.rejected, stats.evictions,
+                           stats.replanned_admitted, stats.replanned_rejected,
+                           stats.commit_conflicts);
+  };
+  const auto one = run(1);
+  const auto four = run(4);
+  EXPECT_EQ(one, four);
+  EXPECT_GT(std::get<3>(one), 0) << "trace must exercise re-planning";
 }
 
 TEST(PlanningServiceTest, ReplayIsDeterministic) {

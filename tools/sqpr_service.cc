@@ -2,14 +2,16 @@
 // (cluster + Zipf join workload, the §V setup), generates or loads a
 // timestamped event trace — query arrivals/departures, host
 // failures/rejoins, monitor drift reports, ticks — and replays it
-// through the PlanningService, reporting per-event latency and
-// admission statistics, plan-cache effectiveness and the final
-// committed deployment audit.
+// through the PlanningService, reporting per-event and per-stage
+// latency, admission statistics, plan-cache effectiveness and the final
+// committed deployment audit. With --workers N, re-planning rounds
+// solve on a worker pool off the event-loop thread (see
+// docs/ARCHITECTURE.md for the threading model).
 //
 // Examples:
 //   sqpr_service --hosts 6 --events 200 --seed 7
 //   sqpr_service --events 500 --save-trace /tmp/churn.trace --verbose
-//   sqpr_service --trace /tmp/churn.trace
+//   sqpr_service --trace /tmp/churn.trace --workers 4
 
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.h"
 #include "model/catalog.h"
 #include "model/cluster.h"
 #include "service/planning_service.h"
@@ -38,19 +41,57 @@ struct Args {
   uint64_t seed = 1;
   int events = 200;
   int64_t timeout_ms = 150;
+  int64_t max_nodes = 0;  // 0 = keep the planner default
   int replan_round = 8;
+  int workers = 0;
   std::string trace_path;       // load instead of generating
   std::string save_trace_path;  // write the generated trace
   bool verbose = false;
 };
 
-void Usage() {
+void Usage(std::FILE* out) {
   std::fprintf(
-      stderr,
-      "usage: sqpr_service [--hosts N] [--cpu F] [--nic MBPS] [--link MBPS]\n"
-      "  [--streams N] [--rate MBPS] [--queries N] [--arities 2,3,...]\n"
-      "  [--zipf S] [--seed N] [--events N] [--timeout-ms N]\n"
-      "  [--replan-round N] [--trace FILE] [--save-trace FILE] [--verbose]\n");
+      out,
+      "usage: sqpr_service [flags]\n"
+      "\n"
+      "Replays a service event trace (generated or loaded) through the\n"
+      "continuous SQPR planning service and reports latency, admission,\n"
+      "re-planning and plan-cache statistics.\n"
+      "\n"
+      "Scenario flags (synthetic cluster + workload):\n"
+      "  --hosts N        cluster size (default 6, min 2)\n"
+      "  --cpu F          per-host CPU budget in CPU units (default 0.8)\n"
+      "  --nic MBPS       per-host NIC in/out budget (default 70)\n"
+      "  --link MBPS      per-link budget (default 140)\n"
+      "  --streams N      number of base streams (default 48)\n"
+      "  --rate MBPS      base-stream rate estimate (default 10)\n"
+      "  --queries N      arrival pool size, reused cyclically (default 400)\n"
+      "  --arities K,K..  join arities sampled for queries (default 2,3)\n"
+      "  --zipf S         Zipf skew of leaf popularity (default 1.0)\n"
+      "  --seed N         RNG seed for workload AND trace (default 1)\n"
+      "\n"
+      "Trace flags:\n"
+      "  --events N       events to generate (default 200)\n"
+      "  --trace FILE     load a saved trace instead of generating one\n"
+      "  --save-trace FILE\n"
+      "                   write the generated trace to FILE (text format,\n"
+      "                   see src/workload/trace.h)\n"
+      "\n"
+      "Service flags:\n"
+      "  --timeout-ms N   per-query MILP solver deadline (default 150)\n"
+      "  --max-nodes N    branch-and-bound node budget per solve; combine\n"
+      "                   with a large --timeout-ms for bit-for-bit\n"
+      "                   reproducible replays independent of machine\n"
+      "                   load and worker count (0 = planner default)\n"
+      "  --replan-round N max queries re-planned per bounded round\n"
+      "                   (default 8)\n"
+      "  --workers N      worker threads solving re-planning rounds off\n"
+      "                   the event-loop thread; 0 = inline (default 0).\n"
+      "                   The same trace+seed commits identical\n"
+      "                   deployments for any N >= 1 when the solver is\n"
+      "                   node-bounded (see docs/ARCHITECTURE.md)\n"
+      "  --verbose        print every event outcome\n"
+      "  --help           show this message and exit\n");
 }
 
 bool ParseArities(const std::string& text, std::vector<int>* out) {
@@ -79,7 +120,10 @@ int main(int argc, char** argv) {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     const char* v = nullptr;
-    if (flag == "--hosts" && (v = next())) {
+    if (flag == "--help" || flag == "-h") {
+      Usage(stdout);
+      return 0;
+    } else if (flag == "--hosts" && (v = next())) {
       args.hosts = std::atoi(v);
     } else if (flag == "--cpu" && (v = next())) {
       args.cpu = std::atof(v);
@@ -95,7 +139,8 @@ int main(int argc, char** argv) {
       args.queries = std::atoi(v);
     } else if (flag == "--arities" && (v = next())) {
       if (!ParseArities(v, &args.arities)) {
-        Usage();
+        std::fprintf(stderr, "invalid --arities value: %s\n\n", v);
+        Usage(stderr);
         return 2;
       }
     } else if (flag == "--zipf" && (v = next())) {
@@ -106,8 +151,12 @@ int main(int argc, char** argv) {
       args.events = std::atoi(v);
     } else if (flag == "--timeout-ms" && (v = next())) {
       args.timeout_ms = std::atoll(v);
+    } else if (flag == "--max-nodes" && (v = next())) {
+      args.max_nodes = std::atoll(v);
     } else if (flag == "--replan-round" && (v = next())) {
       args.replan_round = std::atoi(v);
+    } else if (flag == "--workers" && (v = next())) {
+      args.workers = std::atoi(v);
     } else if (flag == "--trace" && (v = next())) {
       args.trace_path = v;
     } else if (flag == "--save-trace" && (v = next())) {
@@ -115,13 +164,16 @@ int main(int argc, char** argv) {
     } else if (flag == "--verbose") {
       args.verbose = true;
     } else {
-      Usage();
+      std::fprintf(stderr, "unknown flag (or flag missing its value): %s\n\n",
+                   flag.c_str());
+      Usage(stderr);
       return 2;
     }
   }
   if (args.hosts < 2 || args.streams < 1 || args.queries < 1 ||
-      args.events < 1) {
-    Usage();
+      args.events < 1 || args.workers < 0) {
+    std::fprintf(stderr, "invalid scenario parameters\n\n");
+    Usage(stderr);
     return 2;
   }
 
@@ -175,7 +227,9 @@ int main(int argc, char** argv) {
 
   ServiceOptions options;
   options.planner.timeout_ms = args.timeout_ms;
+  if (args.max_nodes > 0) options.planner.max_nodes = args.max_nodes;
   options.replan.max_queries_per_round = args.replan_round;
+  options.replan.workers = args.workers;
   PlanningService service(&cluster, &catalog, options);
   for (const Event& e : trace) {
     const Status st = service.Enqueue(e);
@@ -187,9 +241,10 @@ int main(int argc, char** argv) {
 
   std::printf(
       "scenario: %d hosts (cpu %.2f, nic %.0f, link %.0f), %d base streams "
-      "@ %.0f Mbps, zipf %.1f, seed %llu\n",
+      "@ %.0f Mbps, zipf %.1f, seed %llu, workers %d\n",
       args.hosts, args.cpu, args.nic_mbps, args.link_mbps, args.streams,
-      args.rate_mbps, args.zipf, static_cast<unsigned long long>(args.seed));
+      args.rate_mbps, args.zipf, static_cast<unsigned long long>(args.seed),
+      args.workers);
   std::printf("replaying %zu events through the planning service...\n\n",
               trace.size());
 
@@ -213,6 +268,7 @@ int main(int argc, char** argv) {
                   outcome->ToString(catalog).c_str(), outcome->wall_ms);
     }
   }
+  service.FinishInFlightRound();
 
   const ServiceStats& stats = service.stats();
   std::printf("events consumed: %lld in %.1f ms virtual-final t=%lld ms\n",
@@ -232,6 +288,25 @@ int main(int argc, char** argv) {
     std::printf("  %-13s %5lld events  avg %7.2f ms  max %7.2f ms\n",
                 kKindNames[i], static_cast<long long>(kind_count[k]),
                 kind_ms[k] / kind_count[k], kind_max_ms[k]);
+  }
+
+  std::printf("\nper-stage latency (loop-thread perspective):\n");
+  const auto print_stage = [](const char* name, const RunningStats& s) {
+    if (s.count() == 0) return;
+    std::printf("  %-14s %6zu samples  avg %7.2f ms  max %7.2f ms\n", name,
+                s.count(), s.mean(), s.max());
+  };
+  print_stage("admit", stats.admit_ms);
+  print_stage("solve", stats.solve_ms);
+  print_stage("commit", stats.commit_ms);
+  print_stage("barrier-wait", stats.barrier_ms);
+  if (!stats.solve_samples_ms.empty()) {
+    std::printf(
+        "  solver wall-time percentiles: p50 %.2f ms  p90 %.2f ms  "
+        "p99 %.2f ms\n",
+        Percentile(stats.solve_samples_ms, 0.50),
+        Percentile(stats.solve_samples_ms, 0.90),
+        Percentile(stats.solve_samples_ms, 0.99));
   }
 
   std::printf("\nadmission: %lld arrivals -> %lld admitted "
@@ -254,6 +329,13 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.replanned_admitted),
               static_cast<long long>(stats.replanned_rejected),
               service.pending_replans());
+  if (args.workers > 0) {
+    std::printf("worker pool: %d workers, %lld rounds dispatched, "
+                "%lld commit conflicts re-solved inline\n",
+                service.workers(),
+                static_cast<long long>(stats.replan_dispatches),
+                static_cast<long long>(stats.commit_conflicts));
+  }
 
   const PlanCache& cache = service.plan_cache();
   std::printf("plan cache: %lld exact hits, %lld partial hits, "
