@@ -19,9 +19,46 @@ const char* OpKindName(OpKind kind) {
   return "unknown";
 }
 
+// ---- ProducerList -----------------------------------------------------
+
+ProducerList::~ProducerList() {
+  Node* node = head_.next.load(std::memory_order_relaxed);
+  while (node != nullptr) {
+    Node* next = node->next.load(std::memory_order_relaxed);
+    delete node;
+    node = next;
+  }
+}
+
+OperatorId ProducerList::operator[](size_t i) const {
+  SQPR_CHECK(i < size()) << "producer index out of range";
+  const Node* node = &head_;
+  while (i >= kChunk) {
+    node = node->next.load(std::memory_order_acquire);
+    i -= kChunk;
+  }
+  return node->ops[i];
+}
+
+void ProducerList::Append(OperatorId op) {
+  const size_t i = size_.load(std::memory_order_relaxed);
+  if (i > 0 && i % kChunk == 0) {
+    Node* node = new Node;
+    tail_->next.store(node, std::memory_order_release);
+    tail_ = node;
+  }
+  tail_->ops[i % kChunk] = op;
+  // Publication point: readers that acquire a size covering slot i also
+  // see the slot's contents (and the chunk link stored above).
+  size_.store(i + 1, std::memory_order_release);
+}
+
+// ---- Catalog ----------------------------------------------------------
+
 StreamId Catalog::AddBaseStream(HostId source_host, double rate_mbps,
                                 std::string name) {
   SQPR_CHECK(rate_mbps > 0) << "base stream needs a positive rate";
+  std::lock_guard<std::mutex> lock(intern_mu_);
   StreamInfo info;
   info.id = static_cast<StreamId>(streams_.size());
   info.is_base = true;
@@ -29,9 +66,10 @@ StreamId Catalog::AddBaseStream(HostId source_host, double rate_mbps,
   info.rate_mbps = rate_mbps;
   info.leaves = {info.id};
   info.name = name.empty() ? "base" + std::to_string(info.id) : std::move(name);
-  streams_.push_back(std::move(info));
-  producers_.emplace_back();
-  return streams_.back().id;
+  const StreamId id = info.id;
+  streams_.Append(std::move(info));
+  producers_.AppendDefault();
+  return id;
 }
 
 double Catalog::SumLeafRates(const std::vector<StreamId>& leaves) const {
@@ -43,7 +81,7 @@ double Catalog::SumLeafRates(const std::vector<StreamId>& leaves) const {
   return total;
 }
 
-StreamId Catalog::InternJoinStream(std::vector<StreamId> sorted_leaves) {
+StreamId Catalog::InternJoinStreamLocked(std::vector<StreamId> sorted_leaves) {
   auto it = join_stream_by_leaves_.find(sorted_leaves);
   if (it != join_stream_by_leaves_.end()) return it->second;
 
@@ -59,11 +97,11 @@ StreamId Catalog::InternJoinStream(std::vector<StreamId> sorted_leaves) {
   }
   info.name += "}";
   info.leaves = sorted_leaves;
-  streams_.push_back(std::move(info));
-  producers_.emplace_back();
-  join_stream_by_leaves_.emplace(std::move(sorted_leaves),
-                                 streams_.back().id);
-  return streams_.back().id;
+  const StreamId id = info.id;
+  streams_.Append(std::move(info));
+  producers_.AppendDefault();
+  join_stream_by_leaves_.emplace(std::move(sorted_leaves), id);
+  return id;
 }
 
 Result<StreamId> Catalog::CanonicalJoinStream(
@@ -76,16 +114,17 @@ Result<StreamId> Catalog::CanonicalJoinStream(
       base_leaves.end()) {
     return Status::InvalidArgument("join leaves must be distinct");
   }
+  std::lock_guard<std::mutex> lock(intern_mu_);
   for (StreamId leaf : base_leaves) {
     if (leaf < 0 || leaf >= num_streams() || !streams_[leaf].is_base) {
       return Status::InvalidArgument("leaf " + std::to_string(leaf) +
                                      " is not a base stream");
     }
   }
-  return InternJoinStream(std::move(base_leaves));
+  return InternJoinStreamLocked(std::move(base_leaves));
 }
 
-Result<OperatorId> Catalog::JoinOperator(StreamId left, StreamId right) {
+Result<OperatorId> Catalog::JoinOperatorLocked(StreamId left, StreamId right) {
   if (left < 0 || left >= num_streams() || right < 0 ||
       right >= num_streams()) {
     return Status::InvalidArgument("unknown join input stream");
@@ -107,7 +146,7 @@ Result<OperatorId> Catalog::JoinOperator(StreamId left, StreamId right) {
   auto it = join_op_by_inputs_.find(inputs);
   if (it != join_op_by_inputs_.end()) return it->second;
 
-  const StreamId output = InternJoinStream(leaves);
+  const StreamId output = InternJoinStreamLocked(leaves);
 
   OperatorInfo op;
   op.id = static_cast<OperatorId>(operators_.size());
@@ -118,10 +157,19 @@ Result<OperatorId> Catalog::JoinOperator(StreamId left, StreamId right) {
                                             streams_[right].rate_mbps);
   op.mem_mb = cost_model_.OperatorMemMb(streams_[left].rate_mbps +
                                         streams_[right].rate_mbps);
-  operators_.push_back(op);
-  producers_[output].push_back(op.id);
-  join_op_by_inputs_.emplace(std::move(inputs), op.id);
-  return op.id;
+  const OperatorId id = op.id;
+  // Publication order matters for lock-free readers: the operator entry
+  // first (so a producer list never names an unpublished operator), then
+  // the producer-list append.
+  operators_.Append(std::move(op));
+  producers_.Mutable(output).Append(id);
+  join_op_by_inputs_.emplace(std::move(inputs), id);
+  return id;
+}
+
+Result<OperatorId> Catalog::JoinOperator(StreamId left, StreamId right) {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  return JoinOperatorLocked(left, right);
 }
 
 Result<OperatorId> Catalog::UnaryOperator(OpKind kind, StreamId input,
@@ -130,18 +178,19 @@ Result<OperatorId> Catalog::UnaryOperator(OpKind kind, StreamId input,
   if (kind == OpKind::kJoin) {
     return Status::InvalidArgument("use JoinOperator for joins");
   }
-  if (input < 0 || input >= num_streams()) {
-    return Status::InvalidArgument("unknown input stream");
-  }
   if (output_rate_fraction <= 0.0 || output_rate_fraction > 1.0) {
     return Status::InvalidArgument("output fraction must be in (0, 1]");
+  }
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  if (input < 0 || input >= num_streams()) {
+    return Status::InvalidArgument("unknown input stream");
   }
   const auto sig = std::make_pair(
       std::make_pair(static_cast<int>(kind), input), tag);
   auto it = unary_stream_by_sig_.find(sig);
   if (it != unary_stream_by_sig_.end()) {
     // The stream (and its unique producer) already exist.
-    const std::vector<OperatorId>& prods = producers_[it->second];
+    const ProducerList& prods = producers_[it->second];
     SQPR_CHECK(!prods.empty());
     return prods.front();
   }
@@ -154,9 +203,10 @@ Result<OperatorId> Catalog::UnaryOperator(OpKind kind, StreamId input,
   out.leaves = in.leaves;
   out.name = std::string(OpKindName(kind)) + std::to_string(tag) + "(" +
              in.name + ")";
-  streams_.push_back(std::move(out));
-  producers_.emplace_back();
-  const StreamId output = streams_.back().id;
+  const StreamId output = out.id;
+  const double in_rate = in.rate_mbps;
+  streams_.Append(std::move(out));
+  producers_.AppendDefault();
   unary_stream_by_sig_.emplace(sig, output);
 
   OperatorInfo op;
@@ -164,15 +214,20 @@ Result<OperatorId> Catalog::UnaryOperator(OpKind kind, StreamId input,
   op.kind = kind;
   op.inputs = {input};
   op.output = output;
-  op.cpu_cost = cost_model_.OperatorCpuCost(in.rate_mbps);
-  op.mem_mb = cost_model_.OperatorMemMb(in.rate_mbps);
+  op.cpu_cost = cost_model_.OperatorCpuCost(in_rate);
+  op.mem_mb = cost_model_.OperatorMemMb(in_rate);
   op.output_rate_fraction = output_rate_fraction;
-  operators_.push_back(op);
-  producers_[output].push_back(op.id);
-  return op.id;
+  const OperatorId id = op.id;
+  operators_.Append(std::move(op));
+  producers_.Mutable(output).Append(id);
+  return id;
 }
 
 Status Catalog::UpdateBaseRate(StreamId base, double new_rate_mbps) {
+  // Exclusive by contract: no concurrent reader or interner (the
+  // planning service quiesces workers before installing measured rates).
+  // The lock still serialises against a stray interner defensively.
+  std::lock_guard<std::mutex> lock(intern_mu_);
   if (base < 0 || base >= num_streams()) {
     return Status::InvalidArgument("unknown stream");
   }
@@ -182,14 +237,14 @@ Status Catalog::UpdateBaseRate(StreamId base, double new_rate_mbps) {
   if (new_rate_mbps <= 0) {
     return Status::InvalidArgument("rate must be positive");
   }
-  streams_[base].rate_mbps = new_rate_mbps;
+  streams_.Mutable(base).rate_mbps = new_rate_mbps;
 
   // Streams are created after their inputs, so one pass in id order
   // refreshes every composite. A composite with a unary producer takes
   // fraction x input rate; otherwise it is a canonical join stream whose
   // rate is a function of its base leaves.
   for (StreamId s = 0; s < num_streams(); ++s) {
-    StreamInfo& info = streams_[s];
+    StreamInfo& info = streams_.Mutable(s);
     if (info.is_base) continue;
     const OperatorInfo* unary = nullptr;
     for (OperatorId o : producers_[s]) {
@@ -206,7 +261,8 @@ Status Catalog::UpdateBaseRate(StreamId base, double new_rate_mbps) {
           cost_model_.JoinOutputRate(info.leaves, SumLeafRates(info.leaves));
     }
   }
-  for (OperatorInfo& op : operators_) {
+  for (OperatorId o = 0; o < num_operators(); ++o) {
+    OperatorInfo& op = operators_.Mutable(o);
     double in_rate = 0.0;
     for (StreamId in : op.inputs) in_rate += streams_[in].rate_mbps;
     op.cpu_cost = cost_model_.OperatorCpuCost(in_rate);
@@ -215,18 +271,18 @@ Status Catalog::UpdateBaseRate(StreamId base, double new_rate_mbps) {
   return Status::OK();
 }
 
-const std::vector<OperatorId>& Catalog::ProducersOf(StreamId s) const {
-  return producers_[s];
+Result<Closure> Catalog::JoinClosure(StreamId stream) {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  return JoinClosureLocked(stream);
 }
 
-Result<Closure> Catalog::JoinClosure(StreamId stream) {
+Result<Closure> Catalog::JoinClosureLocked(StreamId stream) {
   if (stream < 0 || stream >= num_streams()) {
     return Status::InvalidArgument("unknown stream");
   }
   auto cached = closure_cache_.find(stream);
   if (cached != closure_cache_.end()) return cached->second;
 
-  // Copy what we need up front: interning below may reallocate streams_.
   const bool is_base = streams_[stream].is_base;
   const std::vector<StreamId> leaves = streams_[stream].leaves;
   Closure closure;
@@ -241,7 +297,7 @@ Result<Closure> Catalog::JoinClosure(StreamId stream) {
       operators_[producers_[stream].front()].kind != OpKind::kJoin) {
     const OperatorId producer_id = producers_[stream].front();
     const StreamId producer_input = operators_[producer_id].inputs.front();
-    Result<Closure> sub = JoinClosure(producer_input);
+    Result<Closure> sub = JoinClosureLocked(producer_input);
     SQPR_CHECK(sub.ok());
     closure = *sub;
     closure.streams.push_back(stream);
@@ -270,7 +326,7 @@ Result<Closure> Catalog::JoinClosure(StreamId stream) {
     for (int i = 0; i < k; ++i) {
       if (mask & (1u << i)) subset.push_back(leaves[i]);
     }
-    by_mask[mask] = InternJoinStream(subset);  // already sorted
+    by_mask[mask] = InternJoinStreamLocked(subset);  // already sorted
     streams_set.insert(by_mask[mask]);
   }
   for (uint32_t mask = 1; mask < (1u << k); ++mask) {
@@ -280,7 +336,7 @@ Result<Closure> Catalog::JoinClosure(StreamId stream) {
     for (uint32_t sub = (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask) {
       const uint32_t other = mask ^ sub;
       if (sub < other) continue;  // count each unordered split once
-      Result<OperatorId> op = JoinOperator(by_mask[sub], by_mask[other]);
+      Result<OperatorId> op = JoinOperatorLocked(by_mask[sub], by_mask[other]);
       SQPR_CHECK(op.ok()) << op.status().ToString();
       ops_set.insert(*op);
     }

@@ -196,21 +196,20 @@ int Deployment::num_placed_operators() const {
   return count;
 }
 
-std::vector<bool> Deployment::GroundedAvailability() const {
-  const int num_hosts = cluster_->num_hosts();
-  const int num_streams = catalog_->num_streams();
-  std::vector<bool> grounded(
-      static_cast<size_t>(num_hosts) * num_streams, false);
-  auto idx = [num_streams](HostId h, StreamId s) {
-    return static_cast<size_t>(h) * num_streams + s;
-  };
+GroundedMap Deployment::GroundedAvailability() const {
+  GroundedMap grounded;
+  grounded.num_hosts = cluster_->num_hosts();
+  // The single catalog-size read that defines this map's stride.
+  grounded.num_streams = catalog_->num_streams();
+  grounded.bits.assign(
+      static_cast<size_t>(grounded.num_hosts) * grounded.num_streams, false);
 
   // Base streams are grounded at their source hosts.
-  for (StreamId s = 0; s < num_streams; ++s) {
+  for (StreamId s = 0; s < grounded.num_streams; ++s) {
     const StreamInfo& info = catalog_->stream(s);
     if (info.is_base && info.source_host != kInvalidHost &&
-        info.source_host < num_hosts) {
-      grounded[idx(info.source_host, s)] = true;
+        info.source_host < grounded.num_hosts) {
+      grounded.set(info.source_host, s);
     }
   }
 
@@ -220,27 +219,27 @@ std::vector<bool> Deployment::GroundedAvailability() const {
   bool changed = true;
   while (changed) {
     changed = false;
-    for (HostId h = 0; h < num_hosts; ++h) {
+    for (HostId h = 0; h < grounded.num_hosts; ++h) {
       for (OperatorId o : ops_by_host_[h]) {
         const OperatorInfo& op = catalog_->op(o);
-        if (grounded[idx(h, op.output)]) continue;
+        if (grounded.at(h, op.output)) continue;
         bool all_inputs = true;
         for (StreamId in : op.inputs) {
-          if (!grounded[idx(h, in)]) {
+          if (!grounded.at(h, in)) {
             all_inputs = false;
             break;
           }
         }
         if (all_inputs) {
-          grounded[idx(h, op.output)] = true;
+          grounded.set(h, op.output);
           changed = true;
         }
       }
     }
     for (const auto& [s, flows] : flows_by_stream_) {
       for (const auto& [from, to] : flows) {
-        if (grounded[idx(from, s)] && !grounded[idx(to, s)]) {
-          grounded[idx(to, s)] = true;
+        if (grounded.at(from, s) && !grounded.at(to, s)) {
+          grounded.set(to, s);
           changed = true;
         }
       }
@@ -277,18 +276,14 @@ void Deployment::RecomputeAggregates() {
 
 Status Deployment::Validate(double tol) const {
   const int num_hosts = cluster_->num_hosts();
-  const int num_streams = catalog_->num_streams();
-  const std::vector<bool> grounded = GroundedAvailability();
-  auto idx = [num_streams](HostId h, StreamId s) {
-    return static_cast<size_t>(h) * num_streams + s;
-  };
+  const GroundedMap grounded = GroundedAvailability();
 
   // Causality of flows (subsumes acyclicity): a flow must leave a host
   // where the stream is grounded *without counting the flow's own cycle*.
   for (const auto& [s, flows] : flows_by_stream_) {
     for (const auto& [from, to] : flows) {
       (void)to;
-      if (!grounded[idx(from, s)]) {
+      if (!grounded.at(from, s)) {
         return Status::Infeasible("flow of stream " +
                                   catalog_->stream(s).name + " leaves host " +
                                   std::to_string(from) +
@@ -301,7 +296,7 @@ Status Deployment::Validate(double tol) const {
   for (HostId h = 0; h < num_hosts; ++h) {
     for (OperatorId o : ops_by_host_[h]) {
       for (StreamId in : catalog_->op(o).inputs) {
-        if (!grounded[idx(h, in)]) {
+        if (!grounded.at(h, in)) {
           return Status::Infeasible(
               "operator " + std::to_string(o) + " on host " +
               std::to_string(h) + " is missing input " +
@@ -313,7 +308,7 @@ Status Deployment::Validate(double tol) const {
 
   // Served streams must be grounded at their server (III.4a with y).
   for (const auto& [s, h] : serving_) {
-    if (!grounded[idx(h, s)]) {
+    if (!grounded.at(h, s)) {
       return Status::Infeasible("served stream " + catalog_->stream(s).name +
                                 " not grounded at host " + std::to_string(h));
     }

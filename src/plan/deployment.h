@@ -15,6 +15,29 @@
 
 namespace sqpr {
 
+/// A host × stream availability snapshot (the derived y_hs of §III),
+/// carrying its own stream-count stride. The stride matters for thread
+/// safety: worker-thread solves read a shared Catalog that the event
+/// loop may be growing concurrently (speculative arrival interning), so
+/// a consumer must index the bitmap with the catalog size *at build
+/// time*, never with a fresh Catalog::num_streams() read. Streams
+/// interned after the snapshot are trivially not grounded anywhere,
+/// which at() encodes by returning false for out-of-stride ids.
+struct GroundedMap {
+  int num_hosts = 0;
+  /// Catalog stream count when the map was built (the row stride).
+  int num_streams = 0;
+  std::vector<bool> bits;  // num_hosts x num_streams, row-major by host
+
+  bool at(HostId h, StreamId s) const {
+    return s < num_streams &&
+           bits[static_cast<size_t>(h) * num_streams + s];
+  }
+  void set(HostId h, StreamId s) {
+    bits[static_cast<size_t>(h) * num_streams + s] = true;
+  }
+};
+
 /// The global allocation state of the DSPS — the committed values of the
 /// paper's decision variables:
 ///   serving map            d_hs = 1  (host h answers requests for s)
@@ -76,13 +99,14 @@ class Deployment {
   double TotalCpuUsed() const;      // objective O3
   double MaxHostCpuUsed() const;    // objective O4
 
-  /// Least-fixpoint availability: grounded[h * S + s] is true iff stream
-  /// s can causally reach host h through base injection, local operator
+  /// Least-fixpoint availability: at(h, s) is true iff stream s can
+  /// causally reach host h through base injection, local operator
   /// execution (all inputs grounded) or an incoming flow from a host
   /// where s is grounded. Acausal flow cycles are *not* grounded — this
   /// is the semantic content of the paper's acyclicity constraints
-  /// (III.7).
-  std::vector<bool> GroundedAvailability() const;
+  /// (III.7). The catalog size is read once; consumers must index
+  /// through GroundedMap::at (see its comment for why).
+  GroundedMap GroundedAvailability() const;
 
   /// Rebuilds every resource ledger (CPU, memory, NIC, links) from the
   /// committed placements, flows and servings using the catalog's

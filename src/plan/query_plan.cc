@@ -126,14 +126,10 @@ namespace {
 /// validated deployment cannot contain, but extraction is also used on
 /// unvalidated states in tests).
 Result<std::unique_ptr<PlanNode>> BuildNode(
-    const Deployment& dep, const std::vector<bool>& grounded, HostId host,
+    const Deployment& dep, const GroundedMap& grounded, HostId host,
     StreamId stream, std::set<std::pair<HostId, StreamId>>* visiting) {
   const Catalog& catalog = dep.catalog();
-  const int num_streams = catalog.num_streams();
-  auto idx = [num_streams](HostId h, StreamId s) {
-    return static_cast<size_t>(h) * num_streams + s;
-  };
-  if (!grounded[idx(host, stream)]) {
+  if (!grounded.at(host, stream)) {
     return Status::Infeasible("stream " + catalog.stream(stream).name +
                               " not grounded at host " + std::to_string(host));
   }
@@ -164,7 +160,7 @@ Result<std::unique_ptr<PlanNode>> BuildNode(
     if (op.output != stream) continue;
     bool inputs_ok = true;
     for (StreamId in : op.inputs) {
-      if (!grounded[idx(host, in)]) {
+      if (!grounded.at(host, in)) {
         inputs_ok = false;
         break;
       }
@@ -191,7 +187,7 @@ Result<std::unique_ptr<PlanNode>> BuildNode(
   // grounded — a relay arc in the tree.
   for (const auto& [from, to] : dep.FlowsOf(stream)) {
     if (to != host) continue;
-    if (!grounded[idx(from, stream)]) continue;
+    if (!grounded.at(from, stream)) continue;
     auto upstream = BuildNode(dep, grounded, from, stream, visiting);
     if (!upstream.ok()) continue;
     auto node = std::make_unique<PlanNode>();
@@ -214,7 +210,7 @@ Result<QueryPlan> ExtractPlan(const Deployment& deployment, StreamId query) {
   if (server == kInvalidHost) {
     return Status::NotFound("query not served by the deployment");
   }
-  const std::vector<bool> grounded = deployment.GroundedAvailability();
+  const GroundedMap grounded = deployment.GroundedAvailability();
   std::set<std::pair<HostId, StreamId>> visiting;
   auto root = BuildNode(deployment, grounded, server, query, &visiting);
   if (!root.ok()) return root.status();

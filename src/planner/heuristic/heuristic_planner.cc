@@ -40,24 +40,20 @@ double Score(const ObjectiveWeights& weights, const Deployment& dep) {
 /// placement. Returns false when resources run out.
 bool PlaceTreeAt(const Cluster& cluster, const Catalog& catalog,
                  const JoinTree& tree, HostId host,
-                 const std::vector<bool>& grounded,
+                 const GroundedMap& grounded,
                  std::set<StreamId>* local, Deployment* scratch) {
-  const int num_streams = catalog.num_streams();
-  auto idx = [num_streams](HostId h, StreamId s) {
-    return static_cast<size_t>(h) * num_streams + s;
-  };
   const StreamId s = tree.stream;
 
   // Already locally available: from the committed state or made so
   // earlier during this candidate placement.
-  if (grounded[idx(host, s)] || local->count(s) > 0) return true;
+  if (grounded.at(host, s) || local->count(s) > 0) return true;
 
   // Aggressive reuse: fetch the complete sub-query stream from any host
   // that has it, preferring the sender with the most NIC headroom.
   HostId best_sender = kInvalidHost;
   double best_headroom = -1.0;
   for (HostId m = 0; m < cluster.num_hosts(); ++m) {
-    if (m == host || !grounded[idx(m, s)]) continue;
+    if (m == host || !grounded.at(m, s)) continue;
     if (!scratch->CanAddFlow(m, host, s)) continue;
     const double headroom =
         cluster.host(m).nic_out_mbps - scratch->NicOutUsed(m);
@@ -109,7 +105,7 @@ bool GreedyAdmit(const Cluster& cluster, Catalog* catalog, StreamId query,
 
   // Availability snapshot of the committed state; reuse decisions are
   // made against it (streams materialised by previous queries).
-  const std::vector<bool> grounded = deployment->GroundedAvailability();
+  const GroundedMap grounded = deployment->GroundedAvailability();
 
   double best_score = -lp::kInf;
   Deployment best = *deployment;

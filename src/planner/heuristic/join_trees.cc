@@ -68,7 +68,11 @@ Result<std::vector<std::unique_ptr<JoinTree>>> EnumerateJoinTrees(
     out.push_back(Leaf(query));
     return out;
   }
-  // Copy: TreesOver interns streams, which may reallocate the catalog.
+  // Copy for clarity; catalog entries have stable addresses, so the
+  // interning TreesOver does below could not invalidate the reference.
+  // On a warmed query (SqprPlanner::WarmCatalog) every JoinOperator
+  // call here is a canonical-map hit — no new ids, which is what lets
+  // the greedy fallback run on worker threads deterministically.
   const std::vector<StreamId> leaves = catalog->stream(query).leaves;
   if (leaves.size() > 8) {
     return Status::InvalidArgument(
@@ -80,7 +84,7 @@ Result<std::vector<std::unique_ptr<JoinTree>>> EnumerateJoinTrees(
 Result<std::unique_ptr<JoinTree>> LeftDeepTree(StreamId query,
                                                Catalog* catalog) {
   if (catalog->stream(query).is_base) return Leaf(query);
-  // Copy: JoinOperator interning may reallocate the catalog tables.
+  // Copy for clarity (catalog entries have stable addresses).
   const std::vector<StreamId> leaves = catalog->stream(query).leaves;
   SQPR_CHECK(leaves.size() >= 2);
   std::unique_ptr<JoinTree> acc = Leaf(leaves[0]);

@@ -14,20 +14,13 @@ namespace {
 /// state and extended by this attempt's flows and operators.
 struct PlacementContext {
   Deployment scratch;
-  std::vector<bool> avail;  // H * num_streams
-  int num_streams = 0;
+  GroundedMap avail;
 
-  PlacementContext(const Deployment& base, const std::vector<bool>& grounded)
-      : scratch(base),
-        avail(grounded),
-        num_streams(base.catalog().num_streams()) {}
+  PlacementContext(const Deployment& base, const GroundedMap& grounded)
+      : scratch(base), avail(grounded) {}
 
-  bool Available(HostId h, StreamId s) const {
-    return avail[static_cast<size_t>(h) * num_streams + s];
-  }
-  void MarkAvailable(HostId h, StreamId s) {
-    avail[static_cast<size_t>(h) * num_streams + s] = true;
-  }
+  bool Available(HostId h, StreamId s) const { return avail.at(h, s); }
+  void MarkAvailable(HostId h, StreamId s) { avail.set(h, s); }
 };
 
 }  // namespace
@@ -82,7 +75,7 @@ struct ReplayResult {
 
 Result<ReplayResult> Replay(
     const Cluster& cluster, const Catalog& catalog, const Deployment& base,
-    const std::vector<bool>& grounded,
+    const GroundedMap& grounded,
     const std::vector<std::pair<OperatorId, HostId>>& assignment,
     StreamId query) {
   ReplayResult out{PlacementContext(base, grounded), kInvalidHost};
@@ -150,11 +143,10 @@ Result<PlanningStats> SodaPlanner::SubmitQuery(StreamId query) {
   if (!tree.ok()) return tree.status();
   const std::vector<OperatorId> template_ops = BottomUpOperators(**tree);
 
-  const std::vector<bool> grounded = deployment_.GroundedAvailability();
-  const int num_streams = catalog_->num_streams();
+  const GroundedMap grounded = deployment_.GroundedAvailability();
   auto grounded_anywhere = [&](StreamId s) {
     for (HostId h = 0; h < cluster_->num_hosts(); ++h) {
-      if (grounded[static_cast<size_t>(h) * num_streams + s]) return true;
+      if (grounded.at(h, s)) return true;
     }
     return false;
   };

@@ -507,7 +507,6 @@ void SqprMip::Build(const SqprModelOptions& options) {
 }
 
 std::vector<double> SqprMip::WarmStart() const {
-  const Catalog& catalog = base_.catalog();
   std::vector<double> x(mip_.lp.num_variables(), 0.0);
 
   // Committed flows / placements / servings restricted to relevant sets.
@@ -533,11 +532,10 @@ std::vector<double> SqprMip::WarmStart() const {
 
   // Availability from grounded state; pinned y bounds are honoured by
   // construction because pins only arise from supported consumers.
-  const std::vector<bool> grounded = base_.GroundedAvailability();
-  const int num_streams_total = catalog.num_streams();
+  const GroundedMap grounded = base_.GroundedAvailability();
   for (HostId h = 0; h < num_hosts_; ++h) {
     for (StreamId s : streams_) {
-      if (grounded[static_cast<size_t>(h) * num_streams_total + s]) {
+      if (grounded.at(h, s)) {
         const int var = VarY(h, s);
         if (var >= 0) x[var] = 1.0;
       }

@@ -189,11 +189,10 @@ Result<PlanningStats> SqprPlanner::AdmitMaterialized(
     stats.wall_ms = watch.ElapsedMillis();
     return stats;
   }
-  const int num_streams = catalog_->num_streams();
-  const std::vector<bool> grounded = deployment_.GroundedAvailability();
+  const GroundedMap grounded = deployment_.GroundedAvailability();
   bool any_grounded = false;
   for (HostId host : hosts) {
-    if (!grounded[static_cast<size_t>(host) * num_streams + query]) continue;
+    if (!grounded.at(host, query)) continue;
     any_grounded = true;
     if (!deployment_.CanServe(query, host)) continue;
     SQPR_RETURN_IF_ERROR(deployment_.SetServing(query, host));
@@ -257,13 +256,11 @@ Result<std::vector<StreamId>> SqprPlanner::EvictHost(HostId host) {
   // Pass 3: the purge may have been the sole support of a surviving
   // query that extraction happened to route around — evict those too,
   // then GC the now-unsupported residue.
-  const int num_streams = catalog_->num_streams();
-  const std::vector<bool> grounded = deployment_.GroundedAvailability();
+  const GroundedMap grounded = deployment_.GroundedAvailability();
   const std::vector<StreamId> admitted_snapshot = admitted_;
   for (StreamId q : admitted_snapshot) {
     const HostId server = deployment_.ServingHost(q);
-    if (server == kInvalidHost ||
-        !grounded[static_cast<size_t>(server) * num_streams + q]) {
+    if (server == kInvalidHost || !grounded.at(server, q)) {
       const Status st = RemoveQuery(q);
       if (!st.ok() && !st.IsResourceExhausted() && !st.IsNotFound()) {
         return st;
@@ -281,11 +278,7 @@ Result<std::vector<StreamId>> SqprPlanner::EvictHost(HostId host) {
 
 void SqprPlanner::GarbageCollect() {
   const Catalog& catalog = *catalog_;
-  const int num_streams = catalog.num_streams();
-  const std::vector<bool> grounded = deployment_.GroundedAvailability();
-  auto idx = [num_streams](HostId h, StreamId s) {
-    return static_cast<size_t>(h) * num_streams + s;
-  };
+  const GroundedMap grounded = deployment_.GroundedAvailability();
 
   // Mark phase: (host, stream) needs seeded by the served streams; every
   // grounded support of a needed pair is kept (conservative: redundant
@@ -307,7 +300,7 @@ void SqprPlanner::GarbageCollect() {
       if (op.output != s) continue;
       bool ok = true;
       for (StreamId in : op.inputs) {
-        if (!grounded[idx(h, in)]) {
+        if (!grounded.at(h, in)) {
           ok = false;
           break;
         }
@@ -321,7 +314,7 @@ void SqprPlanner::GarbageCollect() {
     }
     // Incoming flows from grounded senders.
     for (const auto& [from, to] : deployment_.FlowsOf(s)) {
-      if (to != h || !grounded[idx(from, s)]) continue;
+      if (to != h || !grounded.at(from, s)) continue;
       if (live_flows.insert({from, to, s}).second) {
         if (needed.insert({from, s}).second) worklist.push_back({from, s});
       }
@@ -339,7 +332,7 @@ void SqprPlanner::GarbageCollect() {
     }
   }
   std::vector<std::tuple<HostId, HostId, StreamId>> dead_flows;
-  for (StreamId s = 0; s < num_streams; ++s) {
+  for (StreamId s = 0; s < grounded.num_streams; ++s) {
     for (const auto& [from, to] : deployment_.FlowsOf(s)) {
       if (live_flows.count({from, to, s}) == 0) {
         dead_flows.emplace_back(from, to, s);

@@ -114,21 +114,30 @@ class SqprPlanner : public Planner {
   Result<std::vector<PlanningStats>> ReplanQueries(
       const std::vector<StreamId>& queries);
 
-  // ---- Speculative solves for the service's worker pool. ----
+  // ---- Speculative solves (worker pool and loop thread alike). ----
   //
   // Concurrency contract: ProposeAdmission never mutates the planner or
   // the shared catalog/cluster, so any number of calls may run in
   // parallel on an *immutable* planner — provided (a) WarmCatalog(query)
-  // was called single-threaded first (it pre-interns every stream and
-  // operator a solve for `query` can touch, making the workers' catalog
-  // accesses pure reads), and (b) nobody mutates the catalog, cluster or
-  // this planner while the calls are in flight. The planning service
-  // enforces both (see docs/ARCHITECTURE.md).
+  // was called first (it pre-interns every stream and operator a solve
+  // for `query` can touch, making the solve's catalog accesses pure
+  // reads — and, since StreamIds are assigned in interning order,
+  // keeping id assignment at a deterministic point instead of at the
+  // workers' mercy), and (b) nobody mutates the cluster or this planner
+  // while the calls are in flight. Catalog *interning* may proceed
+  // concurrently — it is internally synchronised and publishes entries
+  // atomically (the planning service's speculative arrival solves rely
+  // on exactly this) — but Catalog::UpdateBaseRate may not: it rewrites
+  // published entries and requires all solves quiesced. The planning
+  // service enforces all of this (see docs/ARCHITECTURE.md).
 
   /// Pre-interns the join closure of `query` (every subset stream and
   /// binary split operator) so that a subsequent solve for it — MILP
   /// relevant-set construction and greedy-fallback join-tree enumeration
-  /// alike — performs no catalog writes.
+  /// alike — performs no catalog writes. Call on the thread that owns
+  /// event ordering (the service's loop thread): interning is
+  /// thread-safe, but *when* it happens decides StreamId assignment,
+  /// which replay determinism pins to logical points.
   Status WarmCatalog(StreamId query);
 
   /// Solves admission for `query` against a private copy of the

@@ -9,19 +9,17 @@ void PlanCache::Rebuild(const Deployment& deployment) {
   by_signature_.clear();
   served_.clear();
 
-  const int num_hosts = deployment.cluster().num_hosts();
-  const int num_streams = catalog_->num_streams();
-  const std::vector<bool> grounded = deployment.GroundedAvailability();
+  const GroundedMap grounded = deployment.GroundedAvailability();
 
   // Only streams actually produced or carried by committed state can be
   // grounded somewhere, so the signature table stays proportional to the
   // deployment, not the catalog.
-  for (StreamId s = 0; s < num_streams; ++s) {
+  for (StreamId s = 0; s < grounded.num_streams; ++s) {
     const StreamInfo& info = catalog_->stream(s);
     if (info.is_base) continue;  // base reuse is just the injection host
     std::vector<HostId> hosts;
-    for (HostId h = 0; h < num_hosts; ++h) {
-      if (grounded[static_cast<size_t>(h) * num_streams + s]) {
+    for (HostId h = 0; h < grounded.num_hosts; ++h) {
+      if (grounded.at(h, s)) {
         hosts.push_back(h);
       }
     }

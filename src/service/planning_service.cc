@@ -36,10 +36,9 @@ void ServiceStats::AddSolveSample(double ms) {
   if (solve_samples_ms.size() < kMaxSolveSamples) {
     solve_samples_ms.push_back(ms);
   } else {
-    // solve_ms counts every sample ever recorded; reuse it as the
-    // ring cursor so the window slides deterministically.
-    solve_samples_ms[(solve_ms.count() - 1) % kMaxSolveSamples] = ms;
+    solve_samples_ms[solve_sample_cursor] = ms;
   }
+  solve_sample_cursor = (solve_sample_cursor + 1) % kMaxSolveSamples;
 }
 
 PlanningService::PlanningService(Cluster* cluster, Catalog* catalog,
@@ -84,9 +83,11 @@ Result<EventOutcome> PlanningService::Step() {
   outcome.event = event;
   ++stats_.events;
 
-  // Handlers below mutate state the worker solves read through shared
-  // pointers — the catalog (rate installation) and the cluster (host
-  // spec swaps) — so they must retire the in-flight round first. This
+  // Handlers below mutate *published* state the worker solves read
+  // through shared pointers — measured-rate installation rewrites
+  // catalog entries in place, failure/join swaps host specs — so they
+  // must retire the in-flight round first. (Arrivals are exempt: they
+  // only *intern*, which the catalog synchronises internally.) This
   // barrier is also what keeps replays deterministic: rounds commit at
   // fixed logical points, never "when the solve happens to finish".
   switch (event.kind) {
@@ -160,15 +161,11 @@ void PlanningService::FinishInFlightRound() {
 }
 
 Result<PlanningStats> PlanningService::Admit(StreamId query,
-                                             int* reuse_candidates,
-                                             EventOutcome* outcome) {
+                                             int* reuse_candidates) {
   if (query < 0 || query >= catalog_->num_streams()) {
     return Status::InvalidArgument("unknown stream " + std::to_string(query));
   }
 
-  // Admission latency is timed in two segments so that retiring an
-  // in-flight round — reported separately as barrier/commit/solve time
-  // — is not misattributed to this admission.
   Stopwatch watch;
 
   if (options_.use_plan_cache) {
@@ -181,8 +178,7 @@ Result<PlanningStats> PlanningService::Admit(StreamId query,
       // planner tries the grounded hosts in order over one availability
       // fixpoint; capacity misses fall through to the solver, which may
       // still admit by re-routing. This path only touches the
-      // loop-owned deployment, so it coexists with an in-flight round —
-      // the arrivals-keep-admitting half of the threading model.
+      // loop-owned deployment.
       Result<PlanningStats> fast =
           planner_.AdmitMaterialized(query, lookup.exact_hit.hosts);
       if (fast.ok()) {
@@ -195,25 +191,65 @@ Result<PlanningStats> PlanningService::Admit(StreamId query,
         return fast.status();
       }
     }
-    // Served streams fall through to SubmitQuery's dedup short-circuit,
-    // which is authoritative and O(log n).
   }
-  const double pre_barrier_ms = watch.ElapsedMillis();
 
-  // An inline solve interns streams/operators in the shared catalog:
-  // retire the in-flight round before touching it.
-  CommitInFlightRound(outcome);
+  // Authoritative dedup (Algorithm 1 line 3), cheap and before any
+  // speculation: a served stream's repeat arrival must not pay the
+  // planner-copy of a speculative solve (or count as an overlapped
+  // solve) just to discover it was a duplicate.
+  if (deployment().ServingHost(query) != kInvalidHost) {
+    PlanningStats dedup;
+    dedup.admitted = true;
+    dedup.already_served = true;
+    dedup.wall_ms = watch.ElapsedMillis();
+    stats_.admit_ms.Add(dedup.wall_ms);
+    return dedup;
+  }
 
-  watch.Reset();
-  Result<PlanningStats> stats = planner_.SubmitQuery(query);
+  // Cache miss: speculative solve on the loop thread, overlapping any
+  // in-flight re-planning round. WarmCatalog pre-interns the query's
+  // join closure — the only catalog *writes* a solve needs, performed
+  // here on the loop thread so StreamId assignment stays at a
+  // deterministic point (interning itself is thread-safe; workers
+  // reading the catalog concurrently only ever see published entries).
+  // The solve then runs against a private copy of the committed state
+  // and commits its delta immediately; the in-flight round keeps
+  // solving throughout and reconciles at its own commit point (FIFO,
+  // conflicts re-solved).
+  if (inflight_) ++stats_.overlapped_arrival_solves;
+  const Status warmed = planner_.WarmCatalog(query);
+  if (!warmed.ok()) {
+    stats_.admit_ms.Add(watch.ElapsedMillis());
+    return warmed;
+  }
+  Result<AdmissionProposal> proposal = planner_.ProposeAdmission(query);
+  if (!proposal.ok()) {
+    stats_.admit_ms.Add(watch.ElapsedMillis());
+    return proposal.status();
+  }
+
+  Stopwatch commit_watch;
+  double solve_wall_ms = proposal->stats.wall_ms;
+  Result<PlanningStats> stats = planner_.CommitProposal(*proposal);
+  stats_.commit_ms.Add(commit_watch.ElapsedMillis());
+  if (!stats.ok() && stats.status().IsFailedPrecondition()) {
+    // Unreachable today — propose and commit are adjacent on the loop
+    // thread, nothing intervenes — but stay robust (a future pipeline
+    // with several rounds in flight may interleave here): fall back to
+    // a fresh inline solve against the live state, and sample *its*
+    // wall time (the proposal's was thrown away with the proposal).
+    ++stats_.commit_conflicts;
+    stats = planner_.SubmitQuery(query);
+    if (stats.ok()) solve_wall_ms = stats->wall_ms;
+  }
   if (stats.ok()) {
     if (!stats->already_served && !stats->via_cache) {
-      stats_.solve_ms.Add(stats->wall_ms);
-      stats_.AddSolveSample(stats->wall_ms);
+      stats_.solve_ms.Add(solve_wall_ms);
+      stats_.AddSolveSample(solve_wall_ms);
     }
     if (stats->admitted && !stats->already_served) cache_dirty_ = true;
   }
-  stats_.admit_ms.Add(pre_barrier_ms + watch.ElapsedMillis());
+  stats_.admit_ms.Add(watch.ElapsedMillis());
   return stats;
 }
 
@@ -233,8 +269,7 @@ void PlanningService::RememberRejected(StreamId query) {
 void PlanningService::HandleArrival(const Event& event,
                                     EventOutcome* outcome) {
   ++stats_.arrivals;
-  Result<PlanningStats> stats =
-      Admit(event.query, &outcome->reuse_candidates, outcome);
+  Result<PlanningStats> stats = Admit(event.query, &outcome->reuse_candidates);
   if (!stats.ok()) {
     SQPR_LOG_WARN << "arrival of query " << event.query
                   << " failed: " << stats.status().ToString();
@@ -364,41 +399,26 @@ Status PlanningService::HandleMonitorReport(const Event& event,
 }
 
 void PlanningService::DrainReplanRounds(EventOutcome* outcome) {
-  if (pool_ != nullptr) {
-    // Async mode: retire the round dispatched during a previous event —
-    // it had that event's entire processing to solve in the background —
-    // then launch the next one, snapshotting the state as of *this*
-    // event's mutations.
-    CommitInFlightRound(outcome);
-    DispatchReplanRound();
-    return;
-  }
-  const int max_rounds = std::max(1, options_.replan.max_rounds_per_event);
-  for (int round = 0; round < max_rounds && scheduler_.HasPending();
-       ++round) {
-    ++stats_.replan_rounds;
-    for (StreamId q : scheduler_.NextRound()) {
-      Result<PlanningStats> stats = Admit(q, nullptr, outcome);
-      if (stats.ok() && stats->admitted) {
-        ++outcome->replanned_admitted;
-        ++stats_.replanned_admitted;
-      } else {
-        ++outcome->replanned_rejected;
-        ++stats_.replanned_rejected;
-        if (stats.ok()) RememberRejected(q);
-      }
-    }
-  }
+  // Retire the round dispatched during a previous event — with workers
+  // it had that event's entire processing to solve in the background —
+  // then launch the next one against the state as of *this* event's
+  // mutations. Identical for every worker count: with workers == 0 the
+  // dispatch below solves synchronously, producing exactly the
+  // proposals a pool would have computed from a snapshot taken at the
+  // same point.
+  CommitInFlightRound(outcome);
+  DispatchReplanRound();
 }
 
 void PlanningService::DispatchReplanRound() {
-  if (pool_ == nullptr || inflight_ || !scheduler_.HasPending()) return;
+  if (inflight_ || !scheduler_.HasPending()) return;
 
   InFlightRound flight;
   flight.queries = scheduler_.NextRound();
-  // Pre-intern, on this thread, everything the worker solves can touch
-  // in the shared catalog; the workers' catalog accesses are then pure
-  // reads until the round is committed.
+  // Pre-intern, on this thread, everything a solve for these queries
+  // can touch in the shared catalog. This keeps StreamId assignment at
+  // a deterministic point (worker scheduling must never decide intern
+  // order) and makes the round's catalog accesses pure reads.
   for (StreamId q : flight.queries) {
     const Status warmed = planner_.WarmCatalog(q);
     if (!warmed.ok()) {
@@ -406,20 +426,32 @@ void PlanningService::DispatchReplanRound() {
                     << " failed: " << warmed.ToString();
     }
   }
-  flight.snapshot = std::make_shared<const SqprPlanner>(planner_);
   flight.proposals = std::make_shared<std::vector<Result<AdmissionProposal>>>(
       flight.queries.size(),
       Result<AdmissionProposal>(Status::Internal("not solved yet")));
   flight.latch = std::make_shared<Latch>(
       static_cast<int>(flight.queries.size()));
-  for (size_t i = 0; i < flight.queries.size(); ++i) {
-    // Tasks capture the shared state by value, never `this`: the pool's
-    // destructor (which drains and joins) is then always safe.
-    pool_->Submit([snapshot = flight.snapshot, proposals = flight.proposals,
-                   latch = flight.latch, i, query = flight.queries[i]] {
-      (*proposals)[i] = snapshot->ProposeAdmission(query);
-      latch->CountDown();
-    });
+  if (pool_ == nullptr) {
+    // Inline mode: the speculative solves run right here against the
+    // live planner — the same inputs a snapshot taken at this point
+    // would give a worker, so the proposals (and everything downstream
+    // of the shared commit path) are bit-identical across worker
+    // counts.
+    for (size_t i = 0; i < flight.queries.size(); ++i) {
+      (*flight.proposals)[i] = planner_.ProposeAdmission(flight.queries[i]);
+      flight.latch->CountDown();
+    }
+  } else {
+    flight.snapshot = std::make_shared<const SqprPlanner>(planner_);
+    for (size_t i = 0; i < flight.queries.size(); ++i) {
+      // Tasks capture the shared state by value, never `this`: the
+      // pool's destructor (which drains and joins) is then always safe.
+      pool_->Submit([snapshot = flight.snapshot, proposals = flight.proposals,
+                     latch = flight.latch, i, query = flight.queries[i]] {
+        (*proposals)[i] = snapshot->ProposeAdmission(query);
+        latch->CountDown();
+      });
+    }
   }
   inflight_ = std::move(flight);
   inflight_discards_.clear();
@@ -475,7 +507,7 @@ void PlanningService::CommitInFlightRound(EventOutcome* outcome) {
 
     if (!resolved) {
       ++stats_.commit_conflicts;
-      Result<PlanningStats> stats = Admit(q, nullptr, outcome);
+      Result<PlanningStats> stats = Admit(q, nullptr);
       admitted = stats.ok() && stats->admitted;
       solve_failed = !stats.ok();
     }

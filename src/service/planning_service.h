@@ -78,11 +78,20 @@ struct ServiceStats {
   int64_t replan_rounds = 0;
   int64_t replanned_admitted = 0;
   int64_t replanned_rejected = 0;
-  /// Async (worker-pool) mode only: rounds dispatched to the pool, and
+  /// Rounds entered into the speculative pipeline (every worker count
+  /// runs it; with workers >= 1 the solves go to the pool), and
   /// proposals that no longer applied at commit time and were re-solved
   /// synchronously on the loop thread.
   int64_t replan_dispatches = 0;
   int64_t commit_conflicts = 0;
+  /// Cache-miss arrival solves performed while a re-planning round was
+  /// in flight (dispatched, not yet committed) — the overlap the
+  /// thread-safe catalog buys. Commit points are logical, so the count
+  /// is identical for every worker count; with workers >= 1 each such
+  /// solve genuinely overlaps background solving (the stall the
+  /// pre-speculative service paid as barrier wait), which is the
+  /// latency win bench_service_churn measures.
+  int64_t overlapped_arrival_solves = 0;
   double total_wall_ms = 0.0;
   double max_event_ms = 0.0;
 
@@ -104,6 +113,9 @@ struct ServiceStats {
   /// so a long-running service does not grow without limit.
   static constexpr size_t kMaxSolveSamples = 1 << 16;
   std::vector<double> solve_samples_ms;
+  /// Next ring slot once the window is full (self-contained so the
+  /// window cannot silently desync from other counters).
+  size_t solve_sample_cursor = 0;
   /// Appends to solve_samples_ms with the sliding-window bound.
   void AddSolveSample(double ms);
 };
@@ -126,22 +138,26 @@ struct ServiceStats {
 ///   kMonitorReport  — §IV-B drift analysis: install measured rates,
 ///                     evict while over budget, queue affected queries;
 ///   kTick           — drain pending re-planning rounds only.
-/// Every event ends by draining at most
-/// ReplanPolicyOptions::max_rounds_per_event bounded re-admission
-/// rounds, so planning latency per event stays bounded no matter how
-/// large a failure or drift report is.
+/// Every event ends by retiring the previously dispatched re-admission
+/// round and dispatching the next bounded one, so planning latency per
+/// event stays bounded no matter how large a failure or drift report is.
 ///
-/// Threading (ReplanPolicyOptions::workers >= 1): re-planning rounds are
-/// solved speculatively on a worker pool against an immutable snapshot
-/// of the planner while the loop thread keeps consuming events; results
-/// are committed back on the loop thread in FIFO order, with a
-/// synchronous re-solve when a proposal conflicts with state that
-/// changed under it. Commits happen only at deterministic points — the
-/// end of the next Step(), or earlier when an event needs to mutate
-/// state the workers read (monitor reports, host failure/join, inline
-/// arrival solves) — so a replay commits the same deployments regardless
-/// of the worker count. See docs/ARCHITECTURE.md for the full model and
-/// determinism contract.
+/// Threading: re-planning rounds run through a speculative
+/// propose/commit pipeline at *every* worker count. A round is
+/// dispatched at the end of one Step() and committed at the end of the
+/// next (FIFO, with a synchronous re-solve when a proposal conflicts
+/// with state that changed under it); with workers >= 1 the solves run
+/// on a pool against an immutable snapshot while the loop thread keeps
+/// consuming events, with workers == 0 they run synchronously at
+/// dispatch — same inputs, same commit points, bit-identical committed
+/// deployments for any worker count. Cache-miss arrivals solve
+/// speculatively on the loop thread (WarmCatalog + ProposeAdmission +
+/// CommitProposal) *without* retiring the in-flight round: catalog
+/// interning is internally synchronised and workers only ever read
+/// published entries. Rounds are still retired before events that
+/// mutate state workers read in place — monitor reports (measured-rate
+/// installation) and host failure/join (spec swaps). See
+/// docs/ARCHITECTURE.md for the full model and determinism contract.
 class PlanningService {
  public:
   /// The service mutates `cluster` (host failure/rejoin) and `catalog`
@@ -159,14 +175,14 @@ class PlanningService {
   Result<EventOutcome> Step();
 
   /// Drains the queue; outcomes are appended when `outcomes` != nullptr.
-  /// Ends by retiring any in-flight re-planning round (async mode), so
-  /// the returned-to deployment reflects every dispatched solve.
+  /// Ends by retiring any in-flight re-planning round, so the
+  /// returned-to deployment reflects every dispatched solve.
   Status RunUntilIdle(std::vector<EventOutcome>* outcomes = nullptr);
 
-  /// Async mode: waits for and commits the in-flight re-planning round,
-  /// if any (no-op inline or when nothing is in flight). Queued backlog
-  /// beyond the in-flight round stays pending, as in inline mode. Call
-  /// after stepping the service manually to a stopping point.
+  /// Waits for and commits the in-flight re-planning round, if any
+  /// (no-op when nothing is in flight). Queued backlog beyond the
+  /// in-flight round stays pending. Call after stepping the service
+  /// manually to a stopping point.
   void FinishInFlightRound();
 
   /// Translates a cluster-simulation report into a monitor-report event
@@ -184,21 +200,26 @@ class PlanningService {
   }
   bool HostActive(HostId h) const;
   /// Re-planning candidates not yet resolved: queued in the scheduler
-  /// plus (async mode) solving in the in-flight round.
+  /// plus those in the in-flight round.
   int pending_replans() const {
     return static_cast<int>(scheduler_.pending()) +
            (inflight_ ? static_cast<int>(inflight_->queries.size()) : 0);
   }
-  /// Worker threads solving re-planning rounds (0 = inline mode).
+  /// Worker threads solving re-planning rounds (0 = solves run on the
+  /// loop thread at dispatch; the pipeline and results are identical).
   int workers() const { return pool_ ? pool_->num_threads() : 0; }
 
  private:
-  /// One re-planning round solving on the worker pool. Tasks capture
-  /// the shared_ptr state (never `this`), so destruction order is never
-  /// a hazard: the pool joins before anything else is torn down.
+  /// One re-planning round in the speculative pipeline. With workers,
+  /// tasks capture the shared_ptr state (never `this`), so destruction
+  /// order is never a hazard: the pool joins before anything else is
+  /// torn down. With workers == 0 the proposals are already solved and
+  /// the latch already open when the round enters flight.
   struct InFlightRound {
     std::vector<StreamId> queries;
-    /// Immutable copy of the planner the solves run against.
+    /// Immutable copy of the planner the solves run against (null in
+    /// inline mode, which solves against the live planner at dispatch —
+    /// the same state a snapshot taken then would hold).
     std::shared_ptr<const SqprPlanner> snapshot;
     /// Slot i is written by the task solving queries[i]; the latch's
     /// CountDown/Wait pair publishes the writes to the loop thread.
@@ -212,30 +233,32 @@ class PlanningService {
   Status HandleHostJoin(const Event& event, EventOutcome* outcome);
   Status HandleMonitorReport(const Event& event, EventOutcome* outcome);
 
-  /// Runs up to max_rounds_per_event bounded re-admission rounds
-  /// (inline mode), or retires the in-flight round and dispatches the
-  /// next one (async mode).
+  /// Retires the round dispatched during a previous event, then
+  /// dispatches the next one against the state as of this event's
+  /// mutations (both worker counts; end of every Step()).
   void DrainReplanRounds(EventOutcome* outcome);
 
-  /// Async mode: pops the next round off the scheduler, pre-warms the
-  /// catalog for its queries and hands the solves to the worker pool.
-  /// At most one round is in flight at a time.
+  /// Pops the next round off the scheduler, pre-warms the catalog for
+  /// its queries (the deterministic interning point) and solves them
+  /// speculatively: on the worker pool (workers >= 1) or synchronously
+  /// right here (workers == 0). At most one round is in flight at a
+  /// time.
   void DispatchReplanRound();
 
-  /// Async mode: blocks until the in-flight round (if any) is solved,
-  /// then commits its proposals in FIFO order on the calling (loop)
-  /// thread; a proposal that no longer applies is re-solved
-  /// synchronously. The barrier every handler that mutates worker-shared
-  /// state (catalog, cluster) must cross first.
+  /// Blocks until the in-flight round (if any) is solved, then commits
+  /// its proposals in FIFO order on the calling (loop) thread; a
+  /// proposal that no longer applies is re-solved synchronously. The
+  /// barrier every handler that mutates worker-read state in place
+  /// (measured rates, host specs) must cross first.
   void CommitInFlightRound(EventOutcome* outcome);
 
-  /// Admits one query (cache fast path, then MILP); shared by arrivals
-  /// and re-planning rounds. When `reuse_candidates` is non-null it
-  /// receives the number of materialised proper-subquery hits. Commits
-  /// the in-flight round before any inline solve (`outcome` receives
-  /// that round's results).
-  Result<PlanningStats> Admit(StreamId query, int* reuse_candidates,
-                              EventOutcome* outcome);
+  /// Admits one query; shared by arrivals and re-planning re-solves.
+  /// Tries the plan-cache fast path, then a speculative solve on the
+  /// loop thread (WarmCatalog + ProposeAdmission + CommitProposal) that
+  /// overlaps any in-flight round instead of retiring it. When
+  /// `reuse_candidates` is non-null it receives the number of
+  /// materialised proper-subquery hits.
+  Result<PlanningStats> Admit(StreamId query, int* reuse_candidates);
 
   void RememberRejected(StreamId query);
 
@@ -261,9 +284,9 @@ class PlanningService {
   /// Recently rejected queries (FIFO, bounded), retried after joins.
   std::deque<StreamId> rejected_recently_;
 
-  /// Async re-planning state (ReplanPolicyOptions::workers >= 1). The
-  /// pool is declared last so it is destroyed — joining its threads —
-  /// before any other member; tasks only capture the shared_ptrs inside
+  /// Speculative re-planning state (every worker count). The pool is
+  /// declared last so it is destroyed — joining its threads — before
+  /// any other member; tasks only capture the shared_ptrs inside
   /// InFlightRound, never `this`.
   std::optional<InFlightRound> inflight_;
   /// In-flight queries that departed after dispatch; their proposals are

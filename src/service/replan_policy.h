@@ -16,22 +16,25 @@ namespace sqpr {
 /// re-admitting affected queries; each re-admission is a full reduced
 /// MILP solve, so an unbounded drift report (or a failed host carrying
 /// many queries) could stall the event loop. The policy batches all
-/// pending candidates into rounds of at most `max_queries_per_round`
-/// solves and drains at most `max_rounds_per_event` rounds whenever an
-/// event is processed; the remainder stays queued for later events and
+/// pending candidates into *rounds* of at most `max_queries_per_round`
+/// solves; exactly one round is in flight at a time, dispatched at the
+/// end of one event and committed at the end of the next (or at an
+/// earlier barrier), so the remainder stays queued for later events and
 /// ticks.
 struct ReplanPolicyOptions {
   int max_queries_per_round = 8;
-  int max_rounds_per_event = 2;
   /// Worker-pool threads solving re-planning rounds off the event-loop
-  /// thread. 0 (default) keeps the original inline mode: rounds solve
-  /// synchronously on the consuming thread. With workers >= 1 a round's
-  /// queries are solved speculatively against a snapshot of the
-  /// committed state while the loop keeps consuming events (arrivals
-  /// keep admitting via the plan-cache fast path); results are committed
-  /// back on the loop thread in FIFO order at deterministic points, so
-  /// the worker *count* never changes the committed deployments — only
-  /// how fast the round finishes (see docs/ARCHITECTURE.md).
+  /// thread. Every worker count — including 0 — runs the same
+  /// speculative propose/commit pipeline with the same logical dispatch
+  /// and commit points; `workers` only decides *where* the round's
+  /// solves run. With 0 they run synchronously on the loop thread at
+  /// dispatch; with N >= 1 they run on a pool while the loop keeps
+  /// consuming events (arrivals keep admitting — via the plan-cache
+  /// fast path *and* via speculative cache-miss solves over the
+  /// thread-safe catalog). Proposals commit on the loop thread in FIFO
+  /// order either way, so the worker count never changes the committed
+  /// deployments — only how much solve time overlaps event processing
+  /// (see docs/ARCHITECTURE.md).
   int workers = 0;
 };
 

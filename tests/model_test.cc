@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <map>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "model/catalog.h"
 #include "model/cluster.h"
@@ -179,6 +183,116 @@ TEST(CatalogTest, UnaryOperatorRejectsJoinKind) {
   Catalog catalog = MakeCatalog();
   const StreamId a = catalog.AddBaseStream(0, 10);
   EXPECT_FALSE(catalog.UnaryOperator(OpKind::kJoin, a, 0, 0.5).ok());
+}
+
+// Concurrency stress for the thread-safe catalog (the service tentpole:
+// speculative arrival solves intern on the loop thread while worker
+// solves read): N reader threads traverse warmed closures — stream
+// infos, producer lists, operator infos, leaf rates — while the main
+// thread keeps interning overlapping closures over the same base pool.
+// Runs under the -DSQPR_SANITIZE=thread CI job; any unsynchronised
+// access is a TSan failure, any torn read trips the flags below.
+TEST(CatalogTest, ConcurrentReadersDuringInterning) {
+  Catalog catalog = MakeCatalog();
+  constexpr int kBases = 16;
+  constexpr int kReaders = 4;
+  std::vector<StreamId> base;
+  for (int i = 0; i < kBases; ++i) {
+    base.push_back(catalog.AddBaseStream(i % 3, 10.0));
+  }
+
+  // Warm overlapping 3-way closures; readers traverse exactly these, so
+  // every entry they touch is published before the threads start.
+  std::vector<StreamId> warmed;
+  for (int i = 0; i + 2 < kBases; ++i) {
+    Result<StreamId> q =
+        catalog.CanonicalJoinStream({base[i], base[i + 1], base[i + 2]});
+    ASSERT_TRUE(q.ok());
+    ASSERT_TRUE(catalog.JoinClosure(*q).ok());
+    warmed.push_back(*q);
+  }
+  std::map<StreamId, std::vector<StreamId>> leaves_before;
+  for (StreamId q : warmed) leaves_before[q] = catalog.stream(q).leaves;
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> reader_ok{true};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      int last_num_streams = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (StreamId q : warmed) {
+          const StreamInfo& info = catalog.stream(q);
+          if (info.id != q || info.is_base || info.leaves.size() != 3u) {
+            reader_ok = false;
+          }
+          // A 3-way join has exactly its 3 binary splits as producers,
+          // all pre-warmed: the list must read complete and consistent.
+          size_t produced = 0;
+          for (OperatorId o : catalog.ProducersOf(q)) {
+            if (catalog.op(o).output != q) reader_ok = false;
+            ++produced;
+          }
+          if (produced != 3u) reader_ok = false;
+          if (catalog.SumLeafRates(info.leaves) <= 0.0) reader_ok = false;
+        }
+        const int n = catalog.num_streams();
+        if (n < last_num_streams) reader_ok = false;  // size is monotonic
+        last_num_streams = n;
+      }
+    });
+  }
+
+  // The interner: overlapping 4- and 5-way closures over the same base
+  // pool. Every new closure shares subset streams (and their producer
+  // lists) with what the readers are iterating.
+  for (int i = 0; i + 3 < kBases; ++i) {
+    Result<StreamId> q = catalog.CanonicalJoinStream(
+        {base[i], base[i + 1], base[i + 2], base[i + 3]});
+    ASSERT_TRUE(q.ok());
+    ASSERT_TRUE(catalog.JoinClosure(*q).ok());
+  }
+  for (int i = 0; i + 4 < kBases; ++i) {
+    Result<StreamId> q = catalog.CanonicalJoinStream(
+        {base[i], base[i + 1], base[i + 2], base[i + 3], base[i + 4]});
+    ASSERT_TRUE(q.ok());
+    ASSERT_TRUE(catalog.JoinClosure(*q).ok());
+  }
+  for (int i = 0; i + 5 < kBases; ++i) {
+    Result<StreamId> q = catalog.CanonicalJoinStream(
+        {base[i], base[i + 1], base[i + 2], base[i + 3], base[i + 4],
+         base[i + 5]});
+    ASSERT_TRUE(q.ok());
+    ASSERT_TRUE(catalog.JoinClosure(*q).ok());
+  }
+  // Re-interning a warmed signature (any leaf order) yields the same
+  // canonical id while readers hammer it.
+  for (size_t i = 0; i < warmed.size(); ++i) {
+    Result<StreamId> again = catalog.CanonicalJoinStream(
+        {base[i + 2], base[i], base[i + 1]});
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*again, warmed[i]);
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& r : readers) r.join();
+  EXPECT_TRUE(reader_ok.load());
+
+  // Stable ids: nothing the interner did may have moved or rewritten a
+  // published entry.
+  for (StreamId q : warmed) {
+    EXPECT_EQ(catalog.stream(q).id, q);
+    EXPECT_EQ(catalog.stream(q).leaves, leaves_before[q]);
+    EXPECT_EQ(catalog.ProducersOf(q).size(), 3u);
+  }
+  // No duplicate canonical entries: every composite leaf signature maps
+  // to exactly one stream (all composites here are joins).
+  std::set<std::vector<StreamId>> signatures;
+  for (StreamId s = 0; s < catalog.num_streams(); ++s) {
+    if (catalog.stream(s).is_base) continue;
+    EXPECT_TRUE(signatures.insert(catalog.stream(s).leaves).second)
+        << "duplicate canonical stream for one leaf set";
+  }
 }
 
 // --------------------------------------------------------------- Cluster

@@ -77,10 +77,9 @@ TEST(DeploymentTest, GroundedBaseStreamAtSource) {
   Fixture f;
   Deployment dep(&f.cluster, &f.catalog);
   const auto grounded = dep.GroundedAvailability();
-  const int S = f.catalog.num_streams();
-  EXPECT_TRUE(grounded[0 * S + f.a]);
-  EXPECT_FALSE(grounded[1 * S + f.a]);
-  EXPECT_TRUE(grounded[1 * S + f.b]);
+  EXPECT_TRUE(grounded.at(0, f.a));
+  EXPECT_FALSE(grounded.at(1, f.a));
+  EXPECT_TRUE(grounded.at(1, f.b));
 }
 
 TEST(DeploymentTest, GroundedThroughFlowAndOperator) {
@@ -91,11 +90,10 @@ TEST(DeploymentTest, GroundedThroughFlowAndOperator) {
   ASSERT_TRUE(dep.PlaceOperator(0, f.join_ab).ok());
   ASSERT_TRUE(dep.AddFlow(0, 2, f.ab).ok());
   const auto grounded = dep.GroundedAvailability();
-  const int S = f.catalog.num_streams();
-  EXPECT_TRUE(grounded[0 * S + f.b]);
-  EXPECT_TRUE(grounded[0 * S + f.ab]);
-  EXPECT_TRUE(grounded[2 * S + f.ab]);
-  EXPECT_FALSE(grounded[1 * S + f.ab]);
+  EXPECT_TRUE(grounded.at(0, f.b));
+  EXPECT_TRUE(grounded.at(0, f.ab));
+  EXPECT_TRUE(grounded.at(2, f.ab));
+  EXPECT_FALSE(grounded.at(1, f.ab));
   EXPECT_TRUE(dep.Validate().ok());
 }
 
@@ -107,9 +105,8 @@ TEST(DeploymentTest, AcausalFlowCycleNotGrounded) {
   ASSERT_TRUE(dep.AddFlow(1, 2, f.a).ok());
   ASSERT_TRUE(dep.AddFlow(2, 1, f.a).ok());
   const auto grounded = dep.GroundedAvailability();
-  const int S = f.catalog.num_streams();
-  EXPECT_FALSE(grounded[1 * S + f.a]);
-  EXPECT_FALSE(grounded[2 * S + f.a]);
+  EXPECT_FALSE(grounded.at(1, f.a));
+  EXPECT_FALSE(grounded.at(2, f.a));
   EXPECT_FALSE(dep.Validate().ok());  // acausal flows rejected
 }
 

@@ -1,0 +1,158 @@
+// Property test for the planning service's determinism contract
+// (docs/ARCHITECTURE.md §4): replaying any trace with a node-bounded
+// solver commits bit-for-bit identical deployments — and identical
+// admission/eviction statistics — for every worker count, including the
+// inline mode (workers == 0). Twenty generated traces with varied seeds
+// and event mixes (arrivals/departures/failures/joins/drift/ticks)
+// stand in for "any trace"; the two hand-written worker-invariance
+// cases in service_test.cc remain as focused regressions.
+//
+// Each trace is replayed with workers in {0, 1, 4}. Per-replay state is
+// rebuilt from scratch (fresh catalog/cluster/workload from the same
+// seed): drift reports install measured rates into the catalog, so
+// nothing may leak between replays.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "model/catalog.h"
+#include "model/cluster.h"
+#include "service/planning_service.h"
+#include "workload/generator.h"
+#include "workload/trace.h"
+
+namespace sqpr {
+namespace {
+
+/// Everything the contract promises is worker-count-invariant. Wall
+/// clock (latency stats) is deliberately excluded.
+struct ReplayResult {
+  std::string fingerprint;
+  int64_t admitted = 0;
+  int64_t rejected = 0;
+  int64_t dedup_hits = 0;
+  int64_t cache_fast_path = 0;
+  int64_t evictions = 0;
+  int64_t replanned_admitted = 0;
+  int64_t replanned_rejected = 0;
+  int64_t replan_dispatches = 0;
+  int64_t commit_conflicts = 0;
+  int64_t overlapped_arrival_solves = 0;
+  int pending_replans = 0;
+  bool valid = false;
+
+  auto Tie() const {
+    return std::tie(fingerprint, admitted, rejected, dedup_hits,
+                    cache_fast_path, evictions, replanned_admitted,
+                    replanned_rejected, replan_dispatches, commit_conflicts,
+                    overlapped_arrival_solves, pending_replans, valid);
+  }
+  bool operator==(const ReplayResult& other) const {
+    return Tie() == other.Tie();
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const ReplayResult& r) {
+  return os << "admitted=" << r.admitted << " rejected=" << r.rejected
+            << " dedup=" << r.dedup_hits << " cache=" << r.cache_fast_path
+            << " evictions=" << r.evictions
+            << " replanned=" << r.replanned_admitted << "/"
+            << (r.replanned_admitted + r.replanned_rejected)
+            << " dispatches=" << r.replan_dispatches
+            << " conflicts=" << r.commit_conflicts
+            << " overlapped=" << r.overlapped_arrival_solves
+            << " pending=" << r.pending_replans << " valid=" << r.valid
+            << "\nfingerprint:\n"
+            << r.fingerprint;
+}
+
+/// Varies the event mix deterministically with the seed so the twenty
+/// instances cover different regimes (departure-heavy, churn-heavy,
+/// drift-heavy, ...), not twenty samples of one distribution.
+TraceConfig MakeTraceConfig(uint64_t seed) {
+  TraceConfig tc;
+  tc.num_events = 36;
+  tc.seed = seed * 977 + 13;
+  tc.mean_gap_ms = 40;
+  tc.arrival_weight = 1.0;
+  tc.departure_weight = 0.15 + 0.10 * static_cast<double>(seed % 4);
+  tc.failure_weight = 0.02 + 0.02 * static_cast<double>(seed % 3);
+  tc.join_weight = 0.06 + 0.03 * static_cast<double>(seed % 2);
+  tc.drift_weight = 0.05 + 0.06 * static_cast<double>(seed % 5);
+  tc.tick_weight = 0.10;
+  tc.min_failures = 1 + static_cast<int>(seed % 2);
+  tc.min_drift_reports = 1 + static_cast<int>(seed % 3);
+  tc.drift_streams_per_report = 1 + static_cast<int>(seed % 3);
+  return tc;
+}
+
+ReplayResult Replay(uint64_t seed, int workers) {
+  Cluster cluster(3, HostSpec{0.6, 70.0, 70.0, ""}, 140.0);
+  Catalog catalog(CostModel{});
+
+  WorkloadConfig wc;
+  wc.num_base_streams = 18;
+  wc.num_queries = 30;
+  wc.arities = {2, 3};
+  wc.seed = seed;
+  Result<Workload> workload = GenerateWorkload(wc, 3, &catalog);
+  EXPECT_TRUE(workload.ok()) << workload.status().ToString();
+
+  Result<std::vector<Event>> trace =
+      GenerateTrace(MakeTraceConfig(seed), *workload, 3, catalog);
+  EXPECT_TRUE(trace.ok()) << trace.status().ToString();
+
+  ServiceOptions options;
+  // The contract requires a node-bounded solver: a wall-clock deadline
+  // that fires mid-search would make the incumbent depend on machine
+  // load (docs/ARCHITECTURE.md §4).
+  options.planner.timeout_ms = 60000;
+  options.planner.max_nodes = 80;
+  options.replan.workers = workers;
+  PlanningService service(&cluster, &catalog, options);
+  for (const Event& e : *trace) EXPECT_TRUE(service.Enqueue(e).ok());
+  EXPECT_TRUE(service.RunUntilIdle().ok());
+
+  ReplayResult result;
+  result.fingerprint = service.deployment().Fingerprint();
+  const ServiceStats& stats = service.stats();
+  result.admitted = stats.admitted;
+  result.rejected = stats.rejected;
+  result.dedup_hits = stats.dedup_hits;
+  result.cache_fast_path = stats.cache_fast_path;
+  result.evictions = stats.evictions;
+  result.replanned_admitted = stats.replanned_admitted;
+  result.replanned_rejected = stats.replanned_rejected;
+  result.replan_dispatches = stats.replan_dispatches;
+  result.commit_conflicts = stats.commit_conflicts;
+  result.overlapped_arrival_solves = stats.overlapped_arrival_solves;
+  result.pending_replans = service.pending_replans();
+  result.valid = service.deployment().Validate().ok();
+  return result;
+}
+
+class ServiceReplayPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ServiceReplayPropertyTest, WorkerCountInvariantDeployments) {
+  const uint64_t seed = GetParam();
+  const ReplayResult inline_mode = Replay(seed, 0);
+  EXPECT_TRUE(inline_mode.valid) << "seed " << seed;
+
+  const ReplayResult one_worker = Replay(seed, 1);
+  EXPECT_EQ(inline_mode, one_worker) << "workers 0 vs 1 diverged, seed "
+                                     << seed;
+
+  const ReplayResult four_workers = Replay(seed, 4);
+  EXPECT_EQ(inline_mode, four_workers) << "workers 0 vs 4 diverged, seed "
+                                       << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Traces, ServiceReplayPropertyTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+}  // namespace
+}  // namespace sqpr

@@ -129,7 +129,14 @@ struct ServiceFixture {
     for (int i = 0; i < bases; ++i) {
       base.push_back(catalog.AddBaseStream(i % hosts, 10.0));
     }
-    options.planner.timeout_ms = 200;
+    // Keep unit solves snappy — but only when the test did not
+    // configure the solver itself: the determinism tests pass a huge
+    // deadline with a node bound, and clobbering it here would make
+    // them wall-clock-bounded (flaky across machine load, e.g. under
+    // TSan).
+    if (options.planner.timeout_ms == SqprPlanner::Options{}.timeout_ms) {
+      options.planner.timeout_ms = 200;
+    }
     service = std::make_unique<PlanningService>(&cluster, &catalog, options);
   }
 
@@ -225,10 +232,12 @@ TEST(PlanningServiceTest, MonitorReportDriftTriggersReplanAndRevalidates) {
   ASSERT_EQ(event.measured_base_rates.size(), 1u);  // composites filtered
 
   EventOutcome outcome = fx.StepOne(event);
-  // q01 was removed (evicted) and re-admitted within the same event's
-  // bounded rounds; q23 was untouched.
+  // q01 was removed (evicted) and entered the speculative re-planning
+  // round the event dispatched; retiring the round re-admits it. q23
+  // was untouched.
   EXPECT_EQ(outcome.evicted, 1);
-  EXPECT_GE(outcome.replanned_admitted, 1);
+  fx.service->FinishInFlightRound();
+  EXPECT_GE(fx.service->stats().replanned_admitted, 1);
   EXPECT_DOUBLE_EQ(fx.catalog.stream(fx.base[0]).rate_mbps, 5.0);
   const auto& admitted = fx.service->admitted_queries();
   EXPECT_NE(std::find(admitted.begin(), admitted.end(), q01),
@@ -291,6 +300,108 @@ TEST(PlanningServiceTest, HostFailureEvictsAndRejoinRestores) {
   EXPECT_TRUE(fx.service->HostActive(failed));
   EXPECT_GT(fx.cluster.host(failed).cpu, 0.0);
   EXPECT_TRUE(fx.service->deployment().Validate().ok());
+}
+
+// Satellite: plan-cache counter semantics at the service level — miss
+// on first sight, exact hit for a materialised subquery (fast-path
+// admission), partial hit for a superquery reusing it, dedup exact hit
+// for a served stream — plus invalidation: once failures purge the
+// hosts, the rebuilt index must forget everything it knew.
+TEST(PlanningServiceTest, PlanCacheCountersAndEvictHostInvalidation) {
+  ServiceFixture fx(2, 4.0, 4);
+  const StreamId abc = fx.Join({0, 1, 2});
+  int64_t t = 1;
+
+  // First sight of the canonical stream: a miss, then a full solve.
+  ASSERT_TRUE(fx.StepOne(Event::Arrival(t++, abc)).admitted);
+  EXPECT_EQ(fx.service->plan_cache().misses(), 1);
+  EXPECT_EQ(fx.service->plan_cache().exact_hits(), 0);
+  EXPECT_EQ(fx.service->plan_cache().partial_hits(), 0);
+
+  // The committed 3-way plan materialises exactly one 2-way
+  // intermediate; its arrival is an exact (materialised-but-unserved)
+  // hit admitted with a single serving arc.
+  const std::vector<StreamId> subs = {fx.Join({0, 1}), fx.Join({1, 2}),
+                                      fx.Join({0, 2})};
+  StreamId mat = kInvalidStream;
+  for (StreamId s : subs) {
+    if (fx.service->plan_cache().FindMaterialized(s, nullptr)) mat = s;
+  }
+  ASSERT_NE(mat, kInvalidStream);
+  EventOutcome sub_arrival = fx.StepOne(Event::Arrival(t++, mat));
+  EXPECT_TRUE(sub_arrival.admitted);
+  EXPECT_TRUE(sub_arrival.via_cache);
+  EXPECT_EQ(fx.service->plan_cache().exact_hits(), 1);
+
+  // A 4-way superquery is not materialised itself but sees the
+  // materialised proper subqueries as reuse candidates: a partial
+  // (subquery) hit, distinct from the exact-hit counter.
+  EventOutcome super_arrival = fx.StepOne(Event::Arrival(t++, fx.Join({0, 1, 2, 3})));
+  EXPECT_GE(super_arrival.reuse_candidates, 1);
+  EXPECT_EQ(fx.service->plan_cache().partial_hits(), 1);
+  EXPECT_EQ(fx.service->plan_cache().exact_hits(), 1);
+  EXPECT_EQ(fx.service->plan_cache().misses(), 1);
+
+  // A repeat arrival of a served stream is an exact hit too (dedup).
+  EventOutcome dedup = fx.StepOne(Event::Arrival(t++, abc));
+  EXPECT_TRUE(dedup.already_served);
+  EXPECT_EQ(fx.service->plan_cache().exact_hits(), 2);
+
+  // Failures purge both hosts (EvictHost under each handler): the
+  // rebuilt index must drop every entry — nothing is materialised any
+  // more — and a fresh arrival of the former hit is a plain miss.
+  fx.StepOne(Event::HostFailure(t++, 0));
+  fx.StepOne(Event::HostFailure(t++, 1));
+  fx.service->FinishInFlightRound();
+  EXPECT_EQ(fx.service->plan_cache().num_indexed(), 0);
+  EXPECT_FALSE(fx.service->plan_cache().FindMaterialized(mat, nullptr));
+  const int64_t misses_before = fx.service->plan_cache().misses();
+  EventOutcome after = fx.StepOne(Event::Arrival(t++, mat));
+  EXPECT_FALSE(after.admitted);
+  EXPECT_FALSE(after.via_cache);
+  EXPECT_EQ(fx.service->plan_cache().misses(), misses_before + 1);
+}
+
+// Tentpole: an arrival that misses the plan cache no longer retires the
+// in-flight re-planning round — it solves speculatively on the loop
+// thread while the round keeps solving — and the committed result is
+// still identical for every worker count.
+TEST(PlanningServiceTest, CacheMissArrivalOverlapsInFlightRound) {
+  auto run = [](int workers) {
+    ServiceOptions options;
+    options.replan.workers = workers;
+    // Deterministic solver: node-bounded, not wall-clock-bounded.
+    options.planner.timeout_ms = 60000;
+    options.planner.max_nodes = 150;
+    ServiceFixture fx(2, 0.3, 6, options);
+
+    int64_t t = 1;
+    for (int i = 0; i + 1 < 6; ++i) {
+      fx.StepOne(Event::Arrival(t++, fx.Join({i, i + 1})));
+    }
+    // A tripled base rate makes the near-saturated cluster shed load:
+    // evictions queue and a round is dispatched at the end of the event.
+    EventOutcome drift =
+        fx.StepOne(Event::MonitorReport(t++, {{fx.base[1], 30.0}}));
+    EXPECT_GE(drift.evicted, 1);
+    EXPECT_GT(fx.service->pending_replans(), 0);
+
+    // Cache-miss arrival while that round is in flight: the solve
+    // overlaps it instead of forcing it to retire first.
+    const int64_t overlapped_before =
+        fx.service->stats().overlapped_arrival_solves;
+    fx.StepOne(Event::Arrival(t++, fx.Join({0, 2})));
+    EXPECT_EQ(fx.service->stats().overlapped_arrival_solves,
+              overlapped_before + 1);
+
+    fx.service->FinishInFlightRound();
+    EXPECT_TRUE(fx.service->deployment().Validate().ok());
+    return fx.service->deployment().Fingerprint();
+  };
+
+  const std::string inline_mode = run(0);
+  EXPECT_EQ(inline_mode, run(1));
+  EXPECT_EQ(inline_mode, run(4));
 }
 
 // Tentpole: an EvictHost (host failure) arriving while a re-planning

@@ -74,8 +74,26 @@ void Usage(std::FILE* out) {
       "  --events N       events to generate (default 200)\n"
       "  --trace FILE     load a saved trace instead of generating one\n"
       "  --save-trace FILE\n"
-      "                   write the generated trace to FILE (text format,\n"
-      "                   see src/workload/trace.h)\n"
+      "                   write the generated trace to FILE\n"
+      "\n"
+      "Trace file format (one event per line; the same event/trace\n"
+      "schema as docs/ARCHITECTURE.md §2; '#' comments and blank lines\n"
+      "are ignored; times are virtual milliseconds, strictly ordered by\n"
+      "(time, line order)):\n"
+      "  <t_ms> arrival <stream>        admit canonical query stream\n"
+      "  <t_ms> departure <stream>      remove + GC unshared support\n"
+      "  <t_ms> host-failure <host>     zero budgets, evict fallout\n"
+      "  <t_ms> host-join <host>        restore budgets, retry rejected\n"
+      "  <t_ms> monitor <n> {<stream> <mbps>}*n [cpu <m> <u0> ... <um-1>]\n"
+      "                                 measured base rates (Mbps) and\n"
+      "                                 per-host CPU fractions (the\n"
+      "                                 paper's SIV-B drift cycle)\n"
+      "  <t_ms> tick                    drive deferred re-plan rounds\n"
+      "Generated traces default to the TraceConfig in\n"
+      "src/workload/trace.h: mean event gap 50 ms, kind weights\n"
+      "arrival 1.0 / departure 0.35 / failure 0.03 / join 0.06 /\n"
+      "drift 0.05 / tick 0.10, floors of 1 failure and 1 drift report,\n"
+      "drift scale in [0.5, 2.5] over 2 base streams per report.\n"
       "\n"
       "Service flags:\n"
       "  --timeout-ms N   per-query MILP solver deadline (default 150)\n"
@@ -86,9 +104,10 @@ void Usage(std::FILE* out) {
       "  --replan-round N max queries re-planned per bounded round\n"
       "                   (default 8)\n"
       "  --workers N      worker threads solving re-planning rounds off\n"
-      "                   the event-loop thread; 0 = inline (default 0).\n"
+      "                   the event-loop thread (default 0 = the same\n"
+      "                   speculative rounds solved on the loop thread).\n"
       "                   The same trace+seed commits identical\n"
-      "                   deployments for any N >= 1 when the solver is\n"
+      "                   deployments for any N >= 0 when the solver is\n"
       "                   node-bounded (see docs/ARCHITECTURE.md)\n"
       "  --verbose        print every event outcome\n"
       "  --help           show this message and exit\n");
@@ -329,13 +348,13 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.replanned_admitted),
               static_cast<long long>(stats.replanned_rejected),
               service.pending_replans());
-  if (args.workers > 0) {
-    std::printf("worker pool: %d workers, %lld rounds dispatched, "
-                "%lld commit conflicts re-solved inline\n",
-                service.workers(),
-                static_cast<long long>(stats.replan_dispatches),
-                static_cast<long long>(stats.commit_conflicts));
-  }
+  std::printf("speculative pipeline: %d workers, %lld rounds dispatched, "
+              "%lld commit conflicts re-solved inline, %lld arrival "
+              "solves overlapped in-flight rounds\n",
+              service.workers(),
+              static_cast<long long>(stats.replan_dispatches),
+              static_cast<long long>(stats.commit_conflicts),
+              static_cast<long long>(stats.overlapped_arrival_solves));
 
   const PlanCache& cache = service.plan_cache();
   std::printf("plan cache: %lld exact hits, %lld partial hits, "
