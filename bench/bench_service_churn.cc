@@ -12,6 +12,11 @@
 //    in-flight round (a solve-sized stall on the loop thread); now it
 //    solves concurrently over the thread-safe catalog, which the
 //    overlapped-arrival-solves counter makes visible.
+//  * closed-loop — zero scripted monitor reports: the trace carries
+//    ground-truth rate *trajectories* (constant/step/walk/periodic) and
+//    the service measures its own committed deployment every few ticks
+//    (§IV-C), detecting drift and dispatching re-planning rounds
+//    entirely by itself (the auto_replan_rounds counter).
 //
 // Each scenario replays one trace with 0, 1 and 4 workers solving the
 // re-planning rounds. The solver is node-bounded (large wall deadline +
@@ -52,7 +57,8 @@ struct RunResult {
   bool audit_ok = false;
 };
 
-RunResult Replay(const TraceConfig& trace_config, int workers) {
+RunResult Replay(const TraceConfig& trace_config, int workers,
+                 bool closed_loop = false) {
   // Fresh scenario per replay: the drift reports install measured rates
   // into the catalog, so state must not leak between runs. Same seed =>
   // identical workload and trace.
@@ -71,6 +77,11 @@ RunResult Replay(const TraceConfig& trace_config, int workers) {
   options.planner.timeout_ms = 60000;
   options.planner.max_nodes = 200;
   options.replan.workers = workers;
+  options.closed_loop = closed_loop;
+  options.telemetry.measure_period = 3;
+  options.telemetry.seed = trace_config.seed;
+  options.telemetry.ewma_alpha = 0.6;
+  options.telemetry.noise = 0.03;
   PlanningService service(scenario.cluster.get(), scenario.catalog.get(),
                           options);
   for (const Event& e : *trace) {
@@ -134,6 +145,13 @@ void PrintRun(const char* label, const RunResult& r) {
   }
   std::printf("  loop-thread barrier waits: %zu, avg %.2f ms, max %.2f ms\n",
               s.barrier_ms.count(), s.barrier_ms.mean(), s.barrier_ms.max());
+  if (s.rate_directives + s.measurement_ticks > 0) {
+    std::printf("  closed loop: %lld rate directives, %lld measurement "
+                "ticks, %lld auto re-plan rounds\n",
+                static_cast<long long>(s.rate_directives),
+                static_cast<long long>(s.measurement_ticks),
+                static_cast<long long>(s.auto_replan_rounds));
+  }
 }
 
 bool DeterminismChecks(const char* scenario, const RunResult& zero,
@@ -162,7 +180,11 @@ bool DeterminismChecks(const char* scenario, const RunResult& zero,
           zero.stats.overlapped_arrival_solves ==
               one.stats.overlapped_arrival_solves &&
           zero.stats.overlapped_arrival_solves ==
-              four.stats.overlapped_arrival_solves,
+              four.stats.overlapped_arrival_solves &&
+          zero.stats.measurement_ticks == one.stats.measurement_ticks &&
+          zero.stats.measurement_ticks == four.stats.measurement_ticks &&
+          zero.stats.auto_replan_rounds == one.stats.auto_replan_rounds &&
+          zero.stats.auto_replan_rounds == four.stats.auto_replan_rounds,
       "worker count does not change admission statistics");
   ok &= ShapeCheck(
       zero.max_event_ms <= std::max(1000.0, zero.total_ms / 4) &&
@@ -222,9 +244,31 @@ int main() {
               "move off the loop thread and overlap arrival admission\n",
               a1.events_per_s / a0.events_per_s);
 
+  // ---- Scenario 3: closed-loop (§IV-C self-measurement: the trace
+  // scripts ground-truth rate trajectories and *no* monitor reports;
+  // drift detection and re-planning fire from the service's own
+  // periodic measurements). ----
+  TraceConfig closed;
+  closed.num_events = 220;
+  closed.seed = 31;
+  closed.closed_loop = true;
+  closed.tick_weight = 0.55;       // measurements ride ticks
+  closed.drift_weight = 0.18;      // rate directives
+  closed.min_drift_reports = 8;
+  closed.min_failures = 1;
+
+  std::printf("\n==== scenario: closed-loop ====\n");
+  const RunResult c0 = Replay(closed, /*workers=*/0, /*closed_loop=*/true);
+  PrintRun("workers=0", c0);
+  const RunResult c1 = Replay(closed, /*workers=*/1, /*closed_loop=*/true);
+  PrintRun("workers=1", c1);
+  const RunResult c4 = Replay(closed, /*workers=*/4, /*closed_loop=*/true);
+  PrintRun("workers=4", c4);
+
   bool ok = true;
   ok &= DeterminismChecks("drift-heavy", d0, d1, d4);
   ok &= DeterminismChecks("arrival-heavy", a0, a1, a4);
+  ok &= DeterminismChecks("closed-loop", c0, c1, c4);
 
   std::printf("\n-- scenario-specific shape --\n");
   ok &= ShapeCheck(d0.stats.host_failures >= 2 &&
@@ -236,6 +280,15 @@ int main() {
   ok &= ShapeCheck(a0.stats.overlapped_arrival_solves > 0,
                    "cache-miss arrivals solved while rounds were in flight "
                    "(the removed FinishInFlightRound stall)");
+  ok &= ShapeCheck(c0.stats.monitor_reports == 0 &&
+                       c0.stats.rate_directives >= 8,
+                   "closed-loop trace scripts trajectories, zero monitor "
+                   "reports");
+  ok &= ShapeCheck(c0.stats.measurement_ticks > 0,
+                   "closed loop performed periodic self-measurements");
+  ok &= ShapeCheck(c0.stats.auto_replan_rounds > 0,
+                   "self-measured drift triggered re-planning with no "
+                   "scripted measurement anywhere in the trace");
   // The parallel win needs parallel hardware: the rounds are CPU-bound
   // MILP solves, so with fewer cores than solver threads (+ the loop
   // thread) they partly time-slice and scheduling noise can swamp the

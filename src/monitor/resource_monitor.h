@@ -12,14 +12,21 @@
 
 namespace sqpr {
 
-/// Thresholds for the §IV-B drift detection.
+/// Thresholds for the §IV-B drift detection. Both comparisons are
+/// STRICT (exclusive): a measurement sitting exactly on a threshold
+/// does not trigger.
 struct DriftOptions {
   /// Relative deviation of a measured base-stream rate from the
   /// catalog estimate that triggers re-planning ("differs from the
-  /// initial estimates by a given threshold").
+  /// initial estimates by a given threshold"). A stream drifts when
+  /// |measured - estimate| / estimate > rate_threshold; a deviation
+  /// exactly at the threshold counts as on-estimate (it is still
+  /// installed by the drift cycle, so estimates converge either way).
   double rate_threshold = 0.2;
   /// CPU utilisation above which a host counts as suffering a resource
-  /// shortage (fraction of budget).
+  /// shortage (fraction of budget). Strict: utilisation == threshold is
+  /// not a shortage, so the default 1.0 flags only hosts genuinely
+  /// *over* budget, never one running exactly at capacity.
   double shortage_utilization = 1.0;
 };
 
@@ -62,6 +69,10 @@ class ResourceMonitor {
   ///    re-planning list (otherwise host shortages map to queries lazily
   ///    in AdaptiveReplan, where the deployment is available).
   /// The re-planning list is deduplicated across both conditions.
+  /// Boundary semantics: empty inputs are all valid — no measured
+  /// rates, no CPU observations, no admitted queries, or an empty
+  /// deployment simply contribute nothing to the report. Threshold
+  /// comparisons are strict; see DriftOptions.
   DriftReport Analyze(const std::map<StreamId, double>& measured_base_rates,
                       const std::vector<double>& cpu_utilization,
                       const std::vector<StreamId>& admitted,

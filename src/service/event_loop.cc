@@ -20,6 +20,8 @@ const char* EventKindName(EventKind kind) {
       return "monitor-report";
     case EventKind::kTick:
       return "tick";
+    case EventKind::kRateDirective:
+      return "rate-directive";
   }
   return "unknown";
 }
@@ -73,6 +75,15 @@ Event Event::Tick(int64_t t) {
   return e;
 }
 
+Event Event::RateDirective(int64_t t, RateTrajectory trajectory) {
+  Event e;
+  e.time_ms = t;
+  e.kind = EventKind::kRateDirective;
+  e.query = trajectory.stream;
+  e.trajectory = std::move(trajectory);
+  return e;
+}
+
 std::string Event::ToString() const {
   std::string out =
       "t=" + std::to_string(time_ms) + " " + EventKindName(kind);
@@ -89,6 +100,10 @@ std::string Event::ToString() const {
       out += " rates=" + std::to_string(measured_base_rates.size());
       break;
     case EventKind::kTick:
+      break;
+    case EventKind::kRateDirective:
+      out += " stream=" + std::to_string(trajectory.stream) + " " +
+             RateTrajectoryKindName(trajectory.kind);
       break;
   }
   return out;

@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "model/ids.h"
+#include "telemetry/rate_model.h"
 
 namespace sqpr {
 
@@ -24,6 +25,14 @@ enum class EventKind : uint8_t {
   kHostFailure,
   kMonitorReport,
   kTick,
+  /// Installs a ground-truth rate trajectory into the service's
+  /// telemetry rate model (closed-loop mode, §IV-C): the base stream's
+  /// *actual* rate starts following the trajectory from this event's
+  /// timestamp, to be observed by the service's own periodic
+  /// self-measurements. Replaces scripted kMonitorReport events in
+  /// closed-loop traces; ignored (counted only) when the service runs
+  /// open-loop.
+  kRateDirective,
 };
 
 const char* EventKindName(EventKind kind);
@@ -35,7 +44,10 @@ const char* EventKindName(EventKind kind);
 ///   kMonitorReport                 — `measured_base_rates` and/or
 ///                                    `cpu_utilization`;
 ///   kTick                          — none (drives deferred re-planning
-///                                    rounds and optional simulation).
+///                                    rounds and, in closed-loop mode,
+///                                    periodic self-measurement);
+///   kRateDirective                 — `trajectory` (ground-truth rate
+///                                    model input, closed loop only).
 struct Event {
   int64_t time_ms = 0;
   EventKind kind = EventKind::kTick;
@@ -45,6 +57,9 @@ struct Event {
   std::map<StreamId, double> measured_base_rates;
   /// Per-host CPU as a fraction of budget (empty = no CPU observations).
   std::vector<double> cpu_utilization;
+  /// Ground-truth trajectory installed by kRateDirective; its times are
+  /// relative to this event's timestamp.
+  RateTrajectory trajectory;
 
   static Event Arrival(int64_t t, StreamId q);
   static Event Departure(int64_t t, StreamId q);
@@ -53,6 +68,7 @@ struct Event {
   static Event MonitorReport(int64_t t, std::map<StreamId, double> rates,
                              std::vector<double> cpu = {});
   static Event Tick(int64_t t);
+  static Event RateDirective(int64_t t, RateTrajectory trajectory);
 
   std::string ToString() const;
 };

@@ -24,6 +24,7 @@ std::string EventOutcome::ToString(const Catalog& catalog) const {
       out += " reuse-candidates=" + std::to_string(reuse_candidates);
     }
   }
+  if (measured) out += " measure";
   if (evicted > 0) out += " evicted=" + std::to_string(evicted);
   if (replanned_admitted + replanned_rejected > 0) {
     out += " replanned=" + std::to_string(replanned_admitted) + "/" +
@@ -53,6 +54,10 @@ PlanningService::PlanningService(Cluster* cluster, Catalog* catalog,
   SQPR_CHECK(cluster != nullptr && catalog != nullptr);
   if (options_.replan.workers > 0) {
     pool_ = std::make_unique<ThreadPool>(options_.replan.workers);
+  }
+  if (options_.closed_loop) {
+    telemetry_ =
+        std::make_unique<MeasurementEngine>(catalog, options_.telemetry);
   }
 }
 
@@ -96,6 +101,11 @@ Result<EventOutcome> PlanningService::Step() {
     case EventKind::kMonitorReport:
       CommitInFlightRound(&outcome);
       break;
+    case EventKind::kTick:
+      // A measuring tick is a monitor report the service writes itself:
+      // it crosses the same barrier before installing measured rates.
+      if (MeasurementDue()) CommitInFlightRound(&outcome);
+      break;
     default:
       break;
   }
@@ -119,6 +129,34 @@ Result<EventOutcome> PlanningService::Step() {
       break;
     case EventKind::kTick:
       ++stats_.ticks;
+      if (telemetry_ != nullptr &&
+          ++ticks_since_measure_ >= telemetry_->options().measure_period) {
+        ticks_since_measure_ = 0;
+        st = HandleSelfMeasurement(&outcome);
+      }
+      break;
+    case EventKind::kRateDirective:
+      ++stats_.rate_directives;
+      // Ground truth only exists in closed-loop mode; an open-loop
+      // replay of a closed-loop trace counts and skips the directive
+      // (there is nothing to measure it with).
+      if (telemetry_ != nullptr) {
+        // Only base streams have an injection rate to steer: a directive
+        // for a composite or unknown stream would install fine but could
+        // never be observed (measurements filter on is_base), so reject
+        // it loudly instead of letting the trajectory vanish silently.
+        const StreamId s = event.trajectory.stream;
+        Status installed =
+            (s >= 0 && s < catalog_->num_streams() && catalog_->stream(s).is_base)
+                ? telemetry_->rate_model().Install(event.trajectory,
+                                                   event.time_ms)
+                : Status::InvalidArgument("stream " + std::to_string(s) +
+                                          " is not a base stream");
+        if (!installed.ok()) {
+          SQPR_LOG_WARN << "rate directive rejected: "
+                        << installed.ToString();
+        }
+      }
       break;
   }
   if (!st.ok()) return st;
@@ -372,8 +410,15 @@ Status PlanningService::HandleHostJoin(const Event& event,
 Status PlanningService::HandleMonitorReport(const Event& event,
                                             EventOutcome* outcome) {
   ++stats_.monitor_reports;
+  return ApplyMonitorData(event.measured_base_rates, event.cpu_utilization,
+                          outcome);
+}
+
+Status PlanningService::ApplyMonitorData(
+    const std::map<StreamId, double>& measured_rates,
+    const std::vector<double>& cpu_utilization, EventOutcome* outcome) {
   const DriftReport report =
-      monitor_.Analyze(event.measured_base_rates, event.cpu_utilization,
+      monitor_.Analyze(measured_rates, cpu_utilization,
                        planner_.admitted_queries(), &deployment());
 
   // Note: the cycle's install step runs even when the report flags
@@ -385,7 +430,7 @@ Status PlanningService::HandleMonitorReport(const Event& event,
   // RunDriftCycle; this call site's re-admission sink is the bounded
   // scheduler (AdaptiveReplan's is immediate re-admission).
   SQPR_RETURN_IF_ERROR(RunDriftCycle(
-      &planner_, catalog_, event.measured_base_rates, report,
+      &planner_, catalog_, measured_rates, report,
       [this, outcome](StreamId q) {
         scheduler_.Enqueue(q);
         ++outcome->evicted;
@@ -395,6 +440,30 @@ Status PlanningService::HandleMonitorReport(const Event& event,
   // Rate updates alone do not change groundedness, so the cache only
   // goes stale when queries were actually removed.
   if (outcome->evicted > 0) cache_dirty_ = true;
+  return Status::OK();
+}
+
+Status PlanningService::HandleSelfMeasurement(EventOutcome* outcome) {
+  ++stats_.measurement_ticks;
+  outcome->measured = true;
+  Result<Measurement> measurement =
+      telemetry_->Measure(deployment(), clock_.now_ms());
+  if (!measurement.ok()) {
+    // A failed measurement must not take the loop down — skip the
+    // reporting period. Deterministic: the measurement is a pure
+    // function of the committed deployment, identical across replays.
+    SQPR_LOG_WARN << "self-measurement failed: "
+                  << measurement.status().ToString();
+    return Status::OK();
+  }
+  const int evicted_before = outcome->evicted;
+  SQPR_RETURN_IF_ERROR(ApplyMonitorData(measurement->measured_base_rates,
+                                        measurement->cpu_utilization,
+                                        outcome));
+  // An eviction here means the service detected drift in its *own*
+  // measurement and queued re-planning with no scripted report — the
+  // closed loop the counter makes visible.
+  if (outcome->evicted > evicted_before) ++stats_.auto_replan_rounds;
   return Status::OK();
 }
 

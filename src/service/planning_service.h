@@ -21,6 +21,7 @@
 #include "service/plan_cache.h"
 #include "service/replan_policy.h"
 #include "sim/cluster_sim.h"
+#include "telemetry/measurement_engine.h"
 
 namespace sqpr {
 
@@ -38,6 +39,14 @@ struct ServiceOptions {
   bool retry_rejected_on_join = true;
   /// Cap on the rejected queries remembered for such retries.
   int max_rejected_remembered = 64;
+  /// §IV-C closed loop: every `telemetry.measure_period` ticks the
+  /// service measures its *own* committed deployment (ClusterSim under
+  /// the telemetry rate model's ground-truth rates) and feeds the result
+  /// through the same monitor path scripted kMonitorReport events take —
+  /// drift detection and re-planning with zero scripted measurements.
+  /// kRateDirective events steer the ground truth.
+  bool closed_loop = false;
+  TelemetryOptions telemetry;
 };
 
 /// What happened while processing one event.
@@ -52,6 +61,9 @@ struct EventOutcome {
   int reuse_candidates = 0;
   /// Queries evicted by failure fallout or shortage this event.
   int evicted = 0;
+  /// A closed-loop self-measurement fired while processing this event
+  /// (meaningful for kTick in closed-loop mode only).
+  bool measured = false;
   /// Re-planning round results drained while processing this event.
   int replanned_admitted = 0;
   int replanned_rejected = 0;
@@ -74,6 +86,14 @@ struct ServiceStats {
   int64_t host_joins = 0;
   int64_t monitor_reports = 0;
   int64_t ticks = 0;
+  /// Closed-loop counters (§IV-C): rate-trajectory directives consumed,
+  /// self-measurements performed on measuring ticks, and measurements
+  /// whose drift cycle evicted at least one query — i.e. the re-planning
+  /// rounds the service triggered *by itself*, with no scripted
+  /// kMonitorReport event anywhere in the trace.
+  int64_t rate_directives = 0;
+  int64_t measurement_ticks = 0;
+  int64_t auto_replan_rounds = 0;
   int64_t evictions = 0;
   int64_t replan_rounds = 0;
   int64_t replanned_admitted = 0;
@@ -137,7 +157,13 @@ struct ServiceStats {
 ///                     recently rejected queries;
 ///   kMonitorReport  — §IV-B drift analysis: install measured rates,
 ///                     evict while over budget, queue affected queries;
-///   kTick           — drain pending re-planning rounds only.
+///   kTick           — drain pending re-planning rounds; in closed-loop
+///                     mode every measure_period-th tick first performs
+///                     a §IV-C self-measurement (simulate the committed
+///                     deployment under the telemetry rate model's true
+///                     rates) and feeds it through the same §IV-B path;
+///   kRateDirective  — install a ground-truth rate trajectory into the
+///                     closed loop's rate model (ignored open-loop).
 /// Every event ends by retiring the previously dispatched re-admission
 /// round and dispatching the next bounded one, so planning latency per
 /// event stays bounded no matter how large a failure or drift report is.
@@ -191,6 +217,11 @@ class PlanningService {
   Event MonitorReportFromSim(int64_t time_ms, const SimReport& report) const;
 
   const SqprPlanner& planner() const { return planner_; }
+  /// Closed-loop telemetry engine; null when `closed_loop` is off.
+  /// Non-const access exists so callers (tools, tests) can seed the
+  /// ground-truth rate model directly instead of via trace directives.
+  MeasurementEngine* telemetry() { return telemetry_.get(); }
+  const MeasurementEngine* telemetry() const { return telemetry_.get(); }
   const Deployment& deployment() const { return planner_.deployment(); }
   const PlanCache& plan_cache() const { return cache_; }
   const ServiceStats& stats() const { return stats_; }
@@ -232,6 +263,27 @@ class PlanningService {
   Status HandleHostFailure(const Event& event, EventOutcome* outcome);
   Status HandleHostJoin(const Event& event, EventOutcome* outcome);
   Status HandleMonitorReport(const Event& event, EventOutcome* outcome);
+
+  /// Shared §IV-B sink of measured data — scripted monitor reports and
+  /// closed-loop self-measurements alike: Analyze, then RunDriftCycle
+  /// into the bounded re-planning scheduler. Callers cross the monitor
+  /// barrier (retire the in-flight round) first: the cycle installs
+  /// measured rates in place (Catalog::UpdateBaseRate).
+  Status ApplyMonitorData(const std::map<StreamId, double>& measured_rates,
+                          const std::vector<double>& cpu_utilization,
+                          EventOutcome* outcome);
+
+  /// True on the tick that will fire a closed-loop self-measurement —
+  /// used by Step() to retire the in-flight round first (same barrier a
+  /// scripted kMonitorReport crosses).
+  bool MeasurementDue() const {
+    return telemetry_ != nullptr &&
+           ticks_since_measure_ + 1 >= telemetry_->options().measure_period;
+  }
+
+  /// One §IV-C self-measurement: simulate the committed deployment
+  /// under the rate model's current truth, then ApplyMonitorData.
+  Status HandleSelfMeasurement(EventOutcome* outcome);
 
   /// Retires the round dispatched during a previous event, then
   /// dispatches the next one against the state as of this event's
@@ -279,6 +331,12 @@ class PlanningService {
   /// start — safe, because AdmitMaterialized re-checks groundedness and
   /// SubmitQuery's dedup is authoritative).
   bool cache_dirty_ = false;
+  /// Closed-loop telemetry (null in open-loop mode). Loop-thread-owned,
+  /// like every other committed-state structure.
+  std::unique_ptr<MeasurementEngine> telemetry_;
+  /// Ticks consumed since the last self-measurement.
+  int ticks_since_measure_ = 0;
+
   /// Saved specs of failed hosts, restored on rejoin.
   std::map<HostId, HostSpec> failed_hosts_;
   /// Recently rejected queries (FIFO, bounded), retried after joins.

@@ -49,6 +49,12 @@ double ClusterSim::TuplesPerSec(StreamId s) const {
   return rate_mbps * 1e6 / 8.0 / config_.tuple_bytes;
 }
 
+double ClusterSim::TrueTuplesPerSec(StreamId s) const {
+  auto it = config_.base_rate_overrides.find(s);
+  if (it == config_.base_rate_overrides.end()) return TuplesPerSec(s);
+  return it->second * config_.rate_scale * 1e6 / 8.0 / config_.tuple_bytes;
+}
+
 Status ClusterSim::Setup() {
   SQPR_RETURN_IF_ERROR(deployment_.Validate());
   const Catalog& catalog = deployment_.catalog();
@@ -140,25 +146,35 @@ Status ClusterSim::Setup() {
     const double mid_selectivity =
         0.5 * (catalog.cost_model().selectivity_min +
                catalog.cost_model().selectivity_max);
+    // Key domain from the *nominal* rate (the selectivity the cost
+    // model assumed); injection at the *true* rate (override when the
+    // sim stands in for §IV-C ground truth). When the two differ the
+    // realised output rates drift off the estimates — the signal the
+    // measurement loop exists to observe.
     const double tps = TuplesPerSec(s);
     const int64_t key_domain = std::max<int64_t>(
         4, static_cast<int64_t>(2.0 * tps * window_sec / mid_selectivity /
                                 2.0));
     src->impl = std::make_unique<engine::RateSource>(
-        tps, key_domain, config_.seed ^ static_cast<uint64_t>(s) * 0x9e37u);
+        TrueTuplesPerSec(s), key_domain,
+        config_.seed ^ static_cast<uint64_t>(s) * 0x9e37u);
     sources_.push_back(std::move(src));
   }
   return Status::OK();
 }
 
 void ClusterSim::Publish(HostId host, StreamId stream,
-                         const engine::Tuple& tuple) {
+                         const engine::Tuple& tuple, bool origin) {
   // Guard against pathological recursion (validated deployments are
   // acyclic, so depth is bounded by the support-chain length).
   SQPR_CHECK(++publish_depth_ < 256) << "publish recursion too deep";
   const double bytes = config_.tuple_bytes;
 
-  produced_count_[stream] += 1;
+  // Count production once, at the originating host: a tuple arriving
+  // over a flow is the same tuple at a new host, and double-counting it
+  // would inflate the measured rate of every relayed stream — phantom
+  // drift the §IV-C closed loop would then "correct" forever.
+  if (origin) produced_count_[stream] += 1;
 
   // Client delivery.
   if (deployment_.ServingHost(stream) == host) {
@@ -187,7 +203,7 @@ void ClusterSim::Publish(HostId host, StreamId stream,
     for (HostId dest : fit->second) {
       bytes_sent_[host] += bytes;
       bytes_received_[dest] += bytes;
-      Publish(dest, stream, tuple);
+      Publish(dest, stream, tuple, /*origin=*/false);
     }
   }
   --publish_depth_;

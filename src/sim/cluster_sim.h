@@ -26,6 +26,13 @@ struct SimConfig {
   int64_t window_ms = 1000;
   int64_t duration_ms = 10000;
   uint64_t seed = 42;
+  /// Ground-truth overrides of base-stream injection rates (Mbps,
+  /// unscaled). Sources inject at these rates while per-tuple CPU costs
+  /// and join key domains stay derived from the catalog *estimates* —
+  /// exactly the estimate/reality gap a §IV-C self-measurement should
+  /// observe as rate and utilisation drift. Streams absent from the map
+  /// inject at their catalog rate.
+  std::map<StreamId, double> base_rate_overrides;
 };
 
 /// Per-host / per-query measurements from one simulation run.
@@ -67,10 +74,18 @@ class ClusterSim {
   struct SourceInstance;
 
   /// Publishes a tuple of `stream` appearing at `host` to local
-  /// consumers, outgoing flows and client delivery.
-  void Publish(HostId host, StreamId stream, const engine::Tuple& tuple);
+  /// consumers, outgoing flows and client delivery. `origin` is false
+  /// for flow re-publication at the receiving host, so each tuple
+  /// counts toward the stream's measured production rate exactly once.
+  void Publish(HostId host, StreamId stream, const engine::Tuple& tuple,
+               bool origin = true);
 
+  /// Nominal (catalog-estimate) tuple rate; the basis for per-tuple
+  /// cost conversion and key-domain derivation.
   double TuplesPerSec(StreamId s) const;
+  /// True injection rate: the base-rate override when one is set for
+  /// `s`, the nominal rate otherwise. Sources emit at this rate.
+  double TrueTuplesPerSec(StreamId s) const;
 
   const Deployment& deployment_;
   SimConfig config_;

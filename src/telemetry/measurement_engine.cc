@@ -1,0 +1,94 @@
+#include "telemetry/measurement_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace sqpr {
+
+MeasurementEngine::MeasurementEngine(const Catalog* catalog,
+                                     TelemetryOptions options)
+    : catalog_(catalog),
+      options_(options),
+      rate_model_(options.seed),
+      noise_rng_(options.seed ^ 0xda3e39cb94b95bdbULL) {
+  SQPR_CHECK(catalog != nullptr);
+  options_.measure_period = std::max(1, options_.measure_period);
+  // alpha = 0 would freeze every measurement at its first sample
+  // forever; clamp into (0, 1].
+  options_.ewma_alpha = std::clamp(options_.ewma_alpha, 0.01, 1.0);
+  // A noise factor reaching 1 - noise <= 0 could zero a sample, which
+  // the drift cycle could never install (rates must stay positive).
+  options_.noise = std::clamp(options_.noise, 0.0, 0.9);
+}
+
+double MeasurementEngine::Shape(double sample, double* ewma_state,
+                                bool first) {
+  double v = sample;
+  if (options_.noise > 0) {
+    v *= 1.0 + noise_rng_.NextDouble(-options_.noise, options_.noise);
+  }
+  *ewma_state = first ? v
+                      : options_.ewma_alpha * v +
+                            (1.0 - options_.ewma_alpha) * *ewma_state;
+  return *ewma_state;
+}
+
+Result<Measurement> MeasurementEngine::Measure(const Deployment& deployment,
+                                               int64_t now_ms) {
+  Measurement m;
+  m.time_ms = now_ms;
+
+  // Ground truth at this virtual time (advances random-walk state).
+  const std::map<StreamId, double> truth = rate_model_.RatesAt(now_ms);
+
+  // Execute the committed deployment under the true rates. The sim seed
+  // varies per measurement index so consecutive reporting periods are
+  // independent samples, yet any replay reproduces them bit-for-bit.
+  SimConfig sim_config = options_.sim;
+  sim_config.base_rate_overrides = truth;
+  sim_config.seed = options_.seed ^
+                    (0x9e3779b97f4a7c15ULL *
+                     (static_cast<uint64_t>(measurements_) + 1));
+  ClusterSim sim(deployment, sim_config);
+  SQPR_RETURN_IF_ERROR(sim.Setup());
+  Result<SimReport> report = sim.Run();
+  if (!report.ok()) return report.status();
+  m.raw = std::move(*report);
+  ++measurements_;
+
+  // Base-rate samples. A DISSP source host knows the injection rate of
+  // every base stream it hosts, consumed or not: take the realised rate
+  // from the simulation where the deployment ran a source, and the
+  // model's ground truth for modelled streams the deployment does not
+  // touch. Unmodelled but simulated streams are reported too — their
+  // realised rates sit on-estimate, which the drift cycle installs
+  // sub-threshold so estimates converge instead of drifting quietly.
+  std::map<StreamId, double> samples = truth;
+  for (const auto& [s, realised] : m.raw.measured_rate_mbps) {
+    if (s < 0 || s >= catalog_->num_streams() || !catalog_->stream(s).is_base) {
+      continue;
+    }
+    if (realised > 0) samples[s] = realised;
+  }
+
+  // Noise and smoothing, in deterministic (ordered-map, then host
+  // index) order: exactly one noise draw per sample per measurement.
+  for (const auto& [s, sample] : samples) {
+    auto [it, inserted] = rate_ewma_.try_emplace(s, 0.0);
+    m.measured_base_rates[s] = Shape(sample, &it->second, inserted);
+  }
+  const size_t hosts_before = cpu_ewma_.size();
+  if (cpu_ewma_.size() < m.raw.cpu_utilization.size()) {
+    cpu_ewma_.resize(m.raw.cpu_utilization.size(), 0.0);
+  }
+  m.cpu_utilization.resize(m.raw.cpu_utilization.size());
+  for (size_t h = 0; h < m.raw.cpu_utilization.size(); ++h) {
+    m.cpu_utilization[h] =
+        Shape(m.raw.cpu_utilization[h], &cpu_ewma_[h], h >= hosts_before);
+  }
+  return m;
+}
+
+}  // namespace sqpr

@@ -1,0 +1,109 @@
+#ifndef SQPR_TELEMETRY_MEASUREMENT_ENGINE_H_
+#define SQPR_TELEMETRY_MEASUREMENT_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "model/catalog.h"
+#include "plan/deployment.h"
+#include "sim/cluster_sim.h"
+#include "telemetry/rate_model.h"
+
+namespace sqpr {
+
+/// Configuration of the §IV-C self-measurement loop.
+struct TelemetryOptions {
+  /// Self-measurement fires every `measure_period` kTick events (>= 1).
+  int measure_period = 4;
+  /// EWMA smoothing factor over successive measurements of the same
+  /// quantity: smoothed = alpha * sample + (1 - alpha) * previous.
+  /// 1.0 (default) = no smoothing, raw samples.
+  double ewma_alpha = 1.0;
+  /// Relative measurement noise: every sample (rate and CPU alike) is
+  /// scaled by a seeded uniform factor in [1 - noise, 1 + noise] before
+  /// smoothing. 0 (default) = exact measurements.
+  double noise = 0.0;
+  /// Seeds both the rate model's random-walk streams and the
+  /// measurement-noise draws; replays with the same seed measure
+  /// identically.
+  uint64_t seed = 0;
+  /// Per-measurement ClusterSim run over the committed deployment. The
+  /// default is deliberately cheap (short horizon, scaled-down rates):
+  /// a measurement happens on the loop thread at every measuring tick.
+  SimConfig sim = DefaultSimConfig();
+
+  static SimConfig DefaultSimConfig() {
+    SimConfig config;
+    config.rate_scale = 0.02;
+    config.duration_ms = 500;
+    config.window_ms = 500;
+    return config;
+  }
+};
+
+/// One §IV-C self-measurement: what the DISSP hosts would report after
+/// sampling a reporting period under the current true rates.
+struct Measurement {
+  int64_t time_ms = 0;
+  /// Observed Mbps per base stream (noisy, EWMA-smoothed): realised
+  /// injection rates from the simulation where the committed deployment
+  /// uses the stream, the rate model's ground truth otherwise.
+  std::map<StreamId, double> measured_base_rates;
+  /// Per-host CPU as a fraction of budget, from executing the committed
+  /// deployment under the true rates (noisy, EWMA-smoothed).
+  std::vector<double> cpu_utilization;
+  /// The raw simulation report the measurement was distilled from.
+  SimReport raw;
+};
+
+/// The measurement half of the paper's closed control loop (§IV-C):
+/// every measure_period ticks the planning service asks this engine to
+/// measure its own committed deployment. The engine evaluates the
+/// ground-truth RateModel at the virtual time, executes the deployment
+/// under those rates via ClusterSim (base-rate overrides: sources inject
+/// at the *true* rates while per-tuple costs stay derived from the
+/// catalog *estimates* — exactly the gap a measurement should expose),
+/// then applies seeded noise and EWMA smoothing. The output feeds the
+/// same ResourceMonitor::Analyze + RunDriftCycle path a scripted
+/// kMonitorReport event takes.
+///
+/// Loop-thread-owned: Measure() reads the committed deployment and the
+/// catalog (lock-free reads), and is only called at the monitor barrier
+/// — after the in-flight re-planning round has been retired — so it
+/// never races worker solves. Determinism: measurements happen at
+/// deterministic logical points, the sim is seeded per measurement
+/// index, and noise draws advance once per sample in a fixed order, so
+/// the whole closed loop is worker-count-invariant.
+class MeasurementEngine {
+ public:
+  MeasurementEngine(const Catalog* catalog, TelemetryOptions options);
+
+  RateModel& rate_model() { return rate_model_; }
+  const RateModel& rate_model() const { return rate_model_; }
+  const TelemetryOptions& options() const { return options_; }
+  int64_t measurements() const { return measurements_; }
+
+  /// Performs one self-measurement of `deployment` at virtual time
+  /// `now_ms`. Advances the rate model (random walks), the noise stream
+  /// and the EWMA state.
+  Result<Measurement> Measure(const Deployment& deployment, int64_t now_ms);
+
+ private:
+  double Shape(double sample, double* ewma_state, bool first);
+
+  const Catalog* catalog_;
+  TelemetryOptions options_;
+  RateModel rate_model_;
+  Rng noise_rng_;
+  int64_t measurements_ = 0;
+  /// EWMA state, keyed like the outputs.
+  std::map<StreamId, double> rate_ewma_;
+  std::vector<double> cpu_ewma_;
+};
+
+}  // namespace sqpr
+
+#endif  // SQPR_TELEMETRY_MEASUREMENT_ENGINE_H_

@@ -1,0 +1,112 @@
+#include "telemetry/rate_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace sqpr {
+
+namespace {
+
+/// True rates must stay installable (Catalog::UpdateBaseRate rejects
+/// non-positive rates), so every trajectory floors at a tiny positive
+/// rate regardless of parameters.
+constexpr double kMinRateMbps = 1e-6;
+
+}  // namespace
+
+const char* RateTrajectoryKindName(RateTrajectory::Kind kind) {
+  switch (kind) {
+    case RateTrajectory::Kind::kConstant:
+      return "constant";
+    case RateTrajectory::Kind::kStep:
+      return "step";
+    case RateTrajectory::Kind::kRandomWalk:
+      return "walk";
+    case RateTrajectory::Kind::kPeriodic:
+      return "periodic";
+  }
+  return "unknown";
+}
+
+Status RateModel::Install(RateTrajectory trajectory, int64_t now_ms) {
+  if (trajectory.stream < 0) {
+    return Status::InvalidArgument("rate trajectory needs a stream");
+  }
+  if (!(trajectory.base_rate_mbps > 0)) {
+    return Status::InvalidArgument(
+        "rate trajectory for stream " + std::to_string(trajectory.stream) +
+        " needs a positive base rate");
+  }
+  trajectory.period_ms = std::max<int64_t>(1, trajectory.period_ms);
+  trajectory.step_at_ms = std::max<int64_t>(0, trajectory.step_at_ms);
+  trajectory.step_factor = std::max(1e-6, trajectory.step_factor);
+  trajectory.volatility = std::clamp(trajectory.volatility, 0.0, 0.99);
+  trajectory.min_factor = std::max(1e-6, trajectory.min_factor);
+  trajectory.max_factor =
+      std::max(trajectory.min_factor, trajectory.max_factor);
+  trajectory.amplitude = std::clamp(trajectory.amplitude, 0.0, 0.95);
+
+  Entry entry;
+  entry.install_ms = now_ms;
+  // The walk stream depends on (model seed, stream) only: installing or
+  // replacing one stream's trajectory never perturbs another's draws,
+  // and the same directive replayed at the same virtual time reproduces
+  // the same walk.
+  entry.walk_rng = Rng(seed_ ^ (0x9e3779b97f4a7c15ULL *
+                                (static_cast<uint64_t>(trajectory.stream) + 1)));
+  entry.trajectory = std::move(trajectory);
+  entries_[entry.trajectory.stream] = std::move(entry);
+  return Status::OK();
+}
+
+double RateModel::Eval(Entry* entry, int64_t t_ms) {
+  const RateTrajectory& t = entry->trajectory;
+  const int64_t rel_ms = std::max<int64_t>(0, t_ms - entry->install_ms);
+  double rate = t.base_rate_mbps;
+  switch (t.kind) {
+    case RateTrajectory::Kind::kConstant:
+      break;
+    case RateTrajectory::Kind::kStep:
+      if (rel_ms >= t.step_at_ms) rate *= t.step_factor;
+      break;
+    case RateTrajectory::Kind::kRandomWalk: {
+      const int64_t target_steps = rel_ms / t.period_ms;
+      while (entry->walk_steps < target_steps) {
+        entry->walk_factor *=
+            1.0 + entry->walk_rng.NextDouble(-t.volatility, t.volatility);
+        entry->walk_factor =
+            std::clamp(entry->walk_factor, t.min_factor, t.max_factor);
+        ++entry->walk_steps;
+      }
+      rate *= entry->walk_factor;
+      break;
+    }
+    case RateTrajectory::Kind::kPeriodic: {
+      const double two_pi = 2.0 * 3.14159265358979323846;
+      rate *= 1.0 + t.amplitude *
+                        std::sin(two_pi * static_cast<double>(rel_ms) /
+                                     static_cast<double>(t.period_ms) +
+                                 t.phase);
+      break;
+    }
+  }
+  return std::max(kMinRateMbps, rate);
+}
+
+Result<double> RateModel::RateAt(StreamId s, int64_t t_ms) {
+  auto it = entries_.find(s);
+  if (it == entries_.end()) {
+    return Status::NotFound("stream " + std::to_string(s) +
+                            " has no rate trajectory");
+  }
+  return Eval(&it->second, t_ms);
+}
+
+std::map<StreamId, double> RateModel::RatesAt(int64_t t_ms) {
+  std::map<StreamId, double> rates;
+  for (auto& [s, entry] : entries_) rates[s] = Eval(&entry, t_ms);
+  return rates;
+}
+
+}  // namespace sqpr

@@ -1,6 +1,7 @@
 #include "workload/trace.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -13,6 +14,47 @@ namespace {
 
 /// Event kinds weighted for sampling; eligibility is state-dependent.
 enum Kind { kArr, kDep, kFail, kJoin, kDrift, kTick, kKindCount };
+
+/// Samples a ground-truth trajectory for a closed-loop drift slot: the
+/// stream's actual rate departs from the catalog estimate by a shape
+/// drawn from {constant, step, walk, periodic}, scaled into the
+/// configured drift range.
+RateTrajectory SampleTrajectory(const TraceConfig& config,
+                                const Catalog& catalog, StreamId s,
+                                Rng* rng) {
+  RateTrajectory t;
+  t.stream = s;
+  t.base_rate_mbps = catalog.stream(s).rate_mbps;
+  const double scale =
+      rng->NextDouble(config.drift_scale_lo, config.drift_scale_hi);
+  switch (rng->NextBounded(4)) {
+    case 0:
+      t.kind = RateTrajectory::Kind::kConstant;
+      t.base_rate_mbps *= scale;
+      break;
+    case 1:
+      t.kind = RateTrajectory::Kind::kStep;
+      t.step_at_ms =
+          config.mean_gap_ms * (2 + static_cast<int64_t>(rng->NextBounded(6)));
+      t.step_factor = scale;
+      break;
+    case 2:
+      t.kind = RateTrajectory::Kind::kRandomWalk;
+      t.period_ms = std::max<int64_t>(1, config.mean_gap_ms);
+      t.volatility =
+          std::min(0.5, std::max(0.05, std::abs(scale - 1.0) / 4.0));
+      t.min_factor = std::min(1.0, config.drift_scale_lo);
+      t.max_factor = std::max(1.0, config.drift_scale_hi);
+      break;
+    default:
+      t.kind = RateTrajectory::Kind::kPeriodic;
+      t.period_ms = std::max<int64_t>(1, 12 * config.mean_gap_ms);
+      t.amplitude = std::min(0.95, std::max(0.2, std::abs(scale - 1.0)));
+      t.phase = rng->NextDouble(0.0, 6.28318530717958647692);
+      break;
+  }
+  return t;
+}
 
 }  // namespace
 
@@ -138,6 +180,17 @@ Result<std::vector<Event>> GenerateTrace(const TraceConfig& config,
         break;
       }
       case kDrift: {
+        if (config.closed_loop) {
+          // Closed loop: script the *cause* (a ground-truth trajectory),
+          // never the measurement — the replaying service observes it
+          // through its own periodic self-measurements.
+          const StreamId s = workload.base_streams[rng.NextBounded(
+              workload.base_streams.size())];
+          ++drifts;
+          events.push_back(Event::RateDirective(
+              now, SampleTrajectory(config, catalog, s, &rng)));
+          break;
+        }
         std::map<StreamId, double> rates;
         const int samples =
             std::max(1, std::min(config.drift_streams_per_report,
@@ -200,12 +253,54 @@ Status SaveTrace(const std::vector<Event>& events, const std::string& path) {
       case EventKind::kTick:
         out << "tick";
         break;
+      case EventKind::kRateDirective: {
+        const RateTrajectory& t = e.trajectory;
+        out << "rate " << t.stream << ' '
+            << RateTrajectoryKindName(t.kind);
+        char buf[160];
+        switch (t.kind) {
+          case RateTrajectory::Kind::kConstant:
+            std::snprintf(buf, sizeof(buf), " %.17g", t.base_rate_mbps);
+            break;
+          case RateTrajectory::Kind::kStep:
+            std::snprintf(buf, sizeof(buf), " %.17g %lld %.17g",
+                          t.base_rate_mbps,
+                          static_cast<long long>(t.step_at_ms),
+                          t.step_factor);
+            break;
+          case RateTrajectory::Kind::kRandomWalk:
+            std::snprintf(buf, sizeof(buf), " %.17g %lld %.17g %.17g %.17g",
+                          t.base_rate_mbps,
+                          static_cast<long long>(t.period_ms), t.volatility,
+                          t.min_factor, t.max_factor);
+            break;
+          case RateTrajectory::Kind::kPeriodic:
+            std::snprintf(buf, sizeof(buf), " %.17g %lld %.17g %.17g",
+                          t.base_rate_mbps,
+                          static_cast<long long>(t.period_ms), t.amplitude,
+                          t.phase);
+            break;
+        }
+        out << buf;
+        break;
+      }
     }
     out << '\n';
   }
   return out.good() ? Status::OK()
                     : Status::Internal("write failed: " + path);
 }
+
+namespace {
+
+/// Bounded excerpt of an offending trace line for parse diagnostics.
+std::string LineSnippet(const std::string& line) {
+  constexpr size_t kMaxSnippet = 48;
+  if (line.size() <= kMaxSnippet) return line;
+  return line.substr(0, kMaxSnippet) + "...";
+}
+
+}  // namespace
 
 Result<std::vector<Event>> LoadTrace(const std::string& path) {
   std::ifstream in(path);
@@ -219,14 +314,17 @@ Result<std::vector<Event>> LoadTrace(const std::string& path) {
     std::istringstream ss(line);
     int64_t t;
     std::string kind;
-    if (!(ss >> t >> kind)) {
+    // Every diagnostic names the offending line and quotes it: a trace
+    // is often generated or hand-edited far from where it is replayed,
+    // and "malformed line" without the line is undebuggable.
+    auto bad = [&](const std::string& what) {
       return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
-                                     ": malformed line");
-    }
-    auto bad = [&](const char* what) {
-      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
-                                     ": " + what);
+                                     ": " + what + " in '" +
+                                     LineSnippet(line) + "'");
     };
+    if (!(ss >> t >> kind)) {
+      return bad("malformed line (expected '<time_ms> <kind> ...')");
+    }
     if (kind == "arrival" || kind == "departure") {
       StreamId q;
       if (!(ss >> q)) return bad("missing stream id");
@@ -262,8 +360,37 @@ Result<std::vector<Event>> LoadTrace(const std::string& path) {
           Event::MonitorReport(t, std::move(rates), std::move(cpu)));
     } else if (kind == "tick") {
       events.push_back(Event::Tick(t));
+    } else if (kind == "rate") {
+      RateTrajectory traj;
+      std::string shape;
+      if (!(ss >> traj.stream >> shape)) {
+        return bad("missing stream id or trajectory kind");
+      }
+      if (!(ss >> traj.base_rate_mbps)) return bad("missing base rate");
+      if (shape == "constant") {
+        traj.kind = RateTrajectory::Kind::kConstant;
+      } else if (shape == "step") {
+        traj.kind = RateTrajectory::Kind::kStep;
+        if (!(ss >> traj.step_at_ms >> traj.step_factor)) {
+          return bad("step needs '<at_ms> <factor>'");
+        }
+      } else if (shape == "walk") {
+        traj.kind = RateTrajectory::Kind::kRandomWalk;
+        if (!(ss >> traj.period_ms >> traj.volatility >> traj.min_factor >>
+              traj.max_factor)) {
+          return bad("walk needs '<period_ms> <vol> <min_f> <max_f>'");
+        }
+      } else if (shape == "periodic") {
+        traj.kind = RateTrajectory::Kind::kPeriodic;
+        if (!(ss >> traj.period_ms >> traj.amplitude >> traj.phase)) {
+          return bad("periodic needs '<period_ms> <amplitude> <phase>'");
+        }
+      } else {
+        return bad("unknown trajectory kind '" + shape + "'");
+      }
+      events.push_back(Event::RateDirective(t, std::move(traj)));
     } else {
-      return bad("unknown event kind");
+      return bad("unknown event kind '" + kind + "'");
     }
   }
   return events;

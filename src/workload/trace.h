@@ -33,9 +33,20 @@ struct TraceConfig {
 
   /// Floors enforced by swapping kinds in the tail of the trace, so any
   /// trace long enough is guaranteed to exercise failure recovery and
-  /// the adaptive loop at least this often.
+  /// the adaptive loop at least this often. In closed-loop traces the
+  /// drift floor counts rate directives instead of monitor reports.
   int min_failures = 1;
   int min_drift_reports = 1;
+
+  /// Closed-loop traces (§IV-C): drift slots emit ground-truth
+  /// rate-trajectory directives — the kind sampled uniformly from
+  /// {constant, step, walk, periodic}, shaped by the drift scale range
+  /// below — instead of scripted kMonitorReport events. Replayed with
+  /// ServiceOptions::closed_loop, the service's own periodic
+  /// self-measurements observe the trajectories and trigger re-planning;
+  /// such traces contain *zero* hand-authored measurements. Raise
+  /// tick_weight when enabling this: measurements ride ticks.
+  bool closed_loop = false;
 
   /// Measured-rate multiplier range for drift reports (both directions:
   /// values < 1 free capacity, > 1 trigger shortage eviction).
@@ -63,6 +74,14 @@ Result<std::vector<Event>> GenerateTrace(const TraceConfig& config,
 ///   <t_ms> host-join <host>
 ///   <t_ms> monitor <n> <stream> <mbps> ... [cpu <m> <u0> ...]
 ///   <t_ms> tick
+///   <t_ms> rate <stream> constant <mbps>
+///   <t_ms> rate <stream> step <mbps> <at_ms> <factor>
+///   <t_ms> rate <stream> walk <mbps> <period_ms> <vol> <min_f> <max_f>
+///   <t_ms> rate <stream> periodic <mbps> <period_ms> <amplitude> <phase>
+/// (`rate` lines are closed-loop ground-truth directives; their times —
+/// step_at, periods — are relative to the event timestamp.)
+/// Parse errors report the line number and a snippet of the offending
+/// line.
 Status SaveTrace(const std::vector<Event>& events, const std::string& path);
 Result<std::vector<Event>> LoadTrace(const std::string& path);
 

@@ -148,6 +148,82 @@ TEST(ResourceMonitorTest, MapsOverloadedHostsToQueriesWithDeployment) {
   EXPECT_FALSE(lazy.empty());  // the overloaded host is still reported
 }
 
+// Boundary semantics (pinned by doc comments in resource_monitor.h):
+// both drift conditions compare STRICTLY, so a measurement exactly at a
+// threshold does not trigger re-planning.
+TEST(ResourceMonitorTest, RateDeviationExactlyAtThresholdIsNotDrift) {
+  Catalog catalog(CostModel{});
+  const StreamId a = catalog.AddBaseStream(0, 10.0, "a");
+  const StreamId b = catalog.AddBaseStream(0, 10.0, "b");
+  const StreamId ab = *catalog.CanonicalJoinStream({a, b});
+
+  DriftOptions options;
+  options.rate_threshold = 0.2;
+  ResourceMonitor monitor(&catalog, options);
+
+  // |12 - 10| / 10 == 0.2 exactly (2.0/10.0 is the correctly rounded
+  // double 0.2, identical to the threshold literal): on-estimate.
+  const DriftReport at = monitor.Analyze({{a, 12.0}}, {}, {ab});
+  EXPECT_TRUE(at.drifted_base_streams.empty());
+  EXPECT_TRUE(at.queries_to_replan.empty());
+  EXPECT_TRUE(at.empty());
+
+  // The same holds below the estimate: |8 - 10| / 10 == 0.2.
+  EXPECT_TRUE(monitor.Analyze({{a, 8.0}}, {}, {ab}).empty());
+
+  // One step past the threshold in either direction drifts.
+  const DriftReport above = monitor.Analyze({{a, 12.1}}, {}, {ab});
+  ASSERT_EQ(above.drifted_base_streams.size(), 1u);
+  EXPECT_EQ(above.drifted_base_streams[0], a);
+  ASSERT_EQ(above.queries_to_replan.size(), 1u);
+  EXPECT_EQ(above.queries_to_replan[0], ab);
+  EXPECT_FALSE(monitor.Analyze({{a, 7.9}}, {}, {ab}).empty());
+}
+
+TEST(ResourceMonitorTest, CpuExactlyAtShortageThresholdIsNotOverloaded) {
+  Catalog catalog(CostModel{});
+  DriftOptions options;
+  options.shortage_utilization = 1.0;
+  ResourceMonitor monitor(&catalog, options);
+
+  // Running exactly at capacity is not a shortage (strict comparison);
+  // one ulp over is.
+  const DriftReport at = monitor.Analyze({}, {1.0, 0.999999}, {});
+  EXPECT_TRUE(at.overloaded_hosts.empty());
+  EXPECT_TRUE(at.empty());
+
+  const DriftReport over =
+      monitor.Analyze({}, {1.0, std::nextafter(1.0, 2.0)}, {});
+  ASSERT_EQ(over.overloaded_hosts.size(), 1u);
+  EXPECT_EQ(over.overloaded_hosts[0], 1);
+}
+
+TEST(ResourceMonitorTest, EmptyDeploymentAndEmptyInputsAreBenign) {
+  Catalog catalog(CostModel{});
+  Cluster cluster(2, HostSpec{1.0, 100.0, 100.0, ""}, 1000.0);
+  const StreamId a = catalog.AddBaseStream(0, 10.0, "a");
+  Deployment empty(&cluster, &catalog);
+  ResourceMonitor monitor(&catalog, DriftOptions{});
+
+  // Nothing measured, nothing admitted, nothing deployed: an empty
+  // report, not a crash or a spurious re-plan.
+  const DriftReport nothing = monitor.Analyze({}, {}, {}, &empty);
+  EXPECT_TRUE(nothing.empty());
+  EXPECT_TRUE(nothing.queries_to_replan.empty());
+
+  // A drifted stream with no admitted queries still reports the stream
+  // (so its rate gets installed) but implicates no queries — even with
+  // the empty deployment supplied for host mapping.
+  const DriftReport drifted = monitor.Analyze({{a, 30.0}}, {1.5, 0.2}, {},
+                                              &empty);
+  ASSERT_EQ(drifted.drifted_base_streams.size(), 1u);
+  ASSERT_EQ(drifted.overloaded_hosts.size(), 1u);
+  EXPECT_TRUE(drifted.queries_to_replan.empty());
+
+  // And an empty deployment never reports an over-budget host.
+  EXPECT_EQ(FirstOverBudgetHost(empty, 1e-6), kInvalidHost);
+}
+
 TEST(ResourceMonitorTest, FlagsOverloadedHosts) {
   Catalog catalog(CostModel{});
   ResourceMonitor monitor(&catalog, DriftOptions{});

@@ -11,6 +11,11 @@
 // rebuilt from scratch (fresh catalog/cluster/workload from the same
 // seed): drift reports install measured rates into the catalog, so
 // nothing may leak between replays.
+//
+// The contract extends unchanged to closed-loop mode (§IV-C): a second
+// property replays generated closed-loop traces — ground-truth rate
+// trajectories plus periodic self-measurement, zero scripted monitor
+// events — across the same worker counts.
 
 #include <gtest/gtest.h>
 
@@ -42,6 +47,10 @@ struct ReplayResult {
   int64_t replan_dispatches = 0;
   int64_t commit_conflicts = 0;
   int64_t overlapped_arrival_solves = 0;
+  int64_t monitor_reports = 0;
+  int64_t rate_directives = 0;
+  int64_t measurement_ticks = 0;
+  int64_t auto_replan_rounds = 0;
   int pending_replans = 0;
   bool valid = false;
 
@@ -49,7 +58,9 @@ struct ReplayResult {
     return std::tie(fingerprint, admitted, rejected, dedup_hits,
                     cache_fast_path, evictions, replanned_admitted,
                     replanned_rejected, replan_dispatches, commit_conflicts,
-                    overlapped_arrival_solves, pending_replans, valid);
+                    overlapped_arrival_solves, monitor_reports,
+                    rate_directives, measurement_ticks, auto_replan_rounds,
+                    pending_replans, valid);
   }
   bool operator==(const ReplayResult& other) const {
     return Tie() == other.Tie();
@@ -65,6 +76,10 @@ std::ostream& operator<<(std::ostream& os, const ReplayResult& r) {
             << " dispatches=" << r.replan_dispatches
             << " conflicts=" << r.commit_conflicts
             << " overlapped=" << r.overlapped_arrival_solves
+            << " monitor=" << r.monitor_reports
+            << " directives=" << r.rate_directives
+            << " measured=" << r.measurement_ticks
+            << " auto=" << r.auto_replan_rounds
             << " pending=" << r.pending_replans << " valid=" << r.valid
             << "\nfingerprint:\n"
             << r.fingerprint;
@@ -90,7 +105,7 @@ TraceConfig MakeTraceConfig(uint64_t seed) {
   return tc;
 }
 
-ReplayResult Replay(uint64_t seed, int workers) {
+ReplayResult Replay(uint64_t seed, int workers, bool closed_loop = false) {
   Cluster cluster(3, HostSpec{0.6, 70.0, 70.0, ""}, 140.0);
   Catalog catalog(CostModel{});
 
@@ -102,8 +117,15 @@ ReplayResult Replay(uint64_t seed, int workers) {
   Result<Workload> workload = GenerateWorkload(wc, 3, &catalog);
   EXPECT_TRUE(workload.ok()) << workload.status().ToString();
 
-  Result<std::vector<Event>> trace =
-      GenerateTrace(MakeTraceConfig(seed), *workload, 3, catalog);
+  TraceConfig tc = MakeTraceConfig(seed);
+  if (closed_loop) {
+    // Drift slots become ground-truth trajectories and the tick weight
+    // rises — the §IV-C measurements (and therefore every re-planning
+    // round) fire from the service's own loop.
+    tc.closed_loop = true;
+    tc.tick_weight = 0.55;
+  }
+  Result<std::vector<Event>> trace = GenerateTrace(tc, *workload, 3, catalog);
   EXPECT_TRUE(trace.ok()) << trace.status().ToString();
 
   ServiceOptions options;
@@ -113,6 +135,17 @@ ReplayResult Replay(uint64_t seed, int workers) {
   options.planner.timeout_ms = 60000;
   options.planner.max_nodes = 80;
   options.replan.workers = workers;
+  if (closed_loop) {
+    options.closed_loop = true;
+    options.telemetry.measure_period = 2;
+    options.telemetry.seed = seed;
+    // Exercise the full measurement shaping (noise + smoothing) — both
+    // are seeded/stateful and must replay identically.
+    options.telemetry.ewma_alpha = 0.7;
+    options.telemetry.noise = 0.05;
+    options.telemetry.sim.rate_scale = 0.02;
+    options.telemetry.sim.duration_ms = 400;
+  }
   PlanningService service(&cluster, &catalog, options);
   for (const Event& e : *trace) EXPECT_TRUE(service.Enqueue(e).ok());
   EXPECT_TRUE(service.RunUntilIdle().ok());
@@ -130,6 +163,10 @@ ReplayResult Replay(uint64_t seed, int workers) {
   result.replan_dispatches = stats.replan_dispatches;
   result.commit_conflicts = stats.commit_conflicts;
   result.overlapped_arrival_solves = stats.overlapped_arrival_solves;
+  result.monitor_reports = stats.monitor_reports;
+  result.rate_directives = stats.rate_directives;
+  result.measurement_ticks = stats.measurement_ticks;
+  result.auto_replan_rounds = stats.auto_replan_rounds;
   result.pending_replans = service.pending_replans();
   result.valid = service.deployment().Validate().ok();
   return result;
@@ -149,6 +186,31 @@ TEST_P(ServiceReplayPropertyTest, WorkerCountInvariantDeployments) {
   const ReplayResult four_workers = Replay(seed, 4);
   EXPECT_EQ(inline_mode, four_workers) << "workers 0 vs 4 diverged, seed "
                                        << seed;
+}
+
+// The same property over the §IV-C closed loop: the trace scripts
+// ground-truth trajectories (zero monitor reports) and every
+// measurement — the ClusterSim run, the seeded noise, the EWMA state,
+// the drift cycle it triggers — happens at the tick barrier on the loop
+// thread, so the full self-measuring service must stay bit-for-bit
+// worker-count-invariant too.
+TEST_P(ServiceReplayPropertyTest, ClosedLoopWorkerCountInvariant) {
+  const uint64_t seed = GetParam();
+  const ReplayResult inline_mode = Replay(seed, 0, /*closed_loop=*/true);
+  EXPECT_TRUE(inline_mode.valid) << "seed " << seed;
+  EXPECT_EQ(inline_mode.monitor_reports, 0)
+      << "closed-loop traces must not script measurements, seed " << seed;
+  EXPECT_GT(inline_mode.measurement_ticks, 0)
+      << "closed loop never self-measured, seed " << seed;
+  EXPECT_GT(inline_mode.rate_directives, 0) << "seed " << seed;
+
+  const ReplayResult one_worker = Replay(seed, 1, /*closed_loop=*/true);
+  EXPECT_EQ(inline_mode, one_worker)
+      << "closed loop: workers 0 vs 1 diverged, seed " << seed;
+
+  const ReplayResult four_workers = Replay(seed, 4, /*closed_loop=*/true);
+  EXPECT_EQ(inline_mode, four_workers)
+      << "closed loop: workers 0 vs 4 diverged, seed " << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(Traces, ServiceReplayPropertyTest,

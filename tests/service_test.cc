@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
 #include <map>
 #include <string>
 #include <tuple>
@@ -588,6 +589,114 @@ TEST(TraceTest, GeneratesRequiredEventMixDeterministically) {
   }
 }
 
+// ---- Closed loop (§IV-C): self-measurement drives re-planning. ----
+
+/// Closed-loop options with a cheap measurement sim and no smoothing or
+/// noise, measuring on every tick.
+ServiceOptions ClosedLoopOptions(int measure_period = 1) {
+  ServiceOptions options;
+  options.closed_loop = true;
+  options.telemetry.measure_period = measure_period;
+  options.telemetry.seed = 7;
+  options.telemetry.sim.rate_scale = 0.05;
+  options.telemetry.sim.duration_ms = 1000;
+  return options;
+}
+
+TEST(PlanningServiceTest, ClosedLoopMeasuresAndReplansAutomatically) {
+  ServiceFixture fx(2, 2.0, 4, ClosedLoopOptions());
+  const StreamId q01 = fx.Join({0, 1});
+  const StreamId q23 = fx.Join({2, 3});
+  ASSERT_TRUE(fx.StepOne(Event::Arrival(1, q01)).admitted);
+  ASSERT_TRUE(fx.StepOne(Event::Arrival(2, q23)).admitted);
+
+  // Ground truth: base[0] actually runs at twice its 10 Mbps estimate.
+  // No monitor event is ever enqueued — the service must notice by
+  // measuring its own deployment on the next tick.
+  RateTrajectory twice;
+  twice.stream = fx.base[0];
+  twice.base_rate_mbps = 20.0;
+  fx.StepOne(Event::RateDirective(5, twice));
+  EXPECT_EQ(fx.service->stats().rate_directives, 1);
+
+  EventOutcome tick = fx.StepOne(Event::Tick(10));
+  EXPECT_TRUE(tick.measured);
+  EXPECT_EQ(fx.service->stats().measurement_ticks, 1);
+  EXPECT_EQ(fx.service->stats().monitor_reports, 0);
+  // The 2x drift exceeds the 20% threshold: q01 (leaf base[0]) was
+  // evicted and queued for re-planning — an automatic §IV-B round.
+  EXPECT_GE(tick.evicted, 1);
+  EXPECT_EQ(fx.service->stats().auto_replan_rounds, 1);
+  // The measured rate was installed: the estimate converged to ~20
+  // (the realised sim rate; quantisation leaves a few percent).
+  EXPECT_NEAR(fx.catalog.stream(fx.base[0]).rate_mbps, 20.0, 2.0);
+
+  fx.service->FinishInFlightRound();
+  EXPECT_GE(fx.service->stats().replanned_admitted +
+                fx.service->stats().replanned_rejected,
+            1);
+  EXPECT_TRUE(fx.service->deployment().Validate().ok());
+
+  // Converged: the next measurement sees rates on (the new) estimate
+  // and does not re-plan again.
+  const int64_t rounds_before = fx.service->stats().auto_replan_rounds;
+  fx.StepOne(Event::Tick(20));
+  EXPECT_EQ(fx.service->stats().measurement_ticks, 2);
+  EXPECT_EQ(fx.service->stats().auto_replan_rounds, rounds_before);
+  EXPECT_TRUE(fx.service->deployment().Validate().ok());
+}
+
+TEST(PlanningServiceTest, ClosedLoopHonoursMeasurePeriod) {
+  ServiceFixture fx(2, 2.0, 2, ClosedLoopOptions(/*measure_period=*/3));
+  ASSERT_TRUE(fx.StepOne(Event::Arrival(1, fx.Join({0, 1}))).admitted);
+  int64_t t = 10;
+  for (int i = 0; i < 6; ++i) fx.StepOne(Event::Tick(t += 10));
+  // Ticks 3 and 6 measure; 1, 2, 4, 5 only drain re-planning rounds.
+  EXPECT_EQ(fx.service->stats().ticks, 6);
+  EXPECT_EQ(fx.service->stats().measurement_ticks, 2);
+}
+
+TEST(PlanningServiceTest, ClosedLoopRejectsNonBaseRateDirectives) {
+  ServiceFixture fx(2, 2.0, 2, ClosedLoopOptions());
+  const StreamId q = fx.Join({0, 1});
+  ASSERT_TRUE(fx.StepOne(Event::Arrival(1, q)).admitted);
+
+  // A directive for a composite (or unknown) stream could never be
+  // observed — measurements only report base streams — so it must not
+  // enter the rate model to silently never fire.
+  RateTrajectory composite;
+  composite.stream = q;
+  composite.base_rate_mbps = 20.0;
+  fx.StepOne(Event::RateDirective(5, composite));
+  RateTrajectory unknown;
+  unknown.stream = 9999;
+  unknown.base_rate_mbps = 20.0;
+  fx.StepOne(Event::RateDirective(6, unknown));
+
+  EXPECT_EQ(fx.service->stats().rate_directives, 2);
+  ASSERT_NE(fx.service->telemetry(), nullptr);
+  EXPECT_TRUE(fx.service->telemetry()->rate_model().empty());
+}
+
+TEST(PlanningServiceTest, OpenLoopCountsButIgnoresRateDirectives) {
+  ServiceFixture fx(2, 2.0, 2);  // closed_loop defaults to off
+  ASSERT_TRUE(fx.StepOne(Event::Arrival(1, fx.Join({0, 1}))).admitted);
+
+  RateTrajectory twice;
+  twice.stream = fx.base[0];
+  twice.base_rate_mbps = 20.0;
+  fx.StepOne(Event::RateDirective(5, twice));
+  EventOutcome tick = fx.StepOne(Event::Tick(10));
+
+  // The directive is counted but there is no ground truth to measure:
+  // no measurement, no drift, estimates untouched.
+  EXPECT_FALSE(tick.measured);
+  EXPECT_EQ(fx.service->stats().rate_directives, 1);
+  EXPECT_EQ(fx.service->stats().measurement_ticks, 0);
+  EXPECT_EQ(fx.service->telemetry(), nullptr);
+  EXPECT_DOUBLE_EQ(fx.catalog.stream(fx.base[0]).rate_mbps, 10.0);
+}
+
 TEST(TraceTest, SaveLoadRoundTrip) {
   std::vector<Event> events;
   events.push_back(Event::Arrival(10, 3));
@@ -613,6 +722,151 @@ TEST(TraceTest, SaveLoadRoundTrip) {
               events[i].measured_base_rates);
     EXPECT_EQ((*loaded)[i].cpu_utilization, events[i].cpu_utilization);
   }
+}
+
+TEST(TraceTest, SaveLoadRoundTripsRateDirectives) {
+  std::vector<Event> events;
+  RateTrajectory constant;
+  constant.kind = RateTrajectory::Kind::kConstant;
+  constant.stream = 4;
+  constant.base_rate_mbps = 12.3456789;
+  events.push_back(Event::RateDirective(10, constant));
+
+  RateTrajectory step;
+  step.kind = RateTrajectory::Kind::kStep;
+  step.stream = 5;
+  step.base_rate_mbps = 10.0;
+  step.step_at_ms = 750;
+  step.step_factor = 1.75;
+  events.push_back(Event::RateDirective(20, step));
+
+  RateTrajectory walk;
+  walk.kind = RateTrajectory::Kind::kRandomWalk;
+  walk.stream = 6;
+  walk.base_rate_mbps = 8.0;
+  walk.period_ms = 120;
+  walk.volatility = 0.25;
+  walk.min_factor = 0.5;
+  walk.max_factor = 3.0;
+  events.push_back(Event::RateDirective(30, walk));
+
+  RateTrajectory periodic;
+  periodic.kind = RateTrajectory::Kind::kPeriodic;
+  periodic.stream = 7;
+  periodic.base_rate_mbps = 9.5;
+  periodic.period_ms = 4000;
+  periodic.amplitude = 0.6;
+  periodic.phase = 1.25;
+  events.push_back(Event::RateDirective(40, periodic));
+
+  const std::string path =
+      ::testing::TempDir() + "/sqpr_trace_rate_roundtrip.txt";
+  ASSERT_TRUE(SaveTrace(events, path).ok());
+  Result<std::vector<Event>> loaded = LoadTrace(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].time_ms, events[i].time_ms);
+    ASSERT_EQ((*loaded)[i].kind, EventKind::kRateDirective);
+    const RateTrajectory& want = events[i].trajectory;
+    const RateTrajectory& got = (*loaded)[i].trajectory;
+    EXPECT_EQ(got.kind, want.kind);
+    EXPECT_EQ(got.stream, want.stream);
+    EXPECT_EQ(got.base_rate_mbps, want.base_rate_mbps);
+    EXPECT_EQ(got.step_at_ms, want.step_at_ms);
+    EXPECT_EQ(got.step_factor, want.step_factor);
+    EXPECT_EQ(got.period_ms, want.period_ms);
+    EXPECT_EQ(got.volatility, want.volatility);
+    EXPECT_EQ(got.min_factor, want.min_factor);
+    EXPECT_EQ(got.max_factor, want.max_factor);
+    EXPECT_EQ(got.amplitude, want.amplitude);
+    EXPECT_EQ(got.phase, want.phase);
+  }
+}
+
+TEST(TraceTest, GeneratesClosedLoopTracesWithoutMonitorReports) {
+  Catalog catalog(CostModel{});
+  WorkloadConfig wc;
+  wc.num_base_streams = 12;
+  wc.num_queries = 20;
+  Result<Workload> workload = GenerateWorkload(wc, 3, &catalog);
+  ASSERT_TRUE(workload.ok());
+
+  TraceConfig tc;
+  tc.num_events = 120;
+  tc.seed = 5;
+  tc.closed_loop = true;
+  tc.tick_weight = 0.5;
+  tc.min_drift_reports = 4;
+  Result<std::vector<Event>> trace = GenerateTrace(tc, *workload, 3, catalog);
+  ASSERT_TRUE(trace.ok());
+
+  int directives = 0, monitors = 0, ticks = 0;
+  for (const Event& e : *trace) {
+    directives += e.kind == EventKind::kRateDirective;
+    monitors += e.kind == EventKind::kMonitorReport;
+    if (e.kind == EventKind::kRateDirective) {
+      EXPECT_GT(e.trajectory.base_rate_mbps, 0.0);
+      EXPECT_GE(e.trajectory.stream, 0);
+    }
+    ticks += e.kind == EventKind::kTick;
+  }
+  EXPECT_EQ(monitors, 0) << "closed-loop traces script causes, never "
+                            "measurements";
+  EXPECT_GE(directives, tc.min_drift_reports);
+  EXPECT_GT(ticks, 0);
+
+  // Deterministic like every other generated trace.
+  Result<std::vector<Event>> again = GenerateTrace(tc, *workload, 3, catalog);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->size(), trace->size());
+  for (size_t i = 0; i < trace->size(); ++i) {
+    EXPECT_EQ((*again)[i].kind, (*trace)[i].kind);
+    EXPECT_EQ((*again)[i].trajectory.base_rate_mbps,
+              (*trace)[i].trajectory.base_rate_mbps);
+  }
+}
+
+// Satellite: parse diagnostics must name the offending line and quote
+// it — closed-loop traces add directive syntax that has to be
+// debuggable when hand-edited.
+TEST(TraceTest, ParseErrorsReportLineNumberAndSnippet) {
+  const std::string path = ::testing::TempDir() + "/sqpr_trace_bad.txt";
+  auto write_and_load = [&](const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+    out.close();
+    return LoadTrace(path);
+  };
+
+  // Line 3 (comments and blank lines count) is garbage.
+  Result<std::vector<Event>> r =
+      write_and_load("# header\n10 tick\nthis is not an event\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find(":3:"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().ToString().find("this is not an event"),
+            std::string::npos)
+      << r.status().ToString();
+
+  // A known kind with a missing payload quotes the line too.
+  r = write_and_load("10 arrival\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find(":1:"), std::string::npos);
+  EXPECT_NE(r.status().ToString().find("10 arrival"), std::string::npos);
+
+  // Unknown trajectory shapes name the shape and the line.
+  r = write_and_load("10 tick\n20 rate 3 sawtooth 5.0\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find(":2:"), std::string::npos);
+  EXPECT_NE(r.status().ToString().find("sawtooth"), std::string::npos);
+
+  // Long lines are excerpted, not dumped wholesale.
+  const std::string long_line(300, 'x');
+  r = write_and_load(long_line + "\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("..."), std::string::npos);
+  EXPECT_LT(r.status().ToString().size(), 200u);
 }
 
 }  // namespace

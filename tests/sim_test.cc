@@ -43,6 +43,52 @@ TEST(ClusterSimTest, DeliversServedBaseStream) {
   EXPECT_GT(report->network_mbps[0], 0.0);
 }
 
+TEST(ClusterSimTest, BaseRateOverridesDriveInjectionNotCosts) {
+  // The §IV-C ground-truth hook: sources inject at the override rate,
+  // so the measured production rate tracks the override while the
+  // catalog estimate is what the planner still believes.
+  Catalog catalog{CostModel{}};
+  Cluster cluster(2, HostSpec{1.0, 100.0, 100.0, ""}, 1000.0);
+  const StreamId a = catalog.AddBaseStream(0, 10.0);
+  Deployment dep(&cluster, &catalog);
+  ASSERT_TRUE(dep.SetServing(a, 0).ok());
+
+  SimConfig config = FastSim();
+  auto measured_rate = [&](double override_mbps) {
+    SimConfig c = config;
+    if (override_mbps > 0) c.base_rate_overrides[a] = override_mbps;
+    ClusterSim sim(dep, c);
+    EXPECT_TRUE(sim.Setup().ok());
+    auto report = sim.Run();
+    EXPECT_TRUE(report.ok());
+    return report->measured_rate_mbps[a];
+  };
+
+  const double nominal = measured_rate(0);
+  const double doubled = measured_rate(20.0);
+  EXPECT_NEAR(nominal, 10.0, 1.0);   // on estimate (quantisation only)
+  EXPECT_NEAR(doubled, 20.0, 2.0);   // tracks the override
+  EXPECT_DOUBLE_EQ(catalog.stream(a).rate_mbps, 10.0);  // estimate intact
+}
+
+TEST(ClusterSimTest, RelayedStreamCountsProductionOnce) {
+  // A stream relayed over flows must not measure above its injection
+  // rate: re-publication at the receiving hosts is the same tuple, and
+  // double-counting it would feed phantom drift to the closed loop.
+  Catalog catalog{CostModel{}};
+  Cluster cluster(3, HostSpec{1.0, 100.0, 100.0, ""}, 1000.0);
+  const StreamId a = catalog.AddBaseStream(0, 10.0);
+  Deployment dep(&cluster, &catalog);
+  ASSERT_TRUE(dep.AddFlow(0, 1, a).ok());
+  ASSERT_TRUE(dep.AddFlow(1, 2, a).ok());
+  ASSERT_TRUE(dep.SetServing(a, 2).ok());
+  ClusterSim sim(dep, FastSim());
+  ASSERT_TRUE(sim.Setup().ok());
+  auto report = sim.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->measured_rate_mbps[a], 10.0, 1.0);
+}
+
 TEST(ClusterSimTest, RelayedStreamReachesRemoteServer) {
   Catalog catalog{CostModel{}};
   Cluster cluster(3, HostSpec{1.0, 100.0, 100.0, ""}, 1000.0);

@@ -1,0 +1,289 @@
+// Tests for the closed-loop telemetry subsystem (§IV-C): ground-truth
+// rate trajectories on the virtual clock and the periodic
+// self-measurement engine (ClusterSim under true rates, seeded noise,
+// EWMA smoothing). Everything here must be a pure function of
+// (seed, trajectories, virtual time) — the service's determinism
+// contract extends to closed-loop mode only because it is.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/catalog.h"
+#include "model/cluster.h"
+#include "plan/deployment.h"
+#include "planner/sqpr/sqpr_planner.h"
+#include "telemetry/measurement_engine.h"
+#include "telemetry/rate_model.h"
+
+namespace sqpr {
+namespace {
+
+// ---- RateModel trajectories. ----
+
+TEST(RateModelTest, ConstantAndStepTrajectories) {
+  RateModel model(7);
+  RateTrajectory constant;
+  constant.kind = RateTrajectory::Kind::kConstant;
+  constant.stream = 0;
+  constant.base_rate_mbps = 12.5;
+  ASSERT_TRUE(model.Install(constant, /*now_ms=*/100).ok());
+
+  RateTrajectory step;
+  step.kind = RateTrajectory::Kind::kStep;
+  step.stream = 1;
+  step.base_rate_mbps = 10.0;
+  step.step_at_ms = 500;
+  step.step_factor = 2.0;
+  ASSERT_TRUE(model.Install(step, /*now_ms=*/100).ok());
+
+  EXPECT_DOUBLE_EQ(*model.RateAt(0, 100), 12.5);
+  EXPECT_DOUBLE_EQ(*model.RateAt(0, 100000), 12.5);
+  // Step times are relative to the install time.
+  EXPECT_DOUBLE_EQ(*model.RateAt(1, 100), 10.0);
+  EXPECT_DOUBLE_EQ(*model.RateAt(1, 599), 10.0);
+  EXPECT_DOUBLE_EQ(*model.RateAt(1, 600), 20.0);
+  EXPECT_DOUBLE_EQ(*model.RateAt(1, 10000), 20.0);
+
+  EXPECT_FALSE(model.RateAt(99, 100).ok());  // unmodelled stream
+  EXPECT_TRUE(model.Models(0));
+  EXPECT_FALSE(model.Models(99));
+}
+
+TEST(RateModelTest, PeriodicOscillatesAroundBaseWithinAmplitude) {
+  RateModel model(7);
+  RateTrajectory periodic;
+  periodic.kind = RateTrajectory::Kind::kPeriodic;
+  periodic.stream = 3;
+  periodic.base_rate_mbps = 10.0;
+  periodic.period_ms = 1000;
+  periodic.amplitude = 0.5;
+  periodic.phase = 0.0;
+  ASSERT_TRUE(model.Install(periodic, /*now_ms=*/0).ok());
+
+  double lo = 1e300, hi = -1e300;
+  for (int64_t t = 0; t <= 2000; t += 50) {
+    const double r = *model.RateAt(3, t);
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+    EXPECT_GE(r, 10.0 * (1.0 - 0.5) - 1e-9);
+    EXPECT_LE(r, 10.0 * (1.0 + 0.5) + 1e-9);
+  }
+  // Two full periods sampled at 1/20 resolution must visit both halves.
+  EXPECT_LT(lo, 10.0 * 0.7);
+  EXPECT_GT(hi, 10.0 * 1.3);
+  // Phase zero: the trajectory starts at the base rate.
+  EXPECT_DOUBLE_EQ(*model.RateAt(3, 0), 10.0);
+}
+
+TEST(RateModelTest, RandomWalkIsSeededDeterministicAndBounded) {
+  RateTrajectory walk;
+  walk.kind = RateTrajectory::Kind::kRandomWalk;
+  walk.stream = 5;
+  walk.base_rate_mbps = 10.0;
+  walk.period_ms = 100;
+  walk.volatility = 0.3;
+  walk.min_factor = 0.5;
+  walk.max_factor = 2.0;
+
+  RateModel a(42), b(42), c(43);
+  ASSERT_TRUE(a.Install(walk, 0).ok());
+  ASSERT_TRUE(b.Install(walk, 0).ok());
+  ASSERT_TRUE(c.Install(walk, 0).ok());
+
+  bool moved = false, differs = false;
+  for (int64_t t = 0; t <= 10000; t += 100) {
+    const double ra = *a.RateAt(5, t);
+    // Same seed => identical walk, step for step.
+    EXPECT_DOUBLE_EQ(ra, *b.RateAt(5, t)) << "t=" << t;
+    differs |= std::abs(ra - *c.RateAt(5, t)) > 1e-12;
+    moved |= std::abs(ra - 10.0) > 1e-12;
+    // Clamped to [min_factor, max_factor] * base.
+    EXPECT_GE(ra, 10.0 * 0.5 - 1e-9);
+    EXPECT_LE(ra, 10.0 * 2.0 + 1e-9);
+  }
+  EXPECT_TRUE(moved) << "walk never left the base rate";
+  EXPECT_TRUE(differs) << "different seeds produced identical walks";
+
+  // The walk is a function of virtual time, not of call count:
+  // re-querying the same timestamp returns the same value.
+  const double at_5s = *a.RateAt(5, 5000);
+  EXPECT_DOUBLE_EQ(*a.RateAt(5, 5000), at_5s);
+}
+
+TEST(RateModelTest, InstallValidatesAndReplaces) {
+  RateModel model(1);
+  RateTrajectory bad;
+  bad.stream = 2;
+  bad.base_rate_mbps = 0.0;  // must be positive
+  EXPECT_FALSE(model.Install(bad, 0).ok());
+  bad.stream = kInvalidStream;
+  bad.base_rate_mbps = 5.0;
+  EXPECT_FALSE(model.Install(bad, 0).ok());
+  EXPECT_TRUE(model.empty());
+
+  RateTrajectory first;
+  first.stream = 2;
+  first.base_rate_mbps = 5.0;
+  ASSERT_TRUE(model.Install(first, 0).ok());
+  RateTrajectory replacement = first;
+  replacement.base_rate_mbps = 8.0;
+  ASSERT_TRUE(model.Install(replacement, 100).ok());
+  EXPECT_EQ(model.size(), 1u);
+  EXPECT_DOUBLE_EQ(*model.RateAt(2, 200), 8.0);
+
+  // Out-of-range knobs are clamped, not rejected: a periodic amplitude
+  // >= 1 would drive the true rate negative, which could never be
+  // installed as a catalog rate.
+  RateTrajectory loud;
+  loud.kind = RateTrajectory::Kind::kPeriodic;
+  loud.stream = 3;
+  loud.base_rate_mbps = 10.0;
+  loud.period_ms = 1000;
+  loud.amplitude = 5.0;
+  loud.phase = -1.5707963267948966;  // sin = -1: the trough
+  ASSERT_TRUE(model.Install(loud, 0).ok());
+  EXPECT_GT(*model.RateAt(3, 0), 0.0);
+}
+
+// ---- MeasurementEngine. ----
+
+/// A deployed two-way join to measure: a ⋈ b placed on host 0, served
+/// from host 0.
+struct MeasuredScenario {
+  MeasuredScenario()
+      : cluster(2, HostSpec{1.0, 100.0, 100.0, ""}, 1000.0),
+        catalog(CostModel{}) {
+    a = catalog.AddBaseStream(0, 10.0, "a");
+    b = catalog.AddBaseStream(0, 10.0, "b");
+    planner = std::make_unique<SqprPlanner>(&cluster, &catalog,
+                                            SqprPlanner::Options{});
+    ab = *catalog.CanonicalJoinStream({a, b});
+    EXPECT_TRUE(planner->SubmitQuery(ab)->admitted);
+  }
+
+  Cluster cluster;
+  Catalog catalog;
+  StreamId a, b, ab;
+  std::unique_ptr<SqprPlanner> planner;
+};
+
+TelemetryOptions CheapTelemetry(uint64_t seed) {
+  TelemetryOptions options;
+  options.seed = seed;
+  options.sim.rate_scale = 0.05;
+  options.sim.duration_ms = 1000;
+  return options;
+}
+
+TEST(MeasurementEngineTest, ObservesGroundTruthRatesAndCpuDrift) {
+  MeasuredScenario s;
+
+  // Baseline: no trajectories — everything measures on-estimate.
+  MeasurementEngine baseline(&s.catalog, CheapTelemetry(11));
+  Result<Measurement> on_estimate =
+      baseline.Measure(s.planner->deployment(), 1000);
+  ASSERT_TRUE(on_estimate.ok()) << on_estimate.status().ToString();
+  ASSERT_EQ(on_estimate->cpu_utilization.size(), 2u);
+
+  // Ground truth: stream a actually runs at twice its estimate.
+  MeasurementEngine drifted(&s.catalog, CheapTelemetry(11));
+  RateTrajectory twice;
+  twice.stream = s.a;
+  twice.base_rate_mbps = 20.0;
+  ASSERT_TRUE(drifted.rate_model().Install(twice, 0).ok());
+  Result<Measurement> m = drifted.Measure(s.planner->deployment(), 1000);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(drifted.measurements(), 1);
+
+  // The realised rate of a tracks the truth (sim quantisation leaves a
+  // few percent), not the catalog estimate of 10.
+  ASSERT_EQ(m->measured_base_rates.count(s.a), 1u);
+  EXPECT_NEAR(m->measured_base_rates.at(s.a), 20.0, 2.0);
+  // More input tuples at unchanged per-tuple cost: host 0 works harder
+  // than it did on estimate.
+  EXPECT_GT(m->cpu_utilization[0], on_estimate->cpu_utilization[0] * 1.3);
+}
+
+TEST(MeasurementEngineTest, NoiseIsSeededAndBounded) {
+  MeasuredScenario s;
+
+  TelemetryOptions noisy = CheapTelemetry(5);
+  noisy.noise = 0.2;
+  MeasurementEngine e1(&s.catalog, noisy);
+  MeasurementEngine e2(&s.catalog, noisy);
+  TelemetryOptions exact = CheapTelemetry(5);
+  MeasurementEngine e0(&s.catalog, exact);
+
+  Result<Measurement> m1 = e1.Measure(s.planner->deployment(), 500);
+  Result<Measurement> m2 = e2.Measure(s.planner->deployment(), 500);
+  Result<Measurement> m0 = e0.Measure(s.planner->deployment(), 500);
+  ASSERT_TRUE(m1.ok() && m2.ok() && m0.ok());
+
+  // Same seed => bit-identical noisy measurements (the determinism the
+  // closed-loop replay contract rests on).
+  EXPECT_EQ(m1->measured_base_rates, m2->measured_base_rates);
+  EXPECT_EQ(m1->cpu_utilization, m2->cpu_utilization);
+
+  // Noise stays within the configured relative band of the exact run.
+  for (const auto& [stream, rate] : m0->measured_base_rates) {
+    ASSERT_EQ(m1->measured_base_rates.count(stream), 1u);
+    EXPECT_NEAR(m1->measured_base_rates.at(stream), rate,
+                0.2 * rate + 1e-9);
+  }
+}
+
+TEST(MeasurementEngineTest, EwmaSmoothsSuccessiveMeasurements) {
+  MeasuredScenario s;
+
+  TelemetryOptions smooth = CheapTelemetry(3);
+  smooth.ewma_alpha = 0.5;
+  MeasurementEngine engine(&s.catalog, smooth);
+
+  RateTrajectory flat;
+  flat.stream = s.a;
+  flat.base_rate_mbps = 10.0;  // on estimate at first
+  ASSERT_TRUE(engine.rate_model().Install(flat, 0).ok());
+  Result<Measurement> first = engine.Measure(s.planner->deployment(), 1000);
+  ASSERT_TRUE(first.ok());
+  const double first_a = first->measured_base_rates.at(s.a);
+
+  // The truth jumps to 30; with alpha = 0.5 the smoothed measurement
+  // lands halfway between the previous state and the new sample.
+  RateTrajectory jump;
+  jump.stream = s.a;
+  jump.base_rate_mbps = 30.0;
+  ASSERT_TRUE(engine.rate_model().Install(jump, 1000).ok());
+  Result<Measurement> second = engine.Measure(s.planner->deployment(), 2000);
+  ASSERT_TRUE(second.ok());
+  const double second_a = second->measured_base_rates.at(s.a);
+  EXPECT_GT(second_a, first_a + 5.0);   // moved toward the new truth...
+  EXPECT_LT(second_a, 30.0 - 5.0);      // ...but not all the way
+}
+
+TEST(MeasurementEngineTest, EmptyDeploymentMeasuresModelTruthOnly) {
+  Cluster cluster(2, HostSpec{1.0, 100.0, 100.0, ""}, 1000.0);
+  Catalog catalog(CostModel{});
+  const StreamId a = catalog.AddBaseStream(0, 10.0, "a");
+  Deployment empty(&cluster, &catalog);
+
+  MeasurementEngine engine(&catalog, CheapTelemetry(9));
+  RateTrajectory half;
+  half.stream = a;
+  half.base_rate_mbps = 5.0;
+  ASSERT_TRUE(engine.rate_model().Install(half, 0).ok());
+
+  Result<Measurement> m = engine.Measure(empty, 100);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  // Nothing deployed: CPU is idle everywhere, but the source host still
+  // knows its injection rate — the model truth is reported.
+  ASSERT_EQ(m->cpu_utilization.size(), 2u);
+  EXPECT_DOUBLE_EQ(m->cpu_utilization[0], 0.0);
+  EXPECT_DOUBLE_EQ(m->cpu_utilization[1], 0.0);
+  ASSERT_EQ(m->measured_base_rates.count(a), 1u);
+  EXPECT_DOUBLE_EQ(m->measured_base_rates.at(a), 5.0);
+}
+
+}  // namespace
+}  // namespace sqpr

@@ -44,6 +44,10 @@ struct Args {
   int64_t max_nodes = 0;  // 0 = keep the planner default
   int replan_round = 8;
   int workers = 0;
+  bool closed_loop = false;
+  int measure_period = 4;
+  uint64_t rate_seed = 0;       // 0 = follow --seed
+  bool rate_seed_set = false;
   std::string trace_path;       // load instead of generating
   std::string save_trace_path;  // write the generated trace
   bool verbose = false;
@@ -89,6 +93,15 @@ void Usage(std::FILE* out) {
       "                                 per-host CPU fractions (the\n"
       "                                 paper's SIV-B drift cycle)\n"
       "  <t_ms> tick                    drive deferred re-plan rounds\n"
+      "                                 (and closed-loop measurement)\n"
+      "  <t_ms> rate <stream> constant <mbps>\n"
+      "  <t_ms> rate <stream> step <mbps> <at_ms> <factor>\n"
+      "  <t_ms> rate <stream> walk <mbps> <period_ms> <vol> <min_f> <max_f>\n"
+      "  <t_ms> rate <stream> periodic <mbps> <period_ms> <ampl> <phase>\n"
+      "                                 closed-loop ground-truth rate\n"
+      "                                 trajectories (times relative to\n"
+      "                                 the event timestamp); ignored\n"
+      "                                 without --closed-loop\n"
       "Generated traces default to the TraceConfig in\n"
       "src/workload/trace.h: mean event gap 50 ms, kind weights\n"
       "arrival 1.0 / departure 0.35 / failure 0.03 / join 0.06 /\n"
@@ -109,6 +122,20 @@ void Usage(std::FILE* out) {
       "                   The same trace+seed commits identical\n"
       "                   deployments for any N >= 0 when the solver is\n"
       "                   node-bounded (see docs/ARCHITECTURE.md)\n"
+      "\n"
+      "Closed-loop flags (SIV-C self-measurement):\n"
+      "  --closed-loop    the service measures its own committed\n"
+      "                   deployment every --measure-period ticks\n"
+      "                   (ClusterSim under the telemetry rate model's\n"
+      "                   ground-truth rates) and feeds the result\n"
+      "                   through the SIV-B drift cycle — re-planning\n"
+      "                   fires with zero scripted monitor events.\n"
+      "                   Generated traces emit rate directives instead\n"
+      "                   of monitor reports (and more ticks)\n"
+      "  --measure-period N\n"
+      "                   ticks between self-measurements (default 4)\n"
+      "  --rate-seed N    seed for ground-truth trajectories and\n"
+      "                   measurement noise (default: --seed)\n"
       "  --verbose        print every event outcome\n"
       "  --help           show this message and exit\n");
 }
@@ -176,6 +203,13 @@ int main(int argc, char** argv) {
       args.replan_round = std::atoi(v);
     } else if (flag == "--workers" && (v = next())) {
       args.workers = std::atoi(v);
+    } else if (flag == "--closed-loop") {
+      args.closed_loop = true;
+    } else if (flag == "--measure-period" && (v = next())) {
+      args.measure_period = std::atoi(v);
+    } else if (flag == "--rate-seed" && (v = next())) {
+      args.rate_seed = std::strtoull(v, nullptr, 10);
+      args.rate_seed_set = true;
     } else if (flag == "--trace" && (v = next())) {
       args.trace_path = v;
     } else if (flag == "--save-trace" && (v = next())) {
@@ -190,7 +224,7 @@ int main(int argc, char** argv) {
     }
   }
   if (args.hosts < 2 || args.streams < 1 || args.queries < 1 ||
-      args.events < 1 || args.workers < 0) {
+      args.events < 1 || args.workers < 0 || args.measure_period < 1) {
     std::fprintf(stderr, "invalid scenario parameters\n\n");
     Usage(stderr);
     return 2;
@@ -227,6 +261,14 @@ int main(int argc, char** argv) {
     TraceConfig tc;
     tc.num_events = args.events;
     tc.seed = args.seed;
+    if (args.closed_loop) {
+      // Drift slots become ground-truth rate directives, and the tick
+      // weight rises so the self-measurement loop actually fires.
+      tc.closed_loop = true;
+      tc.tick_weight = std::max(tc.tick_weight, 0.5);
+      tc.drift_weight = std::max(tc.drift_weight, 0.10);
+      tc.min_drift_reports = std::max(tc.min_drift_reports, 3);
+    }
     Result<std::vector<Event>> generated =
         GenerateTrace(tc, *workload, args.hosts, catalog);
     if (!generated.ok()) {
@@ -249,6 +291,9 @@ int main(int argc, char** argv) {
   if (args.max_nodes > 0) options.planner.max_nodes = args.max_nodes;
   options.replan.max_queries_per_round = args.replan_round;
   options.replan.workers = args.workers;
+  options.closed_loop = args.closed_loop;
+  options.telemetry.measure_period = args.measure_period;
+  options.telemetry.seed = args.rate_seed_set ? args.rate_seed : args.seed;
   PlanningService service(&cluster, &catalog, options);
   for (const Event& e : trace) {
     const Status st = service.Enqueue(e);
@@ -264,13 +309,20 @@ int main(int argc, char** argv) {
       args.hosts, args.cpu, args.nic_mbps, args.link_mbps, args.streams,
       args.rate_mbps, args.zipf, static_cast<unsigned long long>(args.seed),
       args.workers);
+  if (args.closed_loop) {
+    std::printf(
+        "closed loop: self-measurement every %d ticks, rate seed %llu\n",
+        args.measure_period,
+        static_cast<unsigned long long>(options.telemetry.seed));
+  }
   std::printf("replaying %zu events through the planning service...\n\n",
               trace.size());
 
   // Per-event-kind latency aggregation.
-  double kind_ms[6] = {};
-  double kind_max_ms[6] = {};
-  int64_t kind_count[6] = {};
+  constexpr int kNumKinds = 7;
+  double kind_ms[kNumKinds] = {};
+  double kind_max_ms[kNumKinds] = {};
+  int64_t kind_count[kNumKinds] = {};
   while (service.HasPendingEvents()) {
     Result<EventOutcome> outcome = service.Step();
     if (!outcome.ok()) {
@@ -296,15 +348,17 @@ int main(int argc, char** argv) {
   std::printf("\nper-event-kind latency:\n");
   static const char* kKindNames[] = {"arrival",     "departure",
                                      "host-join",   "host-failure",
-                                     "monitor",     "tick"};
+                                     "monitor",     "tick",
+                                     "rate-directive"};
   static const EventKind kKinds[] = {
       EventKind::kQueryArrival, EventKind::kQueryDeparture,
       EventKind::kHostJoin,     EventKind::kHostFailure,
-      EventKind::kMonitorReport, EventKind::kTick};
-  for (int i = 0; i < 6; ++i) {
+      EventKind::kMonitorReport, EventKind::kTick,
+      EventKind::kRateDirective};
+  for (int i = 0; i < kNumKinds; ++i) {
     const int k = static_cast<int>(kKinds[i]);
     if (kind_count[k] == 0) continue;
-    std::printf("  %-13s %5lld events  avg %7.2f ms  max %7.2f ms\n",
+    std::printf("  %-14s %5lld events  avg %7.2f ms  max %7.2f ms\n",
                 kKindNames[i], static_cast<long long>(kind_count[k]),
                 kind_ms[k] / kind_count[k], kind_max_ms[k]);
   }
@@ -341,6 +395,13 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.host_failures),
               static_cast<long long>(stats.host_joins),
               static_cast<long long>(stats.monitor_reports));
+  if (args.closed_loop || stats.rate_directives > 0) {
+    std::printf("closed loop: %lld rate directives, %lld measurement ticks, "
+                "%lld auto re-plan rounds\n",
+                static_cast<long long>(stats.rate_directives),
+                static_cast<long long>(stats.measurement_ticks),
+                static_cast<long long>(stats.auto_replan_rounds));
+  }
   std::printf("re-planning: %lld evictions, %lld rounds, "
               "%lld re-admitted, %lld rejected, %d still pending\n",
               static_cast<long long>(stats.evictions),
