@@ -12,6 +12,8 @@
 // batched submissions, CPU+bandwidth-constrained admission, etc.
 
 #include <cstdio>
+#include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -80,6 +82,139 @@ inline void PrintHeader(const char* figure, const char* description,
   std::printf("(seed %llu; scaled-down reproduction, see EXPERIMENTS.md)\n",
               static_cast<unsigned long long>(seed));
   std::printf("==============================================================\n");
+}
+
+// ---- Machine-readable bench output (--json <path>). ----
+//
+// Every bench that opts in emits one flat JSON document:
+//   {
+//     "bench": "<name>", "seed": N, "schema_version": 1,
+//     "shape_checks_failed": K,   // nonzero when any shape check failed
+//     "records": [
+//       {"scenario": "...", "labels": {"k": "v", ...},
+//        "metrics": {"wall_ms": 1.2, ...}},
+//       ...
+//     ]
+//   }
+// Records are appended in run order; metric keys are emitted sorted, so
+// the file is diffable across runs. This is the perf trajectory the
+// checked-in BENCH_*.json baselines (tools/run_bench.sh) track — wins
+// land as numbers, regressions as diffs.
+
+/// One measured configuration of a bench scenario.
+struct BenchRecord {
+  std::string scenario;
+  /// Non-numeric dimensions (workers, measure mode, ...).
+  std::map<std::string, std::string> labels;
+  /// Numeric results (timings, throughputs, counters).
+  std::map<std::string, double> metrics;
+};
+
+inline std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Collects BenchRecords and writes the JSON document above.
+class BenchJsonWriter {
+ public:
+  BenchJsonWriter(std::string bench, uint64_t seed)
+      : bench_(std::move(bench)), seed_(seed) {}
+
+  BenchRecord& Add(std::string scenario) {
+    records_.emplace_back();
+    records_.back().scenario = std::move(scenario);
+    return records_.back();
+  }
+
+  /// Writes the document; returns false (with a message on stderr) when
+  /// the file cannot be created.
+  bool WriteFile(const std::string& path, int shape_checks_failed) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write JSON to %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"seed\": %llu,\n",
+                 JsonEscape(bench_).c_str(),
+                 static_cast<unsigned long long>(seed_));
+    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f, "  \"shape_checks_failed\": %d,\n", shape_checks_failed);
+    std::fprintf(f, "  \"records\": [\n");
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      std::fprintf(f, "    {\"scenario\": \"%s\",\n",
+                   JsonEscape(r.scenario).c_str());
+      std::fprintf(f, "     \"labels\": {");
+      size_t n = 0;
+      for (const auto& [k, v] : r.labels) {
+        std::fprintf(f, "%s\"%s\": \"%s\"", n++ ? ", " : "",
+                     JsonEscape(k).c_str(), JsonEscape(v).c_str());
+      }
+      std::fprintf(f, "},\n     \"metrics\": {");
+      n = 0;
+      for (const auto& [k, v] : r.metrics) {
+        // Counters round-trip exactly (a %.6g 1.90404e+06 would eat
+        // the low digits and hide regressions from the baseline diff);
+        // timings keep the compact float form.
+        const bool integral =
+            v >= -9.0e15 && v <= 9.0e15 &&
+            v == static_cast<double>(static_cast<long long>(v));
+        if (integral) {
+          std::fprintf(f, "%s\"%s\": %lld", n++ ? ", " : "",
+                       JsonEscape(k).c_str(), static_cast<long long>(v));
+        } else {
+          std::fprintf(f, "%s\"%s\": %.6g", n++ ? ", " : "",
+                       JsonEscape(k).c_str(), v);
+        }
+      }
+      std::fprintf(f, "}}%s\n", i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote bench JSON: %s (%zu records)\n", path.c_str(),
+                records_.size());
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  uint64_t seed_;
+  std::vector<BenchRecord> records_;
+};
+
+/// Parses the shared bench command line: `--json <path>` selects the
+/// machine-readable output file (empty = stdout text only). Returns
+/// false (after printing usage) on unknown flags, so benches exit 2.
+inline bool ParseBenchArgs(int argc, char** argv, std::string* json_path) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      *json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json <path>]\n"
+                   "  --json <path>  also write results as JSON (the\n"
+                   "                 BENCH_*.json trajectory format)\n",
+                   argv[0]);
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace bench

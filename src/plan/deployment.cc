@@ -21,6 +21,26 @@ void Deployment::Clear() {
   nic_out_used_.assign(cluster_->num_hosts(), 0.0);
   nic_in_used_.assign(cluster_->num_hosts(), 0.0);
   link_used_.clear();
+  RecordMutation(DeploymentMutation::Kind::kClear, kInvalidHost, kInvalidHost,
+                 kInvalidStream, kInvalidOperator);
+}
+
+void Deployment::RecordMutation(DeploymentMutation::Kind kind, HostId a,
+                                HostId b, StreamId stream, OperatorId op) {
+  ++version_;
+  if (kind != DeploymentMutation::Kind::kRecompute) ++structure_version_;
+  if (!journal_enabled_ || journal_truncated_) return;
+  if (journal_.size() >= journal_limit_) {
+    // Epoch overflow: drop the suffix and stop recording until the next
+    // EnableJournal. An incomplete journal must never replay (it would
+    // silently materialise the wrong state), and appending past the
+    // limit would grow without bound when no consumer drains it.
+    journal_.clear();
+    journal_.shrink_to_fit();
+    journal_truncated_ = true;
+    return;
+  }
+  journal_.push_back({kind, a, b, stream, op});
 }
 
 Status Deployment::AddFlow(HostId from, HostId to, StreamId s) {
@@ -31,6 +51,8 @@ Status Deployment::AddFlow(HostId from, HostId to, StreamId s) {
   nic_out_used_[from] += rate;
   nic_in_used_[to] += rate;
   link_used_[{from, to}] += rate;
+  RecordMutation(DeploymentMutation::Kind::kAddFlow, from, to, s,
+                 kInvalidOperator);
   return Status::OK();
 }
 
@@ -46,6 +68,8 @@ Status Deployment::RemoveFlow(HostId from, HostId to, StreamId s) {
   nic_out_used_[from] -= rate;
   nic_in_used_[to] -= rate;
   link_used_[{from, to}] -= rate;
+  RecordMutation(DeploymentMutation::Kind::kRemoveFlow, from, to, s,
+                 kInvalidOperator);
   return Status::OK();
 }
 
@@ -55,6 +79,8 @@ Status Deployment::PlaceOperator(HostId h, OperatorId o) {
   }
   cpu_used_[h] += catalog_->op(o).cpu_cost;
   mem_used_[h] += catalog_->op(o).mem_mb;
+  RecordMutation(DeploymentMutation::Kind::kPlaceOperator, h, kInvalidHost,
+                 kInvalidStream, o);
   return Status::OK();
 }
 
@@ -64,6 +90,8 @@ Status Deployment::RemoveOperator(HostId h, OperatorId o) {
   }
   cpu_used_[h] -= catalog_->op(o).cpu_cost;
   mem_used_[h] -= catalog_->op(o).mem_mb;
+  RecordMutation(DeploymentMutation::Kind::kRemoveOperator, h, kInvalidHost,
+                 kInvalidStream, o);
   return Status::OK();
 }
 
@@ -75,6 +103,8 @@ Status Deployment::SetServing(StreamId s, HostId h) {
   }
   serving_[s] = h;
   nic_out_used_[h] += catalog_->stream(s).rate_mbps;  // client delivery
+  RecordMutation(DeploymentMutation::Kind::kSetServing, h, kInvalidHost, s,
+                 kInvalidOperator);
   return Status::OK();
 }
 
@@ -82,8 +112,74 @@ Status Deployment::ClearServing(StreamId s) {
   auto it = serving_.find(s);
   if (it == serving_.end()) return Status::NotFound("stream not served");
   nic_out_used_[it->second] -= catalog_->stream(s).rate_mbps;
+  const HostId host = it->second;
   serving_.erase(it);
+  RecordMutation(DeploymentMutation::Kind::kClearServing, host, kInvalidHost,
+                 s, kInvalidOperator);
   return Status::OK();
+}
+
+void Deployment::EnableJournal(size_t limit) {
+  journal_enabled_ = true;
+  journal_truncated_ = false;
+  journal_limit_ = limit;
+  journal_.clear();
+}
+
+Status Deployment::ApplyJournal(
+    const std::vector<DeploymentMutation>& records) {
+  for (const DeploymentMutation& r : records) {
+    switch (r.kind) {
+      case DeploymentMutation::Kind::kAddFlow:
+        SQPR_RETURN_IF_ERROR(AddFlow(r.a, r.b, r.stream));
+        break;
+      case DeploymentMutation::Kind::kRemoveFlow:
+        SQPR_RETURN_IF_ERROR(RemoveFlow(r.a, r.b, r.stream));
+        break;
+      case DeploymentMutation::Kind::kPlaceOperator:
+        SQPR_RETURN_IF_ERROR(PlaceOperator(r.a, r.op));
+        break;
+      case DeploymentMutation::Kind::kRemoveOperator:
+        SQPR_RETURN_IF_ERROR(RemoveOperator(r.a, r.op));
+        break;
+      case DeploymentMutation::Kind::kSetServing:
+        SQPR_RETURN_IF_ERROR(SetServing(r.stream, r.a));
+        break;
+      case DeploymentMutation::Kind::kClearServing:
+        SQPR_RETURN_IF_ERROR(ClearServing(r.stream));
+        break;
+      case DeploymentMutation::Kind::kRecompute:
+        RecomputeAggregates();
+        break;
+      case DeploymentMutation::Kind::kClear:
+        Clear();
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+size_t Deployment::ApproxSizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& [s, flows] : flows_by_stream_) {
+    (void)s;
+    // Map node + vector payload.
+    bytes += sizeof(StreamId) + 3 * sizeof(void*) +
+             flows.size() * sizeof(std::pair<HostId, HostId>);
+  }
+  for (const auto& ops : ops_by_host_) {
+    // std::set nodes are ~3 pointers + key each.
+    bytes += ops.size() * (sizeof(OperatorId) + 3 * sizeof(void*));
+  }
+  bytes += serving_.size() *
+           (sizeof(StreamId) + sizeof(HostId) + 3 * sizeof(void*));
+  bytes += (cpu_used_.size() + mem_used_.size() + nic_out_used_.size() +
+            nic_in_used_.size()) *
+           sizeof(double);
+  bytes += link_used_.size() *
+           (sizeof(std::pair<HostId, HostId>) + sizeof(double) +
+            3 * sizeof(void*));
+  return bytes;
 }
 
 bool Deployment::HasFlow(HostId from, HostId to, StreamId s) const {
@@ -249,6 +345,8 @@ GroundedMap Deployment::GroundedAvailability() const {
 }
 
 void Deployment::RecomputeAggregates() {
+  RecordMutation(DeploymentMutation::Kind::kRecompute, kInvalidHost,
+                 kInvalidHost, kInvalidStream, kInvalidOperator);
   const int num_hosts = cluster_->num_hosts();
   cpu_used_.assign(num_hosts, 0.0);
   mem_used_.assign(num_hosts, 0.0);

@@ -1,7 +1,10 @@
 #include "planner/sqpr/sqpr_planner.h"
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
 #include <set>
+#include <utility>
 
 #include "common/logging.h"
 #include "milp/solver.h"
@@ -376,6 +379,66 @@ Result<AdmissionProposal> SqprPlanner::ProposeAdmission(
     proposal.delta = DiffDeployments(deployment_, scratch.deployment_);
   }
   return proposal;
+}
+
+std::shared_ptr<const SqprPlanner::Snapshot> SqprPlanner::MakeSnapshot(
+    SnapshotStats* stats) {
+  SnapshotStats local;
+  // Rebase when this is the first snapshot ever (journalling starts
+  // here — before that the journal is not anchored to any core), the
+  // overlay has outgrown the threshold, or the journal overflowed its
+  // bound between snapshots (a truncated epoch cannot replay). The
+  // rebase pays one full copy; amortised over the >= threshold
+  // mutations that forced it.
+  const size_t threshold =
+      static_cast<size_t>(std::max(0, options_.snapshot_rebase_threshold));
+  const bool rebase = snapshot_core_ == nullptr ||
+                      !deployment_.journal_enabled() ||
+                      deployment_.journal_truncated() ||
+                      deployment_.journal().size() > threshold;
+  if (rebase) {
+    // The journal bound doubles the threshold so back-to-back
+    // snapshots straddling exactly `threshold` mutations rebase via
+    // the size check, not the truncation path; past 2x with no
+    // snapshot draining it, recording stops and memory stays bounded.
+    deployment_.EnableJournal(2 * threshold + 1);
+    snapshot_core_ = std::make_shared<const Deployment>(deployment_);
+    local.rebased = true;
+    local.bytes_copied += deployment_.ApproxSizeBytes();
+  }
+  std::shared_ptr<Snapshot> snap(new Snapshot());
+  snap->cluster_ = cluster_;
+  snap->catalog_ = catalog_;
+  snap->options_ = options_;
+  snap->core_ = snapshot_core_;
+  snap->overlay_ = deployment_.journal();
+  snap->admitted_ = admitted_;
+  local.overlay_entries = snap->overlay_.size();
+  local.bytes_copied += snap->overlay_.size() * sizeof(DeploymentMutation) +
+                        snap->admitted_.size() * sizeof(StreamId);
+  if (stats != nullptr) *stats = local;
+  return snap;
+}
+
+const SqprPlanner& SqprPlanner::Snapshot::Materialized() const {
+  std::call_once(once_, [this] {
+    auto planner =
+        std::make_unique<SqprPlanner>(cluster_, catalog_, options_);
+    planner->deployment_ = *core_;
+    // Replaying the journal suffix reproduces the live deployment at
+    // MakeSnapshot time bit for bit (see DeploymentMutation) — the same
+    // state the retired deep copy used to capture, at O(changes) loop
+    // -thread cost instead of O(deployment).
+    SQPR_CHECK_OK(planner->deployment_.ApplyJournal(overlay_));
+    planner->admitted_ = admitted_;
+    materialized_ = std::move(planner);
+  });
+  return *materialized_;
+}
+
+Result<AdmissionProposal> SqprPlanner::Snapshot::ProposeAdmission(
+    StreamId query) const {
+  return Materialized().ProposeAdmission(query);
 }
 
 Result<PlanningStats> SqprPlanner::CommitProposal(

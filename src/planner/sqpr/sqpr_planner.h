@@ -1,6 +1,9 @@
 #ifndef SQPR_PLANNER_SQPR_SQPR_PLANNER_H_
 #define SQPR_PLANNER_SQPR_SQPR_PLANNER_H_
 
+#include <cstddef>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -61,6 +64,11 @@ class SqprPlanner : public Planner {
     /// so reuse/replanning quality is unchanged whenever the solver
     /// finishes in time.
     bool greedy_fallback = true;
+    /// Snapshot overlays (MakeSnapshot) rebase onto a fresh shared core
+    /// — one full deployment copy — once the mutation journal exceeds
+    /// this many entries, keeping the per-snapshot copy O(changes since
+    /// the last rebase) with an amortised-O(1) rebase cost per mutation.
+    int snapshot_rebase_threshold = 256;
     SqprModelOptions model;
   };
 
@@ -153,6 +161,53 @@ class SqprPlanner : public Planner {
   /// solve rejected the query commits nothing and reports the rejection.
   Result<PlanningStats> CommitProposal(const AdmissionProposal& proposal);
 
+  // ---- Copy-on-write snapshots (the worker pool's round inputs). ----
+
+  /// What one MakeSnapshot call copied on the calling (loop) thread.
+  struct SnapshotStats {
+    /// A fresh shared core was captured (full deployment copy).
+    bool rebased = false;
+    /// Journal entries shipped as the snapshot's overlay.
+    size_t overlay_entries = 0;
+    /// Bytes the call copied: overlay + admitted list, plus the full
+    /// deployment when it rebased.
+    size_t bytes_copied = 0;
+  };
+
+  /// An immutable view of the planner at MakeSnapshot time: a shared
+  /// core deployment (the last rebase point, shared by every snapshot
+  /// since) plus a thin overlay of the mutations recorded after it.
+  /// ProposeAdmission lazily materialises core+overlay into a full
+  /// planner — once per snapshot, on the first worker that needs it,
+  /// off the loop thread — and is safe to call from any number of
+  /// threads concurrently (same contract as on the live planner:
+  /// WarmCatalog must have run first).
+  class Snapshot {
+   public:
+    Result<AdmissionProposal> ProposeAdmission(StreamId query) const;
+
+   private:
+    friend class SqprPlanner;
+    Snapshot() = default;
+    const SqprPlanner& Materialized() const;
+
+    const Cluster* cluster_ = nullptr;
+    Catalog* catalog_ = nullptr;
+    Options options_;
+    std::shared_ptr<const Deployment> core_;
+    std::vector<DeploymentMutation> overlay_;
+    std::vector<StreamId> admitted_;
+    mutable std::once_flag once_;
+    mutable std::unique_ptr<SqprPlanner> materialized_;
+  };
+
+  /// Captures the committed state as a Snapshot in O(changes since the
+  /// last rebase): the core is a shared_ptr copy, the overlay is the
+  /// deployment's mutation journal. Rebases (one full copy) when the
+  /// journal exceeds Options::snapshot_rebase_threshold. Loop-thread
+  /// only, like every other mutator.
+  std::shared_ptr<const Snapshot> MakeSnapshot(SnapshotStats* stats = nullptr);
+
  private:
   struct RelevantSets {
     std::vector<StreamId> streams;
@@ -174,6 +229,9 @@ class SqprPlanner : public Planner {
   Options options_;
   Deployment deployment_;
   std::vector<StreamId> admitted_;
+  /// Last rebase point of MakeSnapshot; outstanding snapshots keep it
+  /// alive after the planner moves on. Null until the first snapshot.
+  std::shared_ptr<const Deployment> snapshot_core_;
 };
 
 }  // namespace sqpr

@@ -5,11 +5,27 @@
 namespace sqpr {
 
 void PlanCache::Rebuild(const Deployment& deployment) {
+  if (indexed_ && &deployment == indexed_deployment_ &&
+      deployment.structure_version() == indexed_version_) {
+    // No flow/placement/serving moved since the cache last indexed
+    // this deployment (ledger recomputes don't affect groundedness) —
+    // repeat-arrival dedup, empty failure fallout and friends request
+    // rebuilds without having changed anything. Skip the scan.
+    ++noop_skips_;
+    return;
+  }
+  RebuildScan(deployment);
+}
+
+void PlanCache::RebuildScan(const Deployment& deployment) {
   by_stream_.clear();
   by_signature_.clear();
   served_.clear();
 
   const GroundedMap grounded = deployment.GroundedAvailability();
+  num_hosts_ = grounded.num_hosts;
+  num_streams_ = grounded.num_streams;
+  grounded_ = grounded.bits;
 
   // Only streams actually produced or carried by committed state can be
   // grounded somewhere, so the signature table stays proportional to the
@@ -24,13 +40,157 @@ void PlanCache::Rebuild(const Deployment& deployment) {
       }
     }
     if (hosts.empty()) continue;
-    by_signature_[info.leaves] = s;
+    auto [it, inserted] = by_signature_.emplace(info.leaves, s);
+    if (!inserted) it->second = std::min(it->second, s);
     by_stream_.emplace(s, std::move(hosts));
   }
 
   for (StreamId s : deployment.ServedStreams()) {
     served_[s] = deployment.ServingHost(s);
   }
+
+  indexed_ = true;
+  indexed_version_ = deployment.structure_version();
+  indexed_deployment_ = &deployment;
+  ++rebuilds_;
+}
+
+void PlanCache::GrowStride() {
+  const int streams_now = catalog_->num_streams();
+  if (streams_now <= num_streams_) return;
+  std::vector<bool> grown(static_cast<size_t>(num_hosts_) * streams_now,
+                          false);
+  for (HostId h = 0; h < num_hosts_; ++h) {
+    for (StreamId s = 0; s < num_streams_; ++s) {
+      if (grounded_[static_cast<size_t>(h) * num_streams_ + s]) {
+        grown[static_cast<size_t>(h) * streams_now + s] = true;
+      }
+    }
+  }
+  // Newly interned base streams are grounded at their source hosts —
+  // the same seeding the from-scratch fixpoint applies. (New composite
+  // streams start ungrounded until an operator or flow grounds them.)
+  for (StreamId s = num_streams_; s < streams_now; ++s) {
+    const StreamInfo& info = catalog_->stream(s);
+    if (info.is_base && info.source_host != kInvalidHost &&
+        info.source_host < num_hosts_) {
+      grown[static_cast<size_t>(info.source_host) * streams_now + s] = true;
+    }
+  }
+  grounded_ = std::move(grown);
+  num_streams_ = streams_now;
+}
+
+void PlanCache::IndexMaterialized(HostId h, StreamId s) {
+  const StreamInfo& info = catalog_->stream(s);
+  if (info.is_base) return;
+  std::vector<HostId>& hosts = by_stream_[s];
+  auto pos = std::lower_bound(hosts.begin(), hosts.end(), h);
+  if (pos == hosts.end() || *pos != h) hosts.insert(pos, h);
+  auto [it, inserted] = by_signature_.emplace(info.leaves, s);
+  if (!inserted) it->second = std::min(it->second, s);
+}
+
+void PlanCache::Ground(HostId h, StreamId s,
+                       std::vector<std::pair<HostId, StreamId>>* worklist) {
+  grounded_[static_cast<size_t>(h) * num_streams_ + s] = true;
+  IndexMaterialized(h, s);
+  worklist->emplace_back(h, s);
+}
+
+void PlanCache::TryGroundOperator(
+    HostId h, OperatorId o,
+    std::vector<std::pair<HostId, StreamId>>* worklist) {
+  const OperatorInfo& op = catalog_->op(o);
+  if (Grounded(h, op.output)) return;
+  for (StreamId in : op.inputs) {
+    if (!Grounded(h, in)) return;
+  }
+  Ground(h, op.output, worklist);
+}
+
+bool PlanCache::ApplyDelta(const Deployment& deployment,
+                           const DeploymentDelta& delta) {
+  if (!indexed_ || !delta.ops_removed.empty() ||
+      !delta.flows_removed.empty()) {
+    // Un-grounding is not monotone — removals fall back to the full
+    // fixpoint. (The service routes removals here only via the rebuild
+    // flag, so this is a safety net, not the usual path.)
+    RebuildScan(deployment);
+    return false;
+  }
+
+  GrowStride();
+
+  for (const DeploymentDelta::ServingChange& change : delta.serving_changes) {
+    if (change.after == kInvalidHost) {
+      served_.erase(change.stream);
+    } else {
+      served_[change.stream] = change.after;
+    }
+  }
+
+  // Monotone closure over the additions: each newly grounded (host,
+  // stream) re-examines the operators and flows that consume it. The
+  // worklist is seeded with the delta's placements and flows; the
+  // result is the same least fixpoint RebuildScan computes from
+  // scratch, reached in O(delta × local fan-out) instead of
+  // O(hosts × catalog streams).
+  std::vector<std::pair<HostId, StreamId>> worklist;
+  for (const auto& [h, o] : delta.ops_added) {
+    TryGroundOperator(h, o, &worklist);
+  }
+  for (const auto& [from, to, s] : delta.flows_added) {
+    if (Grounded(from, s) && !Grounded(to, s)) {
+      Ground(to, s, &worklist);
+    }
+  }
+  while (!worklist.empty()) {
+    const auto [h, s] = worklist.back();
+    worklist.pop_back();
+    for (OperatorId o : deployment.OperatorsOn(h)) {
+      const OperatorInfo& op = catalog_->op(o);
+      if (std::find(op.inputs.begin(), op.inputs.end(), s) !=
+          op.inputs.end()) {
+        TryGroundOperator(h, o, &worklist);
+      }
+    }
+    for (const auto& [from, to] : deployment.FlowsOf(s)) {
+      if (from == h && !Grounded(to, s)) {
+        Ground(to, s, &worklist);
+      }
+    }
+  }
+
+  indexed_version_ = deployment.structure_version();
+  indexed_deployment_ = &deployment;
+  ++delta_updates_;
+  return true;
+}
+
+std::string PlanCache::DebugDump() const {
+  std::string out;
+  for (const auto& [s, hosts] : by_stream_) {
+    out += "mat " + std::to_string(s) + ":";
+    for (HostId h : hosts) out += " " + std::to_string(h);
+    out += "\n";
+  }
+  for (const auto& [sig, s] : by_signature_) {
+    out += "sig";
+    for (StreamId leaf : sig) out += " " + std::to_string(leaf);
+    out += " -> " + std::to_string(s) + "\n";
+  }
+  for (const auto& [s, h] : served_) {
+    out += "served " + std::to_string(s) + "@" + std::to_string(h) + "\n";
+  }
+  for (HostId h = 0; h < num_hosts_; ++h) {
+    for (StreamId s = 0; s < num_streams_; ++s) {
+      if (grounded_[static_cast<size_t>(h) * num_streams_ + s]) {
+        out += "g " + std::to_string(h) + ":" + std::to_string(s) + "\n";
+      }
+    }
+  }
+  return out;
 }
 
 bool PlanCache::FindMaterialized(StreamId stream, Hit* hit) const {

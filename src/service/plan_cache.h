@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "model/catalog.h"
@@ -26,12 +27,22 @@ namespace sqpr {
 ///   * partial hit — some proper subquery is materialised, i.e. the
 ///     MILP has a warm reuse opportunity (surfaced as candidates).
 ///
-/// The index is rebuilt from the deployment once per mutating event:
-/// cost O(hosts × catalog streams) for the grounded fixpoint plus
-/// O(placed operators) for the signature table. The *table* stays
-/// proportional to the deployment, but the rebuild scan does grow with
-/// the catalog (the join closure of every query ever seen) — the
-/// ROADMAP's incremental-maintenance item targets exactly that scan.
+/// Maintenance has two tiers:
+///   * Rebuild — the from-scratch grounded fixpoint plus a full
+///     signature-table scan: O(hosts × catalog streams × chain length).
+///     The catalog holds the join closure of every query ever seen, so
+///     this scan grows with workload history, not with the deployment.
+///     Rebuild() skips the scan entirely when the deployment's
+///     *structure* version counter is unchanged since the cache last
+///     indexed it (no-op mutating events, repeat-arrival dedup) —
+///     deliberately ignoring ledger-only recomputes from rate
+///     installs, which cannot change groundedness or serving.
+///   * ApplyDelta — incremental maintenance for *additive*
+///     DeploymentDelta updates (admission commits, serving changes):
+///     groundedness is monotone under additions, so the cache keeps the
+///     grounded bitmap and closes over the new operators/flows with a
+///     worklist, O(delta × local fan-out). Deltas carrying op/flow
+///     removals fall back to Rebuild (un-grounding is not monotone).
 class PlanCache {
  public:
   explicit PlanCache(const Catalog* catalog) : catalog_(catalog) {}
@@ -55,7 +66,20 @@ class PlanCache {
   };
 
   /// Reindexes materialised streams from the committed deployment.
+  /// Skips the scan (counting a no-op skip) when
+  /// `deployment.structure_version()` is unchanged since the last
+  /// Rebuild/ApplyDelta — rate installs bump only the full version()
+  /// and neither re-arm nor require a scan.
   void Rebuild(const Deployment& deployment);
+
+  /// Applies one additive delta against the (already committed)
+  /// `deployment`. Returns true when the update was incremental; falls
+  /// back to a full rebuild — returning false — when the delta carries
+  /// op/flow removals or the cache has never been built. After either
+  /// path the cache equals a from-scratch Rebuild of `deployment`,
+  /// provided every deployment change since the last sync is covered by
+  /// the deltas applied (the planning service guarantees this).
+  bool ApplyDelta(const Deployment& deployment, const DeploymentDelta& delta);
 
   /// Arrival-time lookup; updates the hit/miss counters. A hit is an
   /// exact match (served or materialised); a partial-only match counts
@@ -72,21 +96,73 @@ class PlanCache {
   int64_t hits() const { return exact_hits_ + partial_hits_; }
   int num_indexed() const { return static_cast<int>(by_stream_.size()); }
 
+  /// Maintenance counters: full fixpoint scans, incremental delta
+  /// applications, and rebuild requests skipped because the deployment
+  /// version had not moved (the repeat-arrival / empty-fallout no-ops).
+  int64_t rebuilds() const { return rebuilds_; }
+  int64_t delta_updates() const { return delta_updates_; }
+  int64_t noop_skips() const { return noop_skips_; }
+
+  /// Canonical dump of the index *and* the grounded bitmap — equality
+  /// of dumps is the contract between ApplyDelta and Rebuild that the
+  /// incremental-maintenance tests check.
+  std::string DebugDump() const;
+
  private:
+  void RebuildScan(const Deployment& deployment);
+  /// Grows the grounded bitmap to the catalog's current stream count,
+  /// seeding newly interned base streams at their source hosts (the
+  /// same seeding the fixpoint applies).
+  void GrowStride();
+  bool Grounded(HostId h, StreamId s) const {
+    return s < num_streams_ &&
+           grounded_[static_cast<size_t>(h) * num_streams_ + s];
+  }
+  /// Marks (h, s) grounded, indexes it, and pushes it on the worklist.
+  void Ground(HostId h, StreamId s,
+              std::vector<std::pair<HostId, StreamId>>* worklist);
+  /// Grounds the operator's output at h when all inputs are grounded.
+  void TryGroundOperator(HostId h, OperatorId o,
+                         std::vector<std::pair<HostId, StreamId>>* worklist);
+  /// Adds a materialised composite stream to the signature tables.
+  void IndexMaterialized(HostId h, StreamId s);
+
   const Catalog* catalog_;
 
-  /// Materialised composite streams with their grounded host lists.
+  /// Grounded-availability bitmap mirrored from the last sync (row-major
+  /// by host, stride num_streams_) — the state ApplyDelta extends.
+  int num_hosts_ = 0;
+  int num_streams_ = 0;
+  std::vector<bool> grounded_;
+
+  /// Materialised composite streams with their grounded host lists
+  /// (hosts ascending).
   std::map<StreamId, std::vector<HostId>> by_stream_;
   /// Canonical leaf signature -> materialised stream. Signatures are the
   /// sorted base-leaf sets the catalog hash-conses on, so two join
-  /// orders of the same leaves share one entry.
+  /// orders of the same leaves share one entry; when two streams carry
+  /// the same signature the smallest id wins (deterministic under both
+  /// maintenance tiers).
   std::map<std::vector<StreamId>, StreamId> by_signature_;
   /// Streams currently served (exact dedup hits).
   std::map<StreamId, HostId> served_;
 
+  bool indexed_ = false;
+  /// Deployment::structure_version() as of the last sync — ledger
+  /// recomputes don't move it, so rate installs can't defeat the no-op
+  /// skip.
+  uint64_t indexed_version_ = 0;
+  /// Identity of the deployment the version above refers to: version
+  /// counters are per-object, so a skip is only sound against the same
+  /// Deployment the cache last indexed.
+  const Deployment* indexed_deployment_ = nullptr;
+
   int64_t exact_hits_ = 0;
   int64_t partial_hits_ = 0;
   int64_t misses_ = 0;
+  int64_t rebuilds_ = 0;
+  int64_t delta_updates_ = 0;
+  int64_t noop_skips_ = 0;
 };
 
 }  // namespace sqpr

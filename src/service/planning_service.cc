@@ -166,11 +166,10 @@ Result<EventOutcome> PlanningService::Step() {
   // one event monopolise the loop.
   DrainReplanRounds(&outcome);
 
-  // One reuse-index rebuild per mutating event, not per mutation.
-  if (options_.use_plan_cache && cache_dirty_) {
-    cache_.Rebuild(deployment());
-    cache_dirty_ = false;
-  }
+  // One reuse-index update per mutating event, not per mutation:
+  // incremental deltas when everything was additive, one rebuild
+  // otherwise.
+  SyncPlanCache();
 
   outcome.wall_ms = watch.ElapsedMillis();
   stats_.total_wall_ms += outcome.wall_ms;
@@ -192,10 +191,48 @@ void PlanningService::FinishInFlightRound() {
   if (!inflight_) return;
   EventOutcome scratch;  // results land in the aggregate stats_
   CommitInFlightRound(&scratch);
-  if (options_.use_plan_cache && cache_dirty_) {
-    cache_.Rebuild(deployment());
-    cache_dirty_ = false;
+  SyncPlanCache();
+}
+
+void PlanningService::MarkCacheDelta(const DeploymentDelta& delta) {
+  if (!options_.use_plan_cache) return;
+  if (!delta.ops_removed.empty() || !delta.flows_removed.empty()) {
+    // Removals un-ground; the cache can only close monotonically.
+    cache_rebuild_ = true;
+    return;
   }
+  if (!cache_rebuild_) cache_deltas_.push_back(delta);
+}
+
+void PlanningService::MarkCacheServing(StreamId stream, HostId before,
+                                       HostId after) {
+  if (!options_.use_plan_cache || cache_rebuild_) return;
+  DeploymentDelta delta;
+  delta.serving_changes.push_back({stream, before, after});
+  cache_deltas_.push_back(std::move(delta));
+}
+
+void PlanningService::SyncPlanCache() {
+  if (!options_.use_plan_cache) return;
+  if (cache_rebuild_) {
+    // Rebuild itself no-ops (version check) when nothing actually moved
+    // — e.g. a failure event whose host carried no allocations.
+    cache_.Rebuild(deployment());
+  } else {
+    for (const DeploymentDelta& delta : cache_deltas_) {
+      const bool incremental = cache_.ApplyDelta(deployment(), delta);
+      if (incremental) {
+        ++stats_.cache_delta_updates;
+      } else {
+        // The cache fell back to a full scan (first build); that scan
+        // already reflects the final deployment, so the remaining
+        // deltas are subsumed.
+        break;
+      }
+    }
+  }
+  cache_rebuild_ = false;
+  cache_deltas_.clear();
 }
 
 Result<PlanningStats> PlanningService::Admit(StreamId query,
@@ -220,7 +257,13 @@ Result<PlanningStats> PlanningService::Admit(StreamId query,
       Result<PlanningStats> fast =
           planner_.AdmitMaterialized(query, lookup.exact_hit.hosts);
       if (fast.ok()) {
-        cache_dirty_ = true;
+        // A dedup outcome (already served) changed nothing — flagging it
+        // used to schedule a full no-op rebuild scan. Only a genuinely
+        // new serving arc needs indexing, and it is a pure serving
+        // delta.
+        if (fast->admitted && !fast->already_served) {
+          MarkCacheServing(query, kInvalidHost, deployment().ServingHost(query));
+        }
         stats_.admit_ms.Add(watch.ElapsedMillis());
         return fast;
       }
@@ -268,6 +311,7 @@ Result<PlanningStats> PlanningService::Admit(StreamId query,
 
   Stopwatch commit_watch;
   double solve_wall_ms = proposal->stats.wall_ms;
+  bool committed_via_delta = true;
   Result<PlanningStats> stats = planner_.CommitProposal(*proposal);
   stats_.commit_ms.Add(commit_watch.ElapsedMillis());
   if (!stats.ok() && stats.status().IsFailedPrecondition()) {
@@ -279,13 +323,22 @@ Result<PlanningStats> PlanningService::Admit(StreamId query,
     ++stats_.commit_conflicts;
     stats = planner_.SubmitQuery(query);
     if (stats.ok()) solve_wall_ms = stats->wall_ms;
+    committed_via_delta = false;
   }
   if (stats.ok()) {
     if (!stats->already_served && !stats->via_cache) {
       stats_.solve_ms.Add(solve_wall_ms);
       stats_.AddSolveSample(solve_wall_ms);
     }
-    if (stats->admitted && !stats->already_served) cache_dirty_ = true;
+    if (stats->admitted && !stats->already_served) {
+      // The committed delta is exactly what the reuse index must learn;
+      // an inline re-solve has no delta, so it schedules a rebuild.
+      if (committed_via_delta) {
+        MarkCacheDelta(proposal->delta);
+      } else {
+        MarkCacheRebuild();
+      }
+    }
   }
   stats_.admit_ms.Add(watch.ElapsedMillis());
   return stats;
@@ -343,6 +396,8 @@ void PlanningService::HandleDeparture(const Event& event,
                       event.query);
   if (it != rejected_recently_.end()) rejected_recently_.erase(it);
 
+  const uint64_t structure_before = deployment().structure_version();
+  const HostId served_at = deployment().ServingHost(event.query);
   const Status st = planner_.RemoveQuery(event.query);
   if (st.IsNotFound()) return;  // never admitted (or already departed)
   if (!st.ok() && !st.IsResourceExhausted()) {
@@ -350,7 +405,14 @@ void PlanningService::HandleDeparture(const Event& event,
                   << " failed: " << st.ToString();
     return;
   }
-  cache_dirty_ = true;
+  if (deployment().structure_version() == structure_before + 1) {
+    // Exactly one mutation: the serving arc cleared and the GC found
+    // nothing unshared to reclaim (the support is shared with surviving
+    // queries). Groundedness is untouched — a pure serving delta.
+    MarkCacheServing(event.query, served_at, kInvalidHost);
+  } else {
+    MarkCacheRebuild();
+  }
 }
 
 Status PlanningService::HandleHostFailure(const Event& event,
@@ -381,7 +443,9 @@ Status PlanningService::HandleHostFailure(const Event& event,
     ++outcome->evicted;
     ++stats_.evictions;
   }
-  cache_dirty_ = true;
+  // Structural removals: full rebuild (a no-op skip when the failed
+  // host carried nothing and the purge removed nothing).
+  MarkCacheRebuild();
   return Status::OK();
 }
 
@@ -417,6 +481,7 @@ Status PlanningService::HandleMonitorReport(const Event& event,
 Status PlanningService::ApplyMonitorData(
     const std::map<StreamId, double>& measured_rates,
     const std::vector<double>& cpu_utilization, EventOutcome* outcome) {
+  const uint64_t structure_before = deployment().structure_version();
   const DriftReport report =
       monitor_.Analyze(measured_rates, cpu_utilization,
                        planner_.admitted_queries(), &deployment());
@@ -437,17 +502,29 @@ Status PlanningService::ApplyMonitorData(
         ++stats_.evictions;
       }));
 
-  // Rate updates alone do not change groundedness, so the cache only
-  // goes stale when queries were actually removed.
-  if (outcome->evicted > 0) cache_dirty_ = true;
+  // Rate updates alone do not change groundedness, so rebuild only on
+  // structural fallout. The structure-version check (not the eviction
+  // count) is the gate: the drift cycle's shortage step can purge
+  // *residual* support via an EvictHost pass that removes operators
+  // and flows without evicting a single query — fallout an eviction
+  // count misses, which would leave the incremental cache stale
+  // indefinitely.
+  if (deployment().structure_version() != structure_before) {
+    MarkCacheRebuild();
+  }
   return Status::OK();
 }
 
 Status PlanningService::HandleSelfMeasurement(EventOutcome* outcome) {
   ++stats_.measurement_ticks;
+  if (telemetry_->options().mode == MeasureMode::kAnalytic) {
+    ++stats_.analytic_ticks;
+  }
   outcome->measured = true;
+  Stopwatch measure_watch;
   Result<Measurement> measurement =
       telemetry_->Measure(deployment(), clock_.now_ms());
+  stats_.measure_ms.Add(measure_watch.ElapsedMillis());
   if (!measurement.ok()) {
     // A failed measurement must not take the loop down — skip the
     // reporting period. Deterministic: the measurement is a pure
@@ -511,7 +588,15 @@ void PlanningService::DispatchReplanRound() {
       flight.latch->CountDown();
     }
   } else {
-    flight.snapshot = std::make_shared<const SqprPlanner>(planner_);
+    // Copy-on-write snapshot: a shared immutable core plus the mutation
+    // journal since the last rebase — O(changes) on the loop thread.
+    // The first worker to need it materialises the full planner copy
+    // off this thread (the deep copy the dispatch used to pay here).
+    SqprPlanner::SnapshotStats snap_stats;
+    flight.snapshot = planner_.MakeSnapshot(&snap_stats);
+    stats_.snapshot_bytes_copied +=
+        static_cast<int64_t>(snap_stats.bytes_copied);
+    if (snap_stats.rebased) ++stats_.snapshot_rebases;
     for (size_t i = 0; i < flight.queries.size(); ++i) {
       // Tasks capture the shared state by value, never `this`: the
       // pool's destructor (which drains and joins) is then always safe.
@@ -554,7 +639,9 @@ void PlanningService::CommitInFlightRound(EventOutcome* outcome) {
       if (committed.ok()) {
         resolved = true;
         admitted = committed->admitted;
-        if (admitted && !committed->already_served) cache_dirty_ = true;
+        if (admitted && !committed->already_served) {
+          MarkCacheDelta(proposal->delta);
+        }
       } else if (!committed.status().IsFailedPrecondition()) {
         // Hard error (malformed input) — mirrors an inline solve error.
         SQPR_LOG_WARN << "committing proposal for query " << q

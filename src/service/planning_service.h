@@ -94,6 +94,24 @@ struct ServiceStats {
   int64_t rate_directives = 0;
   int64_t measurement_ticks = 0;
   int64_t auto_replan_rounds = 0;
+  /// Self-measurements served by the analytic mode (deployment ledgers
+  /// scaled by truth/estimate ratios — no ClusterSim run). Equals
+  /// measurement_ticks when telemetry.mode == kAnalytic, 0 in engine
+  /// mode.
+  int64_t analytic_ticks = 0;
+  /// Reuse-index maintenance: events whose deployment changes were
+  /// applied to the PlanCache as incremental deltas (additive commits,
+  /// serving-only departures) instead of a full grounded-fixpoint
+  /// rebuild. Rebuild/no-op counts live on the PlanCache itself.
+  int64_t cache_delta_updates = 0;
+  /// Bytes MakeSnapshot copied on the loop thread to hand re-planning
+  /// rounds their inputs (overlay + admitted list, plus the full
+  /// deployment on the amortised rebases) — O(changes since the last
+  /// *rebase*, bounded by the rebase threshold) instead of the retired
+  /// per-round planner deep copy.
+  int64_t snapshot_bytes_copied = 0;
+  /// Snapshot rebases (full-copy epochs) within the count above.
+  int64_t snapshot_rebases = 0;
   int64_t evictions = 0;
   int64_t replan_rounds = 0;
   int64_t replanned_admitted = 0;
@@ -127,6 +145,11 @@ struct ServiceStats {
   RunningStats commit_ms;
   /// Loop-thread blocking waits for an in-flight round to finish.
   RunningStats barrier_ms;
+  /// One §IV-C self-measurement (closed loop only): the whole
+  /// Measure() call — ClusterSim execution in engine mode, the ledger
+  /// scan in analytic mode. The per-measuring-tick cost the analytic
+  /// mode exists to shrink; bench_service_churn compares the two.
+  RunningStats measure_ms;
   /// Recent solve wall-clock samples (same population as solve_ms),
   /// kept for percentile reporting in the tools and benches. Bounded:
   /// once full, the oldest samples are overwritten (sliding window),
@@ -248,10 +271,11 @@ class PlanningService {
   /// the latch already open when the round enters flight.
   struct InFlightRound {
     std::vector<StreamId> queries;
-    /// Immutable copy of the planner the solves run against (null in
-    /// inline mode, which solves against the live planner at dispatch —
-    /// the same state a snapshot taken then would hold).
-    std::shared_ptr<const SqprPlanner> snapshot;
+    /// Copy-on-write view of the planner the solves run against (null
+    /// in inline mode, which solves against the live planner at
+    /// dispatch — the same state the snapshot materialises). Shared
+    /// core + O(changes) overlay; see SqprPlanner::MakeSnapshot.
+    std::shared_ptr<const SqprPlanner::Snapshot> snapshot;
     /// Slot i is written by the task solving queries[i]; the latch's
     /// CountDown/Wait pair publishes the writes to the loop thread.
     std::shared_ptr<std::vector<Result<AdmissionProposal>>> proposals;
@@ -304,6 +328,26 @@ class PlanningService {
   /// (measured rates, host specs) must cross first.
   void CommitInFlightRound(EventOutcome* outcome);
 
+  // ---- Reuse-index (PlanCache) maintenance. ----
+  //
+  // Handlers report how their event changed the deployment; the cache
+  // is brought up to date once, at the end of Step(). Additive commits
+  // and serving-only changes apply as incremental deltas
+  // (PlanCache::ApplyDelta, O(delta) instead of the grounded-fixpoint
+  // scan); anything that removed operators or flows (departures with GC
+  // fallout, evictions, drift cycles) falls back to a full Rebuild —
+  // which itself no-ops when the deployment version is unchanged.
+
+  /// Queues a delta for the end-of-event cache update. A delta carrying
+  /// op/flow removals escalates to a full rebuild.
+  void MarkCacheDelta(const DeploymentDelta& delta);
+  /// Queues a pure serving change (cache fast-path admissions,
+  /// GC-less departures).
+  void MarkCacheServing(StreamId stream, HostId before, HostId after);
+  void MarkCacheRebuild() { cache_rebuild_ = true; }
+  /// Applies the queued maintenance (end of Step / round retirement).
+  void SyncPlanCache();
+
   /// Admits one query; shared by arrivals and re-planning re-solves.
   /// Tries the plan-cache fast path, then a speculative solve on the
   /// loop thread (WarmCatalog + ProposeAdmission + CommitProposal) that
@@ -325,12 +369,12 @@ class PlanningService {
   EventQueue queue_;
   ServiceStats stats_;
 
-  /// Set when an event's handling mutated the deployment; the plan
-  /// cache is rebuilt once at the end of Step() rather than after every
-  /// mutation (intra-event lookups may see a snapshot from the event's
-  /// start — safe, because AdmitMaterialized re-checks groundedness and
-  /// SubmitQuery's dedup is authoritative).
-  bool cache_dirty_ = false;
+  /// Pending reuse-index maintenance, applied once at the end of Step()
+  /// rather than after every mutation (intra-event lookups may see a
+  /// snapshot from the event's start — safe, because AdmitMaterialized
+  /// re-checks groundedness and SubmitQuery's dedup is authoritative).
+  bool cache_rebuild_ = false;
+  std::vector<DeploymentDelta> cache_deltas_;
   /// Closed-loop telemetry (null in open-loop mode). Loop-thread-owned,
   /// like every other committed-state structure.
   std::unique_ptr<MeasurementEngine> telemetry_;

@@ -7,6 +7,16 @@
 
 namespace sqpr {
 
+const char* MeasureModeName(MeasureMode mode) {
+  switch (mode) {
+    case MeasureMode::kEngine:
+      return "engine";
+    case MeasureMode::kAnalytic:
+      return "analytic";
+  }
+  return "?";
+}
+
 MeasurementEngine::MeasurementEngine(const Catalog* catalog,
                                      TelemetryOptions options)
     : catalog_(catalog),
@@ -35,13 +45,41 @@ double MeasurementEngine::Shape(double sample, double* ewma_state,
   return *ewma_state;
 }
 
+void MeasurementEngine::ShapeMeasurement(
+    const std::map<StreamId, double>& rate_samples,
+    const std::vector<double>& cpu_samples, Measurement* m) {
+  // Noise and smoothing, in deterministic (ordered-map, then host
+  // index) order: exactly one noise draw per sample per measurement.
+  for (const auto& [s, sample] : rate_samples) {
+    auto [it, inserted] = rate_ewma_.try_emplace(s, 0.0);
+    m->measured_base_rates[s] = Shape(sample, &it->second, inserted);
+  }
+  const size_t hosts_before = cpu_ewma_.size();
+  if (cpu_ewma_.size() < cpu_samples.size()) {
+    cpu_ewma_.resize(cpu_samples.size(), 0.0);
+  }
+  m->cpu_utilization.resize(cpu_samples.size());
+  for (size_t h = 0; h < cpu_samples.size(); ++h) {
+    m->cpu_utilization[h] =
+        Shape(cpu_samples[h], &cpu_ewma_[h], h >= hosts_before);
+  }
+}
+
 Result<Measurement> MeasurementEngine::Measure(const Deployment& deployment,
                                                int64_t now_ms) {
-  Measurement m;
-  m.time_ms = now_ms;
-
   // Ground truth at this virtual time (advances random-walk state).
   const std::map<StreamId, double> truth = rate_model_.RatesAt(now_ms);
+  if (options_.mode == MeasureMode::kAnalytic) {
+    return MeasureAnalytic(deployment, now_ms, truth);
+  }
+  return MeasureEngine(deployment, now_ms, truth);
+}
+
+Result<Measurement> MeasurementEngine::MeasureEngine(
+    const Deployment& deployment, int64_t now_ms,
+    const std::map<StreamId, double>& truth) {
+  Measurement m;
+  m.time_ms = now_ms;
 
   // Execute the committed deployment under the true rates. The sim seed
   // varies per measurement index so consecutive reporting periods are
@@ -73,21 +111,75 @@ Result<Measurement> MeasurementEngine::Measure(const Deployment& deployment,
     if (realised > 0) samples[s] = realised;
   }
 
-  // Noise and smoothing, in deterministic (ordered-map, then host
-  // index) order: exactly one noise draw per sample per measurement.
-  for (const auto& [s, sample] : samples) {
-    auto [it, inserted] = rate_ewma_.try_emplace(s, 0.0);
-    m.measured_base_rates[s] = Shape(sample, &it->second, inserted);
+  ShapeMeasurement(samples, m.raw.cpu_utilization, &m);
+  return m;
+}
+
+Measurement MeasurementEngine::MeasureAnalytic(
+    const Deployment& deployment, int64_t now_ms,
+    const std::map<StreamId, double>& truth) {
+  Measurement m;
+  m.time_ms = now_ms;
+  ++measurements_;
+
+  // Base-rate samples are the model's ground truth itself — the engine
+  // realises exactly these rates (up to tuple quantisation). Streams
+  // the model does not cover sit on-estimate by definition and are
+  // omitted; the monitor treats absent streams as on-estimate, so the
+  // drift decisions match the engine's.
+  //
+  // Per-host CPU: the committed ledgers are built from the catalog
+  // *estimates*; the true cost of a placed operator under the §II-B
+  // linear model is its committed cost scaled by the ratio of true to
+  // estimated input rates. True composite rates scale with the summed
+  // true base rates of their leaf set (JoinOutputRate is linear in that
+  // sum, unary outputs are linear in their input), so every ratio
+  // reduces to leaf-rate arithmetic — no simulation, no fixpoint.
+  const Cluster& cluster = deployment.cluster();
+  const int num_hosts = cluster.num_hosts();
+
+  std::map<StreamId, double> true_rate_cache;
+  auto true_rate = [&](StreamId s) -> double {
+    auto cached = true_rate_cache.find(s);
+    if (cached != true_rate_cache.end()) return cached->second;
+    const StreamInfo& info = catalog_->stream(s);
+    double rate = info.rate_mbps;
+    if (info.is_base) {
+      auto it = truth.find(s);
+      if (it != truth.end()) rate = it->second;
+    } else {
+      double sum_true = 0.0;
+      double sum_est = 0.0;
+      for (StreamId leaf : info.leaves) {
+        const StreamInfo& leaf_info = catalog_->stream(leaf);
+        sum_est += leaf_info.rate_mbps;
+        auto it = truth.find(leaf);
+        sum_true += it != truth.end() ? it->second : leaf_info.rate_mbps;
+      }
+      if (sum_est > 0) rate = info.rate_mbps * (sum_true / sum_est);
+    }
+    true_rate_cache.emplace(s, rate);
+    return rate;
+  };
+
+  std::vector<double> cpu(num_hosts, 0.0);
+  for (HostId h = 0; h < num_hosts; ++h) {
+    double used = 0.0;
+    for (OperatorId o : deployment.OperatorsOn(h)) {
+      const OperatorInfo& op = catalog_->op(o);
+      double sum_true = 0.0;
+      double sum_est = 0.0;
+      for (StreamId in : op.inputs) {
+        sum_est += catalog_->stream(in).rate_mbps;
+        sum_true += true_rate(in);
+      }
+      used += sum_est > 0 ? op.cpu_cost * (sum_true / sum_est) : op.cpu_cost;
+    }
+    const double budget = cluster.host(h).cpu;
+    cpu[h] = budget > 0 ? used / budget : 0.0;
   }
-  const size_t hosts_before = cpu_ewma_.size();
-  if (cpu_ewma_.size() < m.raw.cpu_utilization.size()) {
-    cpu_ewma_.resize(m.raw.cpu_utilization.size(), 0.0);
-  }
-  m.cpu_utilization.resize(m.raw.cpu_utilization.size());
-  for (size_t h = 0; h < m.raw.cpu_utilization.size(); ++h) {
-    m.cpu_utilization[h] =
-        Shape(m.raw.cpu_utilization[h], &cpu_ewma_[h], h >= hosts_before);
-  }
+
+  ShapeMeasurement(truth, cpu, &m);
   return m;
 }
 

@@ -14,8 +14,35 @@
 
 namespace sqpr {
 
+/// How a self-measurement observes the committed deployment.
+enum class MeasureMode : uint8_t {
+  /// Ground truth: execute the deployment with real engine operators
+  /// via ClusterSim under the rate model's true rates. Pays a full
+  /// (scaled-down) simulation per measuring tick on the loop thread.
+  kEngine,
+  /// Analytic: derive the same observables from the committed
+  /// deployment's ledgers — true base rates straight from the rate
+  /// model, per-host CPU as each placed operator's committed cost
+  /// scaled by the truth/estimate ratio of its input rates (the §II-B
+  /// cost model is linear in the input rates, so the scaling is exact
+  /// in the model). No simulation: O(placed operators) per measuring
+  /// tick, orders of magnitude cheaper for large deployments.
+  ///
+  /// Equivalence contract vs kEngine at noise = 0: identical
+  /// drifted-base-stream decisions away from tuple-quantisation error
+  /// (the sim realises injection in whole tuples), and identical
+  /// shortage decisions wherever realised utilisation tracks the linear
+  /// model (an engine join's realised output rate is stochastic around
+  /// it). tests/telemetry_test.cc pins the contract.
+  kAnalytic,
+};
+
+const char* MeasureModeName(MeasureMode mode);
+
 /// Configuration of the §IV-C self-measurement loop.
 struct TelemetryOptions {
+  /// Engine (simulate) or analytic (ledger-derived) measurements.
+  MeasureMode mode = MeasureMode::kEngine;
   /// Self-measurement fires every `measure_period` kTick events (>= 1).
   int measure_period = 4;
   /// EWMA smoothing factor over successive measurements of the same
@@ -56,6 +83,8 @@ struct Measurement {
   /// deployment under the true rates (noisy, EWMA-smoothed).
   std::vector<double> cpu_utilization;
   /// The raw simulation report the measurement was distilled from.
+  /// Default-initialised (empty) in analytic mode, which runs no
+  /// simulation.
   SimReport raw;
 };
 
@@ -93,6 +122,19 @@ class MeasurementEngine {
 
  private:
   double Shape(double sample, double* ewma_state, bool first);
+
+  /// Engine path: execute the deployment via ClusterSim under `truth`.
+  Result<Measurement> MeasureEngine(const Deployment& deployment,
+                                    int64_t now_ms,
+                                    const std::map<StreamId, double>& truth);
+  /// Analytic path: ledgers scaled by truth/estimate ratios.
+  Measurement MeasureAnalytic(const Deployment& deployment, int64_t now_ms,
+                              const std::map<StreamId, double>& truth);
+  /// Applies noise + EWMA to raw rate/CPU samples in the fixed
+  /// deterministic order both paths share.
+  void ShapeMeasurement(const std::map<StreamId, double>& rate_samples,
+                        const std::vector<double>& cpu_samples,
+                        Measurement* m);
 
   const Catalog* catalog_;
   TelemetryOptions options_;

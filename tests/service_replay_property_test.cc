@@ -51,6 +51,12 @@ struct ReplayResult {
   int64_t rate_directives = 0;
   int64_t measurement_ticks = 0;
   int64_t auto_replan_rounds = 0;
+  /// Analytic-mode measurements and incremental reuse-index updates are
+  /// logical (commit-order) quantities, so the contract covers them;
+  /// snapshot byte counts are NOT here (workers == 0 never snapshots).
+  int64_t analytic_ticks = 0;
+  int64_t cache_delta_updates = 0;
+  int64_t cache_rebuilds = 0;
   int pending_replans = 0;
   bool valid = false;
 
@@ -60,6 +66,7 @@ struct ReplayResult {
                     replanned_rejected, replan_dispatches, commit_conflicts,
                     overlapped_arrival_solves, monitor_reports,
                     rate_directives, measurement_ticks, auto_replan_rounds,
+                    analytic_ticks, cache_delta_updates, cache_rebuilds,
                     pending_replans, valid);
   }
   bool operator==(const ReplayResult& other) const {
@@ -80,6 +87,9 @@ std::ostream& operator<<(std::ostream& os, const ReplayResult& r) {
             << " directives=" << r.rate_directives
             << " measured=" << r.measurement_ticks
             << " auto=" << r.auto_replan_rounds
+            << " analytic=" << r.analytic_ticks
+            << " cache-deltas=" << r.cache_delta_updates
+            << " cache-rebuilds=" << r.cache_rebuilds
             << " pending=" << r.pending_replans << " valid=" << r.valid
             << "\nfingerprint:\n"
             << r.fingerprint;
@@ -105,7 +115,8 @@ TraceConfig MakeTraceConfig(uint64_t seed) {
   return tc;
 }
 
-ReplayResult Replay(uint64_t seed, int workers, bool closed_loop = false) {
+ReplayResult Replay(uint64_t seed, int workers, bool closed_loop = false,
+                    MeasureMode mode = MeasureMode::kEngine) {
   Cluster cluster(3, HostSpec{0.6, 70.0, 70.0, ""}, 140.0);
   Catalog catalog(CostModel{});
 
@@ -137,6 +148,7 @@ ReplayResult Replay(uint64_t seed, int workers, bool closed_loop = false) {
   options.replan.workers = workers;
   if (closed_loop) {
     options.closed_loop = true;
+    options.telemetry.mode = mode;
     options.telemetry.measure_period = 2;
     options.telemetry.seed = seed;
     // Exercise the full measurement shaping (noise + smoothing) — both
@@ -167,6 +179,9 @@ ReplayResult Replay(uint64_t seed, int workers, bool closed_loop = false) {
   result.rate_directives = stats.rate_directives;
   result.measurement_ticks = stats.measurement_ticks;
   result.auto_replan_rounds = stats.auto_replan_rounds;
+  result.analytic_ticks = stats.analytic_ticks;
+  result.cache_delta_updates = stats.cache_delta_updates;
+  result.cache_rebuilds = service.plan_cache().rebuilds();
   result.pending_replans = service.pending_replans();
   result.valid = service.deployment().Validate().ok();
   return result;
@@ -211,6 +226,31 @@ TEST_P(ServiceReplayPropertyTest, ClosedLoopWorkerCountInvariant) {
   const ReplayResult four_workers = Replay(seed, 4, /*closed_loop=*/true);
   EXPECT_EQ(inline_mode, four_workers)
       << "closed loop: workers 0 vs 4 diverged, seed " << seed;
+}
+
+// And over the analytic measurement mode (no ClusterSim in the loop):
+// the ledger-derived measurements are pure functions of the committed
+// state and the seeded noise stream, so the copy-on-write snapshots,
+// the incremental cache maintenance and the analytic drift decisions
+// must all replay identically at every worker count.
+TEST_P(ServiceReplayPropertyTest, AnalyticClosedLoopWorkerCountInvariant) {
+  const uint64_t seed = GetParam();
+  const ReplayResult inline_mode =
+      Replay(seed, 0, /*closed_loop=*/true, MeasureMode::kAnalytic);
+  EXPECT_TRUE(inline_mode.valid) << "seed " << seed;
+  EXPECT_GT(inline_mode.measurement_ticks, 0) << "seed " << seed;
+  EXPECT_EQ(inline_mode.analytic_ticks, inline_mode.measurement_ticks)
+      << "every measurement must take the analytic path, seed " << seed;
+
+  const ReplayResult one_worker =
+      Replay(seed, 1, /*closed_loop=*/true, MeasureMode::kAnalytic);
+  EXPECT_EQ(inline_mode, one_worker)
+      << "analytic loop: workers 0 vs 1 diverged, seed " << seed;
+
+  const ReplayResult four_workers =
+      Replay(seed, 4, /*closed_loop=*/true, MeasureMode::kAnalytic);
+  EXPECT_EQ(inline_mode, four_workers)
+      << "analytic loop: workers 0 vs 4 diverged, seed " << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(Traces, ServiceReplayPropertyTest,

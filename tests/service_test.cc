@@ -120,6 +120,87 @@ TEST(PlanCacheTest, IndexesMaterializedStreamsBySignature) {
   EXPECT_EQ(hit.hosts.size(), 2u);
 }
 
+TEST(PlanCacheTest, RebuildSkipsScanWhenDeploymentVersionUnchanged) {
+  Catalog catalog(CostModel{});
+  Cluster cluster(2, HostSpec{10.0, 1000.0, 1000.0, ""}, 1000.0);
+  const StreamId a = catalog.AddBaseStream(0, 10.0, "a");
+  const StreamId b = catalog.AddBaseStream(0, 10.0, "b");
+  const OperatorId join_ab = *catalog.JoinOperator(a, b);
+
+  Deployment dep(&cluster, &catalog);
+  ASSERT_TRUE(dep.PlaceOperator(0, join_ab).ok());
+
+  PlanCache cache(&catalog);
+  cache.Rebuild(dep);
+  EXPECT_EQ(cache.rebuilds(), 1);
+  EXPECT_EQ(cache.noop_skips(), 0);
+
+  // Boundary: a rebuild request against an unchanged deployment (the
+  // repeat-arrival dedup shape) must skip the fixpoint scan.
+  cache.Rebuild(dep);
+  EXPECT_EQ(cache.rebuilds(), 1);
+  EXPECT_EQ(cache.noop_skips(), 1);
+
+  // Any real mutation re-arms the scan.
+  ASSERT_TRUE(dep.AddFlow(0, 1, catalog.op(join_ab).output).ok());
+  cache.Rebuild(dep);
+  EXPECT_EQ(cache.rebuilds(), 2);
+  EXPECT_EQ(cache.noop_skips(), 1);
+}
+
+TEST(PlanCacheTest, ApplyDeltaGroundsAdditionsTransitively) {
+  Catalog catalog(CostModel{});
+  Cluster cluster(3, HostSpec{10.0, 1000.0, 1000.0, ""}, 1000.0);
+  const StreamId a = catalog.AddBaseStream(0, 10.0, "a");
+  const StreamId b = catalog.AddBaseStream(0, 10.0, "b");
+  const StreamId c = catalog.AddBaseStream(1, 10.0, "c");
+  const OperatorId join_ab = *catalog.JoinOperator(a, b);
+  const StreamId ab = catalog.op(join_ab).output;
+  const OperatorId join_ab_c = *catalog.JoinOperator(ab, c);
+  const StreamId abc = catalog.op(join_ab_c).output;
+
+  Deployment dep(&cluster, &catalog);
+  PlanCache cache(&catalog);
+  cache.Rebuild(dep);  // empty baseline the deltas extend
+  const int64_t rebuilds_before = cache.rebuilds();
+
+  // One additive delta: ab produced on host 0, shipped to host 1 where
+  // it joins c — the flow and the downstream operator must ground
+  // transitively off the worklist, not via a rescan.
+  ASSERT_TRUE(dep.PlaceOperator(0, join_ab).ok());
+  ASSERT_TRUE(dep.AddFlow(0, 1, ab).ok());
+  ASSERT_TRUE(dep.PlaceOperator(1, join_ab_c).ok());
+  ASSERT_TRUE(dep.SetServing(abc, 1).ok());
+  DeploymentDelta delta;
+  delta.ops_added = {{0, join_ab}, {1, join_ab_c}};
+  delta.flows_added = {{0, 1, ab}};
+  delta.serving_changes.push_back({abc, kInvalidHost, 1});
+  EXPECT_TRUE(cache.ApplyDelta(dep, delta));
+  EXPECT_EQ(cache.rebuilds(), rebuilds_before);
+  EXPECT_EQ(cache.delta_updates(), 1);
+
+  PlanCache fresh(&catalog);
+  fresh.Rebuild(dep);
+  EXPECT_EQ(cache.DebugDump(), fresh.DebugDump());
+
+  PlanCache::Lookup lookup = cache.OnArrival(abc);
+  EXPECT_TRUE(lookup.exact);
+  EXPECT_TRUE(lookup.served);
+
+  // A delta carrying removals is not monotone: the cache must fall back
+  // to a full rebuild and still match from-scratch state.
+  ASSERT_TRUE(dep.ClearServing(abc).ok());
+  ASSERT_TRUE(dep.RemoveOperator(1, join_ab_c).ok());
+  DeploymentDelta removal;
+  removal.ops_removed = {{1, join_ab_c}};
+  removal.serving_changes.push_back({abc, 1, kInvalidHost});
+  EXPECT_FALSE(cache.ApplyDelta(dep, removal));
+  EXPECT_EQ(cache.rebuilds(), rebuilds_before + 1);
+  PlanCache fresh2(&catalog);
+  fresh2.Rebuild(dep);
+  EXPECT_EQ(cache.DebugDump(), fresh2.DebugDump());
+}
+
 // ---- Service scaffolding shared by the scenario tests. ----
 
 struct ServiceFixture {
@@ -508,6 +589,178 @@ TEST(PlanningServiceTest, WorkerCountDoesNotChangeCommittedDeployments) {
   const auto four = run(4);
   EXPECT_EQ(one, four);
   EXPECT_GT(std::get<3>(one), 0) << "trace must exercise re-planning";
+}
+
+TEST(PlanningServiceTest, IncrementalCacheEqualsRebuildOnRandomizedTraces) {
+  // The incremental-maintenance contract: after every event — commits,
+  // serving-only departures, GC departures, evictions, drift cycles —
+  // the service's incrementally maintained cache must equal a cache
+  // rebuilt from scratch against the committed deployment.
+  for (uint64_t seed : {3u, 11u, 29u}) {
+    Cluster cluster(3, HostSpec{0.8, 70.0, 70.0, ""}, 140.0);
+    Catalog catalog(CostModel{});
+    WorkloadConfig wc;
+    wc.num_base_streams = 24;
+    wc.num_queries = 40;
+    wc.seed = seed;
+    Result<Workload> workload = GenerateWorkload(wc, 3, &catalog);
+    ASSERT_TRUE(workload.ok());
+    TraceConfig tc;
+    tc.num_events = 80;
+    tc.seed = seed;
+    tc.min_failures = 2;
+    tc.min_drift_reports = 3;
+    Result<std::vector<Event>> trace =
+        GenerateTrace(tc, *workload, 3, catalog);
+    ASSERT_TRUE(trace.ok());
+
+    ServiceOptions options;
+    options.planner.timeout_ms = 60000;
+    options.planner.max_nodes = 150;
+    PlanningService service(&cluster, &catalog, options);
+    for (const Event& e : *trace) ASSERT_TRUE(service.Enqueue(e).ok());
+    int step = 0;
+    while (service.HasPendingEvents()) {
+      ASSERT_TRUE(service.Step().ok());
+      PlanCache fresh(&catalog);
+      fresh.Rebuild(service.deployment());
+      ASSERT_EQ(service.plan_cache().DebugDump(), fresh.DebugDump())
+          << "seed " << seed << " diverged after event " << step;
+      ++step;
+    }
+    service.FinishInFlightRound();
+    PlanCache fresh(&catalog);
+    fresh.Rebuild(service.deployment());
+    EXPECT_EQ(service.plan_cache().DebugDump(), fresh.DebugDump());
+
+    // The fast path must actually be exercised, not silently bypassed:
+    // additive admissions go through deltas, and the full rebuilds stay
+    // a strict subset of the mutating events.
+    EXPECT_GT(service.stats().cache_delta_updates, 0) << "seed " << seed;
+    EXPECT_GT(service.plan_cache().rebuilds(), 0) << "seed " << seed;
+    EXPECT_LT(service.plan_cache().rebuilds(),
+              static_cast<int64_t>(trace->size()))
+        << "seed " << seed;
+  }
+}
+
+TEST(PlanningServiceTest, RepeatArrivalDedupDoesNotRescanCache) {
+  ServiceFixture fx(2, 2.0, 4);
+  const StreamId q = fx.Join({0, 1});
+  EXPECT_TRUE(fx.StepOne(Event::Arrival(0, q)).admitted);
+  const int64_t rebuilds_after_admit = fx.service->plan_cache().rebuilds();
+  const int64_t deltas_after_admit = fx.service->stats().cache_delta_updates;
+
+  // The repeat arrival is a dedup hit: the deployment does not move, so
+  // the reuse index must neither rebuild nor apply a delta for it.
+  EventOutcome repeat = fx.StepOne(Event::Arrival(10, q));
+  EXPECT_TRUE(repeat.already_served);
+  EXPECT_EQ(fx.service->plan_cache().rebuilds(), rebuilds_after_admit);
+  EXPECT_EQ(fx.service->stats().cache_delta_updates, deltas_after_admit);
+}
+
+// ---- Copy-on-write planner snapshots. ----
+
+bool SameDelta(const DeploymentDelta& x, const DeploymentDelta& y) {
+  auto serving_eq = [](const DeploymentDelta::ServingChange& a,
+                       const DeploymentDelta::ServingChange& b) {
+    return a.stream == b.stream && a.before == b.before && a.after == b.after;
+  };
+  return x.ops_added == y.ops_added && x.ops_removed == y.ops_removed &&
+         x.flows_added == y.flows_added &&
+         x.flows_removed == y.flows_removed &&
+         x.serving_changes.size() == y.serving_changes.size() &&
+         std::equal(x.serving_changes.begin(), x.serving_changes.end(),
+                    y.serving_changes.begin(), serving_eq);
+}
+
+TEST(SqprPlannerTest, SnapshotSharesCoreAndMaterializesExactState) {
+  Cluster cluster(2, HostSpec{2.0, 500.0, 500.0, ""}, 1000.0);
+  Catalog catalog(CostModel{});
+  std::vector<StreamId> base;
+  for (int i = 0; i < 6; ++i) base.push_back(catalog.AddBaseStream(i % 2, 10.0));
+  SqprPlanner::Options options;
+  options.timeout_ms = 60000;
+  options.max_nodes = 150;
+  SqprPlanner planner(&cluster, &catalog, options);
+
+  const StreamId ab = *catalog.CanonicalJoinStream({base[0], base[1]});
+  const StreamId cd = *catalog.CanonicalJoinStream({base[2], base[3]});
+  const StreamId ef = *catalog.CanonicalJoinStream({base[4], base[5]});
+  for (StreamId q : {ab, cd, ef}) ASSERT_TRUE(planner.WarmCatalog(q).ok());
+  ASSERT_TRUE(planner.SubmitQuery(ab)->admitted);
+
+  // First snapshot: must rebase (no core yet) and pay the full copy.
+  SqprPlanner::SnapshotStats first_stats;
+  auto first = planner.MakeSnapshot(&first_stats);
+  EXPECT_TRUE(first_stats.rebased);
+  EXPECT_EQ(first_stats.overlay_entries, 0u);
+
+  // Mutate past the snapshot: admit cd.
+  ASSERT_TRUE(planner.SubmitQuery(cd)->admitted);
+
+  // Second snapshot: shares the core, ships only the overlay — the
+  // O(changes) bytes the tentpole is about.
+  SqprPlanner::SnapshotStats second_stats;
+  auto second = planner.MakeSnapshot(&second_stats);
+  EXPECT_FALSE(second_stats.rebased);
+  EXPECT_GT(second_stats.overlay_entries, 0u);
+  EXPECT_LT(second_stats.bytes_copied,
+            planner.deployment().ApproxSizeBytes());
+
+  // The first snapshot still sees the pre-cd state: proposing cd from
+  // it admits with a non-empty delta (nothing served it there)...
+  Result<AdmissionProposal> stale = first->ProposeAdmission(cd);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_TRUE(stale->stats.admitted);
+  EXPECT_FALSE(stale->stats.already_served);
+  EXPECT_FALSE(stale->delta.empty());
+
+  // ...while the second snapshot's materialised state matches the live
+  // planner exactly: identical proposals for a fresh query.
+  Result<AdmissionProposal> from_snapshot = second->ProposeAdmission(ef);
+  Result<AdmissionProposal> from_live = planner.ProposeAdmission(ef);
+  ASSERT_TRUE(from_snapshot.ok() && from_live.ok());
+  EXPECT_EQ(from_snapshot->stats.admitted, from_live->stats.admitted);
+  EXPECT_TRUE(SameDelta(from_snapshot->delta, from_live->delta));
+
+  // Snapshots are immutable views: nothing above moved the live state.
+  Result<AdmissionProposal> commit_cd_again = planner.ProposeAdmission(cd);
+  ASSERT_TRUE(commit_cd_again.ok());
+  EXPECT_TRUE(commit_cd_again->stats.already_served);
+}
+
+TEST(SqprPlannerTest, SnapshotRebasesOnceOverlayExceedsThreshold) {
+  Cluster cluster(2, HostSpec{2.0, 500.0, 500.0, ""}, 1000.0);
+  Catalog catalog(CostModel{});
+  std::vector<StreamId> base;
+  for (int i = 0; i < 4; ++i) base.push_back(catalog.AddBaseStream(i % 2, 10.0));
+  SqprPlanner::Options options;
+  options.timeout_ms = 60000;
+  options.max_nodes = 150;
+  options.snapshot_rebase_threshold = 2;  // tiny: force frequent rebases
+  SqprPlanner planner(&cluster, &catalog, options);
+
+  const StreamId ab = *catalog.CanonicalJoinStream({base[0], base[1]});
+  const StreamId cd = *catalog.CanonicalJoinStream({base[2], base[3]});
+  for (StreamId q : {ab, cd}) ASSERT_TRUE(planner.WarmCatalog(q).ok());
+
+  SqprPlanner::SnapshotStats stats;
+  planner.MakeSnapshot(&stats);
+  EXPECT_TRUE(stats.rebased);
+  ASSERT_TRUE(planner.SubmitQuery(ab)->admitted);  // >> 2 journal entries
+  planner.MakeSnapshot(&stats);
+  EXPECT_TRUE(stats.rebased) << "overlay beyond threshold must rebase";
+  planner.MakeSnapshot(&stats);
+  EXPECT_FALSE(stats.rebased) << "unchanged planner must reuse the core";
+  EXPECT_EQ(stats.overlay_entries, 0u);
+
+  // A rebased snapshot still materialises the exact live state.
+  ASSERT_TRUE(planner.SubmitQuery(cd)->admitted);
+  auto snap = planner.MakeSnapshot(&stats);
+  Result<AdmissionProposal> p = snap->ProposeAdmission(cd);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->stats.already_served);
 }
 
 TEST(PlanningServiceTest, ReplayIsDeterministic) {

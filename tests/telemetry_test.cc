@@ -12,6 +12,7 @@
 
 #include "model/catalog.h"
 #include "model/cluster.h"
+#include "monitor/resource_monitor.h"
 #include "plan/deployment.h"
 #include "planner/sqpr/sqpr_planner.h"
 #include "telemetry/measurement_engine.h"
@@ -260,6 +261,123 @@ TEST(MeasurementEngineTest, EwmaSmoothsSuccessiveMeasurements) {
   const double second_a = second->measured_base_rates.at(s.a);
   EXPECT_GT(second_a, first_a + 5.0);   // moved toward the new truth...
   EXPECT_LT(second_a, 30.0 - 5.0);      // ...but not all the way
+}
+
+// ---- Analytic measurement mode (the §IV-C hot-path optimisation). ----
+
+/// The tentpole equivalence contract: at noise = 0, the analytic mode's
+/// measurements must lead the §IV-B monitor to the SAME drift decisions
+/// the engine mode's do, as long as the trajectories keep a clear
+/// margin from the drift threshold (the engine realises rates in whole
+/// tuples, so a few percent of quantisation noise is inherent to it).
+TEST(MeasurementEngineTest, AnalyticMatchesEngineDriftDecisionsAtZeroNoise) {
+  MeasuredScenario s;
+
+  TelemetryOptions engine_opts = CheapTelemetry(17);
+  TelemetryOptions analytic_opts = engine_opts;
+  analytic_opts.mode = MeasureMode::kAnalytic;
+  MeasurementEngine engine(&s.catalog, engine_opts);
+  MeasurementEngine analytic(&s.catalog, analytic_opts);
+
+  // Trajectories with fat margins around the 20% drift threshold:
+  // a steps to 1.8x its estimate after 1.5 s; b runs at half estimate
+  // throughout. Install identically into both ground-truth models.
+  RateTrajectory step;
+  step.kind = RateTrajectory::Kind::kStep;
+  step.stream = s.a;
+  step.base_rate_mbps = 10.0;
+  step.step_at_ms = 1500;
+  step.step_factor = 1.8;
+  RateTrajectory half;
+  half.stream = s.b;
+  half.base_rate_mbps = 5.0;
+  for (MeasurementEngine* e : {&engine, &analytic}) {
+    ASSERT_TRUE(e->rate_model().Install(step, 0).ok());
+    ASSERT_TRUE(e->rate_model().Install(half, 0).ok());
+  }
+
+  const ResourceMonitor monitor(&s.catalog, DriftOptions{});
+  for (int64_t t : {500, 1000, 2000, 3000}) {
+    Result<Measurement> me = engine.Measure(s.planner->deployment(), t);
+    Result<Measurement> ma = analytic.Measure(s.planner->deployment(), t);
+    ASSERT_TRUE(me.ok() && ma.ok()) << "t=" << t;
+
+    const DriftReport de =
+        monitor.Analyze(me->measured_base_rates, me->cpu_utilization,
+                        s.planner->admitted_queries(),
+                        &s.planner->deployment());
+    const DriftReport da =
+        monitor.Analyze(ma->measured_base_rates, ma->cpu_utilization,
+                        s.planner->admitted_queries(),
+                        &s.planner->deployment());
+    EXPECT_EQ(de.drifted_base_streams, da.drifted_base_streams) << "t=" << t;
+    EXPECT_EQ(de.overloaded_hosts, da.overloaded_hosts) << "t=" << t;
+    EXPECT_EQ(de.queries_to_replan, da.queries_to_replan) << "t=" << t;
+    // Sanity on the expected decisions themselves: b always drifted
+    // (half rate), a joins it after the step.
+    EXPECT_EQ(da.drifted_base_streams.empty(), false) << "t=" << t;
+    EXPECT_EQ(std::count(da.drifted_base_streams.begin(),
+                         da.drifted_base_streams.end(), s.a) == 1,
+              t >= 1600)
+        << "t=" << t;
+  }
+}
+
+TEST(MeasurementEngineTest, AnalyticCpuIsCommittedCostScaledByTruthRatio) {
+  MeasuredScenario s;
+
+  TelemetryOptions opts = CheapTelemetry(19);
+  opts.mode = MeasureMode::kAnalytic;
+  MeasurementEngine analytic(&s.catalog, opts);
+
+  // Truth: a runs at 2x estimate, b on estimate. The join's input rates
+  // sum to 30 Mbps true vs 20 estimated, so the host's true CPU is the
+  // committed ledger scaled by 1.5 — no simulation involved.
+  RateTrajectory twice;
+  twice.stream = s.a;
+  twice.base_rate_mbps = 20.0;
+  ASSERT_TRUE(analytic.rate_model().Install(twice, 0).ok());
+
+  Result<Measurement> m = analytic.Measure(s.planner->deployment(), 1000);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  ASSERT_EQ(m->cpu_utilization.size(), 2u);
+  const double committed_cpu = s.planner->deployment().CpuUsed(0);
+  EXPECT_NEAR(m->cpu_utilization[0], committed_cpu * 1.5 / 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m->cpu_utilization[1], 0.0);
+  // Rates report the model truth exactly — no tuple quantisation.
+  EXPECT_DOUBLE_EQ(m->measured_base_rates.at(s.a), 20.0);
+  // The raw simulation report stays empty: no ClusterSim ran.
+  EXPECT_TRUE(m->raw.measured_rate_mbps.empty());
+  EXPECT_TRUE(m->raw.cpu_utilization.empty());
+  EXPECT_EQ(analytic.measurements(), 1);
+}
+
+TEST(MeasurementEngineTest, AnalyticNoiseAndEwmaAreSeededLikeEngine) {
+  MeasuredScenario s;
+
+  TelemetryOptions noisy = CheapTelemetry(23);
+  noisy.mode = MeasureMode::kAnalytic;
+  noisy.noise = 0.2;
+  noisy.ewma_alpha = 0.5;
+  MeasurementEngine e1(&s.catalog, noisy);
+  MeasurementEngine e2(&s.catalog, noisy);
+
+  RateTrajectory twice;
+  twice.stream = s.a;
+  twice.base_rate_mbps = 20.0;
+  ASSERT_TRUE(e1.rate_model().Install(twice, 0).ok());
+  ASSERT_TRUE(e2.rate_model().Install(twice, 0).ok());
+
+  for (int64_t t : {500, 1000, 1500}) {
+    Result<Measurement> m1 = e1.Measure(s.planner->deployment(), t);
+    Result<Measurement> m2 = e2.Measure(s.planner->deployment(), t);
+    ASSERT_TRUE(m1.ok() && m2.ok());
+    // Same seed => bit-identical noisy, smoothed analytic measurements.
+    EXPECT_EQ(m1->measured_base_rates, m2->measured_base_rates);
+    EXPECT_EQ(m1->cpu_utilization, m2->cpu_utilization);
+    // Noise stays within the configured relative band of the truth.
+    EXPECT_NEAR(m1->measured_base_rates.at(s.a), 20.0, 0.2 * 20.0 + 1e-9);
+  }
 }
 
 TEST(MeasurementEngineTest, EmptyDeploymentMeasuresModelTruthOnly) {

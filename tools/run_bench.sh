@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerates the machine-readable service-bench baseline.
+#
+#   tools/run_bench.sh [output.json]
+#
+# Builds bench_service_churn in ./build (override with BUILD_DIR) and
+# runs it with --json, writing BENCH_service.json by default. The file
+# is the checked-in perf trajectory: re-run after perf-relevant changes
+# and commit the diff alongside them, so wins land as numbers and
+# regressions as reviewable diffs. The bench's shape checks gate the
+# run (exit 1 on failure); absolute timings are machine-dependent and
+# meaningful only relative to earlier records from comparable hardware.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${1:-BENCH_service.json}
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_service_churn >/dev/null
+
+"$BUILD_DIR/bench_service_churn" --json "$OUT"

@@ -45,6 +45,7 @@ struct Args {
   int replan_round = 8;
   int workers = 0;
   bool closed_loop = false;
+  sqpr::MeasureMode measure_mode = sqpr::MeasureMode::kEngine;
   int measure_period = 4;
   uint64_t rate_seed = 0;       // 0 = follow --seed
   bool rate_seed_set = false;
@@ -132,6 +133,17 @@ void Usage(std::FILE* out) {
       "                   fires with zero scripted monitor events.\n"
       "                   Generated traces emit rate directives instead\n"
       "                   of monitor reports (and more ticks)\n"
+      "  --measure-mode engine|analytic\n"
+      "                   how a self-measurement observes the committed\n"
+      "                   deployment (default engine). engine executes\n"
+      "                   it via ClusterSim under the true rates — the\n"
+      "                   ground truth, one simulation per measuring\n"
+      "                   tick. analytic derives the same observables\n"
+      "                   from the deployment ledgers scaled by\n"
+      "                   truth/estimate rate ratios — no simulation,\n"
+      "                   O(placed operators) per tick, same drift\n"
+      "                   decisions at zero noise (the equivalence\n"
+      "                   contract in src/telemetry/README.md)\n"
       "  --measure-period N\n"
       "                   ticks between self-measurements (default 4)\n"
       "  --rate-seed N    seed for ground-truth trajectories and\n"
@@ -205,6 +217,16 @@ int main(int argc, char** argv) {
       args.workers = std::atoi(v);
     } else if (flag == "--closed-loop") {
       args.closed_loop = true;
+    } else if (flag == "--measure-mode" && (v = next())) {
+      if (std::strcmp(v, "engine") == 0) {
+        args.measure_mode = sqpr::MeasureMode::kEngine;
+      } else if (std::strcmp(v, "analytic") == 0) {
+        args.measure_mode = sqpr::MeasureMode::kAnalytic;
+      } else {
+        std::fprintf(stderr, "invalid --measure-mode value: %s\n\n", v);
+        Usage(stderr);
+        return 2;
+      }
     } else if (flag == "--measure-period" && (v = next())) {
       args.measure_period = std::atoi(v);
     } else if (flag == "--rate-seed" && (v = next())) {
@@ -292,6 +314,7 @@ int main(int argc, char** argv) {
   options.replan.max_queries_per_round = args.replan_round;
   options.replan.workers = args.workers;
   options.closed_loop = args.closed_loop;
+  options.telemetry.mode = args.measure_mode;
   options.telemetry.measure_period = args.measure_period;
   options.telemetry.seed = args.rate_seed_set ? args.rate_seed : args.seed;
   PlanningService service(&cluster, &catalog, options);
@@ -311,8 +334,8 @@ int main(int argc, char** argv) {
       args.workers);
   if (args.closed_loop) {
     std::printf(
-        "closed loop: self-measurement every %d ticks, rate seed %llu\n",
-        args.measure_period,
+        "closed loop: %s self-measurement every %d ticks, rate seed %llu\n",
+        MeasureModeName(args.measure_mode), args.measure_period,
         static_cast<unsigned long long>(options.telemetry.seed));
   }
   std::printf("replaying %zu events through the planning service...\n\n",
@@ -396,11 +419,18 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.host_joins),
               static_cast<long long>(stats.monitor_reports));
   if (args.closed_loop || stats.rate_directives > 0) {
-    std::printf("closed loop: %lld rate directives, %lld measurement ticks, "
-                "%lld auto re-plan rounds\n",
+    std::printf("closed loop: %lld rate directives, %lld measurement ticks "
+                "(%lld analytic), %lld auto re-plan rounds\n",
                 static_cast<long long>(stats.rate_directives),
                 static_cast<long long>(stats.measurement_ticks),
+                static_cast<long long>(stats.analytic_ticks),
                 static_cast<long long>(stats.auto_replan_rounds));
+    if (stats.measure_ms.count() > 0) {
+      std::printf("measurement cost: avg %.3f ms, max %.3f ms per "
+                  "measuring tick (%s mode)\n",
+                  stats.measure_ms.mean(), stats.measure_ms.max(),
+                  MeasureModeName(args.measure_mode));
+    }
   }
   std::printf("re-planning: %lld evictions, %lld rounds, "
               "%lld re-admitted, %lld rejected, %d still pending\n",
@@ -416,6 +446,13 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.replan_dispatches),
               static_cast<long long>(stats.commit_conflicts),
               static_cast<long long>(stats.overlapped_arrival_solves));
+  if (stats.replan_dispatches > 0 && service.workers() > 0) {
+    std::printf("snapshots: %lld bytes copied on the loop thread "
+                "(%lld rebases across %lld dispatches)\n",
+                static_cast<long long>(stats.snapshot_bytes_copied),
+                static_cast<long long>(stats.snapshot_rebases),
+                static_cast<long long>(stats.replan_dispatches));
+  }
 
   const PlanCache& cache = service.plan_cache();
   std::printf("plan cache: %lld exact hits, %lld partial hits, "
@@ -423,6 +460,11 @@ int main(int argc, char** argv) {
               static_cast<long long>(cache.exact_hits()),
               static_cast<long long>(cache.partial_hits()),
               static_cast<long long>(cache.misses()), cache.num_indexed());
+  std::printf("plan cache maintenance: %lld incremental delta updates, "
+              "%lld full rebuilds, %lld no-op skips\n",
+              static_cast<long long>(stats.cache_delta_updates),
+              static_cast<long long>(cache.rebuilds()),
+              static_cast<long long>(cache.noop_skips()));
 
   const Deployment& dep = service.deployment();
   std::printf("\nfinal deployment: %zu queries served, %d operators, "
