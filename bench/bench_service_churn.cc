@@ -46,6 +46,7 @@
 #include "bench/bench_util.h"
 #include "common/deadline.h"
 #include "common/stats.h"
+#include "obs/trace.h"
 #include "service/planning_service.h"
 #include "workload/trace.h"
 
@@ -149,13 +150,12 @@ void PrintRun(const char* label, const RunResult& r) {
               static_cast<long long>(s.replan_rounds),
               static_cast<long long>(s.replan_dispatches),
               static_cast<long long>(s.commit_conflicts));
-  if (!s.solve_samples_ms.empty()) {
+  if (s.solve_ms.count() > 0) {
     std::printf("  solver wall-time: %zu solves, p50 %.2f ms, p90 %.2f ms, "
                 "p99 %.2f ms, max %.2f ms\n",
-                s.solve_samples_ms.size(),
-                Percentile(s.solve_samples_ms, 0.50),
-                Percentile(s.solve_samples_ms, 0.90),
-                Percentile(s.solve_samples_ms, 0.99), s.solve_ms.max());
+                s.solve_ms.count(), s.solve_ms.Quantile(0.50),
+                s.solve_ms.Quantile(0.90), s.solve_ms.Quantile(0.99),
+                s.solve_ms.max());
   }
   std::printf("  loop-thread barrier waits: %zu, avg %.2f ms, max %.2f ms\n",
               s.barrier_ms.count(), s.barrier_ms.mean(), s.barrier_ms.max());
@@ -194,8 +194,10 @@ void AddRecord(BenchJsonWriter* json, const char* scenario, int workers,
   m["wall_ms"] = r.total_ms;
   m["events_per_s"] = r.events_per_s;
   m["max_event_ms"] = r.max_event_ms;
-  m["solver_p50_ms"] = Percentile(s.solve_samples_ms, 0.50);
-  m["solver_p95_ms"] = Percentile(s.solve_samples_ms, 0.95);
+  m["solver_p50_ms"] = s.solve_ms.Quantile(0.50);
+  m["solver_p95_ms"] = s.solve_ms.Quantile(0.95);
+  m["solver_p99_ms"] = s.solve_ms.Quantile(0.99);
+  m["solver_samples"] = static_cast<double>(s.solve_ms.count());
   m["admitted"] = static_cast<double>(s.admitted);
   m["rejected"] = static_cast<double>(s.rejected);
   m["evictions"] = static_cast<double>(s.evictions);
@@ -212,6 +214,7 @@ void AddRecord(BenchJsonWriter* json, const char* scenario, int workers,
   m["auto_replan_rounds"] = static_cast<double>(s.auto_replan_rounds);
   m["measure_ms_avg"] = s.measure_ms.mean();
   m["measure_ms_max"] = s.measure_ms.max();
+  m["measure_ms_p99"] = s.measure_ms.Quantile(0.99);
 }
 
 bool DeterminismChecks(const char* scenario, const RunResult& zero,
@@ -258,7 +261,8 @@ bool DeterminismChecks(const char* scenario, const RunResult& zero,
 
 int main(int argc, char** argv) {
   std::string json_path;
-  if (!ParseBenchArgs(argc, argv, &json_path)) return 2;
+  std::string trace_out;
+  if (!ParseBenchArgs(argc, argv, &json_path, &trace_out)) return 2;
 
   PrintHeader("Service churn",
               "event-driven admission / drift re-planning / speculative "
@@ -280,7 +284,31 @@ int main(int argc, char** argv) {
   PrintRun("workers=0", d0);
   const RunResult d1 = Replay(drifty, /*workers=*/1);
   PrintRun("workers=1", d1);
+  // The workers=4 replay is the flight-recorder capture target: the
+  // worst solver-tail configuration (see BENCH_service.json), so the
+  // committed trace explains exactly the rounds worth profiling.
+  // Tracing reads clocks and writes thread-local rings only — the
+  // determinism checks below still compare this replay's deployment
+  // fingerprint against the untraced workers=0/1 replays.
+  if (!trace_out.empty()) {
+    // 8K spans/thread keeps the committed artifact a few hundred KB
+    // gzipped while retaining the most recent rounds end to end (the
+    // full-capacity default would be ~10x larger for the same story).
+    obs::TraceRecorder::Options trace_options;
+    trace_options.per_thread_capacity = 8192;
+    obs::TraceRecorder::Get().Enable(trace_options);
+    obs::TraceRecorder::SetCurrentThreadName("loop");
+  }
   const RunResult d4 = Replay(drifty, /*workers=*/4);
+  if (!trace_out.empty()) {
+    obs::TraceRecorder::Get().Disable();
+    const Status written =
+        obs::TraceRecorder::Get().WriteChromeTrace(trace_out);
+    SQPR_CHECK(written.ok()) << written.ToString();
+    std::printf("\nwrote flight-recorder trace (drift-heavy, workers=4): "
+                "%s\n",
+                trace_out.c_str());
+  }
   PrintRun("workers=4", d4);
   std::printf("\nspeedup (events/s, 4 vs 0 workers): %.2fx\n",
               d4.events_per_s / d0.events_per_s);

@@ -16,6 +16,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.h"
@@ -88,7 +89,8 @@ inline void PrintHeader(const char* figure, const char* description,
 //
 // Every bench that opts in emits one flat JSON document:
 //   {
-//     "bench": "<name>", "seed": N, "schema_version": 1,
+//     "bench": "<name>", "seed": N, "schema_version": 2,
+//     "host_cpus": C,             // hardware_concurrency at run time
 //     "shape_checks_failed": K,   // nonzero when any shape check failed
 //     "records": [
 //       {"scenario": "...", "labels": {"k": "v", ...},
@@ -153,7 +155,14 @@ class BenchJsonWriter {
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"seed\": %llu,\n",
                  JsonEscape(bench_).c_str(),
                  static_cast<unsigned long long>(seed_));
-    std::fprintf(f, "  \"schema_version\": 1,\n");
+    // v2: service records gained solver_p99_ms / solver_samples /
+    // measure_ms_p99 (histogram-backed percentiles), plus host_cpus in
+    // the header — absolute timings are only comparable between
+    // baselines recorded on similar hardware, and the core count is
+    // the first thing that silently changes between runners.
+    std::fprintf(f, "  \"schema_version\": 2,\n");
+    std::fprintf(f, "  \"host_cpus\": %u,\n",
+                 std::thread::hardware_concurrency());
     std::fprintf(f, "  \"shape_checks_failed\": %d,\n", shape_checks_failed);
     std::fprintf(f, "  \"records\": [\n");
     for (size_t i = 0; i < records_.size(); ++i) {
@@ -199,18 +208,31 @@ class BenchJsonWriter {
 };
 
 /// Parses the shared bench command line: `--json <path>` selects the
-/// machine-readable output file (empty = stdout text only). Returns
-/// false (after printing usage) on unknown flags, so benches exit 2.
-inline bool ParseBenchArgs(int argc, char** argv, std::string* json_path) {
+/// machine-readable output file (empty = stdout text only). Benches
+/// that support flight-recorder capture pass `trace_out` to also accept
+/// `--trace-out <path>` (Chrome trace JSON of an instrumented replay;
+/// which replay is documented per bench). Returns false (after printing
+/// usage) on unknown flags, so benches exit 2.
+inline bool ParseBenchArgs(int argc, char** argv, std::string* json_path,
+                           std::string* trace_out = nullptr) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       *json_path = argv[++i];
+    } else if (trace_out != nullptr &&
+               std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      *trace_out = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--json <path>]\n"
+                   "usage: %s [--json <path>]%s\n"
                    "  --json <path>  also write results as JSON (the\n"
-                   "                 BENCH_*.json trajectory format)\n",
-                   argv[0]);
+                   "                 BENCH_*.json trajectory format)\n"
+                   "%s",
+                   argv[0], trace_out != nullptr ? " [--trace-out <path>]" : "",
+                   trace_out != nullptr
+                       ? "  --trace-out <path>  write a flight-recorder\n"
+                         "                 Chrome trace of the instrumented\n"
+                         "                 replay (see the bench header)\n"
+                       : "");
       return false;
     }
   }

@@ -20,11 +20,17 @@ bool Latch::TryWait() {
   return count_ == 0;
 }
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads) : ThreadPool(num_threads, nullptr) {}
+
+ThreadPool::ThreadPool(int num_threads,
+                       std::function<void(int)> on_worker_start) {
   const int n = std::max(1, num_threads);
   threads_.reserve(n);
   for (int i = 0; i < n; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i, on_worker_start] {
+      if (on_worker_start) on_worker_start(i);
+      WorkerLoop();
+    });
   }
 }
 

@@ -48,6 +48,10 @@ class Latch {
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
+  /// `on_worker_start` runs once on each worker thread before it takes
+  /// its first task (worker index as argument) — the seam observability
+  /// uses to name the threads without coupling this layer to it.
+  ThreadPool(int num_threads, std::function<void(int)> on_worker_start);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

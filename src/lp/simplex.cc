@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace sqpr {
 namespace lp {
@@ -642,8 +643,12 @@ const char* SolveStatusName(SolveStatus status) {
 }
 
 SimplexResult SimplexSolver::Solve(const Model& model) {
+  SQPR_TRACE_SPAN_ARGS(span, "lp/simplex", "iterations", "rows");
   SimplexImpl impl(model, options_);
-  return impl.Run();
+  SimplexResult result = impl.Run();
+  span.set_args(static_cast<uint64_t>(result.iterations),
+                static_cast<uint64_t>(model.num_rows()));
+  return result;
 }
 
 }  // namespace lp

@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "milp/presolve.h"
+#include "obs/trace.h"
 
 namespace sqpr {
 namespace milp {
@@ -164,6 +165,7 @@ double BranchAndBound::QueueBestBound() const {
 }
 
 void BranchAndBound::DivingHeuristic(const std::vector<double>& start) {
+  SQPR_TRACE_SPAN("milp/dive");
   const int n = base_.lp.num_variables();
   // Work on a private copy of the current bounds (includes lazy cuts via
   // work_ rows; variable bounds here are the *root* bounds).
@@ -269,6 +271,9 @@ void BranchAndBound::DivingHeuristic(const std::vector<double>& start) {
 }
 
 int BranchAndBound::ProcessNode(int node_index) {
+  SQPR_TRACE_SPAN_ARGS(span, "milp/node", "node", "arena_index");
+  span.set_args(static_cast<uint64_t>(nodes_),
+                static_cast<uint64_t>(node_index));
   ++nodes_;
   ApplyBounds(node_index);
 
@@ -321,10 +326,16 @@ int BranchAndBound::ProcessNode(int node_index) {
       options_.cuts.enable && !IsIntegral(rel.values)) {
     // Root cutting-plane loop (cut-and-branch): separate, re-solve with
     // the warm basis, repeat while the relaxation keeps moving.
+    SQPR_TRACE_SPAN_ARGS(cut_span, "milp/root_cuts", "rounds", "cuts_added");
+    uint64_t cut_rounds = 0, cuts_added = 0;
     CutGenerator cg(base_.integer, options_.cuts);
     for (int round = 0; round < options_.cuts.max_rounds; ++round) {
       if (options_.deadline.Expired()) break;
-      if (cg.Separate(rel, &work_) == 0) break;
+      const int separated = cg.Separate(rel, &work_);
+      if (separated == 0) break;
+      ++cut_rounds;
+      cuts_added += static_cast<uint64_t>(separated);
+      cut_span.set_args(cut_rounds, cuts_added);
       lp::SimplexOptions cut_opts = options_.lp_options;
       cut_opts.deadline = options_.deadline;
       std::vector<lp::BasisState> keep = rel.basis_state;
@@ -573,13 +584,23 @@ class PresolvedLazyAdapter : public LazyConstraintHandler {
 }  // namespace
 
 MipResult Solver::Solve(const Model& model, const SolverOptions& options) {
+  SQPR_TRACE_SPAN_ARGS(span, "milp/solve", "variables", "rows");
+  span.set_args(static_cast<uint64_t>(model.lp.num_variables()),
+                static_cast<uint64_t>(model.lp.num_rows()));
   if (!options.presolve) {
     BranchAndBound bb(model, options);
     return bb.Run();
   }
 
   Presolver pre;
-  const PresolveStats pstats = pre.Apply(model);
+  PresolveStats pstats;
+  {
+    SQPR_TRACE_SPAN_ARGS(pre_span, "milp/presolve", "fixed_columns",
+                         "removed_rows");
+    pstats = pre.Apply(model);
+    pre_span.set_args(static_cast<uint64_t>(pstats.fixed_columns),
+                      static_cast<uint64_t>(pstats.removed_rows));
+  }
   if (getenv("SQPR_MILP_DEBUG")) {
     fprintf(stderr,
             "[presolve] cols %d->%d rows %d->%d (fixed=%d removed=%d "

@@ -1,0 +1,183 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace sqpr {
+namespace obs {
+
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+double FromBits(uint64_t b) {
+  double v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+double Histogram::LoadD(const std::atomic<uint64_t>& bits) {
+  return FromBits(bits.load(std::memory_order_relaxed));
+}
+
+void Histogram::StoreMin(std::atomic<uint64_t>* bits, double v) {
+  uint64_t cur = bits->load(std::memory_order_relaxed);
+  while (v < FromBits(cur) &&
+         !bits->compare_exchange_weak(cur, Bits(v),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::StoreMax(std::atomic<uint64_t>* bits, double v) {
+  uint64_t cur = bits->load(std::memory_order_relaxed);
+  while (v > FromBits(cur) &&
+         !bits->compare_exchange_weak(cur, Bits(v),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::AddD(std::atomic<uint64_t>* bits, double delta) {
+  uint64_t cur = bits->load(std::memory_order_relaxed);
+  while (!bits->compare_exchange_weak(cur, Bits(FromBits(cur) + delta),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+int Histogram::BucketIndex(double v) {
+  if (!(v > 0.0)) return 0;  // <= 0 and NaN clamp to the lowest bucket
+  int exp;
+  // v = m * 2^exp with m in [0.5, 1): octave = exp - 1, and the
+  // sub-bucket is the linear position of m within [0.5, 1).
+  const double m = std::frexp(v, &exp);
+  const int octave = exp - 1;
+  if (octave < kMinExp) return 0;
+  if (octave >= kMaxExp) return kNumBuckets - 1;
+  int sub = static_cast<int>((m - 0.5) * 2.0 * kSubBuckets);
+  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  return (octave - kMinExp) * kSubBuckets + sub;
+}
+
+double Histogram::BucketLowerBound(int i) {
+  const int octave = kMinExp + i / kSubBuckets;
+  const int sub = i % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, octave);
+}
+
+void Histogram::Add(double v) {
+  if (!(v >= 0.0)) v = 0.0;
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AddD(&sum_bits_, v);
+  StoreMin(&min_bits_, v);
+  StoreMax(&max_bits_, v);
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank (1-based), matching the exact Percentile() helper.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(n))));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (seen + c >= rank) {
+      // Interpolate the rank's position across the bucket's value
+      // range, clamped to the exact observed extrema so tails are
+      // sharp.
+      const double lo = BucketLowerBound(i);
+      const double hi = i + 1 < kNumBuckets ? BucketLowerBound(i + 1) : lo;
+      const double within =
+          c == 0 ? 0.0
+                 : (static_cast<double>(rank - seen) - 0.5) /
+                       static_cast<double>(c);
+      double v = lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+      v = std::clamp(v, min(), max());
+      return v;
+    }
+    seen += c;
+  }
+  return max();
+}
+
+void Histogram::CopyFrom(const Histogram& other) {
+  count_.store(other.count_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  sum_bits_.store(other.sum_bits_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  min_bits_.store(other.min_bits_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  max_bits_.store(other.max_bits_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].store(other.buckets_[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"schema\": \"sqpr-metrics-v1\",\n  \"counters\": {";
+  char buf[192];
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %lld",
+                  first ? "" : ",", name.c_str(),
+                  static_cast<long long>(counter->value()));
+    out += buf;
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\n    \"%s\": {\"count\": %zu, \"sum\": %.6g, \"mean\": %.6g, "
+        "\"min\": %.6g, \"max\": %.6g, ",
+        first ? "" : ",", name.c_str(), h->count(), h->sum(), h->mean(),
+        h->min(), h->max());
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "\"p50\": %.6g, \"p90\": %.6g, \"p95\": %.6g, "
+                  "\"p99\": %.6g}",
+                  h->Quantile(0.50), h->Quantile(0.90), h->Quantile(0.95),
+                  h->Quantile(0.99));
+    out += buf;
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace sqpr

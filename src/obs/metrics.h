@@ -1,0 +1,138 @@
+#ifndef SQPR_OBS_METRICS_H_
+#define SQPR_OBS_METRICS_H_
+
+// Metrics registry: named counters and log-bucketed histograms with
+// lock-free updates, snapshot-able to JSON with a stable schema.
+//
+// The Histogram replaces the hand-rolled latency machinery the service
+// grew organically (RunningStats + a bounded sample window re-sorted
+// for every percentile): it keeps count/sum/min/max exactly and
+// resolves quantiles from log-spaced buckets — p50/p95/p99 without
+// storing samples, O(1) memory, <= half a sub-bucket of relative error
+// (~6% with the default 8 sub-buckets per octave; tests pin the bound
+// against the exact nearest-rank Percentile()).
+//
+// Thread safety: Add()/Increment() are lock-free atomics, safe from any
+// thread (the solver workers record into the same histogram the loop
+// thread reads). Reads are racy-but-coherent snapshots — each field is
+// atomically read, the set may straddle concurrent updates; callers
+// wanting a consistent view quiesce writers first (every current caller
+// reads after the run).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sqpr {
+namespace obs {
+
+/// Monotonic named counter (the registry owns the name).
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log-bucketed histogram of non-negative scalars (latencies in ms,
+/// sizes in bytes). Buckets are octaves (powers of two) split into
+/// kSubBuckets linear sub-buckets — HDR-histogram style — spanning
+/// [2^kMinExp, 2^kMaxExp); values outside clamp into the edge buckets.
+/// Copyable (snapshot semantics) so it can live in result structs.
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 8;   // <= 12.5% bucket width
+  static constexpr int kMinExp = -20;     // ~1e-6: sub-ns in ms units
+  static constexpr int kMaxExp = 40;      // ~1e12
+  static constexpr int kNumBuckets = (kMaxExp - kMinExp) * kSubBuckets;
+
+  Histogram() = default;
+  Histogram(const Histogram& other) { CopyFrom(other); }
+  Histogram& operator=(const Histogram& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+
+  /// Records one sample. Negative and NaN samples clamp to 0 (counted,
+  /// lowest bucket) — latency sources never legitimately produce them.
+  void Add(double v);
+
+  size_t count() const {
+    return static_cast<size_t>(count_.load(std::memory_order_relaxed));
+  }
+  double sum() const { return LoadD(sum_bits_); }
+  double mean() const {
+    const size_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  /// Exact observed extrema (not bucket bounds); 0 when empty.
+  double min() const { return count() == 0 ? 0.0 : LoadD(min_bits_); }
+  double max() const { return count() == 0 ? 0.0 : LoadD(max_bits_); }
+
+  /// Quantile q in [0, 1] resolved from the buckets: the nearest-rank
+  /// sample's bucket, linearly interpolated across the bucket's value
+  /// range. Exact for the extrema (q over the min/max buckets clamps to
+  /// the observed min/max). 0 when empty.
+  double Quantile(double q) const;
+
+  /// Lower value bound of bucket index i (test access).
+  static double BucketLowerBound(int i);
+  /// Bucket index a value lands in (test access).
+  static int BucketIndex(double v);
+  uint64_t bucket_count(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  static double LoadD(const std::atomic<uint64_t>& bits);
+  static void StoreMin(std::atomic<uint64_t>* bits, double v);
+  static void StoreMax(std::atomic<uint64_t>* bits, double v);
+  static void AddD(std::atomic<uint64_t>* bits, double delta);
+  void CopyFrom(const Histogram& other);
+
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};       // double bits, CAS-accumulated
+  std::atomic<uint64_t> min_bits_{0x7FF0000000000000ull};   // +inf
+  std::atomic<uint64_t> max_bits_{0xFFF0000000000000ull};   // -inf
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+};
+
+/// Named metric registry. Registration (name lookup) takes a mutex and
+/// returns a stable pointer; updates through the pointer are lock-free.
+/// Use one registry per subsystem or the process-wide Global().
+class MetricsRegistry {
+ public:
+  /// Finds or creates; the returned pointer lives as long as the
+  /// registry. Names are dotted paths ("service.solve_ms").
+  Counter* counter(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// Stable-schema JSON snapshot:
+  ///   {"schema": "sqpr-metrics-v1",
+  ///    "counters": {"<name>": N, ...},
+  ///    "histograms": {"<name>": {"count": N, "sum": F, "mean": F,
+  ///      "min": F, "max": F, "p50": F, "p90": F, "p95": F, "p99": F},
+  ///      ...}}
+  /// Keys are sorted (std::map), so snapshots diff cleanly.
+  std::string ToJson() const;
+
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace sqpr
+
+#endif  // SQPR_OBS_METRICS_H_

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace sqpr {
 namespace {
@@ -101,6 +102,8 @@ int SqprMip::VarZ(HostId h, OperatorId o) const {
 }
 
 void SqprMip::Build(const SqprModelOptions& options) {
+  SQPR_TRACE_SPAN_ARGS(span, "planner/model_build", "streams", "operators");
+  span.set_args(streams_.size(), ops_.size());
   const Cluster& cluster = base_.cluster();
   const Catalog& catalog = base_.catalog();
   const int H = num_hosts_;
@@ -507,6 +510,7 @@ void SqprMip::Build(const SqprModelOptions& options) {
 }
 
 std::vector<double> SqprMip::WarmStart() const {
+  SQPR_TRACE_SPAN("planner/warm_start");
   std::vector<double> x(mip_.lp.num_variables(), 0.0);
 
   // Committed flows / placements / servings restricted to relevant sets.
@@ -585,6 +589,7 @@ bool SqprMip::Serves(const std::vector<double>& x, StreamId s) const {
 
 Status SqprMip::Commit(const std::vector<double>& x,
                        Deployment* target) const {
+  SQPR_TRACE_SPAN("planner/model_commit");
   // Clear all relevant state (it was re-decided).
   for (StreamId s : streams_) {
     auto flows = target->FlowsOf(s);  // copy: we mutate while iterating
@@ -640,6 +645,7 @@ Status SqprMip::Commit(const std::vector<double>& x,
 int SqprMip::CycleCutHandler::Separate(const std::vector<double>& point,
                                         double arc_threshold,
                                         lp::Model* relaxation) {
+  SQPR_TRACE_SPAN_ARGS(span, "milp/lazy_cuts.separate", "cuts", nullptr);
   const SqprMip& mip = *owner_;
   const int H = mip.num_hosts_;
   int cuts = 0;
@@ -704,6 +710,7 @@ int SqprMip::CycleCutHandler::Separate(const std::vector<double>& point,
                        "cycle_cut_s" + std::to_string(s));
     ++cuts;
   }
+  span.set_args(static_cast<uint64_t>(cuts));
   return cuts;
 }
 

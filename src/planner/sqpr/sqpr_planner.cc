@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "milp/solver.h"
+#include "obs/trace.h"
 #include "plan/query_plan.h"
 #include "planner/heuristic/heuristic_planner.h"
 
@@ -22,6 +23,7 @@ SqprPlanner::SqprPlanner(const Cluster* cluster, Catalog* catalog,
 
 Result<SqprPlanner::RelevantSets> SqprPlanner::ComputeRelevantSets(
     const std::vector<StreamId>& new_queries) {
+  SQPR_TRACE_SPAN("planner/relevant_sets");
   RelevantSets sets;
   std::set<StreamId> stream_set;
   std::set<OperatorId> op_set;
@@ -67,6 +69,8 @@ Result<PlanningStats> SqprPlanner::SubmitQuery(StreamId query) {
 
 Result<std::vector<PlanningStats>> SqprPlanner::SubmitBatch(
     const std::vector<StreamId>& queries) {
+  SQPR_TRACE_SPAN_ARGS(span, "planner/solve", "fresh_queries",
+                       "relevant_streams");
   Stopwatch watch;
   std::vector<PlanningStats> stats(queries.size());
 
@@ -106,6 +110,7 @@ Result<std::vector<PlanningStats>> SqprPlanner::SubmitBatch(
     solver_options.lazy = &cycle_handler;
   }
 
+  span.set_args(fresh.size(), sets->streams.size());
   milp::Solver solver;
   milp::MipResult result = solver.Solve(mip.mip(), solver_options);
 
@@ -134,6 +139,7 @@ Result<std::vector<PlanningStats>> SqprPlanner::SubmitBatch(
   // place may still have a straightforward single-host plan.
   if (options_.greedy_fallback &&
       result.status != milp::MipStatus::kOptimal) {
+    SQPR_TRACE_SPAN("planner/greedy");
     for (size_t i = 0; i < queries.size(); ++i) {
       if (stats[i].admitted) continue;
       if (deployment_.ServingHost(queries[i]) != kInvalidHost) continue;
@@ -351,6 +357,7 @@ Status SqprPlanner::WarmCatalog(StreamId query) {
   if (query < 0 || query >= catalog_->num_streams()) {
     return Status::InvalidArgument("unknown stream " + std::to_string(query));
   }
+  SQPR_TRACE_SPAN("planner/warm_catalog");
   // JoinClosure interns every subset join stream and every binary split
   // operator of the leaf set — the complete universe both the reduced
   // MILP (ComputeRelevantSets) and the greedy fallback (join-tree
@@ -364,6 +371,7 @@ Result<AdmissionProposal> SqprPlanner::ProposeAdmission(
   if (query < 0 || query >= catalog_->num_streams()) {
     return Status::InvalidArgument("unknown stream " + std::to_string(query));
   }
+  SQPR_TRACE_SPAN("planner/propose");
   // Solve on a private scratch planner seeded with the committed state;
   // *this stays untouched, so concurrent proposals may share it.
   SqprPlanner scratch(cluster_, catalog_, options_);
@@ -422,6 +430,9 @@ std::shared_ptr<const SqprPlanner::Snapshot> SqprPlanner::MakeSnapshot(
 
 const SqprPlanner& SqprPlanner::Snapshot::Materialized() const {
   std::call_once(once_, [this] {
+    SQPR_TRACE_SPAN_ARGS(span, "service/snapshot.materialize",
+                         "overlay_entries", nullptr);
+    span.set_args(overlay_.size());
     auto planner =
         std::make_unique<SqprPlanner>(cluster_, catalog_, options_);
     planner->deployment_ = *core_;
@@ -447,6 +458,7 @@ Result<PlanningStats> SqprPlanner::CommitProposal(
     return Status::InvalidArgument("unknown stream " +
                                    std::to_string(proposal.query));
   }
+  SQPR_TRACE_SPAN("planner/commit");
   PlanningStats stats = proposal.stats;
   if (deployment_.ServingHost(proposal.query) != kInvalidHost) {
     // Someone (an earlier commit, a cache fast path) admitted an

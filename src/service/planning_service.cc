@@ -6,6 +6,7 @@
 
 #include "common/deadline.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "plan/query_plan.h"
 
 namespace sqpr {
@@ -33,15 +34,6 @@ std::string EventOutcome::ToString(const Catalog& catalog) const {
   return out;
 }
 
-void ServiceStats::AddSolveSample(double ms) {
-  if (solve_samples_ms.size() < kMaxSolveSamples) {
-    solve_samples_ms.push_back(ms);
-  } else {
-    solve_samples_ms[solve_sample_cursor] = ms;
-  }
-  solve_sample_cursor = (solve_sample_cursor + 1) % kMaxSolveSamples;
-}
-
 PlanningService::PlanningService(Cluster* cluster, Catalog* catalog,
                                  ServiceOptions options)
     : cluster_(cluster),
@@ -53,7 +45,9 @@ PlanningService::PlanningService(Cluster* cluster, Catalog* catalog,
       scheduler_(options.replan) {
   SQPR_CHECK(cluster != nullptr && catalog != nullptr);
   if (options_.replan.workers > 0) {
-    pool_ = std::make_unique<ThreadPool>(options_.replan.workers);
+    pool_ = std::make_unique<ThreadPool>(options_.replan.workers, [](int i) {
+      obs::TraceRecorder::SetCurrentThreadName("worker-" + std::to_string(i));
+    });
   }
   if (options_.closed_loop) {
     telemetry_ =
@@ -83,6 +77,20 @@ Result<EventOutcome> PlanningService::Step() {
   Stopwatch watch;
   Event event = queue_.Pop();
   clock_.AdvanceTo(event.time_ms);
+  // Tag spans with the virtual clock so a trace correlates wall time
+  // with trace time; pure observation, read back by nothing.
+  obs::TraceRecorder::SetVirtualTimeMs(clock_.now_ms());
+  // One span per event, named by kind (indexed registration keeps the
+  // per-event cost at one array load when tracing is on, zero when off).
+  static const uint32_t kEventSpanIds[] = {
+      obs::TraceRecorder::RegisterSpan("service/event.arrival"),
+      obs::TraceRecorder::RegisterSpan("service/event.departure"),
+      obs::TraceRecorder::RegisterSpan("service/event.host_join"),
+      obs::TraceRecorder::RegisterSpan("service/event.host_failure"),
+      obs::TraceRecorder::RegisterSpan("service/event.monitor_report"),
+      obs::TraceRecorder::RegisterSpan("service/event.tick"),
+      obs::TraceRecorder::RegisterSpan("service/event.rate_directive")};
+  obs::SpanScope event_span(kEventSpanIds[static_cast<int>(event.kind)]);
 
   EventOutcome outcome;
   outcome.event = event;
@@ -215,10 +223,13 @@ void PlanningService::MarkCacheServing(StreamId stream, HostId before,
 void PlanningService::SyncPlanCache() {
   if (!options_.use_plan_cache) return;
   if (cache_rebuild_) {
+    SQPR_TRACE_SPAN("service/cache.rebuild");
     // Rebuild itself no-ops (version check) when nothing actually moved
     // — e.g. a failure event whose host carried no allocations.
     cache_.Rebuild(deployment());
-  } else {
+  } else if (!cache_deltas_.empty()) {
+    SQPR_TRACE_SPAN_ARGS(span, "service/cache.delta", "deltas", nullptr);
+    span.set_args(cache_deltas_.size());
     for (const DeploymentDelta& delta : cache_deltas_) {
       const bool incremental = cache_.ApplyDelta(deployment(), delta);
       if (incremental) {
@@ -241,6 +252,7 @@ Result<PlanningStats> PlanningService::Admit(StreamId query,
     return Status::InvalidArgument("unknown stream " + std::to_string(query));
   }
 
+  SQPR_TRACE_SPAN("service/admit");
   Stopwatch watch;
 
   if (options_.use_plan_cache) {
@@ -328,7 +340,6 @@ Result<PlanningStats> PlanningService::Admit(StreamId query,
   if (stats.ok()) {
     if (!stats->already_served && !stats->via_cache) {
       stats_.solve_ms.Add(solve_wall_ms);
-      stats_.AddSolveSample(solve_wall_ms);
     }
     if (stats->admitted && !stats->already_served) {
       // The committed delta is exactly what the reuse index must learn;
@@ -521,6 +532,7 @@ Status PlanningService::HandleSelfMeasurement(EventOutcome* outcome) {
     ++stats_.analytic_ticks;
   }
   outcome->measured = true;
+  SQPR_TRACE_SPAN("service/measure");
   Stopwatch measure_watch;
   Result<Measurement> measurement =
       telemetry_->Measure(deployment(), clock_.now_ms());
@@ -559,6 +571,7 @@ void PlanningService::DrainReplanRounds(EventOutcome* outcome) {
 void PlanningService::DispatchReplanRound() {
   if (inflight_ || !scheduler_.HasPending()) return;
 
+  SQPR_TRACE_SPAN_ARGS(span, "service/round.dispatch", "queries", nullptr);
   InFlightRound flight;
   flight.queries = scheduler_.NextRound();
   // Pre-intern, on this thread, everything a solve for these queries
@@ -593,7 +606,12 @@ void PlanningService::DispatchReplanRound() {
     // The first worker to need it materialises the full planner copy
     // off this thread (the deep copy the dispatch used to pay here).
     SqprPlanner::SnapshotStats snap_stats;
-    flight.snapshot = planner_.MakeSnapshot(&snap_stats);
+    {
+      SQPR_TRACE_SPAN_ARGS(snap_span, "service/snapshot.make", "bytes_copied",
+                           "rebased");
+      flight.snapshot = planner_.MakeSnapshot(&snap_stats);
+      snap_span.set_args(snap_stats.bytes_copied, snap_stats.rebased ? 1 : 0);
+    }
     stats_.snapshot_bytes_copied +=
         static_cast<int64_t>(snap_stats.bytes_copied);
     if (snap_stats.rebased) ++stats_.snapshot_rebases;
@@ -607,6 +625,7 @@ void PlanningService::DispatchReplanRound() {
       });
     }
   }
+  span.set_args(flight.queries.size());
   inflight_ = std::move(flight);
   inflight_discards_.clear();
   ++stats_.replan_dispatches;
@@ -617,8 +636,13 @@ void PlanningService::CommitInFlightRound(EventOutcome* outcome) {
   InFlightRound flight = std::move(*inflight_);
   inflight_.reset();
 
+  SQPR_TRACE_SPAN_ARGS(span, "service/round.commit", "queries", nullptr);
+  span.set_args(flight.queries.size());
   Stopwatch wait;
-  flight.latch->Wait();
+  {
+    SQPR_TRACE_SPAN("service/round.barrier");
+    flight.latch->Wait();
+  }
   stats_.barrier_ms.Add(wait.ElapsedMillis());
 
   ++stats_.replan_rounds;
@@ -632,7 +656,6 @@ void PlanningService::CommitInFlightRound(EventOutcome* outcome) {
     bool solve_failed = false;
     if (proposal.ok()) {
       stats_.solve_ms.Add(proposal->stats.wall_ms);
-      stats_.AddSolveSample(proposal->stats.wall_ms);
       Stopwatch commit_watch;
       Result<PlanningStats> committed = planner_.CommitProposal(*proposal);
       stats_.commit_ms.Add(commit_watch.ElapsedMillis());

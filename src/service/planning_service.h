@@ -10,9 +10,9 @@
 #include <string>
 #include <vector>
 
-#include "common/stats.h"
 #include "common/status.h"
 #include "common/task_queue.h"
+#include "obs/metrics.h"
 #include "model/catalog.h"
 #include "model/cluster.h"
 #include "monitor/resource_monitor.h"
@@ -134,33 +134,28 @@ struct ServiceStats {
   double max_event_ms = 0.0;
 
   // ---- Per-stage latency, from the loop thread's perspective. ----
+  //
+  // Log-bucketed histograms (obs::Histogram): count/sum/min/max exact,
+  // p50/p95/p99 resolved from buckets in O(1) memory. These replace the
+  // RunningStats + bounded-sample-window pair the service grew
+  // organically — quantiles no longer need sample storage or a re-sort
+  // per report.
   /// One admission through the cache-then-solve path (arrivals and
   /// re-planning re-solves), excluding any in-flight-round retirement
   /// it triggered — that time is reported under barrier/commit/solve.
-  RunningStats admit_ms;
+  obs::Histogram admit_ms;
   /// Individual planner solves: inline arrival/re-planning solves and
   /// worker-side speculative solves alike.
-  RunningStats solve_ms;
+  obs::Histogram solve_ms;
   /// Applying one worker proposal to the committed state.
-  RunningStats commit_ms;
+  obs::Histogram commit_ms;
   /// Loop-thread blocking waits for an in-flight round to finish.
-  RunningStats barrier_ms;
+  obs::Histogram barrier_ms;
   /// One §IV-C self-measurement (closed loop only): the whole
   /// Measure() call — ClusterSim execution in engine mode, the ledger
   /// scan in analytic mode. The per-measuring-tick cost the analytic
   /// mode exists to shrink; bench_service_churn compares the two.
-  RunningStats measure_ms;
-  /// Recent solve wall-clock samples (same population as solve_ms),
-  /// kept for percentile reporting in the tools and benches. Bounded:
-  /// once full, the oldest samples are overwritten (sliding window),
-  /// so a long-running service does not grow without limit.
-  static constexpr size_t kMaxSolveSamples = 1 << 16;
-  std::vector<double> solve_samples_ms;
-  /// Next ring slot once the window is full (self-contained so the
-  /// window cannot silently desync from other counters).
-  size_t solve_sample_cursor = 0;
-  /// Appends to solve_samples_ms with the sliding-window bound.
-  void AddSolveSample(double ms);
+  obs::Histogram measure_ms;
 };
 
 /// The long-running DISSP-side planning loop the paper assumes around

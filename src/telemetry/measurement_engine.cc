@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace sqpr {
 
@@ -70,8 +71,10 @@ Result<Measurement> MeasurementEngine::Measure(const Deployment& deployment,
   // Ground truth at this virtual time (advances random-walk state).
   const std::map<StreamId, double> truth = rate_model_.RatesAt(now_ms);
   if (options_.mode == MeasureMode::kAnalytic) {
+    SQPR_TRACE_SPAN("telemetry/measure.analytic");
     return MeasureAnalytic(deployment, now_ms, truth);
   }
+  SQPR_TRACE_SPAN("telemetry/measure.engine");
   return MeasureEngine(deployment, now_ms, truth);
 }
 

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Validates a flight-recorder trace (Chrome trace_event JSON emitted by
+TraceRecorder::ChromeTraceJson, schema sqpr-trace-v1) and — when the
+trace contains re-planning rounds — checks that named spans attribute
+the required fraction of each round's wall time.
+
+Usage:
+  tools/check_trace.py TRACE.json[.gz] [--min-round-coverage 0.9]
+                       [--require-rounds]
+
+Checks (all fatal):
+  * JSON parses; top level has traceEvents (list) and otherData with
+    schema == "sqpr-trace-v1" plus emitted_spans / dropped_spans /
+    threads counters.
+  * Every event is an "M" thread_name record (args.name present) or an
+    "X" complete span (name, cat, numeric ts >= 0, numeric dur >= 0,
+    integer tid named by some "M" record).
+  * Span names are '/'-separated taxonomy paths whose first segment
+    matches the event's cat.
+  * Re-planning-round attribution: a round runs from its
+    service/round.dispatch start to the matching service/round.commit
+    end (rounds never overlap — the service keeps one in flight). The
+    union of all named spans across all threads, clipped to that
+    window, must cover >= --min-round-coverage of it: "explain every
+    millisecond" is gated here, not eyeballed in Perfetto.
+
+Exit 0 on success, 1 with a message on any failure.
+"""
+
+import argparse
+import gzip
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    opener = gzip.open if path.endswith(".gz") else open
+    try:
+        with opener(path, "rt") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+
+def union_length(intervals, lo, hi):
+    """Total length of the union of [start, end) intervals clipped to
+    [lo, hi)."""
+    clipped = sorted(
+        (max(s, lo), min(e, hi)) for s, e in intervals if e > lo and s < hi
+    )
+    total = 0.0
+    cur_lo = None
+    cur_hi = None
+    for s, e in clipped:
+        if cur_hi is None or s > cur_hi:
+            if cur_hi is not None:
+                total += cur_hi - cur_lo
+            cur_lo, cur_hi = s, e
+        else:
+            cur_hi = max(cur_hi, e)
+    if cur_hi is not None:
+        total += cur_hi - cur_lo
+    return total
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument("--min-round-coverage", type=float, default=0.9)
+    ap.add_argument(
+        "--require-rounds",
+        action="store_true",
+        help="fail when the trace contains no re-planning rounds",
+    )
+    args = ap.parse_args()
+
+    data = load(args.trace)
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        fail("traceEvents missing or not a list")
+    other = data.get("otherData")
+    if not isinstance(other, dict):
+        fail("otherData missing")
+    if other.get("schema") != "sqpr-trace-v1":
+        fail(f"schema is {other.get('schema')!r}, want 'sqpr-trace-v1'")
+    for key in ("emitted_spans", "dropped_spans", "threads"):
+        if not isinstance(other.get(key), int):
+            fail(f"otherData.{key} missing or not an integer")
+
+    named_tids = {}
+    spans = []
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") != "thread_name":
+                fail(f"event {i}: unexpected metadata record {ev.get('name')!r}")
+            name = ev.get("args", {}).get("name")
+            if not isinstance(name, str) or not name:
+                fail(f"event {i}: thread_name metadata without args.name")
+            named_tids[ev.get("tid")] = name
+        elif ph == "X":
+            name, cat = ev.get("name"), ev.get("cat")
+            ts, dur, tid = ev.get("ts"), ev.get("dur"), ev.get("tid")
+            if not isinstance(name, str) or not name:
+                fail(f"event {i}: span without a name")
+            if not isinstance(cat, str) or name.split("/")[0] != cat:
+                fail(f"event {i}: cat {cat!r} != first segment of {name!r}")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                fail(f"event {i} ({name}): bad ts {ts!r}")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"event {i} ({name}): bad dur {dur!r}")
+            if not isinstance(tid, int):
+                fail(f"event {i} ({name}): bad tid {tid!r}")
+            spans.append((name, tid, float(ts), float(ts) + float(dur)))
+        else:
+            fail(f"event {i}: unknown ph {ph!r}")
+
+    for name, tid, _, _ in spans:
+        if tid not in named_tids:
+            fail(f"span {name}: tid {tid} has no thread_name metadata")
+
+    # --- re-planning-round attribution ---------------------------------
+    dispatches = sorted(
+        (s, e) for n, _, s, e in spans if n == "service/round.dispatch"
+    )
+    commits = sorted(
+        (s, e) for n, _, s, e in spans if n == "service/round.commit"
+    )
+    if args.require_rounds and not dispatches:
+        fail("trace contains no service/round.dispatch spans")
+    if len(dispatches) != len(commits):
+        # The ring may have dropped one side of a round pair; pair up
+        # what survives (commit k follows dispatch k in time).
+        n = min(len(dispatches), len(commits))
+        print(
+            f"check_trace: note: {len(dispatches)} dispatches vs "
+            f"{len(commits)} commits retained; checking {n} pairs"
+        )
+        dispatches, commits = dispatches[-n:], commits[-n:]
+
+    intervals = [(s, e) for _, _, s, e in spans]
+    worst = None
+    for k, ((d_start, _), (c_start, c_end)) in enumerate(
+        zip(dispatches, commits)
+    ):
+        if c_end <= d_start or c_start < d_start:
+            fail(f"round {k}: commit does not follow its dispatch")
+        window = c_end - d_start
+        if window <= 0:
+            continue
+        coverage = union_length(intervals, d_start, c_end) / window
+        if worst is None or coverage < worst[1]:
+            worst = (k, coverage)
+        if coverage < args.min_round_coverage:
+            fail(
+                f"round {k}: named spans cover {coverage:.1%} of the "
+                f"{window / 1000.0:.2f} ms round window "
+                f"(< {args.min_round_coverage:.0%})"
+            )
+
+    rounds = len(dispatches)
+    summary = (
+        f"{rounds} rounds, worst coverage {worst[1]:.1%}"
+        if worst is not None
+        else "no complete rounds retained"
+    )
+    print(
+        f"check_trace: OK: {len(spans)} spans on {len(named_tids)} threads, "
+        f"{other['dropped_spans']} dropped; {summary}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Regenerates the machine-readable service-bench baseline.
+# Regenerates the machine-readable service-bench baseline and the
+# committed flight-recorder trace.
 #
-#   tools/run_bench.sh [output.json]
+#   tools/run_bench.sh [output.json] [trace.json.gz]
 #
 # Builds bench_service_churn in ./build (override with BUILD_DIR) and
 # runs it with --json, writing BENCH_service.json by default. The file
@@ -10,13 +11,29 @@
 # regressions as reviewable diffs. The bench's shape checks gate the
 # run (exit 1 on failure); absolute timings are machine-dependent and
 # meaningful only relative to earlier records from comparable hardware.
+#
+# The second output (default TRACE_drift_w4.json.gz) is the
+# flight-recorder capture of the drift-heavy workers=4 replay,
+# validated by tools/check_trace.py (schema + >= 90% of every
+# re-planning round's wall time attributed to named spans,
+# docs/ARCHITECTURE.md §7) and gzipped for commit.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
 OUT=${1:-BENCH_service.json}
+TRACE_OUT=${2:-TRACE_drift_w4.json.gz}
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_service_churn >/dev/null
 
-"$BUILD_DIR/bench_service_churn" --json "$OUT"
+TRACE_RAW=$(mktemp /tmp/sqpr_trace.XXXXXX.json)
+trap 'rm -f "$TRACE_RAW"' EXIT
+
+"$BUILD_DIR/bench_service_churn" --json "$OUT" --trace-out "$TRACE_RAW"
+
+python3 tools/check_trace.py "$TRACE_RAW" \
+  --min-round-coverage 0.9 --require-rounds
+
+gzip -9 -c "$TRACE_RAW" > "$TRACE_OUT"
+echo "wrote $OUT and $TRACE_OUT ($(stat -c%s "$TRACE_OUT") bytes gzipped)"

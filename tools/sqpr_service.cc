@@ -21,6 +21,8 @@
 
 #include "common/stats.h"
 #include "model/catalog.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "model/cluster.h"
 #include "service/planning_service.h"
 #include "workload/generator.h"
@@ -51,6 +53,9 @@ struct Args {
   bool rate_seed_set = false;
   std::string trace_path;       // load instead of generating
   std::string save_trace_path;  // write the generated trace
+  std::string trace_out_path;   // flight-recorder Chrome trace JSON
+  size_t trace_capacity = 1 << 15;
+  std::string metrics_out_path; // metrics-registry JSON snapshot
   bool verbose = false;
 };
 
@@ -148,6 +153,21 @@ void Usage(std::FILE* out) {
       "                   ticks between self-measurements (default 4)\n"
       "  --rate-seed N    seed for ground-truth trajectories and\n"
       "                   measurement noise (default: --seed)\n"
+      "\n"
+      "Observability flags (docs/ARCHITECTURE.md \u00a77):\n"
+      "  --trace-out FILE enable the flight recorder for the replay and\n"
+      "                   write the captured spans as Chrome trace_event\n"
+      "                   JSON (open in Perfetto / chrome://tracing).\n"
+      "                   Spans cover the full event path and the solver\n"
+      "                   phases; tracing never changes behavior or the\n"
+      "                   committed deployments\n"
+      "  --trace-capacity N\n"
+      "                   spans retained per thread before the oldest are\n"
+      "                   overwritten (default 32768; drops are counted\n"
+      "                   in the trace's otherData)\n"
+      "  --metrics-out FILE\n"
+      "                   write a metrics-registry JSON snapshot (named\n"
+      "                   counters + histogram quantiles) after the run\n"
       "  --verbose        print every event outcome\n"
       "  --help           show this message and exit\n");
 }
@@ -236,6 +256,12 @@ int main(int argc, char** argv) {
       args.trace_path = v;
     } else if (flag == "--save-trace" && (v = next())) {
       args.save_trace_path = v;
+    } else if (flag == "--trace-out" && (v = next())) {
+      args.trace_out_path = v;
+    } else if (flag == "--trace-capacity" && (v = next())) {
+      args.trace_capacity = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (flag == "--metrics-out" && (v = next())) {
+      args.metrics_out_path = v;
     } else if (flag == "--verbose") {
       args.verbose = true;
     } else {
@@ -317,6 +343,13 @@ int main(int argc, char** argv) {
   options.telemetry.mode = args.measure_mode;
   options.telemetry.measure_period = args.measure_period;
   options.telemetry.seed = args.rate_seed_set ? args.rate_seed : args.seed;
+  if (!args.trace_out_path.empty()) {
+    obs::TraceRecorder::Options trace_options;
+    trace_options.per_thread_capacity = args.trace_capacity;
+    obs::TraceRecorder::Get().Enable(trace_options);
+    obs::TraceRecorder::SetCurrentThreadName("loop");
+  }
+
   PlanningService service(&cluster, &catalog, options);
   for (const Event& e : trace) {
     const Status st = service.Enqueue(e);
@@ -387,7 +420,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\nper-stage latency (loop-thread perspective):\n");
-  const auto print_stage = [](const char* name, const RunningStats& s) {
+  const auto print_stage = [](const char* name, const obs::Histogram& s) {
     if (s.count() == 0) return;
     std::printf("  %-14s %6zu samples  avg %7.2f ms  max %7.2f ms\n", name,
                 s.count(), s.mean(), s.max());
@@ -396,13 +429,12 @@ int main(int argc, char** argv) {
   print_stage("solve", stats.solve_ms);
   print_stage("commit", stats.commit_ms);
   print_stage("barrier-wait", stats.barrier_ms);
-  if (!stats.solve_samples_ms.empty()) {
+  if (stats.solve_ms.count() > 0) {
     std::printf(
         "  solver wall-time percentiles: p50 %.2f ms  p90 %.2f ms  "
-        "p99 %.2f ms\n",
-        Percentile(stats.solve_samples_ms, 0.50),
-        Percentile(stats.solve_samples_ms, 0.90),
-        Percentile(stats.solve_samples_ms, 0.99));
+        "p99 %.2f ms (%zu samples)\n",
+        stats.solve_ms.Quantile(0.50), stats.solve_ms.Quantile(0.90),
+        stats.solve_ms.Quantile(0.99), stats.solve_ms.count());
   }
 
   std::printf("\nadmission: %lld arrivals -> %lld admitted "
@@ -476,6 +508,42 @@ int main(int argc, char** argv) {
   if (!audit.ok()) return 1;
   if (cache.hits() == 0) {
     std::fprintf(stderr, "warning: no plan-cache hits in this trace\n");
+  }
+
+  if (!args.trace_out_path.empty()) {
+    const Status written =
+        obs::TraceRecorder::Get().WriteChromeTrace(args.trace_out_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "trace-out: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nflight-recorder trace written to %s\n",
+                args.trace_out_path.c_str());
+  }
+  if (!args.metrics_out_path.empty()) {
+    // Publish the run's stage histograms under stable names so the
+    // snapshot schema does not depend on which code paths ran.
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    *reg.histogram("service.admit_ms") = stats.admit_ms;
+    *reg.histogram("service.solve_ms") = stats.solve_ms;
+    *reg.histogram("service.commit_ms") = stats.commit_ms;
+    *reg.histogram("service.barrier_ms") = stats.barrier_ms;
+    *reg.histogram("service.measure_ms") = stats.measure_ms;
+    reg.counter("service.events")->Increment(stats.events);
+    reg.counter("service.admitted")->Increment(stats.admitted);
+    reg.counter("service.rejected")->Increment(stats.rejected);
+    reg.counter("service.replan_rounds")->Increment(stats.replan_rounds);
+    const std::string json = reg.ToJson();
+    std::FILE* f = std::fopen(args.metrics_out_path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "metrics-out: cannot open %s\n",
+                   args.metrics_out_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("metrics snapshot written to %s\n",
+                args.metrics_out_path.c_str());
   }
   return 0;
 }
