@@ -1,214 +1,287 @@
-// Microbenchmarks (google-benchmark) for the solver substrate that
-// replaces CPLEX: cold simplex solves and branch-and-bound throughput at
-// the sizes the SQPR reduced models produce.
-
-#include <benchmark/benchmark.h>
+// Solver micro-bench: isolates the two incremental-solve savings the
+// planner's model cache buys on the hot path, as machine-readable
+// numbers (the BENCH_solver_micro.json trajectory):
+//
+//  * build-vs-patch — constructing a grounded SQPR model from scratch
+//    (every variable, row and coefficient) vs Rebind-ing a cached
+//    skeleton against a new base deployment (bounds only, O(rows));
+//  * cold-vs-warm — solving the same model structure across simulated
+//    rounds from a slack basis each time vs chaining each round's root
+//    basis (and pooled lazy cycle cuts) into the next solve.
+//
+// Shape checks gate correctness, not speed: a patched model must match
+// a fresh build bit for bit, and a warm-started solve must reach the
+// cold objective. Absolute timings land in the JSON for the checked-in
+// baseline diff; CI only gates the schema (timings are host-dependent).
 
 #include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
-#include "common/rng.h"
-#include "lp/model.h"
-#include "lp/simplex.h"
-#include "milp/presolve.h"
+#include "bench/bench_util.h"
+#include "common/deadline.h"
 #include "milp/solver.h"
-#include "model/catalog.h"
-#include "model/cluster.h"
 #include "plan/deployment.h"
 #include "planner/sqpr/model_builder.h"
+#include "planner/sqpr/model_cache.h"
+#include "planner/sqpr/sqpr_planner.h"
 
 namespace sqpr {
 namespace {
 
-lp::Model RandomLp(int vars, int rows, uint64_t seed) {
-  Rng rng(seed);
-  lp::Model m(lp::Sense::kMaximize);
-  std::vector<double> ref(vars);
-  for (int v = 0; v < vars; ++v) {
-    const double ub = rng.NextDouble(1.0, 10.0);
-    m.AddVariable(0.0, ub, rng.NextDouble(-1.0, 2.0));
-    ref[v] = rng.NextDouble(0.0, ub);
+constexpr uint64_t kSeed = 11;
+
+struct Fixture {
+  bench::Scenario scenario;
+  SqprPlanner planner;
+  std::vector<StreamId> streams;
+  std::vector<OperatorId> operators;
+  std::vector<DemandSpec> demands;
+  StreamId query = kInvalidStream;
+
+  explicit Fixture(const bench::ScenarioConfig& config)
+      : scenario(bench::MakeScenario(config)),
+        planner(scenario.cluster.get(), scenario.catalog.get(),
+                [] {
+                  SqprPlanner::Options o;
+                  o.timeout_ms = 250;
+                  return o;
+                }()) {}
+};
+
+/// Admits a prefix of the workload so the base deployment carries the
+/// committed operators/flows a mid-experiment solve patches against,
+/// then grounds the relevant sets of the next unserved query.
+std::unique_ptr<Fixture> MakeFixture() {
+  // Small enough (4 hosts, 2-way joins) that the tight-gap cold/warm
+  // solves below prove optimality in milliseconds — deadline-truncated
+  // solves would make the cold-vs-warm timing (and objective equality)
+  // meaningless.
+  bench::ScenarioConfig config;
+  config.hosts = 4;
+  config.base_streams = 16;
+  config.queries = 16;
+  config.arities = {2};
+  config.seed = kSeed;
+  auto f = std::make_unique<Fixture>(config);
+  for (int i = 0; i < 8; ++i) {
+    const Status st =
+        f->planner.SubmitQuery(f->scenario.workload.queries[i]).status();
+    SQPR_CHECK(st.ok()) << st.ToString();
   }
-  for (int r = 0; r < rows; ++r) {
-    std::vector<std::pair<int, double>> terms;
-    double activity = 0.0;
-    for (int v = 0; v < vars; ++v) {
-      if (rng.NextBool(0.3)) {
-        const double coef = rng.NextDouble(-2.0, 3.0);
-        terms.emplace_back(v, coef);
-        activity += coef * ref[v];
+  f->query = f->scenario.workload.queries[8];
+  const Closure closure = *f->scenario.catalog->JoinClosure(f->query);
+  f->streams = closure.streams;
+  f->operators = closure.operators;
+  f->demands = {{f->query, /*must_serve=*/false}};
+  return f;
+}
+
+int BenchBuildVsPatch(Fixture* f, bench::BenchJsonWriter* json) {
+  constexpr int kIters = 50;
+  int failed = 0;
+
+  Stopwatch build_watch;
+  for (int i = 0; i < kIters; ++i) {
+    SqprMip mip(f->planner.deployment(), f->streams, f->operators,
+                f->demands, {});
+    // Touch the model so the build cannot be elided.
+    if (mip.mip().lp.num_variables() == 0) ++failed;
+  }
+  const double build_ms = build_watch.ElapsedMillis() / kIters;
+
+  SqprMip cached(f->planner.deployment(), f->streams, f->operators,
+                 f->demands, {});
+  Stopwatch patch_watch;
+  for (int i = 0; i < kIters; ++i) {
+    cached.Rebind(f->planner.deployment());
+  }
+  const double patch_ms = patch_watch.ElapsedMillis() / kIters;
+
+  // The whole cache rests on this: a rebound skeleton IS a fresh build.
+  SqprMip reference(f->planner.deployment(), f->streams, f->operators,
+                    f->demands, {});
+  const Status same = cached.CheckModelEquals(reference);
+  if (!bench::ShapeCheck(same.ok(),
+                         "patched model bit-identical to fresh build")) {
+    ++failed;
+  }
+  if (!bench::ShapeCheck(patch_ms <= build_ms,
+                         "bounds-only patch no slower than full build")) {
+    ++failed;
+  }
+
+  std::printf("model build %7.3f ms   patch %7.3f ms   (%.1fx, %d vars)\n",
+              build_ms, patch_ms, build_ms / std::max(patch_ms, 1e-9),
+              reference.mip().lp.num_variables());
+  bench::BenchRecord& rec = json->Add("build_vs_patch");
+  rec.labels["hosts"] = std::to_string(f->scenario.cluster->num_hosts());
+  rec.metrics["build_ms_avg"] = build_ms;
+  rec.metrics["patch_ms_avg"] = patch_ms;
+  rec.metrics["model_vars"] = reference.mip().lp.num_variables();
+  rec.metrics["model_rows"] = reference.mip().lp.num_rows();
+  return failed;
+}
+
+int BenchColdVsWarm(Fixture* f, bench::BenchJsonWriter* json) {
+  constexpr int kRounds = 12;
+  int failed = 0;
+
+  SqprMip mip(f->planner.deployment(), f->streams, f->operators, f->demands,
+              {});
+  const std::vector<double> warm_point = mip.WarmStart();
+  milp::Solver solver;
+
+  auto base_options = [&] {
+    milp::SolverOptions options;
+    options.deadline = Deadline::AfterMillis(2000);
+    options.gap_abs = 1e-9;
+    options.gap_rel = 1e-6;
+    options.warm_start = &warm_point;
+    return options;
+  };
+
+  double cold_objective = 0.0;
+  Stopwatch cold_watch;
+  for (int i = 0; i < kRounds; ++i) {
+    SqprMip::CycleCutHandler handler(&mip);
+    milp::SolverOptions options = base_options();
+    options.lazy = &handler;
+    const milp::MipResult r = solver.Solve(mip.mip(), options);
+    SQPR_CHECK(r.has_solution());
+    cold_objective = r.objective;
+  }
+  const double cold_ms = cold_watch.ElapsedMillis() / kRounds;
+
+  // Warm chain: every round seeds the next with its root basis and the
+  // pooled cycle cuts — the exact flow SqprPlanner::SubmitBatch runs
+  // between re-planning rounds of one drift cycle.
+  milp::CutPool pool;
+  std::vector<lp::BasisState> basis;
+  std::vector<int> basis_columns;
+  int64_t warm_starts = 0, basis_discards = 0;
+  double warm_objective = 0.0;
+  Stopwatch warm_watch;
+  for (int i = 0; i < kRounds; ++i) {
+    SqprMip::CycleCutHandler handler(&mip);
+    handler.set_harvest(&pool);
+    milp::SolverOptions options = base_options();
+    options.lazy = &handler;
+    if (!basis.empty()) {
+      options.root_warm_basis = &basis;
+      options.root_warm_basis_columns = &basis_columns;
+    }
+    const milp::Model* model = &mip.mip();
+    milp::Model with_cuts;
+    if (!pool.empty()) {
+      with_cuts = mip.mip();
+      pool.InjectInto(&with_cuts.lp);
+      model = &with_cuts;
+    }
+    milp::MipResult r = solver.Solve(*model, options);
+    SQPR_CHECK(r.has_solution());
+    warm_objective = r.objective;
+    if (r.used_warm_basis) ++warm_starts;
+    if (r.warm_basis_discarded) ++basis_discards;
+    basis = std::move(r.root_basis);
+    basis_columns = std::move(r.root_basis_columns);
+  }
+  const double warm_ms = warm_watch.ElapsedMillis() / kRounds;
+
+  if (!bench::ShapeCheck(std::abs(warm_objective - cold_objective) < 1e-6,
+                         "warm-started solve reaches cold objective")) {
+    ++failed;
+  }
+  if (!bench::ShapeCheck(warm_starts > 0,
+                         "warm chain actually installs the root basis")) {
+    ++failed;
+  }
+
+  std::printf(
+      "solve cold %8.3f ms   warm %8.3f ms   "
+      "(warm_starts=%lld discards=%lld pooled_cuts=%zu)\n",
+      cold_ms, warm_ms, static_cast<long long>(warm_starts),
+      static_cast<long long>(basis_discards), pool.size());
+  bench::BenchRecord& rec = json->Add("cold_vs_warm");
+  rec.labels["rounds"] = std::to_string(kRounds);
+  rec.metrics["cold_solve_ms_avg"] = cold_ms;
+  rec.metrics["warm_solve_ms_avg"] = warm_ms;
+  rec.metrics["warm_starts"] = static_cast<double>(warm_starts);
+  rec.metrics["basis_discards"] = static_cast<double>(basis_discards);
+  rec.metrics["pooled_cuts"] = static_cast<double>(pool.size());
+  return failed;
+}
+
+/// End-to-end: the §IV-B replan loop with the model cache on vs off —
+/// what the service-level drift rounds actually pay per solve.
+int BenchReplanLoop(bench::BenchJsonWriter* json) {
+  int failed = 0;
+  double wall[2] = {0.0, 0.0};
+  int64_t patches = 0;
+  for (int cached = 0; cached < 2; ++cached) {
+    bench::ScenarioConfig config;
+    config.hosts = 4;
+    config.base_streams = 16;
+    config.queries = 16;
+    config.arities = {2};
+    config.seed = kSeed;
+    bench::Scenario scenario = bench::MakeScenario(config);
+    SqprPlanner::Options options;
+    options.timeout_ms = 250;
+    options.enable_model_cache = cached != 0;
+    SqprPlanner planner(scenario.cluster.get(), scenario.catalog.get(),
+                        options);
+    for (int i = 0; i < 8; ++i) {
+      SQPR_CHECK(planner.SubmitQuery(scenario.workload.queries[i]).ok());
+    }
+    Stopwatch watch;
+    for (int round = 0; round < 6; ++round) {
+      const std::vector<StreamId> admitted = planner.admitted_queries();
+      for (StreamId q : admitted) {
+        Result<std::vector<PlanningStats>> stats = planner.ReplanQueries({q});
+        SQPR_CHECK(stats.ok()) << stats.status().ToString();
+        if (stats->front().model_patched) ++patches;
       }
     }
-    if (terms.empty()) continue;
-    m.AddRow(-lp::kInf, activity + rng.NextDouble(0.0, 3.0),
-             std::move(terms));
+    wall[cached] = watch.ElapsedMillis();
   }
-  return m;
+  if (!bench::ShapeCheck(patches > 0, "replan loop hits the model cache")) {
+    ++failed;
+  }
+  std::printf("replan loop uncached %8.1f ms   cached %8.1f ms   "
+              "(model_patches=%lld)\n",
+              wall[0], wall[1], static_cast<long long>(patches));
+  bench::BenchRecord& rec = json->Add("replan_loop");
+  rec.labels["rounds"] = "6";
+  rec.metrics["uncached_wall_ms"] = wall[0];
+  rec.metrics["cached_wall_ms"] = wall[1];
+  rec.metrics["model_patches"] = static_cast<double>(patches);
+  return failed;
 }
-
-void BM_SimplexColdSolve(benchmark::State& state) {
-  const int vars = static_cast<int>(state.range(0));
-  const int rows = vars / 2;
-  const lp::Model m = RandomLp(vars, rows, 42);
-  lp::SimplexSolver solver;
-  for (auto _ : state) {
-    auto result = solver.Solve(m);
-    benchmark::DoNotOptimize(result.objective);
-  }
-  state.SetLabel(std::to_string(vars) + "v/" + std::to_string(rows) + "r");
-}
-BENCHMARK(BM_SimplexColdSolve)->Arg(50)->Arg(150)->Arg(400)->Arg(800);
-
-void BM_MilpKnapsack(benchmark::State& state) {
-  const int items = static_cast<int>(state.range(0));
-  Rng rng(7);
-  milp::Model m;
-  std::vector<std::pair<int, double>> terms;
-  for (int i = 0; i < items; ++i) {
-    const int v = m.AddBinary(rng.NextDouble(1.0, 5.0));
-    terms.emplace_back(v, rng.NextDouble(1.0, 4.0));
-  }
-  m.lp.AddRow(-lp::kInf, items * 0.8, terms, "weight");
-  milp::Solver solver;
-  for (auto _ : state) {
-    auto result = solver.Solve(m, {});
-    benchmark::DoNotOptimize(result.objective);
-  }
-}
-BENCHMARK(BM_MilpKnapsack)->Arg(10)->Arg(16)->Arg(24);
-
-void BM_SqprModelBuild(benchmark::State& state) {
-  const int hosts = static_cast<int>(state.range(0));
-  Catalog catalog{CostModel{}};
-  Cluster cluster(hosts, HostSpec{1.0, 120.0, 120.0, ""}, 240.0);
-  std::vector<StreamId> base;
-  for (int i = 0; i < 6; ++i) {
-    base.push_back(catalog.AddBaseStream(i % hosts, 10.0));
-  }
-  const StreamId q =
-      *catalog.CanonicalJoinStream({base[0], base[1], base[2]});
-  const Closure closure = *catalog.JoinClosure(q);
-  Deployment dep(&cluster, &catalog);
-  for (auto _ : state) {
-    SqprMip mip(dep, closure.streams, closure.operators, {{q, false}}, {});
-    benchmark::DoNotOptimize(mip.mip().lp.num_variables());
-  }
-}
-BENCHMARK(BM_SqprModelBuild)->Arg(4)->Arg(8)->Arg(16);
-
-void BM_SqprSingleQuerySolve(benchmark::State& state) {
-  const int hosts = static_cast<int>(state.range(0));
-  Catalog catalog{CostModel{}};
-  Cluster cluster(hosts, HostSpec{1.0, 120.0, 120.0, ""}, 240.0);
-  std::vector<StreamId> base;
-  for (int i = 0; i < 6; ++i) {
-    base.push_back(catalog.AddBaseStream(i % hosts, 10.0));
-  }
-  const StreamId q =
-      *catalog.CanonicalJoinStream({base[0], base[1], base[2]});
-  const Closure closure = *catalog.JoinClosure(q);
-  Deployment dep(&cluster, &catalog);
-  for (auto _ : state) {
-    SqprMip mip(dep, closure.streams, closure.operators, {{q, false}}, {});
-    SqprMip::CycleCutHandler handler(&mip);
-    milp::SolverOptions options;
-    options.lazy = &handler;
-    options.gap_abs = 0.1;
-    options.deadline = Deadline::AfterMillis(2000);
-    milp::Solver solver;
-    auto result = solver.Solve(mip.mip(), options);
-    benchmark::DoNotOptimize(result.nodes);
-  }
-}
-BENCHMARK(BM_SqprSingleQuerySolve)->Arg(2)->Arg(4)->Arg(6)
-    ->Unit(benchmark::kMillisecond);
-
-/// Presolve/cuts ablation on the reduced SQPR single-query model under
-/// the planner's per-query budget: arg0 = presolve, arg1 = root cuts.
-/// Wall time is fixed by the deadline, so the meaningful outputs are the
-/// residual optimality gap and the node/LP-iteration throughput at the
-/// moment the budget expires.
-void BM_SqprSolveAblation(benchmark::State& state) {
-  const bool presolve = state.range(0) != 0;
-  const bool cuts = state.range(1) != 0;
-  const int hosts = 5;
-  Catalog catalog{CostModel{}};
-  Cluster cluster(hosts, HostSpec{1.0, 120.0, 120.0, ""}, 240.0);
-  std::vector<StreamId> base;
-  for (int i = 0; i < 8; ++i) {
-    base.push_back(catalog.AddBaseStream(i % hosts, 10.0));
-  }
-  const StreamId q =
-      *catalog.CanonicalJoinStream({base[0], base[1], base[2]});
-  const Closure closure = *catalog.JoinClosure(q);
-  Deployment dep(&cluster, &catalog);
-  int64_t nodes = 0, iters = 0;
-  double gap = 0.0;
-  int solves = 0;
-  for (auto _ : state) {
-    SqprMip mip(dep, closure.streams, closure.operators, {{q, false}}, {});
-    SqprMip::CycleCutHandler handler(&mip);
-    milp::SolverOptions options;
-    options.lazy = &handler;
-    options.gap_abs = 0.1;
-    options.presolve = presolve;
-    options.cuts.enable = cuts;
-    options.deadline = Deadline::AfterMillis(250);  // planner-scale budget
-    milp::Solver solver;
-    auto result = solver.Solve(mip.mip(), options);
-    nodes += result.nodes;
-    iters += result.lp_iterations;
-    gap += std::min(result.Gap(), 1.0);
-    ++solves;
-    benchmark::DoNotOptimize(result.objective);
-  }
-  state.counters["nodes"] =
-      benchmark::Counter(static_cast<double>(nodes),
-                         benchmark::Counter::kAvgIterations);
-  state.counters["lp_iters"] =
-      benchmark::Counter(static_cast<double>(iters),
-                         benchmark::Counter::kAvgIterations);
-  state.counters["end_gap_pct"] = benchmark::Counter(
-      100.0 * gap / std::max(1, solves), benchmark::Counter::kAvgIterations);
-  state.SetLabel(std::string(presolve ? "presolve" : "nopresolve") + "/" +
-                 (cuts ? "cuts" : "nocuts"));
-}
-BENCHMARK(BM_SqprSolveAblation)
-    ->Args({1, 1})
-    ->Args({1, 0})
-    ->Args({0, 1})
-    ->Args({0, 0})
-    ->Unit(benchmark::kMillisecond);
-
-/// Presolve column elimination on a planner-style model where most
-/// decisions are pinned (the §IV-A fixing): measures the reduction pass
-/// itself, which must stay negligible next to the solve.
-void BM_PresolveApply(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Rng rng(13);
-  milp::Model m;
-  std::vector<std::pair<int, double>> terms;
-  for (int i = 0; i < n; ++i) {
-    const int v = m.AddBinary(rng.NextDouble(0.5, 3.0));
-    if (rng.NextBool(0.7)) {
-      const double pin = rng.NextBool(0.5) ? 1.0 : 0.0;
-      m.lp.SetVariableBounds(v, pin, pin);
-    }
-    terms.emplace_back(v, rng.NextDouble(0.5, 2.0));
-    if (terms.size() == 16) {
-      m.lp.AddRow(-lp::kInf, 8.0, terms);
-      terms.clear();
-    }
-  }
-  for (auto _ : state) {
-    milp::Presolver pre;
-    auto stats = pre.Apply(m);
-    benchmark::DoNotOptimize(stats.fixed_columns);
-  }
-  state.SetLabel(std::to_string(n) + " cols");
-}
-BENCHMARK(BM_PresolveApply)->Arg(200)->Arg(1000)->Arg(4000);
 
 }  // namespace
 }  // namespace sqpr
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  if (!sqpr::bench::ParseBenchArgs(argc, argv, &json_path)) return 2;
+
+  sqpr::bench::PrintHeader(
+      "solver_micro",
+      "incremental solves: model build vs patch, cold vs warm start",
+      sqpr::kSeed);
+  sqpr::bench::BenchJsonWriter json("solver_micro", sqpr::kSeed);
+
+  int failed = 0;
+  {
+    std::unique_ptr<sqpr::Fixture> fixture = sqpr::MakeFixture();
+    failed += sqpr::BenchBuildVsPatch(fixture.get(), &json);
+    failed += sqpr::BenchColdVsWarm(fixture.get(), &json);
+  }
+  failed += sqpr::BenchReplanLoop(&json);
+
+  if (!json_path.empty() && !json.WriteFile(json_path, failed)) return 1;
+  return failed == 0 ? 0 : 1;
+}

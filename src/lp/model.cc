@@ -54,6 +54,14 @@ void Model::SetVariableBounds(int var, double lb, double ub) {
   var_ub_[var] = ub;
 }
 
+void Model::SetRowBounds(int row, double lb, double ub) {
+  SQPR_CHECK(row >= 0 && row < num_rows()) << "row index " << row;
+  SQPR_CHECK(lb <= ub) << "row bounds crossed on update: [" << lb << ", " << ub
+                       << "] for " << row_names_[row];
+  row_lb_[row] = lb;
+  row_ub_[row] = ub;
+}
+
 double Model::ObjectiveValue(const std::vector<double>& v) const {
   SQPR_CHECK(static_cast<int>(v.size()) == num_variables());
   double total = 0.0;

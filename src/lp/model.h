@@ -45,6 +45,12 @@ class Model {
   /// Overwrites a variable's bounds (used by branch-and-bound).
   void SetVariableBounds(int var, double lb, double ub);
 
+  /// Overwrites a row's bounds in place, keeping its terms. Used by the
+  /// incremental SQPR model patcher: the constraint *skeleton* of a
+  /// grounded query structure is base-state independent, only the
+  /// right-hand sides (residual capacities) move between rounds.
+  void SetRowBounds(int row, double lb, double ub);
+
   /// Overwrites a variable's objective coefficient.
   void SetObjective(int var, double obj) { obj_[var] = obj; }
 

@@ -96,6 +96,20 @@ struct SolverOptions {
   /// SQPR's incremental planning); installed as the initial incumbent
   /// after a feasibility check.
   const std::vector<double>* warm_start = nullptr;
+  /// Optional root LP basis from a previous solve of the same model
+  /// structure (MipResult::root_basis of that solve), used to warm-start
+  /// the root relaxation. Only honoured when `root_warm_basis_columns`
+  /// matches the set of columns presolve keeps this time — presolve
+  /// eliminating a different column set re-indexes the reduced space, so
+  /// a stale basis would pair statuses with the wrong variables; on
+  /// mismatch the basis is discarded (MipResult::warm_basis_discarded)
+  /// and the solve cold-starts. The simplex phase-1 repairs any accepted
+  /// basis, so reuse affects iteration counts, never correctness.
+  const std::vector<lp::BasisState>* root_warm_basis = nullptr;
+  /// Original-space column ids that survived presolve when the basis was
+  /// harvested (MipResult::root_basis_columns). Required alongside
+  /// root_warm_basis.
+  const std::vector<int>* root_warm_basis_columns = nullptr;
 };
 
 struct MipResult {
@@ -108,6 +122,21 @@ struct MipResult {
   int64_t nodes = 0;
   int64_t lp_iterations = 0;
   double wall_ms = 0.0;
+  /// Basis of the first root LP solve (before root cuts — the fewest-row
+  /// form maximises reuse: later solves may carry different cut rows and
+  /// the simplex pads missing trailing rows with basic slacks). Feed back
+  /// via SolverOptions::root_warm_basis. Empty when the root was never
+  /// solved.
+  std::vector<lp::BasisState> root_basis;
+  /// Original-space columns surviving presolve in this solve (all
+  /// columns when presolve was off); the compatibility signature for
+  /// root_basis reuse.
+  std::vector<int> root_basis_columns;
+  /// Whether a supplied root_warm_basis was actually installed.
+  bool used_warm_basis = false;
+  /// Whether a supplied root_warm_basis was rejected because presolve
+  /// eliminated a different column set than when it was harvested.
+  bool warm_basis_discarded = false;
 
   bool has_solution() const {
     return status == MipStatus::kOptimal || status == MipStatus::kFeasible;

@@ -314,6 +314,15 @@ class Catalog {
   /// requires *exclusive* access: no concurrent reader or interner.
   Status UpdateBaseRate(StreamId base, double new_rate_mbps);
 
+  /// Monotonic counter bumped by every successful UpdateBaseRate. Rates
+  /// and operator costs feed the SQPR model's objective coefficients and
+  /// resource rows, so any cache keyed on model *structure* must include
+  /// this epoch: a rate install invalidates every cached model built
+  /// from the old rates. Lock-free to read (planner hot path).
+  uint64_t rate_epoch() const {
+    return rate_epoch_.load(std::memory_order_acquire);
+  }
+
  private:
   // *Locked variants assume intern_mu_ is held; the public entry points
   // take the lock once (JoinClosure recurses, so the public methods must
@@ -332,6 +341,8 @@ class Catalog {
   /// Serialises interning: guards the canonical maps below and the
   /// append side of the stores. Lock-free readers never take it.
   mutable std::mutex intern_mu_;
+
+  std::atomic<uint64_t> rate_epoch_{0};
 
   // Canonical maps. Keys are (kind-tagged) signatures.
   std::map<std::vector<StreamId>, StreamId> join_stream_by_leaves_;

@@ -31,6 +31,17 @@ struct PlanningStats {
   /// requested stream was already materialised by committed operators
   /// (plan-reuse cache fast path; see service/plan_cache.h).
   bool via_cache = false;
+  /// Incremental-solve telemetry (SQPR planner only). A submission that
+  /// ran the MILP either patched a cached model skeleton (bounds-only
+  /// rebind against the current deployment) or built one from scratch;
+  /// a patched solve may additionally install the previous round's root
+  /// LP basis, unless presolve eliminated a different column set this
+  /// time, in which case the basis is discarded and the solve
+  /// cold-starts.
+  bool model_patched = false;
+  bool model_rebuilt = false;
+  bool warm_started = false;
+  bool basis_discarded = false;
 };
 
 /// Common interface of all query planners (SQPR, heuristic, SODA).

@@ -47,10 +47,11 @@ SqprMip::SqprMip(const Deployment& base, std::vector<StreamId> streams,
                  std::vector<OperatorId> operators,
                  std::vector<DemandSpec> demands,
                  const SqprModelOptions& options)
-    : base_(base),
+    : base_(&base),
       streams_(std::move(streams)),
       ops_(std::move(operators)),
       demands_(std::move(demands)),
+      options_(options),
       num_hosts_(base.cluster().num_hosts()) {
   std::sort(streams_.begin(), streams_.end());
   streams_.erase(std::unique(streams_.begin(), streams_.end()),
@@ -63,7 +64,16 @@ SqprMip::SqprMip(const Deployment& base, std::vector<StreamId> streams,
   for (size_t i = 0; i < ops_.size(); ++i) {
     op_index_[ops_[i]] = static_cast<int>(i);
   }
-  Build(options);
+  BuildSkeleton();
+  ApplyBaseState();
+}
+
+void SqprMip::Rebind(const Deployment& base) {
+  SQPR_TRACE_SPAN("planner/model_patch");
+  SQPR_CHECK(base.cluster().num_hosts() == num_hosts_)
+      << "Rebind across clusters of different size";
+  base_ = &base;
+  ApplyBaseState();
 }
 
 int SqprMip::StreamIndex(StreamId s) const {
@@ -101,64 +111,73 @@ int SqprMip::VarZ(HostId h, OperatorId o) const {
   return var_z_[static_cast<size_t>(h) * ops_.size() + oi];
 }
 
-void SqprMip::Build(const SqprModelOptions& options) {
-  SQPR_TRACE_SPAN_ARGS(span, "planner/model_build", "streams", "operators");
-  span.set_args(streams_.size(), ops_.size());
-  const Cluster& cluster = base_.cluster();
-  const Catalog& catalog = base_.catalog();
+SqprMip::BaseState SqprMip::ComputeBaseState() const {
+  const Cluster& cluster = base_->cluster();
+  const Catalog& catalog = base_->catalog();
   const int H = num_hosts_;
   const int S = static_cast<int>(streams_.size());
-  const int O = static_cast<int>(ops_.size());
-
-  const std::set<StreamId> rel_streams(streams_.begin(), streams_.end());
   const std::set<OperatorId> rel_ops(ops_.begin(), ops_.end());
+  BaseState st;
 
   // ---- Residual capacities: subtract the *irrelevant* committed load
   // (fixed variables of §IV-A); relevant load is re-decided. ----
-  std::vector<double> cpu_resid(H), mem_resid(H), nic_out_resid(H),
-      nic_in_resid(H);
+  st.cpu_resid.resize(H);
+  st.mem_resid.resize(H);
+  st.nic_out_resid.resize(H);
+  st.nic_in_resid.resize(H);
   for (HostId h = 0; h < H; ++h) {
-    cpu_resid[h] = cluster.host(h).cpu - base_.CpuUsed(h);
-    mem_resid[h] = cluster.host(h).mem_mb - base_.MemUsed(h);
-    nic_out_resid[h] = cluster.host(h).nic_out_mbps - base_.NicOutUsed(h);
-    nic_in_resid[h] = cluster.host(h).nic_in_mbps - base_.NicInUsed(h);
-    for (OperatorId o : base_.OperatorsOn(h)) {
+    st.cpu_resid[h] = cluster.host(h).cpu - base_->CpuUsed(h);
+    st.mem_resid[h] = cluster.host(h).mem_mb - base_->MemUsed(h);
+    st.nic_out_resid[h] = cluster.host(h).nic_out_mbps - base_->NicOutUsed(h);
+    st.nic_in_resid[h] = cluster.host(h).nic_in_mbps - base_->NicInUsed(h);
+    for (OperatorId o : base_->OperatorsOn(h)) {
       if (rel_ops.count(o)) {
-        cpu_resid[h] += catalog.op(o).cpu_cost;
-        mem_resid[h] += catalog.op(o).mem_mb;
+        st.cpu_resid[h] += catalog.op(o).cpu_cost;
+        st.mem_resid[h] += catalog.op(o).mem_mb;
       }
     }
   }
-  std::map<std::pair<HostId, HostId>, double> link_extra;
   for (StreamId s : streams_) {
     const double rate = catalog.stream(s).rate_mbps;
-    for (const auto& [from, to] : base_.FlowsOf(s)) {
-      nic_out_resid[from] += rate;
-      nic_in_resid[to] += rate;
-      link_extra[{from, to}] += rate;
+    for (const auto& [from, to] : base_->FlowsOf(s)) {
+      st.nic_out_resid[from] += rate;
+      st.nic_in_resid[to] += rate;
+      st.link_extra[{from, to}] += rate;
     }
-    const HostId server = base_.ServingHost(s);
-    if (server != kInvalidHost) nic_out_resid[server] += rate;
+    const HostId server = base_->ServingHost(s);
+    if (server != kInvalidHost) st.nic_out_resid[server] += rate;
   }
 
   // Availability pins and fixed producers from irrelevant operators that
   // touch relevant streams.
-  std::vector<int> fixed_producer(static_cast<size_t>(H) * S, 0);
-  std::vector<bool> pin_y(static_cast<size_t>(H) * S, false);
+  st.fixed_producer.assign(static_cast<size_t>(H) * S, 0);
+  st.pin_y.assign(static_cast<size_t>(H) * S, false);
   for (HostId h = 0; h < H; ++h) {
-    for (OperatorId o : base_.OperatorsOn(h)) {
+    for (OperatorId o : base_->OperatorsOn(h)) {
       if (rel_ops.count(o)) continue;
       const OperatorInfo& op = catalog.op(o);
       const int out_si = StreamIndex(op.output);
       if (out_si >= 0) {
-        fixed_producer[static_cast<size_t>(h) * S + out_si] += 1;
+        st.fixed_producer[static_cast<size_t>(h) * S + out_si] += 1;
       }
       for (StreamId in : op.inputs) {
         const int si = StreamIndex(in);
-        if (si >= 0) pin_y[static_cast<size_t>(h) * S + si] = true;
+        if (si >= 0) st.pin_y[static_cast<size_t>(h) * S + si] = true;
       }
     }
   }
+  return st;
+}
+
+void SqprMip::BuildSkeleton() {
+  SQPR_TRACE_SPAN_ARGS(span, "planner/model_build", "streams", "operators");
+  span.set_args(streams_.size(), ops_.size());
+  const Cluster& cluster = base_->cluster();
+  const Catalog& catalog = base_->catalog();
+  const SqprModelOptions& options = options_;
+  const int H = num_hosts_;
+  const int S = static_cast<int>(streams_.size());
+  const int O = static_cast<int>(ops_.size());
 
   // ---- Objective weights (§IV-A defaults). ----
   ObjectiveWeights w = options.weights;
@@ -183,6 +202,17 @@ void SqprMip::Build(const SqprModelOptions& options) {
   var_y_.assign(static_cast<size_t>(H) * S, -1);
   var_z_.assign(static_cast<size_t>(H) * O, -1);
 
+  // Row tables patched by ApplyBaseState.
+  avail_rows_.assign(static_cast<size_t>(H) * S, -1);
+  send_rows_.assign(static_cast<size_t>(H) * S, -1);
+  send_fanout_.assign(static_cast<size_t>(H) * S, 0);
+  link_rows_.assign(static_cast<size_t>(H) * H, -1);
+  nic_in_rows_.assign(H, -1);
+  nic_out_rows_.assign(H, -1);
+  cpu_rows_.assign(H, -1);
+  mem_rows_.assign(H, -1);
+  loadbal_rows_.assign(H, -1);
+
   // Tiny anchor cost on otherwise-free binaries. Availability flags that
   // nothing consumes would be fractional noise at LP vertices and drag
   // branch-and-bound through meaningless dichotomies; an epsilon well
@@ -193,9 +223,10 @@ void SqprMip::Build(const SqprModelOptions& options) {
     for (int si = 0; si < S; ++si) {
       const StreamId s = streams_[si];
       const size_t hs = static_cast<size_t>(h) * S + si;
-      const double lb = pin_y[hs] ? 1.0 : 0.0;
+      // Bounds are provisional: ApplyBaseState() pins availability from
+      // the committed deployment (and the §VII subset restriction).
       var_y_[hs] = mip_.AddVariable(
-          lb, 1.0, -kEps, /*is_integer=*/true,
+          0.0, 1.0, -kEps, /*is_integer=*/true,
           "y_h" + std::to_string(h) + "_s" + std::to_string(s),
           /*priority=*/1);
     }
@@ -238,8 +269,8 @@ void SqprMip::Build(const SqprModelOptions& options) {
     }
   }
   // Load-balance auxiliary t >= per-host CPU (linearised O4).
-  const int var_t = mip_.AddVariable(0.0, lp::kInf, -w.lambda4,
-                                     /*is_integer=*/false, "t_loadbal");
+  var_t_ = mip_.AddVariable(0.0, lp::kInf, -w.lambda4,
+                            /*is_integer=*/false, "t_loadbal");
   // Potentials (III.7) when requested.
   if (options.acyclicity == AcyclicityMode::kPotentials) {
     var_p_.assign(static_cast<size_t>(H) * S, -1);
@@ -253,8 +284,10 @@ void SqprMip::Build(const SqprModelOptions& options) {
   }
 
   // ---- §VII host-subset restriction: pin fresh decisions outside the
-  // subset to zero. Availability pins (committed state) are preserved;
-  // presolve removes every pinned column before branch-and-bound. ----
+  // subset to zero. Only the base-independent x/z/d pins live here;
+  // y bounds (which interact with availability pins from the committed
+  // state) are written by ApplyBaseState. Presolve removes every pinned
+  // column before branch-and-bound. ----
   if (!options.host_subset.empty()) {
     std::vector<bool> in_subset(H, false);
     for (HostId h : options.host_subset) {
@@ -262,12 +295,6 @@ void SqprMip::Build(const SqprModelOptions& options) {
     }
     for (HostId h = 0; h < H; ++h) {
       if (in_subset[h]) continue;
-      for (int si = 0; si < S; ++si) {
-        const int y = var_y_[static_cast<size_t>(h) * S + si];
-        if (y >= 0 && mip_.lp.variable_lb(y) < 0.5) {
-          mip_.lp.SetVariableBounds(y, 0.0, 0.0);
-        }
-      }
       for (int oi = 0; oi < O; ++oi) {
         const int z = var_z_[static_cast<size_t>(h) * O + oi];
         if (z >= 0) mip_.lp.SetVariableBounds(z, 0.0, 0.0);
@@ -313,9 +340,10 @@ void SqprMip::Build(const SqprModelOptions& options) {
   for (HostId m = 0; m < H; ++m) {
     for (int si = 0; si < S; ++si) {
       const StreamId s = streams_[si];
-      const StreamInfo& info = catalog.stream(s);
       // (III.5a): y_ms <= Σ_h x_hms + Σ_{o: s_o = s} z_mo + 1[base at m]
-      //                 + fixed producers.
+      //                 + fixed producers. The right-hand side (base
+      //                 injection + fixed producers) comes from
+      //                 ApplyBaseState.
       std::vector<std::pair<int, double>> terms;
       terms.emplace_back(VarY(m, s), 1.0);
       for (HostId h = 0; h < H; ++h) {
@@ -326,11 +354,9 @@ void SqprMip::Build(const SqprModelOptions& options) {
         const int z = VarZ(m, o);
         if (z >= 0) terms.emplace_back(z, -1.0);
       }
-      double constant = 0.0;
-      if (info.is_base && info.source_host == m) constant += 1.0;
-      constant += fixed_producer[static_cast<size_t>(m) * S + si];
-      mip_.lp.AddRow(-lp::kInf, constant, std::move(terms),
-                     "avail_h" + std::to_string(m) + "_s" + std::to_string(s));
+      avail_rows_[static_cast<size_t>(m) * S + si] = mip_.lp.AddRow(
+          -lp::kInf, 0.0, std::move(terms),
+          "avail_h" + std::to_string(m) + "_s" + std::to_string(s));
     }
   }
   // (III.5b): z_ho <= y_hs for every input s of o, aggregated per
@@ -376,24 +402,21 @@ void SqprMip::Build(const SqprModelOptions& options) {
       // already enforces — it is not forwarding, so it is exempt from
       // the no-relay restriction and omitted here.
       if (terms.empty()) continue;
-      const StreamInfo& info = catalog.stream(s);
-      double constant = 0.0;
       if (options.enable_relay) {
         terms.emplace_back(VarY(h, s), -static_cast<double>(fanout));
       } else {
+        // Right-hand side (base injection + fixed producers, scaled by
+        // fanout) comes from ApplyBaseState.
         for (OperatorId o : catalog.ProducersOf(s)) {
           const int z = VarZ(h, o);
           if (z >= 0) terms.emplace_back(z, -static_cast<double>(fanout));
         }
-        if (info.is_base && info.source_host == h) {
-          constant += fanout;
-        }
-        constant +=
-            static_cast<double>(fanout) *
-            fixed_producer[static_cast<size_t>(h) * S + si];
       }
-      mip_.lp.AddRow(-lp::kInf, constant, std::move(terms),
-                     "send_h" + std::to_string(h) + "_s" + std::to_string(s));
+      const size_t hs = static_cast<size_t>(h) * S + si;
+      send_fanout_[hs] = fanout;
+      send_rows_[hs] = mip_.lp.AddRow(
+          -lp::kInf, 0.0, std::move(terms),
+          "send_h" + std::to_string(h) + "_s" + std::to_string(s));
     }
   }
 
@@ -409,14 +432,10 @@ void SqprMip::Build(const SqprModelOptions& options) {
         }
       }
       if (terms.empty()) continue;
-      double cap = cluster.link_mbps(from, to);
-      auto it = link_extra.find({from, to});
-      const double used = base_.LinkUsed(from, to) -
-                          (it == link_extra.end() ? 0.0 : it->second);
-      cap -= used;
-      mip_.lp.AddRow(-lp::kInf, cap, std::move(terms),
-                     "link_" + std::to_string(from) + "_" +
-                         std::to_string(to));
+      // Residual link capacity comes from ApplyBaseState.
+      link_rows_[static_cast<size_t>(from) * H + to] = mip_.lp.AddRow(
+          -lp::kInf, 0.0, std::move(terms),
+          "link_" + std::to_string(from) + "_" + std::to_string(to));
     }
   }
   for (HostId m = 0; m < H; ++m) {
@@ -432,8 +451,8 @@ void SqprMip::Build(const SqprModelOptions& options) {
       }
     }
     if (!in_terms.empty()) {
-      mip_.lp.AddRow(-lp::kInf, nic_in_resid[m], std::move(in_terms),
-                     "nic_in_h" + std::to_string(m));
+      nic_in_rows_[m] = mip_.lp.AddRow(-lp::kInf, 0.0, std::move(in_terms),
+                                       "nic_in_h" + std::to_string(m));
     }
     // (III.6c) outgoing NIC including client delivery.
     std::vector<std::pair<int, double>> out_terms;
@@ -453,8 +472,8 @@ void SqprMip::Build(const SqprModelOptions& options) {
       }
     }
     if (!out_terms.empty()) {
-      mip_.lp.AddRow(-lp::kInf, nic_out_resid[m], std::move(out_terms),
-                     "nic_out_h" + std::to_string(m));
+      nic_out_rows_[m] = mip_.lp.AddRow(-lp::kInf, 0.0, std::move(out_terms),
+                                        "nic_out_h" + std::to_string(m));
     }
     // (III.6d) CPU plus the O4 linearisation row
     //   Σ γ_o z_mo <= t - fixed_cpu(m)  ⇔  Σ γ z - t <= -fixed_cpu(m).
@@ -464,8 +483,8 @@ void SqprMip::Build(const SqprModelOptions& options) {
       cpu_terms.emplace_back(z, catalog.op(ops_[oi]).cpu_cost);
     }
     if (!cpu_terms.empty()) {
-      mip_.lp.AddRow(-lp::kInf, cpu_resid[m], cpu_terms,
-                     "cpu_h" + std::to_string(m));
+      cpu_rows_[m] = mip_.lp.AddRow(-lp::kInf, 0.0, cpu_terms,
+                                    "cpu_h" + std::to_string(m));
     }
     // Memory budget (the paper's §VII "more resources" extension): a row
     // per host with a finite budget, shaped exactly like (III.6d).
@@ -477,14 +496,13 @@ void SqprMip::Build(const SqprModelOptions& options) {
         mem_terms.emplace_back(var_z_[static_cast<size_t>(m) * O + oi], mem);
       }
       if (!mem_terms.empty()) {
-        mip_.lp.AddRow(-lp::kInf, mem_resid[m], std::move(mem_terms),
-                       "mem_h" + std::to_string(m));
+        mem_rows_[m] = mip_.lp.AddRow(-lp::kInf, 0.0, std::move(mem_terms),
+                                      "mem_h" + std::to_string(m));
       }
     }
-    const double fixed_cpu = cluster.host(m).cpu - cpu_resid[m];
-    cpu_terms.emplace_back(var_t, -1.0);
-    mip_.lp.AddRow(-lp::kInf, -fixed_cpu, std::move(cpu_terms),
-                   "loadbal_h" + std::to_string(m));
+    cpu_terms.emplace_back(var_t_, -1.0);
+    loadbal_rows_[m] = mip_.lp.AddRow(-lp::kInf, 0.0, std::move(cpu_terms),
+                                      "loadbal_h" + std::to_string(m));
   }
 
   // ---- Acyclicity (III.7), potential formulation. ----
@@ -509,25 +527,157 @@ void SqprMip::Build(const SqprModelOptions& options) {
   }
 }
 
+void SqprMip::ApplyBaseState() {
+  const Cluster& cluster = base_->cluster();
+  const Catalog& catalog = base_->catalog();
+  const int H = num_hosts_;
+  const int S = static_cast<int>(streams_.size());
+  const BaseState st = ComputeBaseState();
+
+  // ---- y bounds: availability pins from irrelevant committed consumers,
+  // overlaid with the §VII host-subset restriction (committed pins win —
+  // warm starts must stay feasible on restricted hosts too). ----
+  std::vector<bool> in_subset;
+  if (!options_.host_subset.empty()) {
+    in_subset.assign(H, false);
+    for (HostId h : options_.host_subset) {
+      if (h >= 0 && h < H) in_subset[h] = true;
+    }
+  }
+  for (HostId h = 0; h < H; ++h) {
+    const bool restricted = !in_subset.empty() && !in_subset[h];
+    for (int si = 0; si < S; ++si) {
+      const size_t hs = static_cast<size_t>(h) * S + si;
+      const int y = var_y_[hs];
+      if (st.pin_y[hs]) {
+        mip_.lp.SetVariableBounds(y, 1.0, 1.0);
+      } else if (restricted) {
+        mip_.lp.SetVariableBounds(y, 0.0, 0.0);
+      } else {
+        mip_.lp.SetVariableBounds(y, 0.0, 1.0);
+      }
+    }
+  }
+
+  // ---- (III.5a) right-hand sides: base injection + fixed producers. ----
+  for (HostId m = 0; m < H; ++m) {
+    for (int si = 0; si < S; ++si) {
+      const StreamInfo& info = catalog.stream(streams_[si]);
+      double constant = 0.0;
+      if (info.is_base && info.source_host == m) constant += 1.0;
+      constant += st.fixed_producer[static_cast<size_t>(m) * S + si];
+      mip_.lp.SetRowBounds(avail_rows_[static_cast<size_t>(m) * S + si],
+                           -lp::kInf, constant);
+    }
+  }
+
+  // ---- (III.5c) send rows: the right-hand side is base-dependent only
+  // in the no-relay ablation (generation capability counts fixed
+  // producers); with relays it is identically zero. ----
+  for (HostId h = 0; h < H; ++h) {
+    for (int si = 0; si < S; ++si) {
+      const size_t hs = static_cast<size_t>(h) * S + si;
+      const int row = send_rows_[hs];
+      if (row < 0) continue;
+      double constant = 0.0;
+      if (!options_.enable_relay) {
+        const StreamInfo& info = catalog.stream(streams_[si]);
+        const int fanout = send_fanout_[hs];
+        if (info.is_base && info.source_host == h) constant += fanout;
+        constant += static_cast<double>(fanout) * st.fixed_producer[hs];
+      }
+      mip_.lp.SetRowBounds(row, -lp::kInf, constant);
+    }
+  }
+
+  // ---- (III.6a) residual link capacities. ----
+  for (HostId from = 0; from < H; ++from) {
+    for (HostId to = 0; to < H; ++to) {
+      if (from == to) continue;
+      const int row = link_rows_[static_cast<size_t>(from) * H + to];
+      if (row < 0) continue;
+      double cap = cluster.link_mbps(from, to);
+      auto it = st.link_extra.find({from, to});
+      const double used = base_->LinkUsed(from, to) -
+                          (it == st.link_extra.end() ? 0.0 : it->second);
+      cap -= used;
+      mip_.lp.SetRowBounds(row, -lp::kInf, cap);
+    }
+  }
+
+  // ---- (III.6b-d) + memory + O4 linearisation residuals. ----
+  for (HostId m = 0; m < H; ++m) {
+    if (nic_in_rows_[m] >= 0) {
+      mip_.lp.SetRowBounds(nic_in_rows_[m], -lp::kInf, st.nic_in_resid[m]);
+    }
+    if (nic_out_rows_[m] >= 0) {
+      mip_.lp.SetRowBounds(nic_out_rows_[m], -lp::kInf, st.nic_out_resid[m]);
+    }
+    if (cpu_rows_[m] >= 0) {
+      mip_.lp.SetRowBounds(cpu_rows_[m], -lp::kInf, st.cpu_resid[m]);
+    }
+    if (mem_rows_[m] >= 0) {
+      mip_.lp.SetRowBounds(mem_rows_[m], -lp::kInf, st.mem_resid[m]);
+    }
+    const double fixed_cpu = cluster.host(m).cpu - st.cpu_resid[m];
+    mip_.lp.SetRowBounds(loadbal_rows_[m], -lp::kInf, -fixed_cpu);
+  }
+}
+
+Status SqprMip::CheckModelEquals(const SqprMip& other) const {
+  const lp::Model& a = mip_.lp;
+  const lp::Model& b = other.mip_.lp;
+  if (a.num_variables() != b.num_variables()) {
+    return Status::Internal("variable count " +
+                            std::to_string(a.num_variables()) + " vs " +
+                            std::to_string(b.num_variables()));
+  }
+  if (a.num_rows() != b.num_rows()) {
+    return Status::Internal("row count " + std::to_string(a.num_rows()) +
+                            " vs " + std::to_string(b.num_rows()));
+  }
+  for (int v = 0; v < a.num_variables(); ++v) {
+    if (a.variable_lb(v) != b.variable_lb(v) ||
+        a.variable_ub(v) != b.variable_ub(v) ||
+        a.objective(v) != b.objective(v) ||
+        a.variable_name(v) != b.variable_name(v) ||
+        mip_.integer[v] != other.mip_.integer[v] ||
+        mip_.branch_priority[v] != other.mip_.branch_priority[v]) {
+      return Status::Internal("variable " + std::to_string(v) + " (" +
+                              a.variable_name(v) + ") differs");
+    }
+  }
+  for (int r = 0; r < a.num_rows(); ++r) {
+    if (a.row_lb(r) != b.row_lb(r) || a.row_ub(r) != b.row_ub(r) ||
+        a.row_terms(r) != b.row_terms(r) || a.row_name(r) != b.row_name(r)) {
+      return Status::Internal("row " + std::to_string(r) + " (" +
+                              a.row_name(r) + ") differs: ub " +
+                              std::to_string(a.row_ub(r)) + " vs " +
+                              std::to_string(b.row_ub(r)));
+    }
+  }
+  return Status::OK();
+}
+
 std::vector<double> SqprMip::WarmStart() const {
   SQPR_TRACE_SPAN("planner/warm_start");
   std::vector<double> x(mip_.lp.num_variables(), 0.0);
 
   // Committed flows / placements / servings restricted to relevant sets.
   for (StreamId s : streams_) {
-    for (const auto& [from, to] : base_.FlowsOf(s)) {
+    for (const auto& [from, to] : base_->FlowsOf(s)) {
       const int var = VarX(from, to, s);
       if (var >= 0) x[var] = 1.0;
     }
   }
   for (HostId h = 0; h < num_hosts_; ++h) {
-    for (OperatorId o : base_.OperatorsOn(h)) {
+    for (OperatorId o : base_->OperatorsOn(h)) {
       const int var = VarZ(h, o);
       if (var >= 0) x[var] = 1.0;
     }
   }
   for (const DemandSpec& demand : demands_) {
-    const HostId server = base_.ServingHost(demand.stream);
+    const HostId server = base_->ServingHost(demand.stream);
     if (server != kInvalidHost) {
       const int var = VarD(server, demand.stream);
       if (var >= 0) x[var] = 1.0;
@@ -536,7 +686,7 @@ std::vector<double> SqprMip::WarmStart() const {
 
   // Availability from grounded state; pinned y bounds are honoured by
   // construction because pins only arise from supported consumers.
-  const GroundedMap grounded = base_.GroundedAvailability();
+  const GroundedMap grounded = base_->GroundedAvailability();
   for (HostId h = 0; h < num_hosts_; ++h) {
     for (StreamId s : streams_) {
       if (grounded.at(h, s)) {
@@ -549,27 +699,15 @@ std::vector<double> SqprMip::WarmStart() const {
   // Load-balance auxiliary: max committed CPU over hosts.
   double max_cpu = 0.0;
   for (HostId h = 0; h < num_hosts_; ++h) {
-    max_cpu = std::max(max_cpu, base_.CpuUsed(h));
+    max_cpu = std::max(max_cpu, base_->CpuUsed(h));
   }
-  // var_t is the first non-(y,x,z,d) variable; find it by name cost:
-  // cheaper to recompute its index: it was added right after the last d.
-  // We locate it as the unique continuous variable with objective < 0
-  // among non-p variables — instead, simply recompute: t index =
-  // number of y + x + z + d variables.
-  size_t t_index = 0;
-  for (int v = 0; v < mip_.lp.num_variables(); ++v) {
-    if (mip_.lp.variable_name(v) == "t_loadbal") {
-      t_index = static_cast<size_t>(v);
-      break;
-    }
-  }
-  x[t_index] = max_cpu;
+  x[static_cast<size_t>(var_t_)] = max_cpu;
 
   // Potentials from per-stream flow DAG depths.
   if (!var_p_.empty()) {
     for (size_t si = 0; si < streams_.size(); ++si) {
       const StreamId s = streams_[si];
-      const auto depths = FlowPotentials(base_.FlowsOf(s));
+      const auto depths = FlowPotentials(base_->FlowsOf(s));
       for (const auto& [h, depth] : depths) {
         const int var = var_p_[static_cast<size_t>(h) * streams_.size() + si];
         if (var >= 0) x[var] = depth;
@@ -706,8 +844,13 @@ int SqprMip::CycleCutHandler::Separate(const std::vector<double>& point,
     }
     const double rhs = static_cast<double>(cycle.size()) - 1.0;
     if (activity <= rhs + 1e-7) continue;  // heuristic cycle not violated
-    relaxation->AddRow(-lp::kInf, rhs, std::move(terms),
-                       "cycle_cut_s" + std::to_string(s));
+    std::string name = "cycle_cut_s" + std::to_string(s);
+    if (harvest_ != nullptr) {
+      // Cycle cuts are valid for every integral acyclic point of this
+      // skeleton, independent of the base deployment — poolable.
+      harvest_->Add({-lp::kInf, rhs, terms, name});
+    }
+    relaxation->AddRow(-lp::kInf, rhs, std::move(terms), std::move(name));
     ++cuts;
   }
   span.set_args(static_cast<uint64_t>(cuts));

@@ -65,6 +65,17 @@ struct SqprModelOptions {
 /// (§IV-A problem reduction): everything else in the committed deployment
 /// is folded in as residual capacities and availability pins rather than
 /// as variables.
+///
+/// Construction is split into a *skeleton* and a *base-state* pass. The
+/// skeleton — which variables and rows exist, their terms, objective
+/// coefficients and names — depends only on the relevant sets, the
+/// catalog's stream rates/operator costs and the cluster specs, never on
+/// the committed deployment. The committed deployment only moves row
+/// right-hand sides (residual capacities), availability pins (y bounds)
+/// and the warm start. Rebind() re-runs just the base-state pass, which
+/// is how a model cached for a grounded structure is patched between
+/// rounds instead of rebuilt; both paths execute the same code, so a
+/// rebound model is bit-identical to a fresh build by construction.
 class SqprMip {
  public:
   /// Builds the reduced model.
@@ -97,6 +108,23 @@ class SqprMip {
   /// (never happens for deployments produced by this planner).
   std::vector<double> WarmStart() const;
 
+  /// Re-targets the model at a different committed deployment with the
+  /// same grounded structure (identical relevant sets, catalog rates and
+  /// cluster specs — callers key their cache on exactly that) by
+  /// re-running the base-state pass: row right-hand sides, availability
+  /// pins and nothing else. O(rows) instead of O(rows · terms) — no
+  /// allocation, no term rebuilding, no name formatting. After Rebind,
+  /// WarmStart()/Commit() operate against the new deployment, which must
+  /// outlive the model.
+  void Rebind(const Deployment& base);
+
+  /// Deep structural + numeric equality against another built model:
+  /// variable count/bounds/objective/integrality/priority/names and row
+  /// count/bounds/terms/names. Used by the differential solver-equivalence
+  /// harness to pin "incrementally patched == freshly built"; returns a
+  /// description of the first mismatch.
+  Status CheckModelEquals(const SqprMip& other) const;
+
   /// True when the candidate admits the demanded stream (Σ_h d_hs ≥ 1).
   bool Serves(const std::vector<double>& x, StreamId s) const;
 
@@ -118,6 +146,14 @@ class SqprMip {
     int AddFractionalCuts(const std::vector<double>& point,
                           lp::Model* relaxation) override;
 
+    /// Optional pool that every emitted cycle cut is also recorded into
+    /// (terms are in this model's original variable space). Cycle cuts
+    /// are valid for *every* integral acyclic point of the same skeleton
+    /// — they do not depend on the base deployment — so a planner can
+    /// replay pooled cuts into later solves of the same grounded
+    /// structure instead of rediscovering them node by node.
+    void set_harvest(milp::CutPool* pool) { harvest_ = pool; }
+
    private:
     // Shared separation: consider arcs with value > arc_threshold and
     // emit the cut only when actually violated by `point`.
@@ -125,17 +161,35 @@ class SqprMip {
                  lp::Model* relaxation);
 
     const SqprMip* owner_;
+    milp::CutPool* harvest_ = nullptr;
   };
 
  private:
+  /// Base-dependent inputs of one ApplyBaseState() pass, recomputed from
+  /// *base_ each time the model is (re)bound.
+  struct BaseState {
+    std::vector<double> cpu_resid, mem_resid, nic_out_resid, nic_in_resid;
+    std::map<std::pair<HostId, HostId>, double> link_extra;
+    std::vector<int> fixed_producer;  // [h * S' + si]
+    std::vector<bool> pin_y;          // [h * S' + si]
+  };
+
   int StreamIndex(StreamId s) const;
   int OpIndex(OperatorId o) const;
-  void Build(const SqprModelOptions& options);
+  /// Creates variables and rows (base-independent) and records the row
+  /// indices the base-state pass patches.
+  void BuildSkeleton();
+  BaseState ComputeBaseState() const;
+  /// Writes every base-dependent value: y bounds and the right-hand
+  /// sides of avail/send/link/nic/cpu/mem/loadbal rows. Fresh builds and
+  /// Rebind() both end here, so the two are indistinguishable.
+  void ApplyBaseState();
 
-  const Deployment& base_;
+  const Deployment* base_;
   std::vector<StreamId> streams_;
   std::vector<OperatorId> ops_;
   std::vector<DemandSpec> demands_;
+  SqprModelOptions options_;
 
   milp::Model mip_;
   int num_hosts_ = 0;
@@ -146,6 +200,18 @@ class SqprMip {
   std::vector<int> var_z_;  // h * O' + oi
   std::vector<int> var_p_;  // h * S' + si (potentials mode only)
   std::map<std::pair<HostId, StreamId>, int> var_d_;
+  int var_t_ = -1;
+
+  // Row indices patched by ApplyBaseState (-1 = row absent).
+  std::vector<int> avail_rows_;    // m * S' + si
+  std::vector<int> send_rows_;     // h * S' + si
+  std::vector<int> send_fanout_;   // h * S' + si (valid where send row)
+  std::vector<int> link_rows_;     // from * H + to
+  std::vector<int> nic_in_rows_;   // per host
+  std::vector<int> nic_out_rows_;  // per host
+  std::vector<int> cpu_rows_;      // per host
+  std::vector<int> mem_rows_;      // per host
+  std::vector<int> loadbal_rows_;  // per host
 
   std::map<StreamId, int> stream_index_;
   std::map<OperatorId, int> op_index_;

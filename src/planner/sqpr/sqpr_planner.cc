@@ -19,7 +19,8 @@ SqprPlanner::SqprPlanner(const Cluster* cluster, Catalog* catalog,
     : cluster_(cluster),
       catalog_(catalog),
       options_(options),
-      deployment_(cluster, catalog) {}
+      deployment_(cluster, catalog),
+      cache_(std::make_shared<SqprSolveCache>()) {}
 
 Result<SqprPlanner::RelevantSets> SqprPlanner::ComputeRelevantSets(
     const std::vector<StreamId>& new_queries) {
@@ -94,10 +95,57 @@ Result<std::vector<PlanningStats>> SqprPlanner::SubmitBatch(
   Result<RelevantSets> sets = ComputeRelevantSets(fresh);
   if (!sets.ok()) return sets.status();
 
-  SqprMip mip(deployment_, sets->streams, sets->operators, sets->demands,
-              options_.model);
+  // Structural identity of this solve: equal keys build bit-identical
+  // skeletons, so a cached model can be rebound instead of rebuilt and
+  // the previous round's basis/cuts can seed the search.
+  SolveKey key;
+  key.streams = sets->streams;
+  key.operators = sets->operators;
+  key.demands.reserve(sets->demands.size());
+  for (const DemandSpec& d : sets->demands) {
+    key.demands.emplace_back(d.stream, d.must_serve ? 1 : 0);
+  }
+  key.rate_epoch = catalog_->rate_epoch();
+  key.spec_epoch = cluster_->spec_epoch();
+
+  std::unique_ptr<SqprMip> mip_owned;
+  bool patched = false;
+  if (options_.enable_model_cache && cache_ != nullptr) {
+    mip_owned = cache_->Checkout(key);
+  }
+  if (mip_owned != nullptr) {
+    mip_owned->Rebind(deployment_);
+    patched = true;
+    if (options_.verify_incremental) {
+      // Differential mode: the patched skeleton must match a fresh build
+      // bit for bit — any divergence means a base-dependent quantity
+      // leaked into the skeleton (or a patch missed a bound).
+      SqprMip reference(deployment_, sets->streams, sets->operators,
+                        sets->demands, options_.model);
+      const Status same = mip_owned->CheckModelEquals(reference);
+      SQPR_CHECK(same.ok()) << "patched model diverged from fresh build: "
+                            << same.ToString();
+    }
+  } else {
+    mip_owned = std::make_unique<SqprMip>(deployment_, sets->streams,
+                                          sets->operators, sets->demands,
+                                          options_.model);
+  }
+  SqprMip& mip = *mip_owned;
   const std::vector<double> warm = mip.WarmStart();
+
+  // Prior-round artifacts for this structure, if any: pooled cycle cuts
+  // seed the relaxation up front; the root basis warm-starts the first
+  // LP (discarded inside the solver if presolve keeps different columns
+  // this round).
+  std::shared_ptr<const SolveArtifacts> prior;
+  auto art_it = artifacts_.find(key);
+  if (art_it != artifacts_.end()) prior = art_it->second;
+
+  auto next_art = std::make_shared<SolveArtifacts>();
+  if (prior != nullptr) next_art->cuts = prior->cuts;
   SqprMip::CycleCutHandler cycle_handler(&mip);
+  cycle_handler.set_harvest(&next_art->cuts);
 
   milp::SolverOptions solver_options;
   solver_options.deadline = Deadline::AfterMillis(
@@ -109,10 +157,25 @@ Result<std::vector<PlanningStats>> SqprPlanner::SubmitBatch(
   if (options_.model.acyclicity == AcyclicityMode::kLazyCycleCuts) {
     solver_options.lazy = &cycle_handler;
   }
+  if (prior != nullptr && !prior->root_basis.empty()) {
+    solver_options.root_warm_basis = &prior->root_basis;
+    solver_options.root_warm_basis_columns = &prior->root_basis_columns;
+  }
+
+  // Pooled cuts are injected into a *copy* of the model so the cached
+  // skeleton stays pristine (cut rows would otherwise accumulate in the
+  // cache and break CheckModelEquals against a fresh build).
+  const milp::Model* solve_model = &mip.mip();
+  milp::Model model_with_cuts;
+  if (prior != nullptr && !prior->cuts.empty()) {
+    model_with_cuts = mip.mip();
+    prior->cuts.InjectInto(&model_with_cuts.lp);
+    solve_model = &model_with_cuts;
+  }
 
   span.set_args(fresh.size(), sets->streams.size());
   milp::Solver solver;
-  milp::MipResult result = solver.Solve(mip.mip(), solver_options);
+  milp::MipResult result = solver.Solve(*solve_model, solver_options);
 
   if (result.has_solution()) {
     SQPR_CHECK_OK(mip.Commit(result.x, &deployment_));
@@ -133,6 +196,20 @@ Result<std::vector<PlanningStats>> SqprPlanner::SubmitBatch(
         }
       }
     }
+  }
+
+  // Harvest this round's by-products for the next solve of the same
+  // structure, and return the skeleton to the pool. Both are keyed by
+  // `key`, so a rate/spec epoch bump or a different relevant set makes
+  // them unreachable rather than stale.
+  next_art->root_basis = std::move(result.root_basis);
+  next_art->root_basis_columns = std::move(result.root_basis_columns);
+  last_artifact_key_ = key;
+  last_artifacts_ = next_art;
+  artifacts_[key] = std::move(next_art);
+  if (artifacts_.size() > 64) artifacts_.clear();
+  if (options_.enable_model_cache && cache_ != nullptr) {
+    cache_->Return(key, std::move(mip_owned));
   }
 
   // §VII greedy fallback: queries the deadline-bound solver could not
@@ -162,6 +239,10 @@ Result<std::vector<PlanningStats>> SqprPlanner::SubmitBatch(
     s.lp_iterations = result.lp_iterations;
     s.objective = result.has_solution() ? result.objective : 0.0;
     s.proved_optimal = result.status == milp::MipStatus::kOptimal;
+    s.model_patched = patched;
+    s.model_rebuilt = !patched;
+    s.warm_started = result.used_warm_basis;
+    s.basis_discarded = result.warm_basis_discarded;
   }
   return stats;
 }
@@ -377,12 +458,19 @@ Result<AdmissionProposal> SqprPlanner::ProposeAdmission(
   SqprPlanner scratch(cluster_, catalog_, options_);
   scratch.deployment_ = deployment_;
   scratch.admitted_ = admitted_;
+  // Share the model pool (internally synchronised; Checkout is
+  // exclusive) and copy the artifact table so the scratch solve can
+  // warm-start; its own harvest travels back inside the proposal.
+  scratch.cache_ = cache_;
+  scratch.artifacts_ = artifacts_;
 
   AdmissionProposal proposal;
   proposal.query = query;
   Result<PlanningStats> stats = scratch.SubmitQuery(query);
   if (!stats.ok()) return stats.status();
   proposal.stats = *stats;
+  proposal.artifact_key = scratch.last_artifact_key_;
+  proposal.artifacts = std::move(scratch.last_artifacts_);
   if (stats->admitted && !stats->already_served) {
     proposal.delta = DiffDeployments(deployment_, scratch.deployment_);
   }
@@ -421,6 +509,8 @@ std::shared_ptr<const SqprPlanner::Snapshot> SqprPlanner::MakeSnapshot(
   snap->core_ = snapshot_core_;
   snap->overlay_ = deployment_.journal();
   snap->admitted_ = admitted_;
+  snap->cache_ = cache_;
+  snap->artifacts_ = artifacts_;
   local.overlay_entries = snap->overlay_.size();
   local.bytes_copied += snap->overlay_.size() * sizeof(DeploymentMutation) +
                         snap->admitted_.size() * sizeof(StreamId);
@@ -442,6 +532,8 @@ const SqprPlanner& SqprPlanner::Snapshot::Materialized() const {
     // -thread cost instead of O(deployment).
     SQPR_CHECK_OK(planner->deployment_.ApplyJournal(overlay_));
     planner->admitted_ = admitted_;
+    planner->cache_ = cache_;
+    planner->artifacts_ = artifacts_;
     materialized_ = std::move(planner);
   });
   return *materialized_;
@@ -459,6 +551,15 @@ Result<PlanningStats> SqprPlanner::CommitProposal(
                                    std::to_string(proposal.query));
   }
   SQPR_TRACE_SPAN("planner/commit");
+  // Adopt the proposal's solve by-products before any early return:
+  // basis/cuts are keyed by solve structure, so they stay valid even
+  // when this particular proposal conflicts or dedups away — and
+  // installing here, on the committing thread in commit order, keeps
+  // the artifact table identical across worker counts.
+  if (proposal.artifacts != nullptr) {
+    artifacts_[proposal.artifact_key] = proposal.artifacts;
+    if (artifacts_.size() > 64) artifacts_.clear();
+  }
   PlanningStats stats = proposal.stats;
   if (deployment_.ServingHost(proposal.query) != kInvalidHost) {
     // Someone (an earlier commit, a cache fast path) admitted an

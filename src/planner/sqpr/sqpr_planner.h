@@ -2,6 +2,7 @@
 #define SQPR_PLANNER_SQPR_SQPR_PLANNER_H_
 
 #include <cstddef>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -12,6 +13,7 @@
 #include "plan/deployment.h"
 #include "planner/planner.h"
 #include "planner/sqpr/model_builder.h"
+#include "planner/sqpr/model_cache.h"
 
 namespace sqpr {
 
@@ -37,6 +39,13 @@ struct AdmissionProposal {
   StreamId query = kInvalidStream;
   PlanningStats stats;
   DeploymentDelta delta;
+  /// Solve by-products (root LP basis, pooled cycle cuts) harvested by
+  /// the scratch solve, keyed by the solve's structural identity; null
+  /// when no MILP ran (dedup or fast-path admissions). CommitProposal
+  /// installs them into the committing planner's artifact table so the
+  /// next solve of the same structure warm-starts.
+  SolveKey artifact_key;
+  std::shared_ptr<const SolveArtifacts> artifacts;
 };
 
 class SqprPlanner : public Planner {
@@ -69,6 +78,18 @@ class SqprPlanner : public Planner {
     /// this many entries, keeping the per-snapshot copy O(changes since
     /// the last rebase) with an amortised-O(1) rebase cost per mutation.
     int snapshot_rebase_threshold = 256;
+    /// Reuse built model skeletons across rounds of the same solve
+    /// structure (SqprSolveCache): a cache hit patches bounds against the
+    /// current deployment (SqprMip::Rebind) instead of rebuilding every
+    /// row, and carries the previous round's root basis and pooled cycle
+    /// cuts into the solve. Performance-only — a patched model is
+    /// bit-identical to a fresh build.
+    bool enable_model_cache = true;
+    /// Debug/differential-test mode: after every cache hit, also build
+    /// the model from scratch and SQPR_CHECK the patched copy is
+    /// bit-identical (CheckModelEquals). Defeats the point of the cache;
+    /// keep off outside tests.
+    bool verify_incremental = false;
     SqprModelOptions model;
   };
 
@@ -197,6 +218,8 @@ class SqprPlanner : public Planner {
     std::shared_ptr<const Deployment> core_;
     std::vector<DeploymentMutation> overlay_;
     std::vector<StreamId> admitted_;
+    std::shared_ptr<SqprSolveCache> cache_;
+    std::map<SolveKey, std::shared_ptr<const SolveArtifacts>> artifacts_;
     mutable std::once_flag once_;
     mutable std::unique_ptr<SqprPlanner> materialized_;
   };
@@ -232,6 +255,22 @@ class SqprPlanner : public Planner {
   /// Last rebase point of MakeSnapshot; outstanding snapshots keep it
   /// alive after the planner moves on. Null until the first snapshot.
   std::shared_ptr<const Deployment> snapshot_core_;
+
+  // ---- Incremental-solve state (performance-only; see model_cache.h).
+  // The model cache is shared — by pointer — with every scratch planner
+  // and snapshot spawned from this one, so speculative solves on worker
+  // threads benefit from (and refill) the same pool. The artifact table
+  // is value-copied into scratch planners; updates flow back through the
+  // proposal (AdmissionProposal::artifacts → CommitProposal), which
+  // keeps installation on the committing thread in deterministic commit
+  // order.
+  std::shared_ptr<SqprSolveCache> cache_;
+  std::map<SolveKey, std::shared_ptr<const SolveArtifacts>> artifacts_;
+  /// Key + artifacts of the most recent SubmitBatch MILP solve on *this*
+  /// planner; ProposeAdmission harvests them from its scratch planner
+  /// into the proposal. Null when the last submission skipped the MILP.
+  SolveKey last_artifact_key_;
+  std::shared_ptr<const SolveArtifacts> last_artifacts_;
 };
 
 }  // namespace sqpr

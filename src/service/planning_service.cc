@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 #include <utility>
 
 #include "common/deadline.h"
@@ -45,7 +46,13 @@ PlanningService::PlanningService(Cluster* cluster, Catalog* catalog,
       scheduler_(options.replan) {
   SQPR_CHECK(cluster != nullptr && catalog != nullptr);
   if (options_.replan.workers > 0) {
-    pool_ = std::make_unique<ThreadPool>(options_.replan.workers, [](int i) {
+    int threads = options_.replan.workers;
+    if (options_.replan.clamp_workers_to_cores) {
+      const int cores =
+          static_cast<int>(std::thread::hardware_concurrency());
+      if (cores > 0) threads = std::min(threads, cores);
+    }
+    pool_ = std::make_unique<ThreadPool>(threads, [](int i) {
       obs::TraceRecorder::SetCurrentThreadName("worker-" + std::to_string(i));
     });
   }
@@ -338,6 +345,7 @@ Result<PlanningStats> PlanningService::Admit(StreamId query,
     committed_via_delta = false;
   }
   if (stats.ok()) {
+    CountSolveStats(*stats);
     if (!stats->already_served && !stats->via_cache) {
       stats_.solve_ms.Add(solve_wall_ms);
     }
@@ -353,6 +361,13 @@ Result<PlanningStats> PlanningService::Admit(StreamId query,
   }
   stats_.admit_ms.Add(watch.ElapsedMillis());
   return stats;
+}
+
+void PlanningService::CountSolveStats(const PlanningStats& stats) {
+  if (stats.model_patched) ++stats_.model_patches;
+  if (stats.model_rebuilt) ++stats_.model_rebuilds;
+  if (stats.warm_started) ++stats_.warm_starts;
+  if (stats.basis_discarded) ++stats_.basis_discards;
 }
 
 void PlanningService::RememberRejected(StreamId query) {
@@ -661,6 +676,7 @@ void PlanningService::CommitInFlightRound(EventOutcome* outcome) {
       stats_.commit_ms.Add(commit_watch.ElapsedMillis());
       if (committed.ok()) {
         resolved = true;
+        CountSolveStats(*committed);
         admitted = committed->admitted;
         if (admitted && !committed->already_served) {
           MarkCacheDelta(proposal->delta);

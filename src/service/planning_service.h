@@ -130,6 +130,19 @@ struct ServiceStats {
   /// pre-speculative service paid as barrier wait), which is the
   /// latency win bench_service_churn measures.
   int64_t overlapped_arrival_solves = 0;
+  /// Incremental-solve counters (the planner's model cache and warm
+  /// starts). MILP solves either patch a cached model skeleton in
+  /// O(bounds) — model_patches — or build one from scratch —
+  /// model_rebuilds (always on a structure's first solve, and after a
+  /// rate/spec epoch bump invalidates the cache). warm_starts counts
+  /// solves that installed the previous round's root LP basis;
+  /// basis_discards counts bases rejected because presolve eliminated a
+  /// different column set than when the basis was harvested (the solve
+  /// then cold-starts — slower, never wrong).
+  int64_t model_patches = 0;
+  int64_t model_rebuilds = 0;
+  int64_t warm_starts = 0;
+  int64_t basis_discards = 0;
   double total_wall_ms = 0.0;
   double max_event_ms = 0.0;
 
@@ -350,6 +363,11 @@ class PlanningService {
   /// `reuse_candidates` is non-null it receives the number of
   /// materialised proper-subquery hits.
   Result<PlanningStats> Admit(StreamId query, int* reuse_candidates);
+
+  /// Folds one solve's incremental-path telemetry into the aggregate
+  /// counters (loop thread only; worker-side solves are counted when
+  /// their proposals commit).
+  void CountSolveStats(const PlanningStats& stats);
 
   void RememberRejected(StreamId query);
 

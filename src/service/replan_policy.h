@@ -36,6 +36,17 @@ struct ReplanPolicyOptions {
   /// deployments — only how much solve time overlaps event processing
   /// (see docs/ARCHITECTURE.md).
   int workers = 0;
+  /// Cap the pool at the machine's hardware concurrency (minus nothing —
+  /// the loop thread mostly blocks at the barrier while a round solves).
+  /// Requesting more CPU-bound solver threads than cores buys no
+  /// parallelism, only time-slicing: on a 1-core host, workers=4 made
+  /// every in-flight solve ~4x slower wall-clock (the drift-trace p95
+  /// blow-up the workers=4 Perfetto trace pinned on `milp/node` spans
+  /// stretched by preemption, not on any lock). Deterministic to flip:
+  /// the worker count never affects committed deployments, only solve
+  /// overlap. Tests that *want* oversubscription (TSan interleaving
+  /// coverage) set this to false.
+  bool clamp_workers_to_cores = true;
 };
 
 /// Deduplicating FIFO of re-planning candidates. Candidates accumulate

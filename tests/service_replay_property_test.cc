@@ -146,6 +146,11 @@ ReplayResult Replay(uint64_t seed, int workers, bool closed_loop = false,
   options.planner.timeout_ms = 60000;
   options.planner.max_nodes = 80;
   options.replan.workers = workers;
+  // Genuine N-thread coverage: the default clamps the pool to the core
+  // count (a latency guard, see ReplanPolicyOptions), which on a 1-core
+  // CI host would silently turn every workers=4 replay into workers=1
+  // and the worker-invariance property into a tautology.
+  options.replan.clamp_workers_to_cores = false;
   if (closed_loop) {
     options.closed_loop = true;
     options.telemetry.mode = mode;

@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
-# Regenerates the machine-readable service-bench baseline and the
-# committed flight-recorder trace.
+# Regenerates the machine-readable bench baselines and the committed
+# flight-recorder trace.
 #
-#   tools/run_bench.sh [output.json] [trace.json.gz]
+#   tools/run_bench.sh [output.json] [trace.json.gz] [micro.json]
 #
-# Builds bench_service_churn in ./build (override with BUILD_DIR) and
-# runs it with --json, writing BENCH_service.json by default. The file
-# is the checked-in perf trajectory: re-run after perf-relevant changes
-# and commit the diff alongside them, so wins land as numbers and
-# regressions as reviewable diffs. The bench's shape checks gate the
-# run (exit 1 on failure); absolute timings are machine-dependent and
-# meaningful only relative to earlier records from comparable hardware.
+# Builds bench_service_churn and bench_solver_micro in ./build
+# (override with BUILD_DIR) and runs them with --json, writing
+# BENCH_service.json and BENCH_solver_micro.json by default. The files
+# are the checked-in perf trajectory: re-run after perf-relevant
+# changes and commit the diff alongside them, so wins land as numbers
+# and regressions as reviewable diffs. The benches' shape checks gate
+# the run (exit 1 on failure); absolute timings are machine-dependent
+# and meaningful only relative to earlier records from comparable
+# hardware.
 #
 # The second output (default TRACE_drift_w4.json.gz) is the
 # flight-recorder capture of the drift-heavy workers=4 replay,
@@ -23,9 +25,11 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 OUT=${1:-BENCH_service.json}
 TRACE_OUT=${2:-TRACE_drift_w4.json.gz}
+MICRO_OUT=${3:-BENCH_solver_micro.json}
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_service_churn >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target bench_service_churn --target bench_solver_micro >/dev/null
 
 TRACE_RAW=$(mktemp /tmp/sqpr_trace.XXXXXX.json)
 trap 'rm -f "$TRACE_RAW"' EXIT
@@ -36,4 +40,8 @@ python3 tools/check_trace.py "$TRACE_RAW" \
   --min-round-coverage 0.9 --require-rounds
 
 gzip -9 -c "$TRACE_RAW" > "$TRACE_OUT"
-echo "wrote $OUT and $TRACE_OUT ($(stat -c%s "$TRACE_OUT") bytes gzipped)"
+
+"$BUILD_DIR/bench_solver_micro" --json "$MICRO_OUT"
+
+echo "wrote $OUT, $MICRO_OUT and $TRACE_OUT" \
+  "($(stat -c%s "$TRACE_OUT") bytes gzipped)"

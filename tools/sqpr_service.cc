@@ -66,7 +66,9 @@ void Usage(std::FILE* out) {
       "\n"
       "Replays a service event trace (generated or loaded) through the\n"
       "continuous SQPR planning service and reports latency, admission,\n"
-      "re-planning and plan-cache statistics.\n"
+      "re-planning, plan-cache and incremental-solve statistics (model\n"
+      "patches vs rebuilds of the cached MILP skeleton, root-basis warm\n"
+      "starts vs stale-basis discards).\n"
       "\n"
       "Scenario flags (synthetic cluster + workload):\n"
       "  --hosts N        cluster size (default 6, min 2)\n"
@@ -125,9 +127,12 @@ void Usage(std::FILE* out) {
       "  --workers N      worker threads solving re-planning rounds off\n"
       "                   the event-loop thread (default 0 = the same\n"
       "                   speculative rounds solved on the loop thread).\n"
-      "                   The same trace+seed commits identical\n"
-      "                   deployments for any N >= 0 when the solver is\n"
-      "                   node-bounded (see docs/ARCHITECTURE.md)\n"
+      "                   The pool is clamped to the machine's core\n"
+      "                   count (oversubscription only inflates solver\n"
+      "                   tail latency). The same trace+seed commits\n"
+      "                   identical deployments for any N >= 0 when the\n"
+      "                   solver is node-bounded (see\n"
+      "                   docs/ARCHITECTURE.md)\n"
       "\n"
       "Closed-loop flags (SIV-C self-measurement):\n"
       "  --closed-loop    the service measures its own committed\n"
@@ -497,6 +502,12 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.cache_delta_updates),
               static_cast<long long>(cache.rebuilds()),
               static_cast<long long>(cache.noop_skips()));
+  std::printf("incremental solves: %lld model patches, %lld rebuilds, "
+              "%lld warm starts, %lld stale bases discarded\n",
+              static_cast<long long>(stats.model_patches),
+              static_cast<long long>(stats.model_rebuilds),
+              static_cast<long long>(stats.warm_starts),
+              static_cast<long long>(stats.basis_discards));
 
   const Deployment& dep = service.deployment();
   std::printf("\nfinal deployment: %zu queries served, %d operators, "
