@@ -154,14 +154,29 @@ class SqprMip {
     /// structure instead of rediscovering them node by node.
     void set_harvest(milp::CutPool* pool) { harvest_ = pool; }
 
+    /// Optional read-only pool consulted as a *separation source*: at
+    /// each lazy callback, pooled cuts violated by the current point are
+    /// appended (each at most once per solve) before the DFS detector
+    /// runs. This replaces bulk up-front injection — injecting the whole
+    /// pool bloats every node LP with rows the search never violates,
+    /// which is measurably slower than solving cold on small models,
+    /// while violation-gated replay only pays for rows that bind.
+    void set_pool(const milp::CutPool* pool) { pool_ = pool; }
+
    private:
     // Shared separation: consider arcs with value > arc_threshold and
     // emit the cut only when actually violated by `point`.
     int Separate(const std::vector<double>& point, double arc_threshold,
                  lp::Model* relaxation);
+    // Appends pooled cuts violated by `point` that this handler has not
+    // already added. Returns the number of rows appended.
+    int SeparateFromPool(const std::vector<double>& point,
+                         lp::Model* relaxation);
 
     const SqprMip* owner_;
     milp::CutPool* harvest_ = nullptr;
+    const milp::CutPool* pool_ = nullptr;
+    std::vector<bool> pool_added_;
   };
 
  private:

@@ -13,6 +13,15 @@
 #include "planner/heuristic/heuristic_planner.h"
 
 namespace sqpr {
+namespace {
+
+/// Payoff gate for pooled-cut replay: every replayed cut is a candidate
+/// extra row in every node LP, so replay only engages when the model has
+/// at least this many rows per pooled cut. Below the gate the lazy DFS
+/// rediscovers cycles cheaply and replay is a measured net loss.
+constexpr int kMinRowsPerPooledCut = 8;
+
+}  // namespace
 
 SqprPlanner::SqprPlanner(const Cluster* cluster, Catalog* catalog,
                          Options options)
@@ -134,10 +143,20 @@ Result<std::vector<PlanningStats>> SqprPlanner::SubmitBatch(
   SqprMip& mip = *mip_owned;
   const std::vector<double> warm = mip.WarmStart();
 
-  // Prior-round artifacts for this structure, if any: pooled cycle cuts
-  // seed the relaxation up front; the root basis warm-starts the first
-  // LP (discarded inside the solver if presolve keeps different columns
-  // this round).
+  // Prior-round artifacts for this structure, if any. Three warm levers,
+  // each gated deterministically (never on measured wall time — replay
+  // and fingerprint determinism depend on identical decisions at every
+  // worker count):
+  //  * the root basis warm-starts the first LP (discarded inside the
+  //    solver if presolve keeps different columns this round);
+  //  * the root rounding dive is skipped — the warm-start incumbent
+  //    already plays its role, and the cut rows the dive's throwaway
+  //    points separate pollute every later node LP;
+  //  * pooled cycle cuts become a *separation source* for the lazy
+  //    handler, but only when the model is large enough that extra rows
+  //    can pay for themselves (bulk up-front injection measured slower
+  //    than cold on small models: +33% rows in every node LP for ~5%
+  //    fewer nodes).
   std::shared_ptr<const SolveArtifacts> prior;
   auto art_it = artifacts_.find(key);
   if (art_it != artifacts_.end()) prior = art_it->second;
@@ -146,6 +165,11 @@ Result<std::vector<PlanningStats>> SqprPlanner::SubmitBatch(
   if (prior != nullptr) next_art->cuts = prior->cuts;
   SqprMip::CycleCutHandler cycle_handler(&mip);
   cycle_handler.set_harvest(&next_art->cuts);
+  if (prior != nullptr && !prior->cuts.empty() &&
+      mip.mip().lp.num_rows() >=
+          kMinRowsPerPooledCut * static_cast<int>(prior->cuts.size())) {
+    cycle_handler.set_pool(&prior->cuts);
+  }
 
   milp::SolverOptions solver_options;
   solver_options.deadline = Deadline::AfterMillis(
@@ -161,21 +185,11 @@ Result<std::vector<PlanningStats>> SqprPlanner::SubmitBatch(
     solver_options.root_warm_basis = &prior->root_basis;
     solver_options.root_warm_basis_columns = &prior->root_basis_columns;
   }
-
-  // Pooled cuts are injected into a *copy* of the model so the cached
-  // skeleton stays pristine (cut rows would otherwise accumulate in the
-  // cache and break CheckModelEquals against a fresh build).
-  const milp::Model* solve_model = &mip.mip();
-  milp::Model model_with_cuts;
-  if (prior != nullptr && !prior->cuts.empty()) {
-    model_with_cuts = mip.mip();
-    prior->cuts.InjectInto(&model_with_cuts.lp);
-    solve_model = &model_with_cuts;
-  }
+  if (prior != nullptr) solver_options.root_dive = false;
 
   span.set_args(fresh.size(), sets->streams.size());
   milp::Solver solver;
-  milp::MipResult result = solver.Solve(*solve_model, solver_options);
+  milp::MipResult result = solver.Solve(mip.mip(), solver_options);
 
   if (result.has_solution()) {
     SQPR_CHECK_OK(mip.Commit(result.x, &deployment_));
@@ -466,6 +480,7 @@ Result<AdmissionProposal> SqprPlanner::ProposeAdmission(
 
   AdmissionProposal proposal;
   proposal.query = query;
+  proposal.base_version = deployment_.structure_version();
   Result<PlanningStats> stats = scratch.SubmitQuery(query);
   if (!stats.ok()) return stats.status();
   proposal.stats = *stats;
@@ -551,22 +566,42 @@ Result<PlanningStats> SqprPlanner::CommitProposal(
                                    std::to_string(proposal.query));
   }
   SQPR_TRACE_SPAN("planner/commit");
-  // Adopt the proposal's solve by-products before any early return:
-  // basis/cuts are keyed by solve structure, so they stay valid even
-  // when this particular proposal conflicts or dedups away — and
-  // installing here, on the committing thread in commit order, keeps
-  // the artifact table identical across worker counts.
-  if (proposal.artifacts != nullptr) {
-    artifacts_[proposal.artifact_key] = proposal.artifacts;
-    if (artifacts_.size() > 64) artifacts_.clear();
-  }
   PlanningStats stats = proposal.stats;
   if (deployment_.ServingHost(proposal.query) != kInvalidHost) {
     // Someone (an earlier commit, a cache fast path) admitted an
-    // equivalent query meanwhile: free dedup, nothing to apply.
+    // equivalent query meanwhile: free dedup, nothing to apply. A fresh
+    // inline solve at this point would dedup identically — and would
+    // not have run a MILP — so taking this path before the version gate
+    // (and installing no artifacts) is exactly what pipeline-depth
+    // invariance requires.
     stats.admitted = true;
     stats.already_served = true;
     return stats;
+  }
+  if (proposal.base_version != deployment_.structure_version()) {
+    // Strict staleness gate: the committed state structurally diverged
+    // from the state the proposal was solved against, so the delta may
+    // encode decisions (placements, reuse) a fresh solve of the live
+    // state would not make. Nothing is adopted — not even the solve
+    // artifacts: a stale solve's root basis and pooled cuts steer the
+    // node-bounded search of later solves, so installing them would let
+    // pipeline depth change which incumbents those solves stop on. The
+    // caller re-solves inline; that solve installs its own artifacts at
+    // this same logical point.
+    return Status::FailedPrecondition(
+        "proposal for stream " + std::to_string(proposal.query) +
+        " solved against structure version " +
+        std::to_string(proposal.base_version) + ", committed state is at " +
+        std::to_string(deployment_.structure_version()));
+  }
+  // The version matched: the proposal's base state is bit-identical to
+  // the live state, so these by-products are exactly what an inline
+  // solve here would have harvested. Install on the committing thread,
+  // in commit order, to keep the artifact table identical across worker
+  // counts and pipeline depths.
+  if (proposal.artifacts != nullptr) {
+    artifacts_[proposal.artifact_key] = proposal.artifacts;
+    if (artifacts_.size() > 64) artifacts_.clear();
   }
   if (!stats.admitted || stats.already_served) {
     // The solve rejected the query — or saw it as already served against

@@ -39,6 +39,16 @@ struct AdmissionProposal {
   StreamId query = kInvalidStream;
   PlanningStats stats;
   DeploymentDelta delta;
+  /// Deployment::structure_version() of the committed state the solve ran
+  /// against. CommitProposal fails FailedPrecondition on *any* mismatch:
+  /// between service barriers, structural mutations are the only way the
+  /// solve-relevant state changes (rate installs happen solely inside
+  /// barrier handlers, which retire every in-flight round first), so
+  /// version equality attests the proposal's base state is bit-identical
+  /// to the live state — the condition under which committing the delta
+  /// equals re-solving inline. Anything weaker would let pipeline depth
+  /// change committed plans.
+  uint64_t base_version = 0;
   /// Solve by-products (root LP basis, pooled cycle cuts) harvested by
   /// the scratch solve, keyed by the solve's structural identity; null
   /// when no MILP ran (dedup or fast-path admissions). CommitProposal

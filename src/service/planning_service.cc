@@ -106,20 +106,24 @@ Result<EventOutcome> PlanningService::Step() {
   // Handlers below mutate *published* state the worker solves read
   // through shared pointers — measured-rate installation rewrites
   // catalog entries in place, failure/join swaps host specs — so they
-  // must retire the in-flight round first. (Arrivals are exempt: they
-  // only *intern*, which the catalog synchronises internally.) This
-  // barrier is also what keeps replays deterministic: rounds commit at
-  // fixed logical points, never "when the solve happens to finish".
+  // must retire the whole in-flight pipeline first: commit the oldest
+  // round (the barrier is its pinned commit point) and unwind the
+  // younger speculative ones back to the scheduler. (Arrivals are
+  // exempt: they only *intern*, which the catalog synchronises
+  // internally.) This barrier is also what keeps replays deterministic:
+  // rounds commit at fixed logical points, never "when the solve
+  // happens to finish" — and never *early* at a barrier, which would
+  // let pipeline depth move their solves ahead of the rate install.
   switch (event.kind) {
     case EventKind::kHostFailure:
     case EventKind::kHostJoin:
     case EventKind::kMonitorReport:
-      CommitInFlightRound(&outcome);
+      RetireAllRounds(&outcome);
       break;
     case EventKind::kTick:
       // A measuring tick is a monitor report the service writes itself:
       // it crosses the same barrier before installing measured rates.
-      if (MeasurementDue()) CommitInFlightRound(&outcome);
+      if (MeasurementDue()) RetireAllRounds(&outcome);
       break;
     default:
       break;
@@ -203,9 +207,13 @@ Status PlanningService::RunUntilIdle(std::vector<EventOutcome>* outcomes) {
 }
 
 void PlanningService::FinishInFlightRound() {
-  if (!inflight_) return;
+  if (inflight_.empty()) return;
   EventOutcome scratch;  // results land in the aggregate stats_
-  CommitInFlightRound(&scratch);
+  // Same semantics as a barrier: only the oldest round's pinned commit
+  // point is due, so only it commits; younger speculative rounds return
+  // to the scheduler. A depth-1 service stopped here holds exactly this
+  // state — those rounds still queued, not yet dispatched.
+  RetireAllRounds(&scratch);
   SyncPlanCache();
 }
 
@@ -254,7 +262,8 @@ void PlanningService::SyncPlanCache() {
 }
 
 Result<PlanningStats> PlanningService::Admit(StreamId query,
-                                             int* reuse_candidates) {
+                                             int* reuse_candidates,
+                                             bool overlapped_arrival) {
   if (query < 0 || query >= catalog_->num_streams()) {
     return Status::InvalidArgument("unknown stream " + std::to_string(query));
   }
@@ -307,16 +316,18 @@ Result<PlanningStats> PlanningService::Admit(StreamId query,
   }
 
   // Cache miss: speculative solve on the loop thread, overlapping any
-  // in-flight re-planning round. WarmCatalog pre-interns the query's
+  // in-flight re-planning rounds. WarmCatalog pre-interns the query's
   // join closure — the only catalog *writes* a solve needs, performed
   // here on the loop thread so StreamId assignment stays at a
   // deterministic point (interning itself is thread-safe; workers
   // reading the catalog concurrently only ever see published entries).
   // The solve then runs against a private copy of the committed state
-  // and commits its delta immediately; the in-flight round keeps
-  // solving throughout and reconciles at its own commit point (FIFO,
+  // and commits its delta immediately; in-flight rounds keep solving
+  // throughout and reconcile at their own pinned commit points (FIFO,
   // conflicts re-solved).
-  if (inflight_) ++stats_.overlapped_arrival_solves;
+  if (!inflight_.empty() && overlapped_arrival) {
+    ++stats_.overlapped_arrival_solves;
+  }
   const Status warmed = planner_.WarmCatalog(query);
   if (!warmed.ok()) {
     stats_.admit_ms.Add(watch.ElapsedMillis());
@@ -328,21 +339,38 @@ Result<PlanningStats> PlanningService::Admit(StreamId query,
     return proposal.status();
   }
 
+  if (options_.inject_between_propose_and_commit) {
+    options_.inject_between_propose_and_commit(planner_);
+  }
   Stopwatch commit_watch;
   double solve_wall_ms = proposal->stats.wall_ms;
   bool committed_via_delta = true;
   Result<PlanningStats> stats = planner_.CommitProposal(*proposal);
   stats_.commit_ms.Add(commit_watch.ElapsedMillis());
   if (!stats.ok() && stats.status().IsFailedPrecondition()) {
-    // Unreachable today — propose and commit are adjacent on the loop
-    // thread, nothing intervenes — but stay robust (a future pipeline
-    // with several rounds in flight may interleave here): fall back to
-    // a fresh inline solve against the live state, and sample *its*
-    // wall time (the proposal's was thrown away with the proposal).
+    // The strict version gate bounced the proposal: the conflict
+    // re-solves of a round commit (which call back into Admit while
+    // younger rounds are in flight) and test injection can both land a
+    // commit between this arrival's propose and commit. Re-solve as a
+    // fresh propose/commit pair against the live state — adjacent on
+    // the loop thread, so the retry cannot conflict again — and sample
+    // each leg where an inline solve would have: the fresh solve's wall
+    // time into solve_ms, the fresh commit's into commit_ms, so
+    // conflict re-solves are indistinguishable in the histograms from
+    // solves that never conflicted. (The bounced proposal's solve time
+    // was thrown away with the proposal; its failed commit was already
+    // sampled above, like any other commit attempt.)
     ++stats_.commit_conflicts;
-    stats = planner_.SubmitQuery(query);
-    if (stats.ok()) solve_wall_ms = stats->wall_ms;
     committed_via_delta = false;
+    Result<AdmissionProposal> fresh = planner_.ProposeAdmission(query);
+    if (fresh.ok()) {
+      solve_wall_ms = fresh->stats.wall_ms;
+      Stopwatch retry_watch;
+      stats = planner_.CommitProposal(*fresh);
+      stats_.commit_ms.Add(retry_watch.ElapsedMillis());
+    } else {
+      stats = fresh.status();
+    }
   }
   if (stats.ok()) {
     CountSolveStats(*stats);
@@ -350,8 +378,12 @@ Result<PlanningStats> PlanningService::Admit(StreamId query,
       stats_.solve_ms.Add(solve_wall_ms);
     }
     if (stats->admitted && !stats->already_served) {
-      // The committed delta is exactly what the reuse index must learn;
-      // an inline re-solve has no delta, so it schedules a rebuild.
+      // The committed delta is exactly what the reuse index must learn.
+      // After a conflict, deliberately schedule a full rebuild instead
+      // of feeding the retry's delta: the bounced proposal is evidence
+      // this admission raced other committed changes, and the rebuild's
+      // grounded fixpoint re-derives the index from the merged truth
+      // rather than trusting a delta chain across the conflict.
       if (committed_via_delta) {
         MarkCacheDelta(proposal->delta);
       } else {
@@ -413,10 +445,15 @@ void PlanningService::HandleDeparture(const Event& event,
   (void)outcome;
   ++stats_.departures;
   scheduler_.Discard(event.query);
-  if (inflight_ &&
-      std::find(inflight_->queries.begin(), inflight_->queries.end(),
-                event.query) != inflight_->queries.end()) {
-    inflight_discards_.insert(event.query);
+  // A query sits in at most one in-flight round (re-enqueues only
+  // happen at barriers, which drain the pipeline first), but scan them
+  // all: the discard must land in the round that carries it.
+  for (InFlightRound& round : inflight_) {
+    if (std::find(round.queries.begin(), round.queries.end(), event.query) !=
+        round.queries.end()) {
+      round.discards.insert(event.query);
+      break;
+    }
   }
   auto it = std::find(rejected_recently_.begin(), rejected_recently_.end(),
                       event.query);
@@ -572,22 +609,29 @@ Status PlanningService::HandleSelfMeasurement(EventOutcome* outcome) {
 }
 
 void PlanningService::DrainReplanRounds(EventOutcome* outcome) {
-  // Retire the round dispatched during a previous event — with workers
-  // it had that event's entire processing to solve in the background —
-  // then launch the next one against the state as of *this* event's
-  // mutations. Identical for every worker count: with workers == 0 the
-  // dispatch below solves synchronously, producing exactly the
-  // proposals a pool would have computed from a snapshot taken at the
-  // same point.
-  CommitInFlightRound(outcome);
-  DispatchReplanRound();
+  // Commit the oldest round — dispatched at least one event ago; with
+  // workers it had that event's entire processing to solve in the
+  // background — then top the pipeline back up against the state as of
+  // *this* event's mutations. Committing before filling means a round
+  // dispatched here never commits here: its pinned point is the next
+  // event, at every depth. Identical for every worker count: with
+  // workers == 0 the dispatches below solve synchronously, producing
+  // exactly the proposals a pool would have computed from snapshots
+  // taken at the same points.
+  CommitOldestRound(outcome);
+  const int depth = std::max(1, options_.replan.pipeline_depth);
+  while (static_cast<int>(inflight_.size()) < depth &&
+         scheduler_.HasPending()) {
+    DispatchReplanRound();
+  }
 }
 
 void PlanningService::DispatchReplanRound() {
-  if (inflight_ || !scheduler_.HasPending()) return;
+  if (!scheduler_.HasPending()) return;
 
-  SQPR_TRACE_SPAN_ARGS(span, "service/round.dispatch", "queries", nullptr);
+  SQPR_TRACE_SPAN_ARGS(span, "service/round.dispatch", "round", "queries");
   InFlightRound flight;
+  flight.id = next_round_id_++;
   flight.queries = scheduler_.NextRound();
   // Pre-intern, on this thread, everything a solve for these queries
   // can touch in the shared catalog. This keeps StreamId assignment at
@@ -610,7 +654,10 @@ void PlanningService::DispatchReplanRound() {
     // live planner — the same inputs a snapshot taken at this point
     // would give a worker, so the proposals (and everything downstream
     // of the shared commit path) are bit-identical across worker
-    // counts.
+    // counts. With pipeline_depth > 1 this round may be speculating
+    // past an uncommitted older round, exactly like a worker would:
+    // the live planner holds only *committed* state, so the solve sees
+    // the same snapshot-equivalent view.
     for (size_t i = 0; i < flight.queries.size(); ++i) {
       (*flight.proposals)[i] = planner_.ProposeAdmission(flight.queries[i]);
       flight.latch->CountDown();
@@ -640,19 +687,18 @@ void PlanningService::DispatchReplanRound() {
       });
     }
   }
-  span.set_args(flight.queries.size());
-  inflight_ = std::move(flight);
-  inflight_discards_.clear();
+  span.set_args(flight.id, flight.queries.size());
+  inflight_.push_back(std::move(flight));
   ++stats_.replan_dispatches;
 }
 
-void PlanningService::CommitInFlightRound(EventOutcome* outcome) {
-  if (!inflight_) return;
-  InFlightRound flight = std::move(*inflight_);
-  inflight_.reset();
+void PlanningService::CommitOldestRound(EventOutcome* outcome) {
+  if (inflight_.empty()) return;
+  InFlightRound flight = std::move(inflight_.front());
+  inflight_.pop_front();
 
-  SQPR_TRACE_SPAN_ARGS(span, "service/round.commit", "queries", nullptr);
-  span.set_args(flight.queries.size());
+  SQPR_TRACE_SPAN_ARGS(span, "service/round.commit", "round", "queries");
+  span.set_args(flight.id, flight.queries.size());
   Stopwatch wait;
   {
     SQPR_TRACE_SPAN("service/round.barrier");
@@ -664,7 +710,7 @@ void PlanningService::CommitInFlightRound(EventOutcome* outcome) {
   for (size_t i = 0; i < flight.queries.size(); ++i) {
     const StreamId q = flight.queries[i];
     const Result<AdmissionProposal>& proposal = (*flight.proposals)[i];
-    if (inflight_discards_.count(q) > 0) continue;  // departed meanwhile
+    if (flight.discards.count(q) > 0) continue;  // departed meanwhile
 
     bool resolved = false;
     bool admitted = false;
@@ -688,11 +734,15 @@ void PlanningService::CommitInFlightRound(EventOutcome* outcome) {
         resolved = true;
         solve_failed = true;
       }
-      // FailedPrecondition: the deployment drifted under the proposal
-      // (a departure, a cache fast-path admission or an earlier commit
-      // in this round took the capacity or support it assumed). Fall
-      // through to a synchronous re-solve against the live state —
-      // still deterministic, since it depends only on the commit order.
+      // FailedPrecondition: the strict version gate found the committed
+      // state structurally diverged from the proposal's base — an
+      // arrival, a departure with fallout, an earlier commit in this
+      // round, or (depth > 1) a whole older round committed since this
+      // round's snapshot. Fall through to a synchronous re-solve
+      // against the live state — still deterministic, since it depends
+      // only on the commit order, and warm: the model cache and the
+      // artifacts installed by whichever commit caused the conflict
+      // are exactly the structures the retry re-solves against.
     } else {
       SQPR_LOG_WARN << "speculative solve for query " << q
                     << " failed: " << proposal.status().ToString();
@@ -702,7 +752,8 @@ void PlanningService::CommitInFlightRound(EventOutcome* outcome) {
 
     if (!resolved) {
       ++stats_.commit_conflicts;
-      Result<PlanningStats> stats = Admit(q, nullptr);
+      Result<PlanningStats> stats =
+          Admit(q, nullptr, /*overlapped_arrival=*/false);
       admitted = stats.ok() && stats->admitted;
       solve_failed = !stats.ok();
     }
@@ -716,7 +767,49 @@ void PlanningService::CommitInFlightRound(EventOutcome* outcome) {
       if (!solve_failed) RememberRejected(q);
     }
   }
-  inflight_discards_.clear();
+}
+
+void PlanningService::UnwindYoungestRound() {
+  InFlightRound flight = std::move(inflight_.back());
+  inflight_.pop_back();
+
+  SQPR_TRACE_SPAN_ARGS(span, "service/round.unwind", "round", "queries");
+  Stopwatch wait;
+  {
+    // The proposals are dropped unread, but the solves must still
+    // quiesce: workers read the shared catalog, and the barrier handler
+    // about to run rewrites published entries in place
+    // (Catalog::UpdateBaseRate, host spec swaps).
+    SQPR_TRACE_SPAN("service/round.barrier");
+    flight.latch->Wait();
+  }
+  stats_.barrier_ms.Add(wait.ElapsedMillis());
+
+  std::vector<StreamId> requeue;
+  requeue.reserve(flight.queries.size());
+  for (StreamId q : flight.queries) {
+    if (flight.discards.count(q) == 0) requeue.push_back(q);
+  }
+  span.set_args(flight.id, requeue.size());
+  // Front of the scheduler, as one group: the next dispatch pops this
+  // exact round again. Discarded (departed) queries stay out, matching
+  // the scheduler discard a depth-1 service performed directly.
+  scheduler_.Requeue(requeue);
+  ++stats_.round_unwinds;
+}
+
+void PlanningService::RetireAllRounds(EventOutcome* outcome) {
+  // The oldest round's pinned commit point coincides with the barrier,
+  // so it commits; every younger round is ahead of its point and
+  // unwinds instead. Committing them here would move their solves
+  // before the barrier's rate/spec installation — state depth 1 only
+  // lets them see *after* it — breaking cross-depth bit-identity.
+  // Unwinding youngest-first stacks the requeued groups so the oldest
+  // unwound round ends up frontmost, preserving FIFO order.
+  CommitOldestRound(outcome);
+  while (!inflight_.empty()) {
+    UnwindYoungestRound();
+  }
 }
 
 Event PlanningService::MonitorReportFromSim(int64_t time_ms,

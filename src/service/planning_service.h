@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
-#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -47,6 +47,15 @@ struct ServiceOptions {
   /// kRateDirective events steer the ground truth.
   bool closed_loop = false;
   TelemetryOptions telemetry;
+  /// Test-only injection point: invoked on the loop thread between an
+  /// arrival's speculative ProposeAdmission and its CommitProposal —
+  /// the one propose/commit adjacency the pipelined service still
+  /// guarantees by construction. Mutating the planner here forces the
+  /// strict version gate to bounce the arrival's proposal, driving the
+  /// conflict-fallback path deterministically at any pipeline depth
+  /// (service_test uses it at depth 1). Never invoked for the
+  /// fallback's own re-solve. Leave null outside tests.
+  std::function<void(SqprPlanner&)> inject_between_propose_and_commit;
 };
 
 /// What happened while processing one event.
@@ -119,9 +128,21 @@ struct ServiceStats {
   /// Rounds entered into the speculative pipeline (every worker count
   /// runs it; with workers >= 1 the solves go to the pool), and
   /// proposals that no longer applied at commit time and were re-solved
-  /// synchronously on the loop thread.
+  /// synchronously on the loop thread. Neither is pipeline-depth
+  /// invariant: deeper pipelines dispatch the same rounds earlier
+  /// (sometimes re-dispatching after a barrier unwind) and speculate
+  /// across not-yet-committed older rounds, so they conflict more —
+  /// the price of starting solves early. The *committed* outcomes stay
+  /// bit-identical; see docs/ARCHITECTURE.md §4.
   int64_t replan_dispatches = 0;
   int64_t commit_conflicts = 0;
+  /// Speculative rounds unwound — proposals discarded, queries returned
+  /// to the front of the scheduler — because a barrier event (monitor
+  /// report, host failure/join, measuring tick) retired the pipeline
+  /// before their pinned commit points. Only rounds *past* the oldest
+  /// unwind (the oldest commits at the barrier, exactly as depth 1
+  /// would); depth 1 therefore never unwinds.
+  int64_t round_unwinds = 0;
   /// Cache-miss arrival solves performed while a re-planning round was
   /// in flight (dispatched, not yet committed) — the overlap the
   /// thread-safe catalog buys. Commit points are logical, so the count
@@ -195,26 +216,43 @@ struct ServiceStats {
 ///                     rates) and feeds it through the same §IV-B path;
 ///   kRateDirective  — install a ground-truth rate trajectory into the
 ///                     closed loop's rate model (ignored open-loop).
-/// Every event ends by retiring the previously dispatched re-admission
-/// round and dispatching the next bounded one, so planning latency per
-/// event stays bounded no matter how large a failure or drift report is.
+/// Every event ends by committing the oldest in-flight re-admission
+/// round and topping the pipeline back up with the next bounded ones,
+/// so planning latency per event stays bounded no matter how large a
+/// failure or drift report is.
 ///
 /// Threading: re-planning rounds run through a speculative
-/// propose/commit pipeline at *every* worker count. A round is
-/// dispatched at the end of one Step() and committed at the end of the
-/// next (FIFO, with a synchronous re-solve when a proposal conflicts
-/// with state that changed under it); with workers >= 1 the solves run
-/// on a pool against an immutable snapshot while the loop thread keeps
-/// consuming events, with workers == 0 they run synchronously at
-/// dispatch — same inputs, same commit points, bit-identical committed
-/// deployments for any worker count. Cache-miss arrivals solve
-/// speculatively on the loop thread (WarmCatalog + ProposeAdmission +
-/// CommitProposal) *without* retiring the in-flight round: catalog
+/// propose/commit pipeline at *every* worker count, up to
+/// ReplanPolicyOptions::pipeline_depth rounds deep. Each round pins its
+/// own planner snapshot at dispatch and commits at a fixed logical
+/// point: exactly one round — the oldest — commits per Step(), FIFO in
+/// dispatch order, so a round dispatched at the end of event N commits
+/// at the end of event N+1 regardless of how many younger rounds were
+/// dispatched behind it. Depth only moves dispatches earlier, never
+/// commits: committed deployments are bit-identical across worker
+/// counts AND pipeline depths. Rounds beyond the oldest speculate
+/// against snapshots that older commits may invalidate; the planner's
+/// strict structure-version gate bounces any stale proposal at its
+/// pinned commit point (installing none of its solve artifacts) and the
+/// service re-solves it inline against the live state — deterministic,
+/// since it depends only on the commit order (the commit_conflicts
+/// counter; warm-started, so the retry is cheap). With workers >= 1 the
+/// solves run on a pool against immutable snapshots while the loop
+/// thread keeps consuming events; with workers == 0 they run
+/// synchronously at dispatch against the live planner — the same state
+/// the snapshot would capture. Cache-miss arrivals solve speculatively
+/// on the loop thread (WarmCatalog + ProposeAdmission +
+/// CommitProposal) *without* retiring in-flight rounds: catalog
 /// interning is internally synchronised and workers only ever read
-/// published entries. Rounds are still retired before events that
-/// mutate state workers read in place — monitor reports (measured-rate
-/// installation) and host failure/join (spec swaps). See
-/// docs/ARCHITECTURE.md for the full model and determinism contract.
+/// published entries. Events that mutate state workers read in place —
+/// monitor reports (measured-rate installation), host failure/join
+/// (spec swaps), measuring ticks — still retire the whole pipeline
+/// first: the oldest round commits (its pinned point coincides with
+/// the barrier), and every younger round *unwinds* — proposals
+/// dropped, un-departed queries returned to the front of the scheduler
+/// — so the post-barrier schedule is exactly the one depth 1 would
+/// have. See docs/ARCHITECTURE.md for the full model and determinism
+/// contract.
 class PlanningService {
  public:
   /// The service mutates `cluster` (host failure/rejoin) and `catalog`
@@ -232,14 +270,18 @@ class PlanningService {
   Result<EventOutcome> Step();
 
   /// Drains the queue; outcomes are appended when `outcomes` != nullptr.
-  /// Ends by retiring any in-flight re-planning round, so the
-  /// returned-to deployment reflects every dispatched solve.
+  /// Ends by retiring the in-flight pipeline (commit the oldest round,
+  /// unwind the rest), so the returned-to deployment and the pending
+  /// backlog are bit-identical across pipeline depths.
   Status RunUntilIdle(std::vector<EventOutcome>* outcomes = nullptr);
 
-  /// Waits for and commits the in-flight re-planning round, if any
-  /// (no-op when nothing is in flight). Queued backlog beyond the
-  /// in-flight round stays pending. Call after stepping the service
-  /// manually to a stopping point.
+  /// Retires the in-flight pipeline, if any (no-op when empty): waits
+  /// for and commits the *oldest* round — the one whose pinned commit
+  /// point is due — and unwinds younger speculative rounds back to the
+  /// front of the scheduler, exactly as a barrier event would. Queued
+  /// backlog stays pending. Call after stepping the service manually to
+  /// a stopping point; the resulting state matches a depth-1 service
+  /// stopped at the same point.
   void FinishInFlightRound();
 
   /// Translates a cluster-simulation report into a monitor-report event
@@ -262,10 +304,17 @@ class PlanningService {
   }
   bool HostActive(HostId h) const;
   /// Re-planning candidates not yet resolved: queued in the scheduler
-  /// plus those in the in-flight round.
+  /// plus those in flight, minus in-flight queries that departed after
+  /// dispatch (their proposals will be dropped, matching the scheduler
+  /// discard a depth-1 service would have performed — the subtraction
+  /// keeps this count pipeline-depth invariant).
   int pending_replans() const {
-    return static_cast<int>(scheduler_.pending()) +
-           (inflight_ ? static_cast<int>(inflight_->queries.size()) : 0);
+    int pending = static_cast<int>(scheduler_.pending());
+    for (const InFlightRound& round : inflight_) {
+      pending +=
+          static_cast<int>(round.queries.size() - round.discards.size());
+    }
+    return pending;
   }
   /// Worker threads solving re-planning rounds (0 = solves run on the
   /// loop thread at dispatch; the pipeline and results are identical).
@@ -278,7 +327,17 @@ class PlanningService {
   /// torn down. With workers == 0 the proposals are already solved and
   /// the latch already open when the round enters flight.
   struct InFlightRound {
+    /// Monotonic dispatch id, tagged onto the round's
+    /// dispatch/commit/unwind trace spans so a flight recording
+    /// correlates the three ends of one round across the pipeline.
+    int64_t id = 0;
     std::vector<StreamId> queries;
+    /// Queries that departed after this round dispatched; their
+    /// proposals are dropped at commit/unwind (the async twin of
+    /// ReplanScheduler::Discard). Scoped per round: with several rounds
+    /// in flight, a departure must only suppress the copy of the query
+    /// in the round that actually carries it.
+    std::set<StreamId> discards;
     /// Copy-on-write view of the planner the solves run against (null
     /// in inline mode, which solves against the live planner at
     /// dispatch — the same state the snapshot materialises). Shared
@@ -317,24 +376,43 @@ class PlanningService {
   /// under the rate model's current truth, then ApplyMonitorData.
   Status HandleSelfMeasurement(EventOutcome* outcome);
 
-  /// Retires the round dispatched during a previous event, then
-  /// dispatches the next one against the state as of this event's
-  /// mutations (both worker counts; end of every Step()).
+  /// End of every Step(): commits the oldest in-flight round (whose
+  /// pinned commit point is this event), then tops the pipeline back up
+  /// to pipeline_depth rounds against the state as of this event's
+  /// mutations (both worker counts).
   void DrainReplanRounds(EventOutcome* outcome);
 
   /// Pops the next round off the scheduler, pre-warms the catalog for
   /// its queries (the deterministic interning point) and solves them
   /// speculatively: on the worker pool (workers >= 1) or synchronously
-  /// right here (workers == 0). At most one round is in flight at a
-  /// time.
+  /// right here (workers == 0). One round per call; DrainReplanRounds
+  /// loops it until pipeline_depth rounds are in flight.
   void DispatchReplanRound();
 
-  /// Blocks until the in-flight round (if any) is solved, then commits
-  /// its proposals in FIFO order on the calling (loop) thread; a
-  /// proposal that no longer applies is re-solved synchronously. The
-  /// barrier every handler that mutates worker-read state in place
-  /// (measured rates, host specs) must cross first.
-  void CommitInFlightRound(EventOutcome* outcome);
+  /// Blocks until the oldest in-flight round (if any) is solved, then
+  /// commits its proposals in FIFO order on the calling (loop) thread;
+  /// a proposal the strict version gate bounces is re-solved
+  /// synchronously. Exactly one round commits per call — the pinned
+  /// commit point that keeps committed deployments identical across
+  /// pipeline depths.
+  void CommitOldestRound(EventOutcome* outcome);
+
+  /// Pops the *youngest* in-flight round without committing it: waits
+  /// for its solves to quiesce (workers may be reading the catalog),
+  /// drops the proposals and returns the round's un-departed queries to
+  /// the front of the scheduler as one group, so the next dispatch pops
+  /// the same round again.
+  void UnwindYoungestRound();
+
+  /// The pipeline barrier every handler that mutates worker-read state
+  /// in place (measured rates, host specs) must cross first: commits
+  /// the oldest round — the barrier event is its pinned commit point —
+  /// and unwinds every younger round, youngest first, so the oldest
+  /// unwound group ends up frontmost in the scheduler. Committing the
+  /// younger rounds instead would let depth change committed state:
+  /// they would land *before* the barrier's rate/spec installation,
+  /// where depth 1 solves them after it.
+  void RetireAllRounds(EventOutcome* outcome);
 
   // ---- Reuse-index (PlanCache) maintenance. ----
   //
@@ -359,10 +437,14 @@ class PlanningService {
   /// Admits one query; shared by arrivals and re-planning re-solves.
   /// Tries the plan-cache fast path, then a speculative solve on the
   /// loop thread (WarmCatalog + ProposeAdmission + CommitProposal) that
-  /// overlaps any in-flight round instead of retiring it. When
+  /// overlaps any in-flight rounds instead of retiring them. When
   /// `reuse_candidates` is non-null it receives the number of
-  /// materialised proper-subquery hits.
-  Result<PlanningStats> Admit(StreamId query, int* reuse_candidates);
+  /// materialised proper-subquery hits. `overlapped_arrival` feeds the
+  /// overlapped_arrival_solves counter — true for genuine arrivals,
+  /// false for the commit-path conflict re-solves, which run while
+  /// younger rounds are legitimately still in flight.
+  Result<PlanningStats> Admit(StreamId query, int* reuse_candidates,
+                              bool overlapped_arrival = true);
 
   /// Folds one solve's incremental-path telemetry into the aggregate
   /// counters (loop thread only; worker-side solves are counted when
@@ -399,14 +481,13 @@ class PlanningService {
   /// Recently rejected queries (FIFO, bounded), retried after joins.
   std::deque<StreamId> rejected_recently_;
 
-  /// Speculative re-planning state (every worker count). The pool is
-  /// declared last so it is destroyed — joining its threads — before
-  /// any other member; tasks only capture the shared_ptrs inside
-  /// InFlightRound, never `this`.
-  std::optional<InFlightRound> inflight_;
-  /// In-flight queries that departed after dispatch; their proposals are
-  /// dropped at commit (the async twin of ReplanScheduler::Discard).
-  std::set<StreamId> inflight_discards_;
+  /// Speculative re-planning pipeline (every worker count), oldest
+  /// round at the front; at most ReplanPolicyOptions::pipeline_depth
+  /// rounds deep. The pool is declared last so it is destroyed —
+  /// joining its threads — before any other member; tasks only capture
+  /// the shared_ptrs inside InFlightRound, never `this`.
+  std::deque<InFlightRound> inflight_;
+  int64_t next_round_id_ = 0;
   std::unique_ptr<ThreadPool> pool_;
 };
 

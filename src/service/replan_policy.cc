@@ -6,25 +6,46 @@ namespace sqpr {
 
 bool ReplanScheduler::Enqueue(StreamId query) {
   if (!pending_.insert(query).second) return false;
-  fifo_.push_back(query);
+  const size_t limit =
+      static_cast<size_t>(std::max(1, options_.max_queries_per_round));
+  if (groups_.empty() || groups_.back().size() >= limit) {
+    groups_.emplace_back();
+  }
+  groups_.back().push_back(query);
   return true;
 }
 
 void ReplanScheduler::Discard(StreamId query) {
   if (pending_.erase(query) == 0) return;
-  fifo_.erase(std::find(fifo_.begin(), fifo_.end(), query));
+  // Remove from its group without re-packing: round boundaries were
+  // fixed at enqueue time and must survive discards (see header).
+  for (auto group = groups_.begin(); group != groups_.end(); ++group) {
+    auto it = std::find(group->begin(), group->end(), query);
+    if (it == group->end()) continue;
+    group->erase(it);
+    if (group->empty()) groups_.erase(group);
+    return;
+  }
 }
 
 std::vector<StreamId> ReplanScheduler::NextRound() {
   std::vector<StreamId> round;
-  const int limit = std::max(1, options_.max_queries_per_round);
-  while (!fifo_.empty() && static_cast<int>(round.size()) < limit) {
-    const StreamId q = fifo_.front();
-    fifo_.pop_front();
-    pending_.erase(q);
-    round.push_back(q);
-  }
+  if (groups_.empty()) return round;
+  round.assign(groups_.front().begin(), groups_.front().end());
+  groups_.pop_front();
+  for (StreamId q : round) pending_.erase(q);
   return round;
+}
+
+void ReplanScheduler::Requeue(const std::vector<StreamId>& queries) {
+  std::deque<StreamId> group;
+  for (StreamId q : queries) {
+    // A query can already be pending again (e.g. a drift report fired
+    // between dispatch and unwind); keep the newer position.
+    if (!pending_.insert(q).second) continue;
+    group.push_back(q);
+  }
+  if (!group.empty()) groups_.push_front(std::move(group));
 }
 
 }  // namespace sqpr

@@ -17,8 +17,8 @@ namespace sqpr {
 /// MILP solve, so an unbounded drift report (or a failed host carrying
 /// many queries) could stall the event loop. The policy batches all
 /// pending candidates into *rounds* of at most `max_queries_per_round`
-/// solves; exactly one round is in flight at a time, dispatched at the
-/// end of one event and committed at the end of the next (or at an
+/// solves; up to `pipeline_depth` rounds are in flight at once, each
+/// pinned to commit exactly one event after the previous round (or at an
 /// earlier barrier), so the remainder stays queued for later events and
 /// ticks.
 struct ReplanPolicyOptions {
@@ -36,6 +36,18 @@ struct ReplanPolicyOptions {
   /// deployments — only how much solve time overlaps event processing
   /// (see docs/ARCHITECTURE.md).
   int workers = 0;
+  /// Maximum re-planning rounds in flight at once. Each round pins its
+  /// own planner snapshot at dispatch and commits at a fixed logical
+  /// point — one round per consumed event, FIFO in dispatch order — so
+  /// the depth decides only how early a round's solves *start*, never
+  /// where they land: committed deployments are bit-identical across
+  /// depths (and worker counts). Rounds beyond the first speculate
+  /// against a snapshot that older rounds' commits may invalidate; the
+  /// strict structure-version gate then bounces the stale proposal and
+  /// the service re-solves it inline, warm-started, at the pinned
+  /// commit point (the commit_conflicts counter). Depth 1 reproduces
+  /// the old dispatch-then-commit-next-event behaviour exactly.
+  int pipeline_depth = 2;
   /// Cap the pool at the machine's hardware concurrency (minus nothing —
   /// the loop thread mostly blocks at the barrier while a round solves).
   /// Requesting more CPU-bound solver threads than cores buys no
@@ -54,6 +66,15 @@ struct ReplanPolicyOptions {
 /// rejected-query retries after topology changes; enqueueing an already
 /// pending query is a no-op, so a query implicated by several conditions
 /// in one period is re-planned once (the §IV-B round semantics).
+///
+/// Round composition is pinned at *enqueue* time: candidates are cut
+/// into groups of at most max_queries_per_round as they arrive, and a
+/// later Discard shrinks its group without re-packing the others. This
+/// matters for pipeline-depth invariance — if groups re-packed, a
+/// departure hitting a query that depth 2 already dispatched (but depth
+/// 1 still has queued) would shift every later round's composition
+/// between the two depths. With enqueue-time cutting, both depths see
+/// identical rounds minus identically-discarded members.
 class ReplanScheduler {
  public:
   explicit ReplanScheduler(ReplanPolicyOptions options)
@@ -65,16 +86,29 @@ class ReplanScheduler {
   /// Drops a pending candidate (e.g. the query departed while waiting).
   void Discard(StreamId query);
 
-  /// Pops up to max_queries_per_round candidates in FIFO order.
+  /// Pops the oldest group (up to max_queries_per_round candidates, in
+  /// enqueue order).
   std::vector<StreamId> NextRound();
 
-  bool HasPending() const { return !fifo_.empty(); }
-  size_t pending() const { return fifo_.size(); }
+  /// Returns an unwound round's queries to the *front* of the queue, as
+  /// one group, preserving their order — used when a barrier retires a
+  /// speculative in-flight round before its pinned commit point. The
+  /// next NextRound pops exactly this group again, so the post-barrier
+  /// schedule is the one a depth-1 service (which never dispatched the
+  /// round) would produce. Queries that re-entered the queue meanwhile
+  /// are skipped rather than duplicated.
+  void Requeue(const std::vector<StreamId>& queries);
+
+  bool HasPending() const { return !pending_.empty(); }
+  size_t pending() const { return pending_.size(); }
   const ReplanPolicyOptions& options() const { return options_; }
 
  private:
   ReplanPolicyOptions options_;
-  std::deque<StreamId> fifo_;
+  /// Groups in FIFO order; each inner deque is one future round, in
+  /// enqueue order. Discard may leave a group empty — NextRound skips
+  /// empty groups rather than merging neighbours.
+  std::deque<std::deque<StreamId>> groups_;
   std::set<StreamId> pending_;
 };
 

@@ -7,7 +7,9 @@
 // stand in for "any trace"; the two hand-written worker-invariance
 // cases in service_test.cc remain as focused regressions.
 //
-// Each trace is replayed with workers in {0, 1, 4}. Per-replay state is
+// Each trace is replayed with workers in {0, 1, 4} — and, open-loop,
+// across the full pipeline-depth {1, 2, 4} x workers {0, 1, 4} matrix
+// (the depth axis of the same contract). Per-replay state is
 // rebuilt from scratch (fresh catalog/cluster/workload from the same
 // seed): drift reports install measured rates into the catalog, so
 // nothing may leak between replays.
@@ -69,6 +71,19 @@ struct ReplayResult {
                     analytic_ticks, cache_delta_updates, cache_rebuilds,
                     pending_replans, valid);
   }
+  /// The subset additionally invariant across *pipeline depths*. The
+  /// speculative-attempt counters are defined per attempt, not per
+  /// logical outcome, so depth >= 2 legitimately moves them: unwound
+  /// rounds re-dispatch (replan_dispatches), manufactured staleness is
+  /// re-solved inline (commit_conflicts — and each conflict repairs the
+  /// reuse index with a rebuild instead of a delta, moving the cache
+  /// counters too).
+  auto DepthInvariantTie() const {
+    return std::tie(fingerprint, admitted, rejected, dedup_hits,
+                    cache_fast_path, evictions, replanned_admitted,
+                    replanned_rejected, monitor_reports, rate_directives,
+                    pending_replans, valid);
+  }
   bool operator==(const ReplayResult& other) const {
     return Tie() == other.Tie();
   }
@@ -116,7 +131,8 @@ TraceConfig MakeTraceConfig(uint64_t seed) {
 }
 
 ReplayResult Replay(uint64_t seed, int workers, bool closed_loop = false,
-                    MeasureMode mode = MeasureMode::kEngine) {
+                    MeasureMode mode = MeasureMode::kEngine,
+                    int pipeline_depth = 2) {
   Cluster cluster(3, HostSpec{0.6, 70.0, 70.0, ""}, 140.0);
   Catalog catalog(CostModel{});
 
@@ -146,6 +162,7 @@ ReplayResult Replay(uint64_t seed, int workers, bool closed_loop = false,
   options.planner.timeout_ms = 60000;
   options.planner.max_nodes = 80;
   options.replan.workers = workers;
+  options.replan.pipeline_depth = pipeline_depth;
   // Genuine N-thread coverage: the default clamps the pool to the core
   // count (a latency guard, see ReplanPolicyOptions), which on a 1-core
   // CI host would silently turn every workers=4 replay into workers=1
@@ -256,6 +273,34 @@ TEST_P(ServiceReplayPropertyTest, AnalyticClosedLoopWorkerCountInvariant) {
       Replay(seed, 4, /*closed_loop=*/true, MeasureMode::kAnalytic);
   EXPECT_EQ(inline_mode, four_workers)
       << "analytic loop: workers 0 vs 4 diverged, seed " << seed;
+}
+
+// The contract's second axis (docs/ARCHITECTURE.md §4): the pipeline
+// depth moves round dispatches earlier but never moves a commit point,
+// so replaying the same open-loop trace across the full depth {1, 2, 4}
+// × workers {0, 1, 4} matrix must commit bit-identical deployments and
+// identical logical statistics. Compared on the depth-invariant subset
+// (DepthInvariantTie) — the per-attempt counters differ by design.
+// Open-loop only: the worker-invariance properties above already cover
+// the closed loop at the default depth.
+TEST_P(ServiceReplayPropertyTest, PipelineDepthWorkerMatrixInvariant) {
+  const uint64_t seed = GetParam();
+  const ReplayResult baseline =
+      Replay(seed, 0, /*closed_loop=*/false, MeasureMode::kEngine,
+             /*pipeline_depth=*/1);
+  EXPECT_TRUE(baseline.valid) << "seed " << seed;
+  for (const int depth : {1, 2, 4}) {
+    for (const int workers : {0, 1, 4}) {
+      if (depth == 1 && workers == 0) continue;  // the baseline itself
+      const ReplayResult replay =
+          Replay(seed, workers, /*closed_loop=*/false, MeasureMode::kEngine,
+                 depth);
+      EXPECT_TRUE(baseline.DepthInvariantTie() == replay.DepthInvariantTie())
+          << "depth " << depth << " x workers " << workers
+          << " diverged from depth 1 x workers 0, seed " << seed
+          << "\nbaseline: " << baseline << "\nreplay:   " << replay;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Traces, ServiceReplayPropertyTest,

@@ -76,6 +76,44 @@ TEST(ReplanSchedulerTest, DeduplicatesAndBoundsRounds) {
   EXPECT_FALSE(scheduler.HasPending());
 }
 
+// Round composition is pinned at enqueue time: a discard shrinks its
+// round without pulling queries forward from later rounds, and an
+// unwound round requeued at the front pops again as the same group.
+// Both properties keep round boundaries — and so commit points —
+// identical across pipeline depths.
+TEST(ReplanSchedulerTest, DiscardAndRequeuePreserveRoundBoundaries) {
+  ReplanPolicyOptions options;
+  options.max_queries_per_round = 2;
+  ReplanScheduler scheduler(options);
+  for (StreamId q : {1, 2, 3, 4, 5}) EXPECT_TRUE(scheduler.Enqueue(q));
+  // Groups cut at enqueue: [1,2] [3,4] [5].
+
+  scheduler.Discard(2);
+  const std::vector<StreamId> first = scheduler.NextRound();
+  ASSERT_EQ(first.size(), 1u) << "discard must not re-pack 3 forward";
+  EXPECT_EQ(first[0], 1);
+
+  // Unwind simulation: the round goes back to the front and is popped
+  // again verbatim, ahead of the groups behind it.
+  scheduler.Requeue(first);
+  const std::vector<StreamId> again = scheduler.NextRound();
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0], 1);
+
+  const std::vector<StreamId> second = scheduler.NextRound();
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0], 3);
+  EXPECT_EQ(second[1], 4);
+  // A requeue races a fresh enqueue of the same query: the pending copy
+  // wins, no duplicates.
+  EXPECT_TRUE(scheduler.Enqueue(3));
+  scheduler.Requeue(second);
+  const std::vector<StreamId> third = scheduler.NextRound();
+  ASSERT_EQ(third.size(), 1u);
+  EXPECT_EQ(third[0], 4);
+  EXPECT_EQ(scheduler.pending(), 2u);  // 5 and the re-enqueued 3
+}
+
 // ---- Plan cache. ----
 
 TEST(PlanCacheTest, IndexesMaterializedStreamsBySignature) {
@@ -589,6 +627,127 @@ TEST(PlanningServiceTest, WorkerCountDoesNotChangeCommittedDeployments) {
   const auto four = run(4);
   EXPECT_EQ(one, four);
   EXPECT_GT(std::get<3>(one), 0) << "trace must exercise re-planning";
+}
+
+// Tentpole: the arrival-path commit-conflict fallback, driven
+// deterministically at pipeline depth 1. The injection hook commits an
+// intervening admission between the arrival's propose and commit, so
+// the strict structure-version gate must bounce the proposal and the
+// service must re-solve inline — with the conflict counted, both
+// commit attempts sampled into commit_ms, the re-solve sampled into
+// solve_ms, and the reuse index repaired via a scheduled full rebuild
+// (not an incremental delta, whose chain the conflict broke).
+TEST(PlanningServiceTest, AdmitConflictFallbackResolvesAndRepairsCache) {
+  // One-shot hook: fires between the arrival's ProposeAdmission and
+  // CommitProposal, admitting another query directly on the planner —
+  // the structural bump an older pipelined round's commit would cause.
+  // (Captured locals are bound before the fixture exists; the target
+  // query is filled in right after.)
+  StreamId intervening = kInvalidStream;
+  bool fired = false;
+  ServiceOptions options;
+  options.planner.timeout_ms = 60000;
+  options.planner.max_nodes = 150;
+  options.replan.pipeline_depth = 1;
+  options.inject_between_propose_and_commit = [&](SqprPlanner& planner) {
+    if (fired) return;
+    fired = true;
+    Result<PlanningStats> stats = planner.SubmitQuery(intervening);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    ASSERT_TRUE(stats->admitted);
+  };
+  ServiceFixture fx(2, 2.0, 4, options);
+  const StreamId arrival = fx.Join({0, 1});
+  intervening = fx.Join({2, 3});
+
+  const auto& stats = fx.service->stats();
+  const size_t commits_before = stats.commit_ms.count();
+  const size_t solves_before = stats.solve_ms.count();
+  const int64_t rebuilds_before = fx.service->plan_cache().rebuilds();
+  const int64_t deltas_before = stats.cache_delta_updates;
+
+  EventOutcome outcome = fx.StepOne(Event::Arrival(1, arrival));
+  ASSERT_TRUE(fired);
+  EXPECT_TRUE(outcome.admitted);
+  EXPECT_FALSE(outcome.already_served);
+
+  // The gate fired exactly once and the fallback resolved it.
+  EXPECT_EQ(stats.commit_conflicts, 1);
+  // Both the bounced commit attempt and the fresh one landed in the
+  // histogram — conflict re-solves are indistinguishable there from
+  // inline solves.
+  EXPECT_EQ(stats.commit_ms.count(), commits_before + 2);
+  EXPECT_EQ(stats.solve_ms.count(), solves_before + 1);
+
+  // Cache repair went through a full rebuild, not a delta: the
+  // injected admission bypassed the service's cache marking, so only
+  // the conflict path's MarkCacheRebuild makes the index consistent.
+  EXPECT_EQ(fx.service->plan_cache().rebuilds(), rebuilds_before + 1);
+  EXPECT_EQ(stats.cache_delta_updates, deltas_before);
+  PlanCache fresh(&fx.catalog);
+  fresh.Rebuild(fx.service->deployment());
+  EXPECT_EQ(fx.service->plan_cache().DebugDump(), fresh.DebugDump());
+
+  // Both the arrival and the injected admission are served.
+  EXPECT_NE(fx.service->deployment().ServingHost(arrival), kInvalidHost);
+  EXPECT_NE(fx.service->deployment().ServingHost(intervening), kInvalidHost);
+  EXPECT_TRUE(fx.service->deployment().Validate().ok());
+}
+
+// Tentpole: a barrier hitting a pipeline with several rounds in flight
+// commits only the oldest (its pinned point) and unwinds the younger
+// speculative rounds — so the committed deployments, admission
+// statistics and remaining backlog are bit-identical to a depth-1
+// service, which never dispatched those rounds in the first place.
+TEST(PlanningServiceTest, BarrierUnwindKeepsDepthsBitIdentical) {
+  auto run = [](int depth, int64_t* unwinds) {
+    ServiceOptions options;
+    options.planner.timeout_ms = 60000;
+    options.planner.max_nodes = 150;
+    options.replan.pipeline_depth = depth;
+    // One query per round: the host-failure fallout splits into several
+    // rounds, so deeper pipelines genuinely overlap them.
+    options.replan.max_queries_per_round = 1;
+    ServiceFixture fx(2, 2.0, 6, options);
+
+    int64_t t = 1;
+    int admitted = 0;
+    for (auto leaves : {std::pair<int, int>{0, 1}, {2, 3}, {4, 5}}) {
+      admitted +=
+          fx.StepOne(Event::Arrival(t++, fx.Join({leaves.first, leaves.second})))
+              .admitted;
+    }
+    EXPECT_EQ(admitted, 3);
+
+    // Every plan touches host 1 (half the bases live there): the
+    // failure evicts all three queries into three one-query rounds.
+    EventOutcome failure = fx.StepOne(Event::HostFailure(t++, 1));
+    EXPECT_GE(failure.evicted, 2);
+    // The join is a barrier: at depth >= 2 it catches speculative
+    // rounds mid-flight and must unwind them.
+    fx.StepOne(Event::HostJoin(t++, 1));
+    for (int i = 0; i < 8; ++i) fx.StepOne(Event::Tick(t++));
+    fx.service->FinishInFlightRound();
+
+    EXPECT_TRUE(fx.service->deployment().Validate().ok());
+    EXPECT_EQ(fx.service->pending_replans(), 0);
+    const ServiceStats& stats = fx.service->stats();
+    *unwinds = stats.round_unwinds;
+    return std::make_tuple(fx.service->deployment().Fingerprint(),
+                           stats.admitted, stats.rejected, stats.evictions,
+                           stats.replanned_admitted,
+                           stats.replanned_rejected, stats.replan_rounds);
+  };
+
+  int64_t unwinds1 = 0, unwinds2 = 0, unwinds4 = 0;
+  const auto depth1 = run(1, &unwinds1);
+  const auto depth2 = run(2, &unwinds2);
+  const auto depth4 = run(4, &unwinds4);
+  EXPECT_EQ(depth1, depth2);
+  EXPECT_EQ(depth1, depth4);
+  EXPECT_EQ(unwinds1, 0) << "depth 1 never speculates past a commit point";
+  EXPECT_GE(unwinds2, 1) << "the join barrier must catch a round in flight";
+  EXPECT_GE(unwinds4, unwinds2);
 }
 
 TEST(PlanningServiceTest, IncrementalCacheEqualsRebuildOnRandomizedTraces) {

@@ -18,11 +18,15 @@ Checks (all fatal):
   * Span names are '/'-separated taxonomy paths whose first segment
     matches the event's cat.
   * Re-planning-round attribution: a round runs from its
-    service/round.dispatch start to the matching service/round.commit
-    end (rounds never overlap — the service keeps one in flight). The
-    union of all named spans across all threads, clipped to that
-    window, must cover >= --min-round-coverage of it: "explain every
-    millisecond" is gated here, not eyeballed in Perfetto.
+    service/round.dispatch start to the end of the span that retires it
+    — service/round.commit at its pinned commit point, or
+    service/round.unwind when a barrier retires a speculative round
+    early. Pipelined rounds overlap (up to pipeline_depth in flight),
+    so spans are matched by their "round" id arg, falling back to
+    positional dispatch/commit pairing for traces predating the arg.
+    The union of all named spans across all threads, clipped to the
+    round's window, must cover >= --min-round-coverage of it: "explain
+    every millisecond" is gated here, not eyeballed in Perfetto.
 
 Exit 0 on success, 1 with a message on any failure.
 """
@@ -116,44 +120,87 @@ def main():
                 fail(f"event {i} ({name}): bad dur {dur!r}")
             if not isinstance(tid, int):
                 fail(f"event {i} ({name}): bad tid {tid!r}")
-            spans.append((name, tid, float(ts), float(ts) + float(dur)))
+            span_args = ev.get("args", {})
+            if not isinstance(span_args, dict):
+                fail(f"event {i} ({name}): args is not an object")
+            spans.append(
+                (name, tid, float(ts), float(ts) + float(dur), span_args)
+            )
         else:
             fail(f"event {i}: unknown ph {ph!r}")
 
-    for name, tid, _, _ in spans:
+    for name, tid, _, _, _ in spans:
         if tid not in named_tids:
             fail(f"span {name}: tid {tid} has no thread_name metadata")
 
     # --- re-planning-round attribution ---------------------------------
-    dispatches = sorted(
-        (s, e) for n, _, s, e in spans if n == "service/round.dispatch"
-    )
-    commits = sorted(
-        (s, e) for n, _, s, e in spans if n == "service/round.commit"
+    # Up to pipeline_depth rounds overlap, so dispatches are matched to
+    # the span that retires the round — commit (the pinned commit point)
+    # or unwind (a barrier retired it early) — by the "round" id arg.
+    def spans_named(span_name):
+        return [
+            (a.get("round"), s, e)
+            for n, _, s, e, a in spans
+            if n == span_name
+        ]
+
+    dispatches = spans_named("service/round.dispatch")
+    retires = spans_named("service/round.commit") + spans_named(
+        "service/round.unwind"
     )
     if args.require_rounds and not dispatches:
         fail("trace contains no service/round.dispatch spans")
-    if len(dispatches) != len(commits):
-        # The ring may have dropped one side of a round pair; pair up
-        # what survives (commit k follows dispatch k in time).
-        n = min(len(dispatches), len(commits))
-        print(
-            f"check_trace: note: {len(dispatches)} dispatches vs "
-            f"{len(commits)} commits retained; checking {n} pairs"
-        )
-        dispatches, commits = dispatches[-n:], commits[-n:]
 
-    intervals = [(s, e) for _, _, s, e in spans]
+    pairs = []  # (round key, dispatch start, retire start, retire end)
+    if all(isinstance(r, int) for r, _, _ in dispatches + retires):
+        retire_by_id = {r: (s, e) for r, s, e in retires}
+        if len(retire_by_id) != len(retires):
+            fail("duplicate round ids among commit/unwind spans")
+        unmatched = len(retires) - sum(
+            1 for r, _, _ in dispatches if r in retire_by_id
+        )
+        for r, d_start, _ in dispatches:
+            if r not in retire_by_id:
+                # The ring dropped this round's retire span (rounds in
+                # flight at the end retire via FinishInFlightRound, so
+                # absence means overwrite, not leakage).
+                continue
+            pairs.append((r, d_start) + retire_by_id[r])
+        dropped = len(dispatches) - len(pairs)
+        if dropped or unmatched:
+            print(
+                f"check_trace: note: {dropped} dispatches and "
+                f"{unmatched} commits/unwinds retained without their "
+                f"pair; checking {len(pairs)} complete rounds"
+            )
+    else:
+        # Trace predates the round-id arg: at most one round was in
+        # flight, so commit k follows dispatch k in time.
+        old_dispatches = sorted((s, e) for _, s, e in dispatches)
+        old_commits = sorted(
+            (s, e) for r, s, e in spans_named("service/round.commit")
+        )
+        if len(old_dispatches) != len(old_commits):
+            n = min(len(old_dispatches), len(old_commits))
+            print(
+                f"check_trace: note: {len(old_dispatches)} dispatches vs "
+                f"{len(old_commits)} commits retained; checking {n} pairs"
+            )
+            old_dispatches, old_commits = old_dispatches[-n:], old_commits[-n:]
+        pairs = [
+            (k, d[0], c[0], c[1])
+            for k, (d, c) in enumerate(zip(old_dispatches, old_commits))
+        ]
+
+    intervals = [(s, e) for _, _, s, e, _ in spans]
     worst = None
-    for k, ((d_start, _), (c_start, c_end)) in enumerate(
-        zip(dispatches, commits)
-    ):
-        if c_end <= d_start or c_start < d_start:
-            fail(f"round {k}: commit does not follow its dispatch")
-        window = c_end - d_start
+    for k, d_start, r_start, r_end in pairs:
+        if r_end <= d_start or r_start < d_start:
+            fail(f"round {k}: commit/unwind does not follow its dispatch")
+        window = r_end - d_start
         if window <= 0:
             continue
-        coverage = union_length(intervals, d_start, c_end) / window
+        coverage = union_length(intervals, d_start, r_end) / window
         if worst is None or coverage < worst[1]:
             worst = (k, coverage)
         if coverage < args.min_round_coverage:
@@ -163,7 +210,7 @@ def main():
                 f"(< {args.min_round_coverage:.0%})"
             )
 
-    rounds = len(dispatches)
+    rounds = len(pairs)
     summary = (
         f"{rounds} rounds, worst coverage {worst[1]:.1%}"
         if worst is not None

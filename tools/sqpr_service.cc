@@ -46,6 +46,7 @@ struct Args {
   int64_t max_nodes = 0;  // 0 = keep the planner default
   int replan_round = 8;
   int workers = 0;
+  int pipeline_depth = 2;
   bool closed_loop = false;
   sqpr::MeasureMode measure_mode = sqpr::MeasureMode::kEngine;
   int measure_period = 4;
@@ -133,6 +134,18 @@ void Usage(std::FILE* out) {
       "                   identical deployments for any N >= 0 when the\n"
       "                   solver is node-bounded (see\n"
       "                   docs/ARCHITECTURE.md)\n"
+      "  --pipeline-depth N\n"
+      "                   re-planning rounds in flight at once (default\n"
+      "                   2, min 1). Each round pins its own planner\n"
+      "                   snapshot at dispatch and commits at a fixed\n"
+      "                   logical point — one round per consumed event,\n"
+      "                   FIFO — so depth changes only how early solves\n"
+      "                   start: committed deployments are bit-identical\n"
+      "                   across depths (and worker counts). Proposals\n"
+      "                   gone stale under an older round's commit are\n"
+      "                   re-solved inline at their pinned commit point\n"
+      "                   (the commit-conflicts counter). 1 restores the\n"
+      "                   single-round dispatch-then-commit behaviour\n"
       "\n"
       "Closed-loop flags (SIV-C self-measurement):\n"
       "  --closed-loop    the service measures its own committed\n"
@@ -240,6 +253,8 @@ int main(int argc, char** argv) {
       args.replan_round = std::atoi(v);
     } else if (flag == "--workers" && (v = next())) {
       args.workers = std::atoi(v);
+    } else if (flag == "--pipeline-depth" && (v = next())) {
+      args.pipeline_depth = std::atoi(v);
     } else if (flag == "--closed-loop") {
       args.closed_loop = true;
     } else if (flag == "--measure-mode" && (v = next())) {
@@ -277,7 +292,8 @@ int main(int argc, char** argv) {
     }
   }
   if (args.hosts < 2 || args.streams < 1 || args.queries < 1 ||
-      args.events < 1 || args.workers < 0 || args.measure_period < 1) {
+      args.events < 1 || args.workers < 0 || args.pipeline_depth < 1 ||
+      args.measure_period < 1) {
     std::fprintf(stderr, "invalid scenario parameters\n\n");
     Usage(stderr);
     return 2;
@@ -344,6 +360,7 @@ int main(int argc, char** argv) {
   if (args.max_nodes > 0) options.planner.max_nodes = args.max_nodes;
   options.replan.max_queries_per_round = args.replan_round;
   options.replan.workers = args.workers;
+  options.replan.pipeline_depth = args.pipeline_depth;
   options.closed_loop = args.closed_loop;
   options.telemetry.mode = args.measure_mode;
   options.telemetry.measure_period = args.measure_period;
@@ -476,12 +493,14 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.replanned_admitted),
               static_cast<long long>(stats.replanned_rejected),
               service.pending_replans());
-  std::printf("speculative pipeline: %d workers, %lld rounds dispatched, "
-              "%lld commit conflicts re-solved inline, %lld arrival "
-              "solves overlapped in-flight rounds\n",
-              service.workers(),
+  std::printf("speculative pipeline: %d workers, depth %d, %lld rounds "
+              "dispatched, %lld commit conflicts re-solved inline, %lld "
+              "rounds unwound at barriers, %lld arrival solves overlapped "
+              "in-flight rounds\n",
+              service.workers(), args.pipeline_depth,
               static_cast<long long>(stats.replan_dispatches),
               static_cast<long long>(stats.commit_conflicts),
+              static_cast<long long>(stats.round_unwinds),
               static_cast<long long>(stats.overlapped_arrival_solves));
   if (stats.replan_dispatches > 0 && service.workers() > 0) {
     std::printf("snapshots: %lld bytes copied on the loop thread "
