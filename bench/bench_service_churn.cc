@@ -48,6 +48,8 @@
 #include "bench/bench_util.h"
 #include "common/deadline.h"
 #include "common/stats.h"
+#include "obs/audit.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "service/planning_service.h"
 #include "workload/trace.h"
@@ -68,12 +70,20 @@ struct RunResult {
   int64_t cache_noop_skips = 0;
   size_t trace_events = 0;
   bool audit_ok = false;
+  // Decision audit journal renderings (src/obs/audit.h): the canonical
+  // stratum must be byte-identical across worker counts and pipeline
+  // depths; the full rendering adds speculative records + wall timings.
+  std::string audit_canonical;
+  std::string audit_full;
+  size_t audit_records = 0;
+  size_t audit_canonical_records = 0;
 };
 
 RunResult Replay(const TraceConfig& trace_config, int workers,
                  bool closed_loop = false,
                  MeasureMode mode = MeasureMode::kEngine,
-                 int pipeline_depth = 2) {
+                 int pipeline_depth = 2,
+                 const std::string& metrics_series_path = std::string()) {
   // Fresh scenario per replay: the drift reports install measured rates
   // into the catalog, so state must not leak between runs. Same seed =>
   // identical workload and trace.
@@ -99,10 +109,38 @@ RunResult Replay(const TraceConfig& trace_config, int workers,
   options.telemetry.seed = trace_config.seed;
   options.telemetry.ewma_alpha = 0.6;
   options.telemetry.noise = 0.03;
+  // Every replay journals its decisions: the cross-run byte-identity
+  // shape checks below are the bench-side enforcement of the canonical
+  // stratum's worker/depth invariance.
+  obs::AuditJournal journal;
+  options.audit = &journal;
   PlanningService service(scenario.cluster.get(), scenario.catalog.get(),
                           options);
   for (const Event& e : *trace) {
     SQPR_CHECK_OK(service.Enqueue(e));
+  }
+
+  // Periodic metrics exposition for the instrumented replay (CI uploads
+  // the series next to the trace + audit artifacts): sample on 1000
+  // virtual-ms boundaries, cumulative + per-interval delta per line.
+  obs::MetricsRegistry registry;
+  ServiceMetricsPublisher publisher(&registry);
+  const bool want_series = !metrics_series_path.empty();
+  constexpr int64_t kSeriesIntervalMs = 1000;
+  std::string series;
+  obs::MetricsSnapshot prev;
+  int64_t next_sample_ms = kSeriesIntervalMs;
+  const auto sample_series = [&](int64_t t_ms) {
+    publisher.Publish(service.stats());
+    obs::MetricsSnapshot cum = registry.TakeSnapshot();
+    const obs::MetricsSnapshot delta = cum.DeltaSince(prev);
+    series += "{\"t_ms\":" + std::to_string(t_ms) + ",\"cum\":" +
+              cum.ToJson() + ",\"delta\":" + delta.ToJson() + "}\n";
+    prev = std::move(cum);
+  };
+  if (want_series) {
+    series += "{\"schema\":\"sqpr-metrics-series-v1\",\"interval_ms\":" +
+              std::to_string(kSeriesIntervalMs) + "}\n";
   }
 
   RunResult result;
@@ -112,8 +150,15 @@ RunResult Replay(const TraceConfig& trace_config, int workers,
     Result<EventOutcome> outcome = service.Step();
     SQPR_CHECK(outcome.ok()) << outcome.status().ToString();
     result.max_event_ms = std::max(result.max_event_ms, outcome->wall_ms);
+    if (want_series) {
+      while (service.clock().now_ms() >= next_sample_ms) {
+        sample_series(next_sample_ms);
+        next_sample_ms += kSeriesIntervalMs;
+      }
+    }
   }
   service.FinishInFlightRound();
+  service.FinalizeAudit();
   result.total_ms = watch.ElapsedMillis();
   result.events_per_s = 1000.0 * trace->size() / result.total_ms;
   result.stats = service.stats();
@@ -122,6 +167,19 @@ RunResult Replay(const TraceConfig& trace_config, int workers,
   result.cache_rebuilds = service.plan_cache().rebuilds();
   result.cache_noop_skips = service.plan_cache().noop_skips();
   result.audit_ok = service.deployment().Validate().ok();
+  result.audit_canonical = journal.ToJsonl(/*canonical=*/true);
+  result.audit_full = journal.ToJsonl(/*canonical=*/false);
+  result.audit_records = journal.size();
+  result.audit_canonical_records = journal.canonical_size();
+  if (want_series) {
+    // Final sample after the pipeline drains: the series always ends
+    // with the run's complete totals.
+    sample_series(service.clock().now_ms());
+    std::FILE* f = std::fopen(metrics_series_path.c_str(), "wb");
+    SQPR_CHECK(f != nullptr) << "cannot open " << metrics_series_path;
+    std::fwrite(series.data(), 1, series.size(), f);
+    std::fclose(f);
+  }
   return result;
 }
 
@@ -223,6 +281,9 @@ void AddRecord(BenchJsonWriter* json, const char* scenario, int workers,
   m["measure_ms_avg"] = s.measure_ms.mean();
   m["measure_ms_max"] = s.measure_ms.max();
   m["measure_ms_p99"] = s.measure_ms.Quantile(0.99);
+  m["audit_records"] = static_cast<double>(r.audit_records);
+  m["audit_canonical_records"] =
+      static_cast<double>(r.audit_canonical_records);
 }
 
 bool DeterminismChecks(const char* scenario, const RunResult& zero,
@@ -241,6 +302,11 @@ bool DeterminismChecks(const char* scenario, const RunResult& zero,
   ok &= ShapeCheck(zero.fingerprint == one.fingerprint &&
                        zero.fingerprint == four.fingerprint,
                    "worker count does not change committed deployments");
+  ok &= ShapeCheck(zero.audit_canonical_records > 0 &&
+                       zero.audit_canonical == one.audit_canonical &&
+                       zero.audit_canonical == four.audit_canonical,
+                   "canonical audit journal byte-identical across worker "
+                   "counts");
   ok &= ShapeCheck(
       zero.stats.admitted == one.stats.admitted &&
           zero.stats.admitted == four.stats.admitted &&
@@ -270,7 +336,12 @@ bool DeterminismChecks(const char* scenario, const RunResult& zero,
 int main(int argc, char** argv) {
   std::string json_path;
   std::string trace_out;
-  if (!ParseBenchArgs(argc, argv, &json_path, &trace_out)) return 2;
+  std::string audit_out;
+  std::string metrics_series_out;
+  if (!ParseBenchArgs(argc, argv, &json_path, &trace_out, &audit_out,
+                      &metrics_series_out)) {
+    return 2;
+  }
 
   PrintHeader("Service churn",
               "event-driven admission / drift re-planning / speculative "
@@ -307,7 +378,12 @@ int main(int argc, char** argv) {
     obs::TraceRecorder::Get().Enable(trace_options);
     obs::TraceRecorder::SetCurrentThreadName("loop");
   }
-  const RunResult d4 = Replay(drifty, /*workers=*/4);
+  // The same workers=4 replay is also the audit-journal and
+  // metrics-series capture target, so the three CI artifacts (trace,
+  // audit, series) all explain one replay and join on its timeline.
+  const RunResult d4 = Replay(drifty, /*workers=*/4, /*closed_loop=*/false,
+                              MeasureMode::kEngine, /*pipeline_depth=*/2,
+                              metrics_series_out);
   if (!trace_out.empty()) {
     obs::TraceRecorder::Get().Disable();
     const Status written =
@@ -316,6 +392,20 @@ int main(int argc, char** argv) {
     std::printf("\nwrote flight-recorder trace (drift-heavy, workers=4): "
                 "%s\n",
                 trace_out.c_str());
+  }
+  if (!audit_out.empty()) {
+    std::FILE* f = std::fopen(audit_out.c_str(), "wb");
+    SQPR_CHECK(f != nullptr) << "cannot open " << audit_out;
+    std::fwrite(d4.audit_full.data(), 1, d4.audit_full.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote audit journal (drift-heavy, workers=4): %s "
+                "(%zu records, %zu canonical)\n",
+                audit_out.c_str(), d4.audit_records,
+                d4.audit_canonical_records);
+  }
+  if (!metrics_series_out.empty()) {
+    std::printf("wrote metrics series (drift-heavy, workers=4): %s\n",
+                metrics_series_out.c_str());
   }
   PrintRun("workers=4", d4);
   std::printf("\nspeedup (events/s, 4 vs 0 workers): %.2fx\n",
@@ -444,6 +534,10 @@ int main(int argc, char** argv) {
   ok &= ShapeCheck(p1.stats.round_unwinds == 0,
                    "depth 1 never unwinds (barriers only ever see the "
                    "oldest round)");
+  ok &= ShapeCheck(p1.audit_canonical == d4.audit_canonical &&
+                       p4.audit_canonical == d4.audit_canonical,
+                   "canonical audit journal byte-identical across pipeline "
+                   "depths (workers=4, depths 1/2/4)");
 
   std::printf("\n-- scenario-specific shape --\n");
   ok &= ShapeCheck(d0.stats.host_failures >= 2 &&

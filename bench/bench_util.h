@@ -211,27 +211,54 @@ class BenchJsonWriter {
 /// machine-readable output file (empty = stdout text only). Benches
 /// that support flight-recorder capture pass `trace_out` to also accept
 /// `--trace-out <path>` (Chrome trace JSON of an instrumented replay;
-/// which replay is documented per bench). Returns false (after printing
-/// usage) on unknown flags, so benches exit 2.
+/// which replay is documented per bench); likewise `audit_out` accepts
+/// `--audit-out <path>` (full sqpr-audit-v1 decision journal of the
+/// instrumented replay) and `metrics_series_out` accepts
+/// `--metrics-series-out <path>` (sqpr-metrics-series-v1 JSONL time
+/// series of the same replay). Returns false (after printing usage) on
+/// unknown flags, so benches exit 2.
 inline bool ParseBenchArgs(int argc, char** argv, std::string* json_path,
-                           std::string* trace_out = nullptr) {
+                           std::string* trace_out = nullptr,
+                           std::string* audit_out = nullptr,
+                           std::string* metrics_series_out = nullptr) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       *json_path = argv[++i];
     } else if (trace_out != nullptr &&
                std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       *trace_out = argv[++i];
+    } else if (audit_out != nullptr &&
+               std::strcmp(argv[i], "--audit-out") == 0 && i + 1 < argc) {
+      *audit_out = argv[++i];
+    } else if (metrics_series_out != nullptr &&
+               std::strcmp(argv[i], "--metrics-series-out") == 0 &&
+               i + 1 < argc) {
+      *metrics_series_out = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--json <path>]%s\n"
+                   "usage: %s [--json <path>]%s%s%s\n"
                    "  --json <path>  also write results as JSON (the\n"
                    "                 BENCH_*.json trajectory format)\n"
-                   "%s",
+                   "%s%s%s",
                    argv[0], trace_out != nullptr ? " [--trace-out <path>]" : "",
+                   audit_out != nullptr ? " [--audit-out <path>]" : "",
+                   metrics_series_out != nullptr
+                       ? " [--metrics-series-out <path>]"
+                       : "",
                    trace_out != nullptr
                        ? "  --trace-out <path>  write a flight-recorder\n"
                          "                 Chrome trace of the instrumented\n"
                          "                 replay (see the bench header)\n"
+                       : "",
+                   audit_out != nullptr
+                       ? "  --audit-out <path>  write the full sqpr-audit-v1\n"
+                         "                 decision journal of the same\n"
+                         "                 instrumented replay\n"
+                       : "",
+                   metrics_series_out != nullptr
+                       ? "  --metrics-series-out <path>  write the\n"
+                         "                 sqpr-metrics-series-v1 JSONL time\n"
+                         "                 series of the same replay\n"
                        : "");
       return false;
     }

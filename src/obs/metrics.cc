@@ -80,8 +80,8 @@ void Histogram::Add(double v) {
   StoreMax(&max_bits_, v);
 }
 
-double Histogram::Quantile(double q) const {
-  const uint64_t n = count_.load(std::memory_order_relaxed);
+double Histogram::QuantileFromBuckets(const uint64_t* buckets, uint64_t n,
+                                      double q, double min_v, double max_v) {
   if (n == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   // Nearest-rank (1-based), matching the exact Percentile() helper.
@@ -89,7 +89,7 @@ double Histogram::Quantile(double q) const {
       1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(n))));
   uint64_t seen = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
-    const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    const uint64_t c = buckets[i];
     if (c == 0) continue;
     if (seen + c >= rank) {
       // Interpolate the rank's position across the bucket's value
@@ -102,12 +102,22 @@ double Histogram::Quantile(double q) const {
                  : (static_cast<double>(rank - seen) - 0.5) /
                        static_cast<double>(c);
       double v = lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
-      v = std::clamp(v, min(), max());
+      v = std::clamp(v, min_v, max_v);
       return v;
     }
     seen += c;
   }
-  return max();
+  return max_v;
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  uint64_t buckets[kNumBuckets];
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return QuantileFromBuckets(buckets, n, q, min(), max());
 }
 
 void Histogram::CopyFrom(const Histogram& other) {
@@ -123,6 +133,163 @@ void Histogram::CopyFrom(const Histogram& other) {
     buckets_[i].store(other.buckets_[i].load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
   }
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  return Histogram::QuantileFromBuckets(buckets.data(), count, q, min, max);
+}
+
+HistogramSnapshot HistogramSnapshot::DeltaSince(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot delta;
+  delta.count = count >= earlier.count ? count - earlier.count : 0;
+  delta.sum = std::max(0.0, sum - earlier.sum);
+  delta.min = min;
+  delta.max = max;
+  delta.buckets.resize(buckets.size(), 0);
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const uint64_t before = i < earlier.buckets.size() ? earlier.buckets[i] : 0;
+    delta.buckets[i] = buckets[i] >= before ? buckets[i] - before : 0;
+  }
+  return delta;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : counters) {
+    const auto it = earlier.counters.find(name);
+    const int64_t before = it == earlier.counters.end() ? 0 : it->second;
+    delta.counters[name] = value >= before ? value - before : 0;
+  }
+  static const HistogramSnapshot kEmpty;
+  for (const auto& [name, h] : histograms) {
+    const auto it = earlier.histograms.find(name);
+    delta.histograms[name] =
+        h.DeltaSince(it == earlier.histograms.end() ? kEmpty : it->second);
+  }
+  return delta;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  char buf[192];
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%lld", first ? "" : ",",
+                  name.c_str(), static_cast<long long>(value));
+    out += buf;
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\":{\"count\":%llu,\"sum\":%.6g,\"mean\":%.6g,"
+                  "\"min\":%.6g,\"max\":%.6g,",
+                  first ? "" : ",", name.c_str(),
+                  static_cast<unsigned long long>(h.count), h.sum, h.mean(),
+                  h.min, h.max);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "\"p50\":%.6g,\"p90\":%.6g,\"p95\":%.6g,\"p99\":%.6g}",
+                  h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.95),
+                  h.Quantile(0.99));
+    out += buf;
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+namespace {
+
+/// OpenMetrics metric names: [a-zA-Z0-9_:], everything else folded to
+/// '_' ("service.admit_ms" -> "service_admit_ms").
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+/// OpenMetrics label-value escaping: backslash, double quote and
+/// newline (the three the exposition-format ABNF escapes).
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderLabels(const std::map<std::string, std::string>& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    out += SanitizeMetricName(k) + "=\"" + EscapeLabelValue(v) + "\"";
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+/// Labels + one extra pair (the quantile label).
+std::string RenderLabelsPlus(const std::map<std::string, std::string>& labels,
+                             const std::string& key,
+                             const std::string& value) {
+  std::map<std::string, std::string> all = labels;
+  all[key] = value;
+  return RenderLabels(all);
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToOpenMetrics(
+    const std::map<std::string, std::string>& labels) const {
+  std::string out;
+  char buf[192];
+  const std::string label_str = RenderLabels(labels);
+  for (const auto& [name, value] : counters) {
+    const std::string metric = SanitizeMetricName(name);
+    out += "# TYPE " + metric + " counter\n";
+    std::snprintf(buf, sizeof(buf), "%s_total%s %lld\n", metric.c_str(),
+                  label_str.c_str(), static_cast<long long>(value));
+    out += buf;
+  }
+  static const char* kQuantiles[] = {"0.5", "0.9", "0.95", "0.99"};
+  static const double kQ[] = {0.50, 0.90, 0.95, 0.99};
+  for (const auto& [name, h] : histograms) {
+    const std::string metric = SanitizeMetricName(name);
+    out += "# TYPE " + metric + " summary\n";
+    for (int i = 0; i < 4; ++i) {
+      std::snprintf(buf, sizeof(buf), "%s%s %.6g\n", metric.c_str(),
+                    RenderLabelsPlus(labels, "quantile", kQuantiles[i]).c_str(),
+                    h.Quantile(kQ[i]));
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%s_sum%s %.6g\n%s_count%s %llu\n",
+                  metric.c_str(), label_str.c_str(), h.sum, metric.c_str(),
+                  label_str.c_str(), static_cast<unsigned long long>(h.count));
+    out += buf;
+  }
+  out += "# EOF\n";
+  return out;
 }
 
 Counter* MetricsRegistry::counter(const std::string& name) {
@@ -172,6 +339,27 @@ std::string MetricsRegistry::ToJson() const {
   }
   out += first ? "}\n}\n" : "\n  }\n}\n";
   return out;
+}
+
+MetricsSnapshot MetricsRegistry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.min = h->min();
+    hs.max = h->max();
+    hs.buckets.resize(Histogram::kNumBuckets);
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      hs.buckets[i] = h->bucket_count(i);
+    }
+    snap.histograms[name] = std::move(hs);
+  }
+  return snap;
 }
 
 MetricsRegistry& MetricsRegistry::Global() {

@@ -91,6 +91,12 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
+  /// Shared quantile resolution over a bucket array (the Histogram and
+  /// its snapshots use the same math): nearest-rank bucket, linearly
+  /// interpolated, clamped to the observed [min, max].
+  static double QuantileFromBuckets(const uint64_t* buckets, uint64_t n,
+                                    double q, double min_v, double max_v);
+
  private:
   static double LoadD(const std::atomic<uint64_t>& bits);
   static void StoreMin(std::atomic<uint64_t>* bits, double v);
@@ -103,6 +109,56 @@ class Histogram {
   std::atomic<uint64_t> min_bits_{0x7FF0000000000000ull};   // +inf
   std::atomic<uint64_t> max_bits_{0xFFF0000000000000ull};   // -inf
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+};
+
+/// Point-in-time copy of one histogram's state, delta-capable: keeping
+/// the full bucket array makes window quantiles honest — a delta's
+/// p95 is resolved from the *window's* samples, not approximated from
+/// two cumulative quantiles.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  /// Cumulative observed extrema at snapshot time. A delta inherits the
+  /// later snapshot's extrema (per-window extrema are not recoverable
+  /// from monotone state) — quantiles stay clamped correctly, since the
+  /// window's samples lie within the cumulative range.
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<uint64_t> buckets;  ///< Histogram::kNumBuckets entries
+
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  double Quantile(double q) const;
+  /// Window between `earlier` and this snapshot of the SAME histogram:
+  /// bucket-wise subtraction of the monotone counters. Every delta
+  /// bucket (and the count and sum) is >= 0 by monotonicity; a racing
+  /// reader that observed torn state clamps at 0 instead of wrapping.
+  HistogramSnapshot DeltaSince(const HistogramSnapshot& earlier) const;
+};
+
+/// Point-in-time copy of a whole registry.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Counter/histogram deltas vs an earlier snapshot (metrics absent
+  /// from `earlier` delta against zero).
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& earlier) const;
+
+  /// Compact single-line JSON object — {"counters":{...},
+  /// "histograms":{"<name>":{count,sum,mean,min,max,p50,p90,p95,p99}}}
+  /// — one building block of the sqpr-metrics-series-v1 JSONL time
+  /// series (tools/sqpr_service.cc composes the lines).
+  std::string ToJson() const;
+
+  /// OpenMetrics text rendering: counters as `<name>_total`, histograms
+  /// as summaries (quantile-labelled samples plus _sum/_count). Metric
+  /// names are sanitised ([^a-zA-Z0-9_:] -> '_'); `labels` are attached
+  /// to every sample with their values escaped per the OpenMetrics ABNF
+  /// (backslash, double quote, newline). Ends with "# EOF".
+  std::string ToOpenMetrics(
+      const std::map<std::string, std::string>& labels) const;
 };
 
 /// Named metric registry. Registration (name lookup) takes a mutex and
@@ -123,6 +179,11 @@ class MetricsRegistry {
   ///      ...}}
   /// Keys are sorted (std::map), so snapshots diff cleanly.
   std::string ToJson() const;
+
+  /// Copies every registered metric (racy-but-coherent per field, like
+  /// all registry reads) — the periodic-exposition primitive: take one
+  /// per interval, DeltaSince the previous, serialise both.
+  MetricsSnapshot TakeSnapshot() const;
 
   static MetricsRegistry& Global();
 

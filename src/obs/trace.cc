@@ -324,10 +324,24 @@ std::string TraceRecorder::ChromeTraceJson() {
   out += "\n], \"displayTimeUnit\": \"ms\", \"otherData\": {";
   std::snprintf(buf, sizeof(buf),
                 "\"schema\": \"sqpr-trace-v1\", \"emitted_spans\": %llu, "
-                "\"dropped_spans\": %llu, \"threads\": %zu}}\n",
+                "\"dropped_spans\": %llu, \"threads\": %zu, ",
                 static_cast<unsigned long long>(total_emitted),
                 static_cast<unsigned long long>(total_dropped), stats.size());
   out += buf;
+  // Per-thread emit/drop accounting: aggregate drop counts hide which
+  // ring actually wrapped (a hot worker can lose a round's spans while
+  // the totals still look benign); tools/check_trace.py reports these
+  // in its gate output.
+  out += "\"per_thread\": [";
+  for (size_t i = 0; i < stats.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\": \"%s\", \"emitted\": %llu, \"dropped\": %llu}",
+                  i == 0 ? "" : ", ", JsonEscape(stats[i].thread_name).c_str(),
+                  static_cast<unsigned long long>(stats[i].emitted),
+                  static_cast<unsigned long long>(stats[i].dropped));
+    out += buf;
+  }
+  out += "]}}\n";
   return out;
 }
 

@@ -60,6 +60,137 @@ PlanningService::PlanningService(Cluster* cluster, Catalog* catalog,
     telemetry_ =
         std::make_unique<MeasurementEngine>(catalog, options_.telemetry);
   }
+  // The scheduler audits its own enqueue/discard/requeue decisions;
+  // it shares the service's journal and virtual clock.
+  scheduler_.set_audit(options_.audit, &clock_);
+}
+
+void ServiceMetricsPublisher::Bump(const char* name, int64_t value,
+                                   int64_t* last) {
+  registry_->counter(name)->Increment(value - *last);
+  *last = value;
+}
+
+void ServiceMetricsPublisher::Publish(const ServiceStats& stats) {
+  Bump("service.events", stats.events, &last_.events);
+  Bump("service.arrivals", stats.arrivals, &last_.arrivals);
+  Bump("service.admitted", stats.admitted, &last_.admitted);
+  Bump("service.rejected", stats.rejected, &last_.rejected);
+  Bump("service.dedup_hits", stats.dedup_hits, &last_.dedup_hits);
+  Bump("service.cache_fast_path", stats.cache_fast_path,
+       &last_.cache_fast_path);
+  Bump("service.departures", stats.departures, &last_.departures);
+  Bump("service.host_failures", stats.host_failures, &last_.host_failures);
+  Bump("service.host_joins", stats.host_joins, &last_.host_joins);
+  Bump("service.monitor_reports", stats.monitor_reports,
+       &last_.monitor_reports);
+  Bump("service.ticks", stats.ticks, &last_.ticks);
+  Bump("service.rate_directives", stats.rate_directives,
+       &last_.rate_directives);
+  Bump("service.measurement_ticks", stats.measurement_ticks,
+       &last_.measurement_ticks);
+  Bump("service.auto_replan_rounds", stats.auto_replan_rounds,
+       &last_.auto_replan_rounds);
+  Bump("service.analytic_ticks", stats.analytic_ticks, &last_.analytic_ticks);
+  Bump("service.cache_delta_updates", stats.cache_delta_updates,
+       &last_.cache_delta_updates);
+  Bump("service.snapshot_bytes_copied", stats.snapshot_bytes_copied,
+       &last_.snapshot_bytes_copied);
+  Bump("service.snapshot_rebases", stats.snapshot_rebases,
+       &last_.snapshot_rebases);
+  Bump("service.evictions", stats.evictions, &last_.evictions);
+  Bump("service.replan_rounds", stats.replan_rounds, &last_.replan_rounds);
+  Bump("service.replanned_admitted", stats.replanned_admitted,
+       &last_.replanned_admitted);
+  Bump("service.replanned_rejected", stats.replanned_rejected,
+       &last_.replanned_rejected);
+  Bump("service.replan_dispatches", stats.replan_dispatches,
+       &last_.replan_dispatches);
+  Bump("service.commit_conflicts", stats.commit_conflicts,
+       &last_.commit_conflicts);
+  Bump("service.round_unwinds", stats.round_unwinds, &last_.round_unwinds);
+  Bump("service.overlapped_arrival_solves", stats.overlapped_arrival_solves,
+       &last_.overlapped_arrival_solves);
+  Bump("service.model_patches", stats.model_patches, &last_.model_patches);
+  Bump("service.model_rebuilds", stats.model_rebuilds,
+       &last_.model_rebuilds);
+  Bump("service.warm_starts", stats.warm_starts, &last_.warm_starts);
+  Bump("service.basis_discards", stats.basis_discards,
+       &last_.basis_discards);
+  Bump("service.loop_stalls", stats.loop_stalls, &last_.loop_stalls);
+  Bump("service.admit_budget_breaches", stats.admit_budget_breaches,
+       &last_.admit_budget_breaches);
+  Bump("service.solve_budget_breaches", stats.solve_budget_breaches,
+       &last_.solve_budget_breaches);
+  Bump("service.commit_budget_breaches", stats.commit_budget_breaches,
+       &last_.commit_budget_breaches);
+  Bump("service.barrier_budget_breaches", stats.barrier_budget_breaches,
+       &last_.barrier_budget_breaches);
+  Bump("service.measure_budget_breaches", stats.measure_budget_breaches,
+       &last_.measure_budget_breaches);
+  *registry_->histogram("service.admit_ms") = stats.admit_ms;
+  *registry_->histogram("service.solve_ms") = stats.solve_ms;
+  *registry_->histogram("service.commit_ms") = stats.commit_ms;
+  *registry_->histogram("service.barrier_ms") = stats.barrier_ms;
+  *registry_->histogram("service.measure_ms") = stats.measure_ms;
+}
+
+obs::AuditRecord PlanningService::AuditBase(const char* kind) const {
+  obs::AuditRecord r;
+  r.t_ms = clock_.now_ms();
+  r.kind = kind;
+  return r;
+}
+
+void PlanningService::AuditFingerprint(obs::AuditRecord* r, bool post) const {
+  const Deployment& d = deployment();
+  const uint64_t fp = obs::AuditJournal::Fnv1a(d.Fingerprint());
+  if (post) {
+    r->post_version = d.version();
+    r->post_structure = d.structure_version();
+    r->post_fp = fp;
+  } else {
+    r->pre_version = d.version();
+    r->pre_structure = d.structure_version();
+    r->pre_fp = fp;
+  }
+}
+
+void PlanningService::AuditAppend(obs::AuditRecord r) const {
+  options_.audit->Append(std::move(r));
+}
+
+void PlanningService::SampleStage(obs::Histogram* h, double ms,
+                                  double budget_ms, int64_t* breaches) {
+  h->Add(ms);
+  if (budget_ms > 0 && ms > budget_ms) ++(*breaches);
+}
+
+void PlanningService::FinalizeAudit() {
+  if (!AuditOn()) return;
+  // Final-state records close every lifecycle the journal opened:
+  // tools/sqpr_inspect.py replays the record chain into per-query states
+  // and requires them to equal these lists exactly.
+  obs::AuditRecord a = AuditBase("close.admitted");
+  std::vector<StreamId> admitted = planner_.admitted_queries();
+  std::sort(admitted.begin(), admitted.end());
+  a.detail = static_cast<int64_t>(admitted.size());
+  a.streams.assign(admitted.begin(), admitted.end());
+  AuditFingerprint(&a, /*post=*/false);
+  AuditFingerprint(&a, /*post=*/true);
+  AuditAppend(std::move(a));
+
+  obs::AuditRecord p = AuditBase("close.pending");
+  const std::vector<StreamId> pending = scheduler_.PendingQueries();
+  p.detail = static_cast<int64_t>(pending.size());
+  p.streams.assign(pending.begin(), pending.end());
+  AuditAppend(std::move(p));
+
+  obs::AuditRecord c = AuditBase("journal.close");
+  c.detail = stats_.events;
+  AuditFingerprint(&c, /*post=*/false);
+  AuditFingerprint(&c, /*post=*/true);
+  AuditAppend(std::move(c));
 }
 
 Status PlanningService::Enqueue(Event event) {
@@ -154,11 +285,12 @@ Result<EventOutcome> PlanningService::Step() {
         st = HandleSelfMeasurement(&outcome);
       }
       break;
-    case EventKind::kRateDirective:
+    case EventKind::kRateDirective: {
       ++stats_.rate_directives;
       // Ground truth only exists in closed-loop mode; an open-loop
       // replay of a closed-loop trace counts and skips the directive
       // (there is nothing to measure it with).
+      bool installed_ok = false;
       if (telemetry_ != nullptr) {
         // Only base streams have an injection rate to steer: a directive
         // for a composite or unknown stream would install fine but could
@@ -174,9 +306,18 @@ Result<EventOutcome> PlanningService::Step() {
         if (!installed.ok()) {
           SQPR_LOG_WARN << "rate directive rejected: "
                         << installed.ToString();
+        } else {
+          installed_ok = true;
         }
       }
+      if (AuditOn()) {
+        obs::AuditRecord r = AuditBase("rate.directive");
+        r.query = event.trajectory.stream;
+        r.detail = installed_ok ? 1 : 0;
+        AuditAppend(std::move(r));
+      }
       break;
+    }
   }
   if (!st.ok()) return st;
 
@@ -193,6 +334,21 @@ Result<EventOutcome> PlanningService::Step() {
   outcome.wall_ms = watch.ElapsedMillis();
   stats_.total_wall_ms += outcome.wall_ms;
   stats_.max_event_ms = std::max(stats_.max_event_ms, outcome.wall_ms);
+  // Stall detector: the virtual clock stood still for this entire
+  // Step() while the wall clock ran `wall_ms` — over budget counts as a
+  // loop stall. Wall-clock, so speculative in the journal.
+  const double stall_budget = options_.watchdog.event_stall_ms;
+  if (stall_budget > 0 && outcome.wall_ms > stall_budget) {
+    ++stats_.loop_stalls;
+    stats_.worst_stall_ms = std::max(stats_.worst_stall_ms, outcome.wall_ms);
+    if (AuditOn()) {
+      obs::AuditRecord r = AuditBase("watchdog.stall");
+      r.speculative = true;
+      r.detail = static_cast<int64_t>(event.kind);
+      r.solve_ms = outcome.wall_ms;
+      AuditAppend(std::move(r));
+    }
+  }
   return outcome;
 }
 
@@ -292,11 +448,15 @@ Result<PlanningStats> PlanningService::Admit(StreamId query,
         if (fast->admitted && !fast->already_served) {
           MarkCacheServing(query, kInvalidHost, deployment().ServingHost(query));
         }
-        stats_.admit_ms.Add(watch.ElapsedMillis());
+        SampleStage(&stats_.admit_ms, watch.ElapsedMillis(),
+                options_.watchdog.admit_budget_ms,
+                &stats_.admit_budget_breaches);
         return fast;
       }
       if (fast.status().IsInvalidArgument()) {
-        stats_.admit_ms.Add(watch.ElapsedMillis());
+        SampleStage(&stats_.admit_ms, watch.ElapsedMillis(),
+                options_.watchdog.admit_budget_ms,
+                &stats_.admit_budget_breaches);
         return fast.status();
       }
     }
@@ -311,7 +471,9 @@ Result<PlanningStats> PlanningService::Admit(StreamId query,
     dedup.admitted = true;
     dedup.already_served = true;
     dedup.wall_ms = watch.ElapsedMillis();
-    stats_.admit_ms.Add(dedup.wall_ms);
+    SampleStage(&stats_.admit_ms, dedup.wall_ms,
+                options_.watchdog.admit_budget_ms,
+                &stats_.admit_budget_breaches);
     return dedup;
   }
 
@@ -330,12 +492,16 @@ Result<PlanningStats> PlanningService::Admit(StreamId query,
   }
   const Status warmed = planner_.WarmCatalog(query);
   if (!warmed.ok()) {
-    stats_.admit_ms.Add(watch.ElapsedMillis());
+    SampleStage(&stats_.admit_ms, watch.ElapsedMillis(),
+                options_.watchdog.admit_budget_ms,
+                &stats_.admit_budget_breaches);
     return warmed;
   }
   Result<AdmissionProposal> proposal = planner_.ProposeAdmission(query);
   if (!proposal.ok()) {
-    stats_.admit_ms.Add(watch.ElapsedMillis());
+    SampleStage(&stats_.admit_ms, watch.ElapsedMillis(),
+                options_.watchdog.admit_budget_ms,
+                &stats_.admit_budget_breaches);
     return proposal.status();
   }
 
@@ -346,7 +512,9 @@ Result<PlanningStats> PlanningService::Admit(StreamId query,
   double solve_wall_ms = proposal->stats.wall_ms;
   bool committed_via_delta = true;
   Result<PlanningStats> stats = planner_.CommitProposal(*proposal);
-  stats_.commit_ms.Add(commit_watch.ElapsedMillis());
+  SampleStage(&stats_.commit_ms, commit_watch.ElapsedMillis(),
+              options_.watchdog.commit_budget_ms,
+              &stats_.commit_budget_breaches);
   if (!stats.ok() && stats.status().IsFailedPrecondition()) {
     // The strict version gate bounced the proposal: the conflict
     // re-solves of a round commit (which call back into Admit while
@@ -367,7 +535,9 @@ Result<PlanningStats> PlanningService::Admit(StreamId query,
       solve_wall_ms = fresh->stats.wall_ms;
       Stopwatch retry_watch;
       stats = planner_.CommitProposal(*fresh);
-      stats_.commit_ms.Add(retry_watch.ElapsedMillis());
+      SampleStage(&stats_.commit_ms, retry_watch.ElapsedMillis(),
+                  options_.watchdog.commit_budget_ms,
+                  &stats_.commit_budget_breaches);
     } else {
       stats = fresh.status();
     }
@@ -375,7 +545,9 @@ Result<PlanningStats> PlanningService::Admit(StreamId query,
   if (stats.ok()) {
     CountSolveStats(*stats);
     if (!stats->already_served && !stats->via_cache) {
-      stats_.solve_ms.Add(solve_wall_ms);
+      SampleStage(&stats_.solve_ms, solve_wall_ms,
+                  options_.watchdog.solve_budget_ms,
+                  &stats_.solve_budget_breaches);
     }
     if (stats->admitted && !stats->already_served) {
       // The committed delta is exactly what the reuse index must learn.
@@ -391,7 +563,9 @@ Result<PlanningStats> PlanningService::Admit(StreamId query,
       }
     }
   }
-  stats_.admit_ms.Add(watch.ElapsedMillis());
+  SampleStage(&stats_.admit_ms, watch.ElapsedMillis(),
+              options_.watchdog.admit_budget_ms,
+              &stats_.admit_budget_breaches);
   return stats;
 }
 
@@ -418,25 +592,43 @@ void PlanningService::RememberRejected(StreamId query) {
 void PlanningService::HandleArrival(const Event& event,
                                     EventOutcome* outcome) {
   ++stats_.arrivals;
+  obs::AuditRecord ar;
+  if (AuditOn()) {
+    ar = AuditBase("");
+    ar.query = event.query;
+    AuditFingerprint(&ar, /*post=*/false);
+  }
   Result<PlanningStats> stats = Admit(event.query, &outcome->reuse_candidates);
+  const char* kind;
   if (!stats.ok()) {
     SQPR_LOG_WARN << "arrival of query " << event.query
                   << " failed: " << stats.status().ToString();
     ++stats_.rejected;
-    return;
-  }
-  outcome->admitted = stats->admitted;
-  outcome->already_served = stats->already_served;
-  outcome->via_cache = stats->via_cache;
-  if (stats->already_served) {
-    ++stats_.dedup_hits;
-    ++stats_.admitted;
-  } else if (stats->admitted) {
-    ++stats_.admitted;
-    if (stats->via_cache) ++stats_.cache_fast_path;
+    kind = "reject.error";
   } else {
-    ++stats_.rejected;
-    RememberRejected(event.query);
+    outcome->admitted = stats->admitted;
+    outcome->already_served = stats->already_served;
+    outcome->via_cache = stats->via_cache;
+    if (stats->already_served) {
+      ++stats_.dedup_hits;
+      ++stats_.admitted;
+      kind = "admit.dedup";
+    } else if (stats->admitted) {
+      ++stats_.admitted;
+      if (stats->via_cache) ++stats_.cache_fast_path;
+      kind = stats->via_cache ? "admit.cache" : "admit.solve";
+    } else {
+      ++stats_.rejected;
+      RememberRejected(event.query);
+      kind = "reject.capacity";
+    }
+  }
+  if (AuditOn()) {
+    ar.kind = kind;
+    ar.detail = outcome->reuse_candidates;
+    if (stats.ok()) ar.solve_ms = stats->wall_ms;
+    AuditFingerprint(&ar, /*post=*/true);
+    AuditAppend(std::move(ar));
   }
 }
 
@@ -444,6 +636,12 @@ void PlanningService::HandleDeparture(const Event& event,
                                       EventOutcome* outcome) {
   (void)outcome;
   ++stats_.departures;
+  obs::AuditRecord dr;
+  if (AuditOn()) {
+    dr = AuditBase("");
+    dr.query = event.query;
+    AuditFingerprint(&dr, /*post=*/false);
+  }
   scheduler_.Discard(event.query);
   // A query sits in at most one in-flight round (re-enqueues only
   // happen at barriers, which drain the pipeline first), but scan them
@@ -462,19 +660,29 @@ void PlanningService::HandleDeparture(const Event& event,
   const uint64_t structure_before = deployment().structure_version();
   const HostId served_at = deployment().ServingHost(event.query);
   const Status st = planner_.RemoveQuery(event.query);
-  if (st.IsNotFound()) return;  // never admitted (or already departed)
-  if (!st.ok() && !st.IsResourceExhausted()) {
+  // NotFound: never admitted (or already departed). Other hard errors
+  // are logged; both leave the deployment untouched.
+  const bool removed = st.ok() || st.IsResourceExhausted();
+  if (!removed && !st.IsNotFound()) {
     SQPR_LOG_WARN << "departure of query " << event.query
                   << " failed: " << st.ToString();
-    return;
   }
-  if (deployment().structure_version() == structure_before + 1) {
-    // Exactly one mutation: the serving arc cleared and the GC found
-    // nothing unshared to reclaim (the support is shared with surviving
-    // queries). Groundedness is untouched — a pure serving delta.
-    MarkCacheServing(event.query, served_at, kInvalidHost);
-  } else {
-    MarkCacheRebuild();
+  if (removed) {
+    if (deployment().structure_version() == structure_before + 1) {
+      // Exactly one mutation: the serving arc cleared and the GC found
+      // nothing unshared to reclaim (the support is shared with
+      // surviving queries). Groundedness is untouched — a pure serving
+      // delta.
+      MarkCacheServing(event.query, served_at, kInvalidHost);
+    } else {
+      MarkCacheRebuild();
+    }
+  }
+  if (AuditOn()) {
+    dr.kind = removed ? "depart.served" : "depart.unknown";
+    if (removed) dr.host = served_at;
+    AuditFingerprint(&dr, /*post=*/true);
+    AuditAppend(std::move(dr));
   }
 }
 
@@ -486,6 +694,12 @@ Status PlanningService::HandleHostFailure(const Event& event,
     return Status::InvalidArgument("unknown host " + std::to_string(h));
   }
   if (failed_hosts_.count(h) > 0) return Status::OK();  // already down
+  obs::AuditRecord hr;
+  if (AuditOn()) {
+    hr = AuditBase("host.failure");
+    hr.host = h;
+    AuditFingerprint(&hr, /*post=*/false);
+  }
 
   // Zero the budgets first so every constraint (and the post-removal
   // audits) immediately sees the host as unusable, then clear its
@@ -502,6 +716,12 @@ Status PlanningService::HandleHostFailure(const Event& event,
   Result<std::vector<StreamId>> evicted = planner_.EvictHost(h);
   if (!evicted.ok()) return evicted.status();
   for (StreamId q : *evicted) {
+    if (AuditOn()) {
+      obs::AuditRecord er = AuditBase("evict.host_failure");
+      er.query = q;
+      er.host = h;
+      AuditAppend(std::move(er));
+    }
     scheduler_.Enqueue(q);
     ++outcome->evicted;
     ++stats_.evictions;
@@ -509,6 +729,11 @@ Status PlanningService::HandleHostFailure(const Event& event,
   // Structural removals: full rebuild (a no-op skip when the failed
   // host carried nothing and the purge removed nothing).
   MarkCacheRebuild();
+  if (AuditOn()) {
+    hr.detail = static_cast<int64_t>(evicted->size());
+    AuditFingerprint(&hr, /*post=*/true);
+    AuditAppend(std::move(hr));
+  }
   return Status::OK();
 }
 
@@ -522,14 +747,28 @@ Status PlanningService::HandleHostJoin(const Event& event,
   }
   auto it = failed_hosts_.find(h);
   if (it == failed_hosts_.end()) return Status::OK();  // already active
+  obs::AuditRecord jr;
+  if (AuditOn()) {
+    jr = AuditBase("host.join");
+    jr.host = h;
+    AuditFingerprint(&jr, /*post=*/false);
+  }
   cluster_->SetHostSpec(h, it->second);
   failed_hosts_.erase(it);
 
   // Fresh capacity: give recently rejected queries another chance
   // through the bounded rounds.
+  int retried = 0;
   if (options_.retry_rejected_on_join) {
-    for (StreamId q : rejected_recently_) scheduler_.Enqueue(q);
+    for (StreamId q : rejected_recently_) {
+      if (scheduler_.Enqueue(q)) ++retried;
+    }
     rejected_recently_.clear();
+  }
+  if (AuditOn()) {
+    jr.detail = retried;
+    AuditFingerprint(&jr, /*post=*/true);
+    AuditAppend(std::move(jr));
   }
   return Status::OK();
 }
@@ -537,8 +776,21 @@ Status PlanningService::HandleHostJoin(const Event& event,
 Status PlanningService::HandleMonitorReport(const Event& event,
                                             EventOutcome* outcome) {
   ++stats_.monitor_reports;
-  return ApplyMonitorData(event.measured_base_rates, event.cpu_utilization,
-                          outcome);
+  obs::AuditRecord r;
+  if (AuditOn()) {
+    r = AuditBase("drift.report");
+    r.aux = static_cast<int64_t>(event.measured_base_rates.size());
+    AuditFingerprint(&r, /*post=*/false);
+  }
+  const int evicted_before = outcome->evicted;
+  Status st = ApplyMonitorData(event.measured_base_rates,
+                               event.cpu_utilization, outcome);
+  if (AuditOn() && st.ok()) {
+    r.detail = outcome->evicted - evicted_before;
+    AuditFingerprint(&r, /*post=*/true);
+    AuditAppend(std::move(r));
+  }
+  return st;
 }
 
 Status PlanningService::ApplyMonitorData(
@@ -560,6 +812,11 @@ Status PlanningService::ApplyMonitorData(
   SQPR_RETURN_IF_ERROR(RunDriftCycle(
       &planner_, catalog_, measured_rates, report,
       [this, outcome](StreamId q) {
+        if (AuditOn()) {
+          obs::AuditRecord er = AuditBase("evict.drift");
+          er.query = q;
+          AuditAppend(std::move(er));
+        }
         scheduler_.Enqueue(q);
         ++outcome->evicted;
         ++stats_.evictions;
@@ -588,7 +845,9 @@ Status PlanningService::HandleSelfMeasurement(EventOutcome* outcome) {
   Stopwatch measure_watch;
   Result<Measurement> measurement =
       telemetry_->Measure(deployment(), clock_.now_ms());
-  stats_.measure_ms.Add(measure_watch.ElapsedMillis());
+  SampleStage(&stats_.measure_ms, measure_watch.ElapsedMillis(),
+              options_.watchdog.measure_budget_ms,
+              &stats_.measure_budget_breaches);
   if (!measurement.ok()) {
     // A failed measurement must not take the loop down — skip the
     // reporting period. Deterministic: the measurement is a pure
@@ -596,6 +855,17 @@ Status PlanningService::HandleSelfMeasurement(EventOutcome* outcome) {
     SQPR_LOG_WARN << "self-measurement failed: "
                   << measurement.status().ToString();
     return Status::OK();
+  }
+  if (AuditOn()) {
+    obs::AuditRecord mr = AuditBase("measure.tick");
+    mr.aux = measurement->index;
+    mr.detail = static_cast<int64_t>(measurement->measured_base_rates.size());
+    AuditAppend(std::move(mr));
+  }
+  obs::AuditRecord dr;
+  if (AuditOn()) {
+    dr = AuditBase("drift.measure");
+    AuditFingerprint(&dr, /*post=*/false);
   }
   const int evicted_before = outcome->evicted;
   SQPR_RETURN_IF_ERROR(ApplyMonitorData(measurement->measured_base_rates,
@@ -605,6 +875,11 @@ Status PlanningService::HandleSelfMeasurement(EventOutcome* outcome) {
   // measurement and queued re-planning with no scripted report — the
   // closed loop the counter makes visible.
   if (outcome->evicted > evicted_before) ++stats_.auto_replan_rounds;
+  if (AuditOn()) {
+    dr.detail = outcome->evicted - evicted_before;
+    AuditFingerprint(&dr, /*post=*/true);
+    AuditAppend(std::move(dr));
+  }
   return Status::OK();
 }
 
@@ -688,6 +963,14 @@ void PlanningService::DispatchReplanRound() {
     }
   }
   span.set_args(flight.id, flight.queries.size());
+  if (AuditOn()) {
+    obs::AuditRecord r = AuditBase("round.dispatch");
+    r.speculative = true;
+    r.detail = static_cast<int64_t>(flight.queries.size());
+    r.dispatch_id = flight.id;
+    r.streams.assign(flight.queries.begin(), flight.queries.end());
+    AuditAppend(std::move(r));
+  }
   inflight_.push_back(std::move(flight));
   ++stats_.replan_dispatches;
 }
@@ -704,22 +987,66 @@ void PlanningService::CommitOldestRound(EventOutcome* outcome) {
     SQPR_TRACE_SPAN("service/round.barrier");
     flight.latch->Wait();
   }
-  stats_.barrier_ms.Add(wait.ElapsedMillis());
+  const double barrier_wall_ms = wait.ElapsedMillis();
+  SampleStage(&stats_.barrier_ms, barrier_wall_ms,
+              options_.watchdog.barrier_budget_ms,
+              &stats_.barrier_budget_breaches);
 
   ++stats_.replan_rounds;
+  // Canonical round sequencing: a round that commits with at least one
+  // un-departed query consumes the next sequence number. Rounds whose
+  // every query departed in flight exist only at depth > 1 (depth 1
+  // discards them in the scheduler before dispatch), so they must not
+  // number — the journal's round column stays depth-invariant.
+  std::vector<int64_t> live;
+  for (StreamId q : flight.queries) {
+    if (flight.discards.count(q) == 0) live.push_back(q);
+  }
+  int64_t round_seq = -1;
+  obs::AuditRecord round_r;
+  if (AuditOn() && !live.empty()) {
+    round_seq = audit_round_seq_++;
+    round_r = AuditBase("replan.round");
+    round_r.round = round_seq;
+    round_r.detail = static_cast<int64_t>(live.size());
+    round_r.streams = live;
+    round_r.dispatch_id = flight.id;
+    round_r.commit_ms = barrier_wall_ms;
+    AuditFingerprint(&round_r, /*post=*/false);
+  }
   for (size_t i = 0; i < flight.queries.size(); ++i) {
     const StreamId q = flight.queries[i];
     const Result<AdmissionProposal>& proposal = (*flight.proposals)[i];
-    if (flight.discards.count(q) > 0) continue;  // departed meanwhile
+    if (flight.discards.count(q) > 0) {
+      // Departed after dispatch: drop the proposal — the async twin of
+      // the scheduler discard a depth-1 service performed directly (and
+      // audited there), hence speculative here.
+      if (AuditOn()) {
+        obs::AuditRecord r = AuditBase("replan.discard");
+        r.speculative = true;
+        r.query = q;
+        r.dispatch_id = flight.id;
+        AuditAppend(std::move(r));
+      }
+      continue;
+    }
 
     bool resolved = false;
     bool admitted = false;
     bool solve_failed = false;
+    double solve_wall_ms = -1.0;
+    double commit_wall_ms = -1.0;
     if (proposal.ok()) {
-      stats_.solve_ms.Add(proposal->stats.wall_ms);
+      solve_wall_ms = proposal->stats.wall_ms;
+      SampleStage(&stats_.solve_ms, solve_wall_ms,
+                  options_.watchdog.solve_budget_ms,
+                  &stats_.solve_budget_breaches);
       Stopwatch commit_watch;
       Result<PlanningStats> committed = planner_.CommitProposal(*proposal);
-      stats_.commit_ms.Add(commit_watch.ElapsedMillis());
+      commit_wall_ms = commit_watch.ElapsedMillis();
+      SampleStage(&stats_.commit_ms, commit_wall_ms,
+                  options_.watchdog.commit_budget_ms,
+                  &stats_.commit_budget_breaches);
       if (committed.ok()) {
         resolved = true;
         CountSolveStats(*committed);
@@ -752,10 +1079,22 @@ void PlanningService::CommitOldestRound(EventOutcome* outcome) {
 
     if (!resolved) {
       ++stats_.commit_conflicts;
+      // Conflict counts are depth-variant (deeper pipelines speculate
+      // across more uncommitted state), so the record is speculative;
+      // the resolution below lands in the canonical per-query record.
+      if (AuditOn()) {
+        obs::AuditRecord r = AuditBase("replan.conflict");
+        r.speculative = true;
+        r.query = q;
+        r.round = round_seq;
+        r.dispatch_id = flight.id;
+        AuditAppend(std::move(r));
+      }
       Result<PlanningStats> stats =
           Admit(q, nullptr, /*overlapped_arrival=*/false);
       admitted = stats.ok() && stats->admitted;
       solve_failed = !stats.ok();
+      if (stats.ok()) solve_wall_ms = stats->wall_ms;
     }
 
     if (admitted) {
@@ -766,6 +1105,22 @@ void PlanningService::CommitOldestRound(EventOutcome* outcome) {
       ++stats_.replanned_rejected;
       if (!solve_failed) RememberRejected(q);
     }
+
+    if (AuditOn()) {
+      obs::AuditRecord r = AuditBase(admitted ? "replan.admit"
+                                    : solve_failed ? "replan.fail"
+                                                   : "replan.reject");
+      r.query = q;
+      r.round = round_seq;
+      r.solve_ms = solve_wall_ms;
+      r.commit_ms = commit_wall_ms;
+      r.dispatch_id = flight.id;
+      AuditAppend(std::move(r));
+    }
+  }
+  if (AuditOn() && !live.empty()) {
+    AuditFingerprint(&round_r, /*post=*/true);
+    AuditAppend(std::move(round_r));
   }
 }
 
@@ -783,7 +1138,9 @@ void PlanningService::UnwindYoungestRound() {
     SQPR_TRACE_SPAN("service/round.barrier");
     flight.latch->Wait();
   }
-  stats_.barrier_ms.Add(wait.ElapsedMillis());
+  SampleStage(&stats_.barrier_ms, wait.ElapsedMillis(),
+              options_.watchdog.barrier_budget_ms,
+              &stats_.barrier_budget_breaches);
 
   std::vector<StreamId> requeue;
   requeue.reserve(flight.queries.size());
@@ -791,6 +1148,14 @@ void PlanningService::UnwindYoungestRound() {
     if (flight.discards.count(q) == 0) requeue.push_back(q);
   }
   span.set_args(flight.id, requeue.size());
+  if (AuditOn()) {
+    obs::AuditRecord r = AuditBase("round.unwind");
+    r.speculative = true;
+    r.detail = static_cast<int64_t>(requeue.size());
+    r.dispatch_id = flight.id;
+    r.streams.assign(requeue.begin(), requeue.end());
+    AuditAppend(std::move(r));
+  }
   // Front of the scheduler, as one group: the next dispatch pops this
   // exact round again. Discarded (departed) queries stay out, matching
   // the scheduler discard a depth-1 service performed directly.

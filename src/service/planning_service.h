@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "common/task_queue.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
 #include "model/catalog.h"
 #include "model/cluster.h"
@@ -24,6 +25,27 @@
 #include "telemetry/measurement_engine.h"
 
 namespace sqpr {
+
+/// Stall/SLO watchdog thresholds, all wall-clock milliseconds and all
+/// off (0) by default. The service's decisions run off the virtual
+/// clock; these budgets watch the *wall* side — how long one virtual
+/// instant takes the loop thread — and count breaches in ServiceStats.
+/// Pure observation: breaches never gate behaviour, and with budgets
+/// set to extremes (tiny => every sample breaches, huge => none) the
+/// counts are deterministic because the sample counts are.
+struct WatchdogOptions {
+  /// Event-loop stall detector: one Step() whose wall time exceeds this
+  /// counts as a stall (ServiceStats::loop_stalls, worst_stall_ms) —
+  /// the virtual clock stood still while the wall clock ran away.
+  double event_stall_ms = 0.0;
+  /// Per-stage round-latency budgets, one per ServiceStats histogram;
+  /// each sample over budget bumps the matching *_budget_breaches.
+  double admit_budget_ms = 0.0;
+  double solve_budget_ms = 0.0;
+  double commit_budget_ms = 0.0;
+  double barrier_budget_ms = 0.0;
+  double measure_budget_ms = 0.0;
+};
 
 /// Configuration of the continuous planning service.
 struct ServiceOptions {
@@ -56,6 +78,16 @@ struct ServiceOptions {
   /// (service_test uses it at depth 1). Never invoked for the
   /// fallback's own re-solve. Leave null outside tests.
   std::function<void(SqprPlanner&)> inject_between_propose_and_commit;
+  /// Decision audit journal (null = auditing off, zero cost). Emission
+  /// happens on the loop thread at commit points only, so the canonical
+  /// record stream inherits the determinism contract: byte-identical
+  /// across workers {0,1,4} x pipeline depth {1,2,4} (see
+  /// obs/audit.h and docs/ARCHITECTURE.md §7). Must outlive the
+  /// service. Auditing reads state and never gates behaviour — replay
+  /// fingerprints are bit-identical with it on or off.
+  obs::AuditJournal* audit = nullptr;
+  /// Stall/SLO watchdog budgets (all off by default).
+  WatchdogOptions watchdog;
 };
 
 /// What happened while processing one event.
@@ -190,6 +222,41 @@ struct ServiceStats {
   /// scan in analytic mode. The per-measuring-tick cost the analytic
   /// mode exists to shrink; bench_service_churn compares the two.
   obs::Histogram measure_ms;
+
+  // ---- Stall/SLO watchdog (WatchdogOptions; all 0 when budgets are
+  // off). Wall-clock observations — deterministic only at budget
+  // extremes (see WatchdogOptions), hence excluded from the replay
+  // invariance ties except in the dedicated watchdog tests. ----
+  /// Step() calls whose wall time exceeded event_stall_ms, and the
+  /// worst offender.
+  int64_t loop_stalls = 0;
+  double worst_stall_ms = 0.0;
+  /// Per-stage budget breaches, one counter per latency histogram.
+  int64_t admit_budget_breaches = 0;
+  int64_t solve_budget_breaches = 0;
+  int64_t commit_budget_breaches = 0;
+  int64_t barrier_budget_breaches = 0;
+  int64_t measure_budget_breaches = 0;
+};
+
+/// Publishes a ServiceStats snapshot into a MetricsRegistry under the
+/// "service." prefix — counters incremented by their delta since the
+/// previous Publish (registry counters are monotonic), histograms
+/// copied wholesale. Drives the periodic metrics exposition:
+/// tools/sqpr_service and bench_service_churn call Publish once per
+/// export interval, then MetricsRegistry::TakeSnapshot()/DeltaSince.
+class ServiceMetricsPublisher {
+ public:
+  explicit ServiceMetricsPublisher(obs::MetricsRegistry* registry)
+      : registry_(registry) {}
+
+  void Publish(const ServiceStats& stats);
+
+ private:
+  void Bump(const char* name, int64_t value, int64_t* last);
+
+  obs::MetricsRegistry* registry_;
+  ServiceStats last_;
 };
 
 /// The long-running DISSP-side planning loop the paper assumes around
@@ -285,9 +352,17 @@ class PlanningService {
   void FinishInFlightRound();
 
   /// Translates a cluster-simulation report into a monitor-report event
-  /// (base-stream rates + per-host CPU) — the §IV-C loop where DISSP
+  /// (base-stream rates + per-host-CPU) — the §IV-C loop where DISSP
   /// hosts sample utilisation and rates and feed the planner.
   Event MonitorReportFromSim(int64_t time_ms, const SimReport& report) const;
+
+  /// Closes the decision audit journal (no-op when auditing is off):
+  /// emits close.admitted (one record per admitted query, sorted),
+  /// close.pending (one per scheduler-pending candidate, FIFO) and the
+  /// journal.close terminator, so tools/sqpr_inspect.py can gate
+  /// lifecycle completeness against the service's own final state. Call
+  /// once, after FinishInFlightRound / RunUntilIdle.
+  void FinalizeAudit();
 
   const SqprPlanner& planner() const { return planner_; }
   /// Closed-loop telemetry engine; null when `closed_loop` is off.
@@ -452,6 +527,32 @@ class PlanningService {
   void CountSolveStats(const PlanningStats& stats);
 
   void RememberRejected(StreamId query);
+
+  // ---- Decision audit journal (options_.audit; all no-ops when off).
+  // Canonical records are emitted at commit points only, so the stream
+  // is worker/depth-invariant; anything tied to speculative pipeline
+  // state is marked speculative and excluded from canonical rendering
+  // (see obs/audit.h). ----
+
+  bool AuditOn() const { return options_.audit != nullptr; }
+  /// Builds a record stamped with the virtual time.
+  obs::AuditRecord AuditBase(const char* kind) const;
+  /// Captures the committed deployment's version/structure/fingerprint
+  /// into the record's pre_* (post == false) or post_* fields. Only
+  /// called when auditing is on — Fingerprint() is not free.
+  void AuditFingerprint(obs::AuditRecord* r, bool post) const;
+  void AuditAppend(obs::AuditRecord r) const;
+  /// Records one ServiceStats stage sample and checks it against its
+  /// watchdog budget (budget 0 = off).
+  void SampleStage(obs::Histogram* h, double ms, double budget_ms,
+                   int64_t* breaches);
+
+  /// Committed-round sequence for replan.round records: counts rounds
+  /// that committed with at least one non-discarded query. Rounds whose
+  /// every query departed in flight exist only at depth > 1 (depth 1
+  /// discards them in the scheduler before dispatch), so they must not
+  /// consume a sequence number.
+  int64_t audit_round_seq_ = 0;
 
   Cluster* cluster_;
   Catalog* catalog_;

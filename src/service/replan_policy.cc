@@ -2,7 +2,21 @@
 
 #include <algorithm>
 
+#include "obs/audit.h"
+#include "service/event_loop.h"
+
 namespace sqpr {
+
+void ReplanScheduler::Audit(const char* kind, StreamId query,
+                            bool speculative) const {
+  if (audit_ == nullptr) return;
+  obs::AuditRecord r;
+  r.t_ms = audit_clock_ != nullptr ? audit_clock_->now_ms() : 0;
+  r.kind = kind;
+  r.query = query;
+  r.speculative = speculative;
+  audit_->Append(std::move(r));
+}
 
 bool ReplanScheduler::Enqueue(StreamId query) {
   if (!pending_.insert(query).second) return false;
@@ -12,11 +26,18 @@ bool ReplanScheduler::Enqueue(StreamId query) {
     groups_.emplace_back();
   }
   groups_.back().push_back(query);
+  // Canonical: enqueues come from barrier handlers (failure/drift
+  // evictions, join retries), which retire the speculative pipeline
+  // first — the pending set at that point is worker/depth-invariant.
+  Audit("replan.enqueue", query, /*speculative=*/false);
   return true;
 }
 
 void ReplanScheduler::Discard(StreamId query) {
   if (pending_.erase(query) == 0) return;
+  // Speculative: whether the departed query still sits here (vs already
+  // dispatched into an in-flight round) depends on the pipeline depth.
+  Audit("replan.discard", query, /*speculative=*/true);
   // Remove from its group without re-packing: round boundaries were
   // fixed at enqueue time and must survive discards (see header).
   for (auto group = groups_.begin(); group != groups_.end(); ++group) {
@@ -43,9 +64,21 @@ void ReplanScheduler::Requeue(const std::vector<StreamId>& queries) {
     // A query can already be pending again (e.g. a drift report fired
     // between dispatch and unwind); keep the newer position.
     if (!pending_.insert(q).second) continue;
+    // Speculative by construction: requeues only exist because a round
+    // was dispatched early (depth > 1) and then unwound.
+    Audit("replan.requeue", q, /*speculative=*/true);
     group.push_back(q);
   }
   if (!group.empty()) groups_.push_front(std::move(group));
+}
+
+std::vector<StreamId> ReplanScheduler::PendingQueries() const {
+  std::vector<StreamId> out;
+  out.reserve(pending_.size());
+  for (const auto& group : groups_) {
+    out.insert(out.end(), group.begin(), group.end());
+  }
+  return out;
 }
 
 }  // namespace sqpr

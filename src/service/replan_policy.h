@@ -11,6 +11,12 @@
 
 namespace sqpr {
 
+namespace obs {
+class AuditJournal;
+}  // namespace obs
+
+class VirtualClock;
+
 /// Bounds on the §IV-B/§IV-C adaptive re-planning work the service is
 /// willing to do per consumed event. The paper re-plans by removing and
 /// re-admitting affected queries; each re-admission is a full reduced
@@ -103,8 +109,27 @@ class ReplanScheduler {
   size_t pending() const { return pending_.size(); }
   const ReplanPolicyOptions& options() const { return options_; }
 
+  /// Pending candidates in FIFO order (group by group) — the backlog
+  /// the audit journal's close.pending record carries.
+  std::vector<StreamId> PendingQueries() const;
+
+  /// Attaches a decision audit journal (null detaches). Genuine
+  /// enqueues happen at barrier-retired points, so replan.enqueue
+  /// records are canonical (worker/depth-invariant); requeues and
+  /// discards depend on what was speculatively in flight, so theirs are
+  /// marked speculative. `clock` supplies the virtual time
+  /// (loop-thread-owned, like the scheduler itself).
+  void set_audit(obs::AuditJournal* audit, const VirtualClock* clock) {
+    audit_ = audit;
+    audit_clock_ = clock;
+  }
+
  private:
+  void Audit(const char* kind, StreamId query, bool speculative) const;
+
   ReplanPolicyOptions options_;
+  obs::AuditJournal* audit_ = nullptr;
+  const VirtualClock* audit_clock_ = nullptr;
   /// Groups in FIFO order; each inner deque is one future round, in
   /// enqueue order. Discard may leave a group empty — NextRound skips
   /// empty groups rather than merging neighbours.

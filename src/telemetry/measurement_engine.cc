@@ -97,6 +97,7 @@ Result<Measurement> MeasurementEngine::MeasureEngine(
   Result<SimReport> report = sim.Run();
   if (!report.ok()) return report.status();
   m.raw = std::move(*report);
+  m.index = measurements_;
   ++measurements_;
 
   // Base-rate samples. A DISSP source host knows the injection rate of
@@ -123,6 +124,7 @@ Measurement MeasurementEngine::MeasureAnalytic(
     const std::map<StreamId, double>& truth) {
   Measurement m;
   m.time_ms = now_ms;
+  m.index = measurements_;
   ++measurements_;
 
   // Base-rate samples are the model's ground truth itself — the engine

@@ -75,6 +75,10 @@ struct TelemetryOptions {
 /// sampling a reporting period under the current true rates.
 struct Measurement {
   int64_t time_ms = 0;
+  /// 0-based measurement sequence number (the sim-seed index): ties a
+  /// measuring tick to its audit-journal record — measurements happen at
+  /// deterministic logical points, so the index is replay-invariant.
+  int64_t index = 0;
   /// Observed Mbps per base stream (noisy, EWMA-smoothed): realised
   /// injection rates from the simulation where the committed deployment
   /// uses the stream, the rate model's ground truth otherwise.

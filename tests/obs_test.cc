@@ -155,6 +155,88 @@ TEST(MetricsRegistryTest, StablePointersAndJsonSchema) {
   }
 }
 
+TEST(MetricsSnapshotTest, OpenMetricsEscapesLabelsAndSanitizesNames) {
+  obs::MetricsRegistry reg;
+  reg.counter("service.events")->Increment(7);
+  reg.histogram("service.admit_ms")->Add(2.0);
+  const obs::MetricsSnapshot snap = reg.TakeSnapshot();
+
+  // Label values hit all three ABNF escapes (backslash, double quote,
+  // newline); one label key needs name sanitisation.
+  const std::map<std::string, std::string> labels = {
+      {"path", "C:\\tmp\\x"},
+      {"quote", "say \"hi\""},
+      {"nl", "line1\nline2"},
+      {"bad-key", "v"},
+  };
+  const std::string text = snap.ToOpenMetrics(labels);
+
+  // Dotted metric names fold to underscores; counters get _total.
+  EXPECT_NE(text.find("# TYPE service_events counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("service_events_total{"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE service_admit_ms summary"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("service_admit_ms{"), std::string::npos) << text;
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos) << text;
+
+  // Escapes, rendered: path="C:\\tmp\\x", quote="say \"hi\"",
+  // nl="line1\nline2" — and the raw (unescaped) forms must be absent.
+  EXPECT_NE(text.find("path=\"C:\\\\tmp\\\\x\""), std::string::npos) << text;
+  EXPECT_NE(text.find("quote=\"say \\\"hi\\\"\""), std::string::npos) << text;
+  EXPECT_NE(text.find("nl=\"line1\\nline2\""), std::string::npos) << text;
+  EXPECT_EQ(text.find("line1\nline2"), std::string::npos)
+      << "a raw newline survived inside a label value";
+  EXPECT_NE(text.find("bad_key=\"v\""), std::string::npos) << text;
+  EXPECT_EQ(text.find("bad-key"), std::string::npos) << text;
+
+  // The exposition terminator, as the final line.
+  const std::string eof = "# EOF\n";
+  ASSERT_GE(text.size(), eof.size());
+  EXPECT_EQ(text.substr(text.size() - eof.size()), eof);
+}
+
+TEST(MetricsSnapshotTest, DeltaSinceClampsAndResolvesWindowQuantiles) {
+  obs::MetricsRegistry reg;
+  obs::Counter* c = reg.counter("service.events");
+  obs::Histogram* h = reg.histogram("service.solve_ms");
+
+  // First window: 100 fast samples.
+  c->Increment(5);
+  for (int i = 0; i < 100; ++i) h->Add(1.0);
+  const obs::MetricsSnapshot s0 = reg.TakeSnapshot();
+
+  // Second window: 100 slow samples only.
+  c->Increment(3);
+  for (int i = 0; i < 100; ++i) h->Add(1000.0);
+  const obs::MetricsSnapshot s1 = reg.TakeSnapshot();
+
+  const obs::MetricsSnapshot delta = s1.DeltaSince(s0);
+  EXPECT_EQ(delta.counters.at("service.events"), 3);
+  const obs::HistogramSnapshot& dh = delta.histograms.at("service.solve_ms");
+  EXPECT_EQ(dh.count, 100u);
+  EXPECT_NEAR(dh.sum, 100000.0, 1e-6);
+  // The delta's quantiles resolve from the WINDOW's buckets: this
+  // window saw only slow samples, so its p50 sits at ~1000 even though
+  // the cumulative p50 (rank 100 of 200) still lands on the fast group.
+  EXPECT_NEAR(dh.Quantile(0.5), 1000.0, 0.125 * 1000.0);
+  EXPECT_LT(s1.histograms.at("service.solve_ms").Quantile(0.5), 2.0);
+
+  // Reversed snapshot order (what a racy torn read looks like) clamps
+  // every monotone field at zero instead of wrapping.
+  const obs::MetricsSnapshot rev = s0.DeltaSince(s1);
+  EXPECT_EQ(rev.counters.at("service.events"), 0);
+  const obs::HistogramSnapshot& rh = rev.histograms.at("service.solve_ms");
+  EXPECT_EQ(rh.count, 0u);
+  EXPECT_DOUBLE_EQ(rh.sum, 0.0);
+  for (const uint64_t b : rh.buckets) EXPECT_EQ(b, 0u);
+
+  // Metrics absent from `earlier` delta against zero.
+  const obs::MetricsSnapshot from_zero = s0.DeltaSince(obs::MetricsSnapshot{});
+  EXPECT_EQ(from_zero.counters.at("service.events"), 5);
+  EXPECT_EQ(from_zero.histograms.at("service.solve_ms").count, 100u);
+}
+
 // ---------------------------------------------------------------------------
 // Log level filter
 

@@ -28,6 +28,7 @@
 
 #include "model/catalog.h"
 #include "model/cluster.h"
+#include "obs/audit.h"
 #include "service/planning_service.h"
 #include "workload/generator.h"
 #include "workload/trace.h"
@@ -132,7 +133,8 @@ TraceConfig MakeTraceConfig(uint64_t seed) {
 
 ReplayResult Replay(uint64_t seed, int workers, bool closed_loop = false,
                     MeasureMode mode = MeasureMode::kEngine,
-                    int pipeline_depth = 2) {
+                    int pipeline_depth = 2,
+                    obs::AuditJournal* journal = nullptr) {
   Cluster cluster(3, HostSpec{0.6, 70.0, 70.0, ""}, 140.0);
   Catalog catalog(CostModel{});
 
@@ -180,9 +182,11 @@ ReplayResult Replay(uint64_t seed, int workers, bool closed_loop = false,
     options.telemetry.sim.rate_scale = 0.02;
     options.telemetry.sim.duration_ms = 400;
   }
+  options.audit = journal;
   PlanningService service(&cluster, &catalog, options);
   for (const Event& e : *trace) EXPECT_TRUE(service.Enqueue(e).ok());
   EXPECT_TRUE(service.RunUntilIdle().ok());
+  if (journal != nullptr) service.FinalizeAudit();
 
   ReplayResult result;
   result.fingerprint = service.deployment().Fingerprint();
@@ -299,6 +303,56 @@ TEST_P(ServiceReplayPropertyTest, PipelineDepthWorkerMatrixInvariant) {
           << "depth " << depth << " x workers " << workers
           << " diverged from depth 1 x workers 0, seed " << seed
           << "\nbaseline: " << baseline << "\nreplay:   " << replay;
+    }
+  }
+}
+
+// The decision audit journal rides the same contract (obs/audit.h):
+// canonical records are emitted at commit points only, so the canonical
+// rendering — header line plus every non-speculative record, "wall"
+// object stripped — must be BYTE-identical across the full worker
+// {0, 1, 4} x pipeline-depth {1, 2, 4} matrix. And auditing must never
+// gate behaviour: the journal-attached replays commit the same
+// deployment fingerprint as an audit-off replay of the same trace.
+TEST_P(ServiceReplayPropertyTest, AuditJournalCanonicalBytesMatrixInvariant) {
+  const uint64_t seed = GetParam();
+  const ReplayResult audit_off =
+      Replay(seed, 0, /*closed_loop=*/false, MeasureMode::kEngine,
+             /*pipeline_depth=*/1);
+  EXPECT_TRUE(audit_off.valid) << "seed " << seed;
+
+  std::string canonical;
+  for (const int depth : {1, 2, 4}) {
+    for (const int workers : {0, 1, 4}) {
+      obs::AuditJournal journal;
+      const ReplayResult replay =
+          Replay(seed, workers, /*closed_loop=*/false, MeasureMode::kEngine,
+                 depth, &journal);
+      EXPECT_EQ(replay.fingerprint, audit_off.fingerprint)
+          << "auditing changed the committed deployment, depth " << depth
+          << " x workers " << workers << ", seed " << seed;
+      const std::string rendered = journal.ToJsonl(/*canonical=*/true);
+      if (canonical.empty()) {
+        canonical = rendered;
+        // Shape sanity on the reference rendering: schema header,
+        // terminator, and no leaked operational stratum.
+        EXPECT_EQ(canonical.find(
+                      "{\"schema\":\"sqpr-audit-v1\",\"canonical\":true}"),
+                  0u)
+            << "seed " << seed;
+        EXPECT_NE(canonical.find("\"journal.close\""), std::string::npos)
+            << "seed " << seed;
+        EXPECT_EQ(canonical.find("\"wall\""), std::string::npos)
+            << "canonical rendering leaked wall-clock fields, seed " << seed;
+        EXPECT_EQ(canonical.find("\"round.dispatch\""), std::string::npos)
+            << "canonical rendering leaked a speculative record, seed "
+            << seed;
+        EXPECT_GT(journal.canonical_size(), 0u) << "seed " << seed;
+      } else {
+        EXPECT_EQ(rendered, canonical)
+            << "canonical audit bytes diverged at depth " << depth
+            << " x workers " << workers << ", seed " << seed;
+      }
     }
   }
 }

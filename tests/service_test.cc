@@ -629,6 +629,134 @@ TEST(PlanningServiceTest, WorkerCountDoesNotChangeCommittedDeployments) {
   EXPECT_GT(std::get<3>(one), 0) << "trace must exercise re-planning";
 }
 
+// The stall/SLO watchdog (WatchdogOptions) observes wall clock, so its
+// counters are normally machine-dependent — but at the extremes they
+// are exact and therefore testable: a vanishing budget makes every
+// stage sample (and every Step) a breach, so each breach counter equals
+// its histogram's sample count and loop_stalls equals the event count —
+// all worker-invariant at a fixed depth, because the sample counts
+// themselves are. A huge budget yields zero breaches. And the watchdog
+// never gates behaviour: every run commits the budget-free fingerprint.
+TEST(PlanningServiceTest, WatchdogBreachCountsAreExactAtExtremeBudgets) {
+  struct WatchdogRun {
+    std::string fingerprint;
+    int64_t events = 0;
+    int64_t loop_stalls = 0;
+    double worst_stall_ms = 0.0;
+    size_t admit_n = 0, solve_n = 0, commit_n = 0, barrier_n = 0,
+           measure_n = 0;
+    int64_t admit_b = 0, solve_b = 0, commit_b = 0, barrier_b = 0,
+            measure_b = 0;
+  };
+  // Closed-loop replay so all five stage histograms (including
+  // measure_ms) take samples; node-bounded solver as always.
+  auto run = [](double budget_ms, int workers) {
+    Cluster cluster(3, HostSpec{0.6, 70.0, 70.0, ""}, 140.0);
+    Catalog catalog(CostModel{});
+    WorkloadConfig wc;
+    wc.num_base_streams = 18;
+    wc.num_queries = 30;
+    wc.arities = {2, 3};
+    wc.seed = 11;
+    Result<Workload> workload = GenerateWorkload(wc, 3, &catalog);
+    EXPECT_TRUE(workload.ok());
+    TraceConfig tc;
+    tc.num_events = 36;
+    tc.seed = 11 * 977 + 13;
+    tc.mean_gap_ms = 40;
+    tc.drift_weight = 0.11;
+    tc.tick_weight = 0.55;
+    tc.min_drift_reports = 2;
+    tc.closed_loop = true;
+    Result<std::vector<Event>> trace =
+        GenerateTrace(tc, *workload, 3, catalog);
+    EXPECT_TRUE(trace.ok());
+
+    ServiceOptions options;
+    options.planner.timeout_ms = 60000;
+    options.planner.max_nodes = 80;
+    options.replan.workers = workers;
+    options.replan.clamp_workers_to_cores = false;
+    options.closed_loop = true;
+    options.telemetry.measure_period = 2;
+    options.telemetry.seed = 11;
+    options.telemetry.sim.rate_scale = 0.02;
+    options.telemetry.sim.duration_ms = 400;
+    options.watchdog.event_stall_ms = budget_ms;
+    options.watchdog.admit_budget_ms = budget_ms;
+    options.watchdog.solve_budget_ms = budget_ms;
+    options.watchdog.commit_budget_ms = budget_ms;
+    options.watchdog.barrier_budget_ms = budget_ms;
+    options.watchdog.measure_budget_ms = budget_ms;
+    PlanningService service(&cluster, &catalog, options);
+    for (const Event& e : *trace) EXPECT_TRUE(service.Enqueue(e).ok());
+    EXPECT_TRUE(service.RunUntilIdle().ok());
+
+    const ServiceStats& stats = service.stats();
+    WatchdogRun r;
+    r.fingerprint = service.deployment().Fingerprint();
+    r.events = stats.events;
+    r.loop_stalls = stats.loop_stalls;
+    r.worst_stall_ms = stats.worst_stall_ms;
+    r.admit_n = stats.admit_ms.count();
+    r.solve_n = stats.solve_ms.count();
+    r.commit_n = stats.commit_ms.count();
+    r.barrier_n = stats.barrier_ms.count();
+    r.measure_n = stats.measure_ms.count();
+    r.admit_b = stats.admit_budget_breaches;
+    r.solve_b = stats.solve_budget_breaches;
+    r.commit_b = stats.commit_budget_breaches;
+    r.barrier_b = stats.barrier_budget_breaches;
+    r.measure_b = stats.measure_budget_breaches;
+    return r;
+  };
+
+  const WatchdogRun off = run(/*budget_ms=*/0.0, /*workers=*/0);
+  EXPECT_GT(off.events, 0);
+  EXPECT_GT(off.measure_n, 0u) << "closed loop never measured";
+  EXPECT_EQ(off.loop_stalls, 0);
+  EXPECT_EQ(off.admit_b + off.solve_b + off.commit_b + off.barrier_b +
+                off.measure_b,
+            0)
+      << "budgets of 0 mean the watchdog is off";
+
+  // Tiny budget (1 picosecond): every wall-clock sample breaches, so
+  // the breach counters collapse onto the deterministic sample counts.
+  const WatchdogRun tiny = run(/*budget_ms=*/1e-9, /*workers=*/0);
+  EXPECT_EQ(tiny.fingerprint, off.fingerprint)
+      << "watchdog budgets changed the committed deployment";
+  EXPECT_EQ(tiny.loop_stalls, tiny.events);
+  EXPECT_GT(tiny.worst_stall_ms, 0.0);
+  EXPECT_EQ(tiny.admit_b, static_cast<int64_t>(tiny.admit_n));
+  EXPECT_EQ(tiny.solve_b, static_cast<int64_t>(tiny.solve_n));
+  EXPECT_EQ(tiny.commit_b, static_cast<int64_t>(tiny.commit_n));
+  EXPECT_EQ(tiny.barrier_b, static_cast<int64_t>(tiny.barrier_n));
+  EXPECT_EQ(tiny.measure_b, static_cast<int64_t>(tiny.measure_n));
+
+  // Worker-invariant at a fixed depth: multi-worker wall times differ,
+  // but with every sample breaching, the counts are the contract's.
+  const WatchdogRun tiny_w4 = run(/*budget_ms=*/1e-9, /*workers=*/4);
+  EXPECT_EQ(tiny_w4.fingerprint, off.fingerprint);
+  EXPECT_EQ(tiny_w4.events, tiny.events);
+  EXPECT_EQ(tiny_w4.loop_stalls, tiny.loop_stalls);
+  EXPECT_EQ(tiny_w4.admit_b, tiny.admit_b);
+  EXPECT_EQ(tiny_w4.solve_b, tiny.solve_b);
+  EXPECT_EQ(tiny_w4.commit_b, tiny.commit_b);
+  EXPECT_EQ(tiny_w4.barrier_b, tiny.barrier_b);
+  EXPECT_EQ(tiny_w4.measure_b, tiny.measure_b);
+
+  // Huge budget: nothing on this machine takes 10^12 ms, so zero
+  // breaches and zero stalls — while the histograms still sample.
+  const WatchdogRun huge = run(/*budget_ms=*/1e12, /*workers=*/0);
+  EXPECT_EQ(huge.fingerprint, off.fingerprint);
+  EXPECT_EQ(huge.loop_stalls, 0);
+  EXPECT_DOUBLE_EQ(huge.worst_stall_ms, 0.0);
+  EXPECT_EQ(huge.admit_n, tiny.admit_n);
+  EXPECT_EQ(huge.admit_b + huge.solve_b + huge.commit_b + huge.barrier_b +
+                huge.measure_b,
+            0);
+}
+
 // Tentpole: the arrival-path commit-conflict fallback, driven
 // deterministically at pipeline depth 1. The injection hook commits an
 // intervening admission between the arrival's propose and commit, so

@@ -95,6 +95,33 @@ def main():
     for key in ("emitted_spans", "dropped_spans", "threads"):
         if not isinstance(other.get(key), int):
             fail(f"otherData.{key} missing or not an integer")
+    # Per-thread ring statistics (optional: traces written before the
+    # recorder exported them lack the key). When present they must be
+    # coherent with the totals — a drop hidden in one thread's ring is
+    # exactly what the gate output needs to surface.
+    per_thread = other.get("per_thread")
+    if per_thread is not None:
+        if not isinstance(per_thread, list):
+            fail("otherData.per_thread is not a list")
+        for i, t in enumerate(per_thread):
+            if not isinstance(t, dict) or not isinstance(t.get("name"), str):
+                fail(f"otherData.per_thread[{i}]: missing thread name")
+            for key in ("emitted", "dropped"):
+                if not isinstance(t.get(key), int) or t[key] < 0:
+                    fail(
+                        f"otherData.per_thread[{i}] ({t.get('name')!r}): "
+                        f"{key} missing or not a non-negative integer"
+                    )
+        for key, total in (
+            ("emitted", other["emitted_spans"]),
+            ("dropped", other["dropped_spans"]),
+        ):
+            s = sum(t[key] for t in per_thread)
+            if s != total:
+                fail(
+                    f"otherData.per_thread {key} counts sum to {s}, "
+                    f"but {key}_spans says {total}"
+                )
 
     named_tids = {}
     spans = []
@@ -216,9 +243,22 @@ def main():
         if worst is not None
         else "no complete rounds retained"
     )
+    if per_thread is not None:
+        dropped_detail = ", ".join(
+            f"{t['name']} {t['dropped']}/{t['emitted']}"
+            for t in per_thread
+            if t["dropped"] > 0
+        )
+        dropped_str = (
+            f"{other['dropped_spans']} dropped ({dropped_detail})"
+            if dropped_detail
+            else f"0 dropped on all {len(per_thread)} threads"
+        )
+    else:
+        dropped_str = f"{other['dropped_spans']} dropped"
     print(
         f"check_trace: OK: {len(spans)} spans on {len(named_tids)} threads, "
-        f"{other['dropped_spans']} dropped; {summary}"
+        f"{dropped_str}; {summary}"
     )
 
 

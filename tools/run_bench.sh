@@ -32,12 +32,20 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target bench_service_churn --target bench_solver_micro >/dev/null
 
 TRACE_RAW=$(mktemp /tmp/sqpr_trace.XXXXXX.json)
-trap 'rm -f "$TRACE_RAW"' EXIT
+AUDIT_RAW=$(mktemp /tmp/sqpr_audit.XXXXXX.jsonl)
+SERIES_RAW=$(mktemp /tmp/sqpr_series.XXXXXX.jsonl)
+trap 'rm -f "$TRACE_RAW" "$AUDIT_RAW" "$SERIES_RAW"' EXIT
 
-"$BUILD_DIR/bench_service_churn" --json "$OUT" --trace-out "$TRACE_RAW"
+"$BUILD_DIR/bench_service_churn" --json "$OUT" --trace-out "$TRACE_RAW" \
+  --audit-out "$AUDIT_RAW" --metrics-series-out "$SERIES_RAW"
 
 python3 tools/check_trace.py "$TRACE_RAW" \
   --min-round-coverage 0.9 --require-rounds
+
+# The instrumented replay's decision audit journal and metrics series
+# must join into complete per-query lifecycles (same gate as CI).
+python3 tools/sqpr_inspect.py "$AUDIT_RAW" --trace "$TRACE_RAW" \
+  --metrics "$SERIES_RAW" --require-complete
 
 gzip -9 -c "$TRACE_RAW" > "$TRACE_OUT"
 

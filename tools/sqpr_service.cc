@@ -21,6 +21,7 @@
 
 #include "common/stats.h"
 #include "model/catalog.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "model/cluster.h"
@@ -56,7 +57,18 @@ struct Args {
   std::string save_trace_path;  // write the generated trace
   std::string trace_out_path;   // flight-recorder Chrome trace JSON
   size_t trace_capacity = 1 << 15;
-  std::string metrics_out_path; // metrics-registry JSON snapshot
+  std::string metrics_out_path; // metrics exposition file
+  int64_t metrics_interval_ms = 0;  // 0 = one snapshot at exit
+  std::string metrics_format = "json";  // json | openmetrics
+  std::string stats_json_path;  // final ServiceStats JSON
+  std::string audit_out_path;   // decision audit journal JSONL
+  bool audit_canonical = false; // strip speculative/wall strata
+  double stall_ms = 0.0;        // watchdog: event-loop stall threshold
+  double budget_admit_ms = 0.0;  // watchdog: per-stage budgets
+  double budget_solve_ms = 0.0;
+  double budget_commit_ms = 0.0;
+  double budget_barrier_ms = 0.0;
+  double budget_measure_ms = 0.0;
   bool verbose = false;
 };
 
@@ -184,8 +196,46 @@ void Usage(std::FILE* out) {
       "                   overwritten (default 32768; drops are counted\n"
       "                   in the trace's otherData)\n"
       "  --metrics-out FILE\n"
-      "                   write a metrics-registry JSON snapshot (named\n"
-      "                   counters + histogram quantiles) after the run\n"
+      "                   write a metrics exposition after the run: the\n"
+      "                   sqpr-metrics-v1 JSON snapshot (default), or —\n"
+      "                   with --metrics-interval — the\n"
+      "                   sqpr-metrics-series-v1 JSONL time series\n"
+      "  --metrics-interval MS\n"
+      "                   periodic exposition: publish a registry\n"
+      "                   snapshot every MS *virtual* milliseconds and\n"
+      "                   append one series line per interval to\n"
+      "                   --metrics-out (cumulative + per-interval delta;\n"
+      "                   delta quantiles are resolved from the window's\n"
+      "                   own histogram buckets, not approximated)\n"
+      "  --metrics-format json|openmetrics\n"
+      "                   exposition format (default json). openmetrics\n"
+      "                   writes OpenMetrics text (counters as _total,\n"
+      "                   histograms as quantile summaries, '# EOF'\n"
+      "                   terminated; one block per interval in series\n"
+      "                   mode, labelled with the virtual time)\n"
+      "  --stats-json FILE\n"
+      "                   write the final ServiceStats as JSON (schema\n"
+      "                   sqpr-service-stats-v1): every counter, the\n"
+      "                   stage histograms and the watchdog tallies\n"
+      "  --audit-out FILE enable the decision audit journal and write it\n"
+      "                   as sqpr-audit-v1 JSONL: every admit / reject /\n"
+      "                   re-plan / evict / drift / conflict / unwind\n"
+      "                   decision in commit order, with reason codes,\n"
+      "                   virtual timestamps, wall latencies and pre/post\n"
+      "                   deployment fingerprints\n"
+      "  --audit-canonical\n"
+      "                   write only the canonical stratum — speculative\n"
+      "                   records and wall-clock fields dropped. This\n"
+      "                   rendering is byte-identical across --workers\n"
+      "                   and --pipeline-depth for the same trace+seed\n"
+      "  --stall-ms F     watchdog: count Step() calls whose wall time\n"
+      "                   exceeds F ms as event-loop stalls (the virtual\n"
+      "                   clock stood still while the wall clock ran)\n"
+      "  --budget-ms STAGE=F\n"
+      "                   watchdog: per-stage wall-latency budget in ms;\n"
+      "                   STAGE one of admit,solve,commit,barrier,\n"
+      "                   measure. Repeatable. Samples over budget bump\n"
+      "                   the matching *_budget_breaches counter\n"
       "  --verbose        print every event outcome\n"
       "  --help           show this message and exit\n");
 }
@@ -282,6 +332,50 @@ int main(int argc, char** argv) {
       args.trace_capacity = static_cast<size_t>(std::strtoull(v, nullptr, 10));
     } else if (flag == "--metrics-out" && (v = next())) {
       args.metrics_out_path = v;
+    } else if (flag == "--metrics-interval" && (v = next())) {
+      args.metrics_interval_ms = std::atoll(v);
+    } else if (flag == "--metrics-format" && (v = next())) {
+      args.metrics_format = v;
+      if (args.metrics_format != "json" &&
+          args.metrics_format != "openmetrics") {
+        std::fprintf(stderr, "invalid --metrics-format value: %s\n\n", v);
+        Usage(stderr);
+        return 2;
+      }
+    } else if (flag == "--stats-json" && (v = next())) {
+      args.stats_json_path = v;
+    } else if (flag == "--audit-out" && (v = next())) {
+      args.audit_out_path = v;
+    } else if (flag == "--audit-canonical") {
+      args.audit_canonical = true;
+    } else if (flag == "--stall-ms" && (v = next())) {
+      args.stall_ms = std::atof(v);
+    } else if (flag == "--budget-ms" && (v = next())) {
+      const char* eq = std::strchr(v, '=');
+      const double ms = eq != nullptr ? std::atof(eq + 1) : -1.0;
+      const std::string stage(v, eq != nullptr ? eq - v : std::strlen(v));
+      if (eq == nullptr || ms <= 0.0) {
+        std::fprintf(stderr, "invalid --budget-ms value: %s "
+                     "(want STAGE=MS with MS > 0)\n\n", v);
+        Usage(stderr);
+        return 2;
+      }
+      if (stage == "admit") {
+        args.budget_admit_ms = ms;
+      } else if (stage == "solve") {
+        args.budget_solve_ms = ms;
+      } else if (stage == "commit") {
+        args.budget_commit_ms = ms;
+      } else if (stage == "barrier") {
+        args.budget_barrier_ms = ms;
+      } else if (stage == "measure") {
+        args.budget_measure_ms = ms;
+      } else {
+        std::fprintf(stderr, "unknown --budget-ms stage: %s\n\n",
+                     stage.c_str());
+        Usage(stderr);
+        return 2;
+      }
     } else if (flag == "--verbose") {
       args.verbose = true;
     } else {
@@ -293,7 +387,7 @@ int main(int argc, char** argv) {
   }
   if (args.hosts < 2 || args.streams < 1 || args.queries < 1 ||
       args.events < 1 || args.workers < 0 || args.pipeline_depth < 1 ||
-      args.measure_period < 1) {
+      args.measure_period < 1 || args.metrics_interval_ms < 0) {
     std::fprintf(stderr, "invalid scenario parameters\n\n");
     Usage(stderr);
     return 2;
@@ -365,6 +459,14 @@ int main(int argc, char** argv) {
   options.telemetry.mode = args.measure_mode;
   options.telemetry.measure_period = args.measure_period;
   options.telemetry.seed = args.rate_seed_set ? args.rate_seed : args.seed;
+  obs::AuditJournal audit_journal;
+  if (!args.audit_out_path.empty()) options.audit = &audit_journal;
+  options.watchdog.event_stall_ms = args.stall_ms;
+  options.watchdog.admit_budget_ms = args.budget_admit_ms;
+  options.watchdog.solve_budget_ms = args.budget_solve_ms;
+  options.watchdog.commit_budget_ms = args.budget_commit_ms;
+  options.watchdog.barrier_budget_ms = args.budget_barrier_ms;
+  options.watchdog.measure_budget_ms = args.budget_measure_ms;
   if (!args.trace_out_path.empty()) {
     obs::TraceRecorder::Options trace_options;
     trace_options.per_thread_capacity = args.trace_capacity;
@@ -396,6 +498,35 @@ int main(int argc, char** argv) {
   std::printf("replaying %zu events through the planning service...\n\n",
               trace.size());
 
+  // Periodic metrics exposition: a private registry fed from
+  // ServiceStats by the publisher, sampled on virtual-time interval
+  // boundaries so the series is replay-deterministic in shape (wall
+  // latencies inside each sample still vary run to run).
+  obs::MetricsRegistry metrics_registry;
+  ServiceMetricsPublisher metrics_publisher(&metrics_registry);
+  const bool metrics_series =
+      !args.metrics_out_path.empty() && args.metrics_interval_ms > 0;
+  std::string series_out;
+  obs::MetricsSnapshot prev_snapshot;
+  int64_t next_sample_ms = args.metrics_interval_ms;
+  if (metrics_series && args.metrics_format == "json") {
+    series_out += "{\"schema\":\"sqpr-metrics-series-v1\",\"interval_ms\":" +
+                  std::to_string(args.metrics_interval_ms) + "}\n";
+  }
+  const auto sample_metrics = [&](int64_t t_ms) {
+    metrics_publisher.Publish(service.stats());
+    obs::MetricsSnapshot cum = metrics_registry.TakeSnapshot();
+    if (args.metrics_format == "openmetrics") {
+      series_out += cum.ToOpenMetrics({{"t_ms", std::to_string(t_ms)}});
+    } else {
+      const obs::MetricsSnapshot delta = cum.DeltaSince(prev_snapshot);
+      series_out += "{\"t_ms\":" + std::to_string(t_ms) +
+                    ",\"cum\":" + cum.ToJson() +
+                    ",\"delta\":" + delta.ToJson() + "}\n";
+    }
+    prev_snapshot = std::move(cum);
+  };
+
   // Per-event-kind latency aggregation.
   constexpr int kNumKinds = 7;
   double kind_ms[kNumKinds] = {};
@@ -408,6 +539,12 @@ int main(int argc, char** argv) {
                    outcome.status().ToString().c_str());
       return 1;
     }
+    if (metrics_series) {
+      while (service.clock().now_ms() >= next_sample_ms) {
+        sample_metrics(next_sample_ms);
+        next_sample_ms += args.metrics_interval_ms;
+      }
+    }
     const int k = static_cast<int>(outcome->event.kind);
     kind_ms[k] += outcome->wall_ms;
     kind_max_ms[k] = std::max(kind_max_ms[k], outcome->wall_ms);
@@ -418,6 +555,12 @@ int main(int argc, char** argv) {
     }
   }
   service.FinishInFlightRound();
+  service.FinalizeAudit();
+  if (metrics_series) {
+    // Final sample after the pipeline drains, so the series always ends
+    // with the run's complete totals.
+    sample_metrics(service.clock().now_ms());
+  }
 
   const ServiceStats& stats = service.stats();
   std::printf("events consumed: %lld in %.1f ms virtual-final t=%lld ms\n",
@@ -509,6 +652,20 @@ int main(int argc, char** argv) {
                 static_cast<long long>(stats.snapshot_rebases),
                 static_cast<long long>(stats.replan_dispatches));
   }
+  if (args.stall_ms > 0 || args.budget_admit_ms > 0 ||
+      args.budget_solve_ms > 0 || args.budget_commit_ms > 0 ||
+      args.budget_barrier_ms > 0 || args.budget_measure_ms > 0) {
+    std::printf("watchdog: %lld event-loop stalls (worst %.2f ms); budget "
+                "breaches: admit %lld, solve %lld, commit %lld, barrier "
+                "%lld, measure %lld\n",
+                static_cast<long long>(stats.loop_stalls),
+                stats.worst_stall_ms,
+                static_cast<long long>(stats.admit_budget_breaches),
+                static_cast<long long>(stats.solve_budget_breaches),
+                static_cast<long long>(stats.commit_budget_breaches),
+                static_cast<long long>(stats.barrier_budget_breaches),
+                static_cast<long long>(stats.measure_budget_breaches));
+  }
 
   const PlanCache& cache = service.plan_cache();
   std::printf("plan cache: %lld exact hits, %lld partial hits, "
@@ -550,30 +707,74 @@ int main(int argc, char** argv) {
     std::printf("\nflight-recorder trace written to %s\n",
                 args.trace_out_path.c_str());
   }
-  if (!args.metrics_out_path.empty()) {
-    // Publish the run's stage histograms under stable names so the
-    // snapshot schema does not depend on which code paths ran.
-    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
-    *reg.histogram("service.admit_ms") = stats.admit_ms;
-    *reg.histogram("service.solve_ms") = stats.solve_ms;
-    *reg.histogram("service.commit_ms") = stats.commit_ms;
-    *reg.histogram("service.barrier_ms") = stats.barrier_ms;
-    *reg.histogram("service.measure_ms") = stats.measure_ms;
-    reg.counter("service.events")->Increment(stats.events);
-    reg.counter("service.admitted")->Increment(stats.admitted);
-    reg.counter("service.rejected")->Increment(stats.rejected);
-    reg.counter("service.replan_rounds")->Increment(stats.replan_rounds);
-    const std::string json = reg.ToJson();
-    std::FILE* f = std::fopen(args.metrics_out_path.c_str(), "wb");
+  const auto write_text_file = [](const std::string& path,
+                                  const std::string& text,
+                                  const char* what) -> bool {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
     if (f == nullptr) {
-      std::fprintf(stderr, "metrics-out: cannot open %s\n",
-                   args.metrics_out_path.c_str());
+      std::fprintf(stderr, "%s: cannot open %s\n", what, path.c_str());
+      return false;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return true;
+  };
+  if (!args.metrics_out_path.empty()) {
+    if (metrics_series) {
+      if (!write_text_file(args.metrics_out_path, series_out, "metrics-out")) {
+        return 1;
+      }
+      std::printf("metrics series (%s, every %lld virtual ms) written to "
+                  "%s\n", args.metrics_format.c_str(),
+                  static_cast<long long>(args.metrics_interval_ms),
+                  args.metrics_out_path.c_str());
+    } else {
+      // One exposition at exit. The publisher feeds the full
+      // ServiceStats — every counter and stage histogram — under stable
+      // service.* names, so the snapshot schema does not depend on
+      // which code paths ran.
+      metrics_publisher.Publish(stats);
+      const std::string text =
+          args.metrics_format == "openmetrics"
+              ? metrics_registry.TakeSnapshot().ToOpenMetrics({})
+              : metrics_registry.ToJson();
+      if (!write_text_file(args.metrics_out_path, text, "metrics-out")) {
+        return 1;
+      }
+      std::printf("metrics snapshot (%s) written to %s\n",
+                  args.metrics_format.c_str(), args.metrics_out_path.c_str());
+    }
+  }
+  if (!args.stats_json_path.empty()) {
+    obs::MetricsRegistry stats_registry;
+    ServiceMetricsPublisher stats_publisher(&stats_registry);
+    stats_publisher.Publish(stats);
+    char head[256];
+    std::snprintf(head, sizeof(head),
+                  "{\"schema\":\"sqpr-service-stats-v1\",\"workers\":%d,"
+                  "\"pipeline_depth\":%d,\"final_t_ms\":%lld,"
+                  "\"total_wall_ms\":%.6g,\"max_event_ms\":%.6g,"
+                  "\"worst_stall_ms\":%.6g,\"stats\":",
+                  service.workers(), args.pipeline_depth,
+                  static_cast<long long>(service.clock().now_ms()),
+                  stats.total_wall_ms, stats.max_event_ms,
+                  stats.worst_stall_ms);
+    const std::string text =
+        head + stats_registry.TakeSnapshot().ToJson() + "}\n";
+    if (!write_text_file(args.stats_json_path, text, "stats-json")) return 1;
+    std::printf("service stats written to %s\n", args.stats_json_path.c_str());
+  }
+  if (!args.audit_out_path.empty()) {
+    const Status written =
+        audit_journal.WriteFile(args.audit_out_path, args.audit_canonical);
+    if (!written.ok()) {
+      std::fprintf(stderr, "audit-out: %s\n", written.ToString().c_str());
       return 1;
     }
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
-    std::printf("metrics snapshot written to %s\n",
-                args.metrics_out_path.c_str());
+    std::printf("audit journal written to %s (%zu records, %zu canonical%s)"
+                "\n", args.audit_out_path.c_str(), audit_journal.size(),
+                audit_journal.canonical_size(),
+                args.audit_canonical ? ", canonical rendering" : "");
   }
   return 0;
 }
