@@ -20,6 +20,10 @@
 //    runs in BOTH measurement modes — engine (ClusterSim per measuring
 //    tick) and analytic (ledger-derived) — and checks the analytic
 //    per-measuring-tick cost undercuts the engine's by >= 5x.
+//  * checkpoint-overhead — the durability tax (docs/ARCHITECTURE.md
+//    §9): times ExportCheckpoint / WriteFileAtomic / RestoreCheckpoint
+//    on the drift-heavy trace's final state and byte-checks the
+//    restore round-trip.
 //
 // Each scenario replays one trace with 0, 1 and 4 workers solving the
 // re-planning rounds; the drift-heavy scenario additionally replays at
@@ -39,6 +43,8 @@
 // to a machine-readable record set (see bench_util.h) — the perf
 // trajectory checked in as BENCH_service.json via tools/run_bench.sh.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -51,6 +57,7 @@
 #include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "service/checkpoint.h"
 #include "service/planning_service.h"
 #include "workload/trace.h"
 
@@ -331,6 +338,115 @@ bool DeterminismChecks(const char* scenario, const RunResult& zero,
   return ok;
 }
 
+// Checkpoint overhead (docs/ARCHITECTURE.md §9): the cost of making
+// the service crash-durable, measured on the state the drift-heavy
+// trace leaves behind. Three phases are timed separately because they
+// bound different things: ExportCheckpoint bounds the event-loop stall
+// a periodic checkpoint inserts (the first call additionally pays the
+// pipeline barrier + accounting refresh, so it is reported on its
+// own), WriteFileAtomic bounds the filesystem cost of the
+// write-fsync-rename protocol, and RestoreCheckpoint bounds recovery
+// time after a crash. The round-trip check mirrors the durability
+// suite's restore property: exporting from the restored service must
+// reproduce, byte for byte, what the original service would have
+// exported next (each export bumps the deployment version by one, so
+// the reference is the original's *subsequent* export, not the
+// restored document itself).
+bool RunCheckpointOverhead(BenchJsonWriter* json,
+                           const TraceConfig& trace_config) {
+  ScenarioConfig config;
+  config.queries = 400;
+  config.seed = 11;
+  Scenario scenario = MakeScenario(config);
+  Result<std::vector<Event>> trace = GenerateTrace(
+      trace_config, scenario.workload, config.hosts, *scenario.catalog);
+  SQPR_CHECK(trace.ok()) << trace.status().ToString();
+
+  ServiceOptions options;
+  options.planner.timeout_ms = 60000;
+  options.planner.max_nodes = 200;
+  options.replan.workers = 0;
+  PlanningService service(scenario.cluster.get(), scenario.catalog.get(),
+                          options);
+  for (const Event& e : *trace) {
+    SQPR_CHECK_OK(service.Enqueue(e));
+  }
+  SQPR_CHECK_OK(service.RunUntilIdle());
+
+  constexpr int kReps = 8;
+  Stopwatch sw;
+  Result<std::string> doc = service.ExportCheckpoint();
+  SQPR_CHECK(doc.ok()) << doc.status().ToString();
+  const double export_first_ms = sw.ElapsedMillis();
+  double export_total_ms = 0.0;
+  for (int i = 0; i < kReps; ++i) {
+    sw.Reset();
+    doc = service.ExportCheckpoint();
+    export_total_ms += sw.ElapsedMillis();
+    SQPR_CHECK(doc.ok()) << doc.status().ToString();
+  }
+
+  const std::string path =
+      "/tmp/sqpr_bench_ckpt_" + std::to_string(::getpid()) + ".json";
+  double write_total_ms = 0.0;
+  for (int i = 0; i < kReps; ++i) {
+    sw.Reset();
+    const Status written = WriteFileAtomic(path, *doc);
+    write_total_ms += sw.ElapsedMillis();
+    SQPR_CHECK(written.ok()) << written.ToString();
+  }
+  Result<std::string> read_back = ReadFileToString(path);
+  SQPR_CHECK(read_back.ok()) << read_back.status().ToString();
+  std::remove(path.c_str());
+
+  // Reference for the round-trip check: what the original service
+  // exports next (one version bump past `doc`).
+  Result<std::string> reference = service.ExportCheckpoint();
+  SQPR_CHECK(reference.ok()) << reference.status().ToString();
+
+  Scenario fresh = MakeScenario(config);
+  PlanningService restored(fresh.cluster.get(), fresh.catalog.get(), options);
+  sw.Reset();
+  const Status restore = restored.RestoreCheckpoint(*doc);
+  const double restore_ms = sw.ElapsedMillis();
+  SQPR_CHECK(restore.ok()) << restore.ToString();
+  Result<std::string> round_trip = restored.ExportCheckpoint();
+  SQPR_CHECK(round_trip.ok()) << round_trip.status().ToString();
+
+  const double export_ms_avg = export_total_ms / kReps;
+  const double write_ms_avg = write_total_ms / kReps;
+  std::printf("  checkpoint: %zu bytes; export first %.2f ms (pays the "
+              "round barrier), steady avg %.2f ms; atomic write avg "
+              "%.2f ms; restore %.2f ms\n",
+              doc->size(), export_first_ms, export_ms_avg, write_ms_avg,
+              restore_ms);
+
+  bool ok = true;
+  ok &= ShapeCheck(doc->size() > 0 && *read_back == *doc,
+                   "atomic write-rename round-trips the checkpoint bytes");
+  ok &= ShapeCheck(*round_trip == *reference,
+                   "restored service exports byte-for-byte what the "
+                   "original would export next");
+  ok &= ShapeCheck(restored.stats().events == service.stats().events &&
+                       restored.stats().admitted == service.stats().admitted,
+                   "restore reinstates the serialized counters");
+
+  if (json != nullptr) {
+    BenchRecord& rec = json->Add("checkpoint-overhead");
+    rec.labels["workers"] = "0";
+    rec.labels["measure_mode"] = "none";
+    rec.labels["pipeline_depth"] = "2";
+    auto& m = rec.metrics;
+    m["checkpoint_bytes"] = static_cast<double>(doc->size());
+    m["export_first_ms"] = export_first_ms;
+    m["export_ms_avg"] = export_ms_avg;
+    m["write_ms_avg"] = write_ms_avg;
+    m["restore_ms"] = restore_ms;
+    m["events"] = static_cast<double>(service.stats().events);
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -509,7 +625,15 @@ int main(int argc, char** argv) {
                   ? c0.stats.measure_ms.mean() / n0.stats.measure_ms.mean()
                   : 0.0);
 
-  bool ok = true;
+  // ---- Scenario 4: checkpoint overhead (docs/ARCHITECTURE.md §9) —
+  // the durability tax, measured on the drift-heavy trace's final
+  // state: export (periodic event-loop stall), atomic write (fsync +
+  // rename), restore (recovery time), with the restore round-trip
+  // byte-checked against the original service. ----
+  std::printf("\n==== scenario: checkpoint-overhead ====\n");
+  const bool checkpoint_ok = RunCheckpointOverhead(jout, drifty);
+
+  bool ok = checkpoint_ok;
   ok &= DeterminismChecks("drift-heavy", d0, d1, d4);
   ok &= DeterminismChecks("arrival-heavy", a0, a1, a4);
   ok &= DeterminismChecks("closed-loop[engine]", c0, c1, c4);

@@ -1,0 +1,140 @@
+#ifndef SQPR_COMMON_JSON_H_
+#define SQPR_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqpr {
+
+/// Minimal JSON document model backing the durable artifacts (the
+/// sqpr-checkpoint-v1 schema in src/service/checkpoint.h). Two
+/// properties matter more than generality:
+///
+///  * Canonical writing: Write() renders a value with no whitespace,
+///    object members in insertion order, integers as plain decimals and
+///    doubles in shortest-round-trip form, so
+///    Write(Parse(Write(v))) == Write(v) byte for byte — the
+///    write->parse->write equality the checkpoint tests pin, and the
+///    reason two services in the same state produce cmp-equal
+///    checkpoint files.
+///  * Defensive parsing: Parse() is a bounded recursive-descent parser
+///    that turns any malformed input — truncation, bad escapes,
+///    non-finite numbers, absurd nesting — into an InvalidArgument
+///    Status quoting the offset, never UB or an abort (the
+///    corrupted-checkpoint fuzz contract).
+///
+/// Readers ignore object members they do not recognise (Find() simply
+/// never asks for them), which is the schema's forward-compatibility
+/// rule.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Int(int64_t i) {
+    JsonValue v;
+    v.kind_ = Kind::kInt;
+    v.int_ = i;
+    return v;
+  }
+  static JsonValue Double(double d) {
+    JsonValue v;
+    v.kind_ = Kind::kDouble;
+    v.double_ = d;
+    return v;
+  }
+  static JsonValue Str(std::string s) {
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_double() const { return kind_ == Kind::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  int64_t int_value() const { return int_; }
+  double double_value() const { return double_; }
+  /// Numeric value of either number kind.
+  double AsDouble() const {
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& string_value() const { return string_; }
+
+  const std::vector<JsonValue>& items() const { return items_; }
+  std::vector<JsonValue>& items() { return items_; }
+  /// Appends to an array value.
+  void Append(JsonValue v) { items_.push_back(std::move(v)); }
+
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  /// Appends a member to an object value (insertion order is the
+  /// canonical write order; callers never add a key twice).
+  void Set(std::string key, JsonValue v) {
+    members_.emplace_back(std::move(key), std::move(v));
+  }
+  /// First member with `key`, or null — absent and unknown keys are both
+  /// simply "not found".
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& m : members_) {
+      if (m.first == key) return &m.second;
+    }
+    return nullptr;
+  }
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses a complete JSON document (trailing garbage is an error).
+/// Numbers without '.', 'e' or 'E' that fit int64 parse as kInt;
+/// everything else numeric parses as kDouble. Non-finite results
+/// (overflowing literals like 1e999) are rejected. Nesting is bounded
+/// (128 levels) so hostile input cannot overflow the stack.
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Canonical single-line rendering; see the class comment for the
+/// write->parse->write byte-equality contract. Doubles must be finite
+/// (the checkpoint layer encodes non-finite values as strings).
+std::string WriteJson(const JsonValue& value);
+
+}  // namespace sqpr
+
+#endif  // SQPR_COMMON_JSON_H_

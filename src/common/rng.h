@@ -1,6 +1,7 @@
 #ifndef SQPR_COMMON_RNG_H_
 #define SQPR_COMMON_RNG_H_
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -82,6 +83,17 @@ class Rng {
   /// their own streams without correlating draws.
   Rng Fork(uint64_t label) {
     return Rng(NextUint64() ^ (label * 0x9e3779b97f4a7c15ULL));
+  }
+
+  /// Raw generator state for checkpointing: restoring the four words
+  /// resumes the stream at exactly the next draw. Used by consumers
+  /// whose draw count is data-dependent (measurement noise shaping) and
+  /// therefore cannot be replayed positionally.
+  std::array<uint64_t, 4> SaveState() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void RestoreState(const std::array<uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) state_[i] = state[i];
   }
 
  private:

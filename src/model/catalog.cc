@@ -59,6 +59,7 @@ StreamId Catalog::AddBaseStream(HostId source_host, double rate_mbps,
                                 std::string name) {
   SQPR_CHECK(rate_mbps > 0) << "base stream needs a positive rate";
   std::lock_guard<std::mutex> lock(intern_mu_);
+  if (streams_.Full()) return kInvalidStream;
   StreamInfo info;
   info.id = static_cast<StreamId>(streams_.size());
   info.is_base = true;
@@ -84,6 +85,10 @@ double Catalog::SumLeafRates(const std::vector<StreamId>& leaves) const {
 StreamId Catalog::InternJoinStreamLocked(std::vector<StreamId> sorted_leaves) {
   auto it = join_stream_by_leaves_.find(sorted_leaves);
   if (it != join_stream_by_leaves_.end()) return it->second;
+
+  // Graceful exhaustion: finding an existing stream (above) always
+  // works; only *new* interning is refused.
+  if (streams_.Full()) return kInvalidStream;
 
   StreamInfo info;
   info.id = static_cast<StreamId>(streams_.size());
@@ -121,7 +126,11 @@ Result<StreamId> Catalog::CanonicalJoinStream(
                                      " is not a base stream");
     }
   }
-  return InternJoinStreamLocked(std::move(base_leaves));
+  const StreamId id = InternJoinStreamLocked(std::move(base_leaves));
+  if (id == kInvalidStream) {
+    return Status::ResourceExhausted("catalog stream store is full");
+  }
+  return id;
 }
 
 Result<OperatorId> Catalog::JoinOperatorLocked(StreamId left, StreamId right) {
@@ -146,7 +155,13 @@ Result<OperatorId> Catalog::JoinOperatorLocked(StreamId left, StreamId right) {
   auto it = join_op_by_inputs_.find(inputs);
   if (it != join_op_by_inputs_.end()) return it->second;
 
+  if (operators_.Full()) {
+    return Status::ResourceExhausted("catalog operator store is full");
+  }
   const StreamId output = InternJoinStreamLocked(leaves);
+  if (output == kInvalidStream) {
+    return Status::ResourceExhausted("catalog stream store is full");
+  }
 
   OperatorInfo op;
   op.id = static_cast<OperatorId>(operators_.size());
@@ -193,6 +208,10 @@ Result<OperatorId> Catalog::UnaryOperator(OpKind kind, StreamId input,
     const ProducerList& prods = producers_[it->second];
     SQPR_CHECK(!prods.empty());
     return prods.front();
+  }
+
+  if (streams_.Full() || operators_.Full()) {
+    return Status::ResourceExhausted("catalog store is full");
   }
 
   const StreamInfo& in = streams_[input];
@@ -299,7 +318,7 @@ Result<Closure> Catalog::JoinClosureLocked(StreamId stream) {
     const OperatorId producer_id = producers_[stream].front();
     const StreamId producer_input = operators_[producer_id].inputs.front();
     Result<Closure> sub = JoinClosureLocked(producer_input);
-    SQPR_CHECK(sub.ok());
+    if (!sub.ok()) return sub.status();
     closure = *sub;
     closure.streams.push_back(stream);
     closure.operators.push_back(producer_id);
@@ -328,6 +347,15 @@ Result<Closure> Catalog::JoinClosureLocked(StreamId stream) {
       if (mask & (1u << i)) subset.push_back(leaves[i]);
     }
     by_mask[mask] = InternJoinStreamLocked(subset);  // already sorted
+    if (by_mask[mask] == kInvalidStream) {
+      // Graceful exhaustion mid-expansion: whatever interned so far
+      // stays published and reusable, but this closure is incomplete —
+      // report it rather than caching a partial expansion. (The caller
+      // turns this into an admission rejection.)
+      return Status::ResourceExhausted(
+          "catalog stream store exhausted expanding the closure of stream " +
+          std::to_string(stream));
+    }
     streams_set.insert(by_mask[mask]);
   }
   for (uint32_t mask = 1; mask < (1u << k); ++mask) {
@@ -338,7 +366,10 @@ Result<Closure> Catalog::JoinClosureLocked(StreamId stream) {
       const uint32_t other = mask ^ sub;
       if (sub < other) continue;  // count each unordered split once
       Result<OperatorId> op = JoinOperatorLocked(by_mask[sub], by_mask[other]);
-      SQPR_CHECK(op.ok()) << op.status().ToString();
+      if (!op.ok()) {
+        if (op.status().IsResourceExhausted()) return op.status();
+        SQPR_CHECK(op.ok()) << op.status().ToString();
+      }
       ops_set.insert(*op);
     }
   }

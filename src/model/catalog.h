@@ -98,6 +98,21 @@ class StableStore {
 
   size_t size() const { return size_.load(std::memory_order_acquire); }
 
+  /// True when the store cannot accept another entry. Writers must test
+  /// this *before* appending: NextSlot's capacity check is a last-resort
+  /// invariant, not an admission policy.
+  bool Full() const { return size() >= capacity_limit_; }
+
+  size_t capacity() const { return capacity_limit_; }
+
+  /// Shrinks the admission capacity so tests can exercise graceful
+  /// exhaustion without interning millions of entries. Never grows past
+  /// the physical spine capacity. Owner-serialised like appends; only
+  /// call before concurrent readers exist.
+  void set_capacity_for_testing(size_t limit) {
+    capacity_limit_ = std::min(limit, kBlockSize * kSpineSize);
+  }
+
   /// Lock-free read of a published entry. The acquire load in the bounds
   /// check synchronises with the writer's release publication.
   const T& operator[](size_t i) const {
@@ -131,7 +146,7 @@ class StableStore {
  private:
   T& NextSlot() {
     const size_t i = size_.load(std::memory_order_relaxed);
-    SQPR_CHECK(i < kBlockSize * kSpineSize) << "StableStore capacity";
+    SQPR_CHECK(i < capacity_limit_) << "StableStore capacity";
     T* block = spine_[i >> kBlockBits].load(std::memory_order_relaxed);
     if (block == nullptr) {
       block = new T[kBlockSize];
@@ -147,6 +162,7 @@ class StableStore {
 
   std::array<std::atomic<T*>, kSpineSize> spine_{};
   std::atomic<size_t> size_{0};
+  size_t capacity_limit_ = kBlockSize * kSpineSize;
 };
 
 /// Append-only list of the operators producing one stream, readable
@@ -246,12 +262,17 @@ class ProducerList {
 ///
 /// Capacity: the stable stores are bounded (kBlockSize * kSpineSize =
 /// 8M streams and 8M operators — roughly a GB of operator metadata,
-/// far past the point where solves stop being practical) and abort via
-/// SQPR_CHECK when exhausted, since entries are never reclaimed.
-/// Catalog growth is driven by *distinct* query leaf sets (an 8-leaf
-/// closure interns ~3k operators), so a service intending to run
-/// against unbounded novel workloads needs catalog GC first — a
-/// ROADMAP item.
+/// far past the point where solves stop being practical) and entries
+/// are never reclaimed. Exhaustion is a *graceful* condition, not an
+/// abort: interning entry points return kInvalidStream /
+/// ResourceExhausted when a store is full, and the planning service
+/// turns that into a reason-coded admission rejection
+/// (ServiceStats::catalog_exhausted). Catalog growth is driven by
+/// *distinct* query leaf sets (an 8-leaf closure interns ~3k
+/// operators), so a service intending to run against unbounded novel
+/// workloads needs catalog GC first — a ROADMAP item.
+/// set_capacity_for_testing shrinks the limits so tests can reach the
+/// condition cheaply.
 class Catalog {
  public:
   explicit Catalog(CostModel cost_model) : cost_model_(cost_model) {}
@@ -260,6 +281,7 @@ class Catalog {
   Catalog& operator=(const Catalog&) = delete;
 
   /// Registers a base stream injected at `source_host` with rate ̺.
+  /// Returns kInvalidStream when the stream store is at capacity.
   StreamId AddBaseStream(HostId source_host, double rate_mbps,
                          std::string name = "");
 
@@ -321,6 +343,16 @@ class Catalog {
   /// from the old rates. Lock-free to read (planner hot path).
   uint64_t rate_epoch() const {
     return rate_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Shrinks both stores' admission capacity (see
+  /// StableStore::set_capacity_for_testing). The producer store tracks
+  /// the stream store one-to-one, so it gets the stream limit too.
+  void set_capacity_for_testing(size_t max_streams, size_t max_operators) {
+    std::lock_guard<std::mutex> lock(intern_mu_);
+    streams_.set_capacity_for_testing(max_streams);
+    producers_.set_capacity_for_testing(max_streams);
+    operators_.set_capacity_for_testing(max_operators);
   }
 
  private:

@@ -206,6 +206,31 @@ class Deployment {
   /// reported against the bytes a snapshot overlay moves instead.
   size_t ApproxSizeBytes() const;
 
+  // ---- Checkpoint support (src/service/checkpoint.h). ----
+
+  /// Streams carrying at least one committed flow, ascending — the
+  /// checkpoint writer's enumeration of the flow table (FlowsOf gives
+  /// each stream's per-flow insertion order, which the restore path
+  /// replays verbatim).
+  std::vector<StreamId> FlowStreams() const {
+    std::vector<StreamId> out;
+    out.reserve(flows_by_stream_.size());
+    for (const auto& entry : flows_by_stream_) {
+      if (!entry.second.empty()) out.push_back(entry.first);
+    }
+    return out;
+  }
+
+  /// Overwrites the change counters with checkpointed values, after a
+  /// restore rebuilt the structure through the ordinary mutators (which
+  /// counted from zero). Only relative consistency matters for the
+  /// planner's commit gate; restoring the absolute values keeps audit
+  /// records and version-keyed caches continuous across a crash.
+  void RestoreVersions(uint64_t version, uint64_t structure_version) {
+    version_ = version;
+    structure_version_ = structure_version;
+  }
+
  private:
   /// Bumps version_ and journals one successful mutation.
   void RecordMutation(DeploymentMutation::Kind kind, HostId a, HostId b,

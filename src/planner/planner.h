@@ -42,6 +42,15 @@ struct PlanningStats {
   bool model_rebuilt = false;
   bool warm_started = false;
   bool basis_discarded = false;
+  /// Degraded-mode solving (docs/ARCHITECTURE.md "Durability & degraded
+  /// modes"). deadline_hit: the MILP ran out of its per-solve wall
+  /// budget (SqprPlanner::Options::solve_deadline_ms) before proving
+  /// optimality; the planner then committed the best incumbent, or fell
+  /// back to the greedy heuristic. admitted_via_heuristic: admission
+  /// came from the greedy fallback rather than a MILP solution — the
+  /// plan is feasible but carries no optimality claim.
+  bool deadline_hit = false;
+  bool admitted_via_heuristic = false;
 };
 
 /// Common interface of all query planners (SQPR, heuristic, SODA).

@@ -174,6 +174,10 @@ Result<std::vector<PlanningStats>> SqprPlanner::SubmitBatch(
   milp::SolverOptions solver_options;
   solver_options.deadline = Deadline::AfterMillis(
       options_.timeout_ms * static_cast<int64_t>(fresh.size()));
+  // The degraded-mode budget is per *solve*, deliberately not scaled by
+  // the batch size: it caps how long any one solve can stall the
+  // service event loop.
+  solver_options.solve_deadline_ms = options_.solve_deadline_ms;
   solver_options.max_nodes = options_.max_nodes;
   solver_options.gap_abs = options_.mip_gap_abs;
   solver_options.gap_rel = options_.mip_gap_rel;
@@ -237,6 +241,7 @@ Result<std::vector<PlanningStats>> SqprPlanner::SubmitBatch(
       if (GreedyAdmit(*cluster_, catalog_, queries[i],
                       options_.model.weights, &deployment_)) {
         stats[i].admitted = true;
+        stats[i].admitted_via_heuristic = true;
         admitted_.push_back(queries[i]);
         if (options_.validate_commits) {
           const Status valid = deployment_.Validate();
@@ -253,6 +258,7 @@ Result<std::vector<PlanningStats>> SqprPlanner::SubmitBatch(
     s.lp_iterations = result.lp_iterations;
     s.objective = result.has_solution() ? result.objective : 0.0;
     s.proved_optimal = result.status == milp::MipStatus::kOptimal;
+    s.deadline_hit = result.deadline_hit;
     s.model_patched = patched;
     s.model_rebuilt = !patched;
     s.warm_started = result.used_warm_basis;

@@ -63,6 +63,15 @@ class SqprPlanner : public Planner {
   struct Options {
     /// Per-query CPLEX-analogue timeout. Batches get n× this budget.
     int64_t timeout_ms = 1000;
+    /// Degraded-mode wall budget per MILP *solve* (docs/ARCHITECTURE.md
+    /// "Durability & degraded modes"): unlike timeout_ms it is NOT
+    /// batch-scaled — it caps how long any single solve may stall the
+    /// service, however many queries ride in it. 0 disables. On breach
+    /// the solver hands back its best incumbent (or the greedy fallback
+    /// takes over) and PlanningStats::deadline_hit reports it. Negative
+    /// values make the budget expire instantly — the deterministic
+    /// every-solve-breaches lever the durability tests use.
+    int64_t solve_deadline_ms = 0;
     int64_t max_nodes = 1000000;
     /// Optimality-gap tolerances handed to the MILP solver. Admission is
     /// worth λ1 (hundreds), so a small absolute gap can never flip an
@@ -240,6 +249,22 @@ class SqprPlanner : public Planner {
   /// journal exceeds Options::snapshot_rebase_threshold. Loop-thread
   /// only, like every other mutator.
   std::shared_ptr<const Snapshot> MakeSnapshot(SnapshotStats* stats = nullptr);
+
+  // ---- Checkpoint support (src/service/checkpoint.h). ----
+
+  /// Mutable access to the committed deployment, for restore-time
+  /// reconstruction only: the restorer replays the checkpointed
+  /// structure through the ordinary mutators, calls
+  /// RefreshAccounting() to canonicalize the ledger floats, then
+  /// reinstates the version counters. Never call while snapshots or
+  /// proposals are in flight.
+  Deployment* mutable_deployment() { return &deployment_; }
+
+  /// Reinstates the admitted-query list (submission order) alongside a
+  /// restored deployment.
+  void RestoreAdmitted(std::vector<StreamId> admitted) {
+    admitted_ = std::move(admitted);
+  }
 
  private:
   struct RelevantSets {

@@ -1,0 +1,40 @@
+#ifndef SQPR_SERVICE_CHECKPOINT_H_
+#define SQPR_SERVICE_CHECKPOINT_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace sqpr {
+
+/// Crash-durable checkpointing of the planning service (the
+/// PlanningService::ExportCheckpoint / RestoreCheckpoint pair lives in
+/// checkpoint.cc; see docs/ARCHITECTURE.md "Durability & degraded
+/// modes").
+///
+/// A checkpoint is one canonical JSON document (common/json.h) under
+/// the versioned schema below. Writers emit every field; readers treat
+/// a missing or mis-typed *known* field as InvalidArgument and ignore
+/// unknown fields entirely, so a v1 reader keeps accepting documents
+/// from writers that have since grown new fields.
+inline constexpr char kCheckpointSchema[] = "sqpr-checkpoint-v1";
+
+/// Writes `contents` to `path` through a temp-file + rename(2) protocol:
+/// the bytes land in `path + ".tmp"` first and only an atomically
+/// renamed, fully written file ever appears under `path`. A crash at any
+/// point — including the injected mid-write crash point
+/// "checkpoint-write" (common/fault.h) — leaves either the previous
+/// checkpoint intact or the previous checkpoint plus a stale temp file,
+/// never a torn file under the real name. Flushes to the OS, not to the
+/// platter: the durability model is process death (the fault harness's
+/// std::_Exit), not power loss.
+Status WriteFileAtomic(const std::string& path, const std::string& contents);
+
+/// Slurps a file; NotFound when it cannot be opened, Internal on read
+/// errors. Used by the --restore path, whose caller turns any error into
+/// a quoted message and a non-zero exit instead of an abort.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace sqpr
+
+#endif  // SQPR_SERVICE_CHECKPOINT_H_

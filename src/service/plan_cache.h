@@ -103,6 +103,19 @@ class PlanCache {
   int64_t delta_updates() const { return delta_updates_; }
   int64_t noop_skips() const { return noop_skips_; }
 
+  /// Checkpoint support (src/service/checkpoint.h): reinstates the
+  /// arrival-facing counters after a restore rebuilt the index from the
+  /// restored deployment. Only the hit/miss counters round-trip — they
+  /// describe the workload. The maintenance counters (rebuilds,
+  /// delta_updates, noop_skips) describe *this process's* work and
+  /// restart from the rebuild the restore itself performed.
+  void RestoreCounters(int64_t exact_hits, int64_t partial_hits,
+                       int64_t misses) {
+    exact_hits_ = exact_hits;
+    partial_hits_ = partial_hits;
+    misses_ = misses;
+  }
+
   /// Canonical dump of the index *and* the grounded bitmap — equality
   /// of dumps is the contract between ApplyDelta and Rebuild that the
   /// incremental-maintenance tests check.

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/deadline.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "obs/trace.h"
 #include "plan/query_plan.h"
@@ -117,6 +118,12 @@ void ServiceMetricsPublisher::Publish(const ServiceStats& stats) {
   Bump("service.warm_starts", stats.warm_starts, &last_.warm_starts);
   Bump("service.basis_discards", stats.basis_discards,
        &last_.basis_discards);
+  Bump("service.catalog_exhausted", stats.catalog_exhausted,
+       &last_.catalog_exhausted);
+  Bump("service.solver_deadline_breaches", stats.solver_deadline_breaches,
+       &last_.solver_deadline_breaches);
+  Bump("service.heuristic_fallbacks", stats.heuristic_fallbacks,
+       &last_.heuristic_fallbacks);
   Bump("service.loop_stalls", stats.loop_stalls, &last_.loop_stalls);
   Bump("service.admit_budget_breaches", stats.admit_budget_breaches,
        &last_.admit_budget_breaches);
@@ -490,7 +497,7 @@ Result<PlanningStats> PlanningService::Admit(StreamId query,
   if (!inflight_.empty() && overlapped_arrival) {
     ++stats_.overlapped_arrival_solves;
   }
-  const Status warmed = planner_.WarmCatalog(query);
+  const Status warmed = WarmCatalogLogged(query);
   if (!warmed.ok()) {
     SampleStage(&stats_.admit_ms, watch.ElapsedMillis(),
                 options_.watchdog.admit_budget_ms,
@@ -544,6 +551,7 @@ Result<PlanningStats> PlanningService::Admit(StreamId query,
   }
   if (stats.ok()) {
     CountSolveStats(*stats);
+    AuditDeadlineBreach(query, *stats);
     if (!stats->already_served && !stats->via_cache) {
       SampleStage(&stats_.solve_ms, solve_wall_ms,
                   options_.watchdog.solve_budget_ms,
@@ -574,6 +582,34 @@ void PlanningService::CountSolveStats(const PlanningStats& stats) {
   if (stats.model_rebuilt) ++stats_.model_rebuilds;
   if (stats.warm_started) ++stats_.warm_starts;
   if (stats.basis_discarded) ++stats_.basis_discards;
+  if (stats.deadline_hit) ++stats_.solver_deadline_breaches;
+  if (stats.admitted && stats.admitted_via_heuristic) {
+    ++stats_.heuristic_fallbacks;
+  }
+}
+
+Status PlanningService::WarmCatalogLogged(StreamId query) {
+  // First-call order, recorded regardless of outcome: a restore must
+  // replay failing warms too, so the catalog reaches the same partial
+  // interning state a graceful exhaustion left behind.
+  if (warm_logged_.insert(query).second) warm_log_.push_back(query);
+  Status warmed = planner_.WarmCatalog(query);
+  if (warmed.IsResourceExhausted()) ++stats_.catalog_exhausted;
+  return warmed;
+}
+
+void PlanningService::AuditDeadlineBreach(StreamId query,
+                                          const PlanningStats& stats) const {
+  if (!AuditOn() || !stats.deadline_hit) return;
+  obs::AuditRecord r = AuditBase("solve.deadline");
+  // Wall-clock-driven with a positive budget, so never canonical.
+  r.speculative = true;
+  r.query = query;
+  r.detail = !stats.admitted                ? 3
+             : stats.admitted_via_heuristic ? 2
+                                            : 1;
+  r.solve_ms = stats.wall_ms;
+  AuditAppend(std::move(r));
 }
 
 void PlanningService::RememberRejected(StreamId query) {
@@ -604,7 +640,11 @@ void PlanningService::HandleArrival(const Event& event,
     SQPR_LOG_WARN << "arrival of query " << event.query
                   << " failed: " << stats.status().ToString();
     ++stats_.rejected;
-    kind = "reject.error";
+    // Catalog exhaustion is permanent for this process: do NOT remember
+    // the query for retry-on-join — a bigger cluster cannot un-fill the
+    // interning stores.
+    kind = stats.status().IsResourceExhausted() ? "reject.exhausted"
+                                                : "reject.error";
   } else {
     outcome->admitted = stats->admitted;
     outcome->already_served = stats->already_served;
@@ -621,6 +661,14 @@ void PlanningService::HandleArrival(const Event& event,
       ++stats_.rejected;
       RememberRejected(event.query);
       kind = "reject.capacity";
+      // A deadline-truncated solve may have rejected a query the full
+      // search would have placed. Give it exactly one more chance on the
+      // re-planning path; once per query, or a permanently infeasible
+      // query would ping-pong forever under a tiny budget.
+      if (stats->deadline_hit &&
+          deadline_retried_.insert(event.query).second) {
+        scheduler_.Enqueue(event.query);
+      }
     }
   }
   if (AuditOn()) {
@@ -913,7 +961,7 @@ void PlanningService::DispatchReplanRound() {
   // a deterministic point (worker scheduling must never decide intern
   // order) and makes the round's catalog accesses pure reads.
   for (StreamId q : flight.queries) {
-    const Status warmed = planner_.WarmCatalog(q);
+    const Status warmed = WarmCatalogLogged(q);
     if (!warmed.ok()) {
       SQPR_LOG_WARN << "warming catalog for query " << q
                     << " failed: " << warmed.ToString();
@@ -973,6 +1021,10 @@ void PlanningService::DispatchReplanRound() {
   }
   inflight_.push_back(std::move(flight));
   ++stats_.replan_dispatches;
+  // Crash point: a round has been dispatched but not committed. A
+  // checkpoint taken before this event never saw the round, so restore
+  // re-derives it from the scheduler groups.
+  fault::MaybeCrash("mid-round");
 }
 
 void PlanningService::CommitOldestRound(EventOutcome* outcome) {
@@ -1050,6 +1102,7 @@ void PlanningService::CommitOldestRound(EventOutcome* outcome) {
       if (committed.ok()) {
         resolved = true;
         CountSolveStats(*committed);
+        AuditDeadlineBreach(q, *committed);
         admitted = committed->admitted;
         if (admitted && !committed->already_served) {
           MarkCacheDelta(proposal->delta);

@@ -196,6 +196,22 @@ struct ServiceStats {
   int64_t model_rebuilds = 0;
   int64_t warm_starts = 0;
   int64_t basis_discards = 0;
+  /// Arrivals rejected because the catalog's bounded stores could not
+  /// intern the query's join closure (ResourceExhausted) — a permanent
+  /// condition until catalog GC exists, so these queries are *not*
+  /// remembered for retry-on-join. Reason-coded in the audit journal as
+  /// reject.exhausted.
+  int64_t catalog_exhausted = 0;
+  /// Degraded-mode solving (docs/ARCHITECTURE.md "Durability & degraded
+  /// modes"): MILP solves that breached the per-solve wall budget
+  /// (planner.solve_deadline_ms) and committed a best-incumbent or
+  /// fell through, and admissions that came from the greedy heuristic
+  /// fallback instead of a MILP solution. Wall-clock-driven with a
+  /// positive budget (hence excluded from replay-invariance ties, like
+  /// the watchdog counters); deterministic under the negative
+  /// instantly-expired test budget.
+  int64_t solver_deadline_breaches = 0;
+  int64_t heuristic_fallbacks = 0;
   double total_wall_ms = 0.0;
   double max_event_ms = 0.0;
 
@@ -395,6 +411,34 @@ class PlanningService {
   /// loop thread at dispatch; the pipeline and results are identical).
   int workers() const { return pool_ ? pool_->num_threads() : 0; }
 
+  // ---- Crash durability (implemented in src/service/checkpoint.cc;
+  // see docs/ARCHITECTURE.md "Durability & degraded modes"). ----
+
+  /// Serializes the full service state as a sqpr-checkpoint-v1 JSON
+  /// document. A checkpoint is a *pipeline barrier*: the call first
+  /// retires any in-flight rounds (commit the oldest, unwind the rest),
+  /// syncs the plan cache and canonicalizes the deployment ledgers —
+  /// the same quiesce every barrier event performs — so the serialized
+  /// state is worker/depth-invariant and the exported bytes are
+  /// byte-identical across worker counts and pipeline depths. Restoring
+  /// it into a freshly constructed service (same cluster/catalog/
+  /// options provenance) and replaying the remaining events produces
+  /// bit-identical committed deployments to an uninterrupted run that
+  /// checkpointed at the same point.
+  Result<std::string> ExportCheckpoint();
+
+  /// Reinstates an ExportCheckpoint document into this service. The
+  /// service must be freshly constructed — no events consumed — over a
+  /// catalog rebuilt exactly as the checkpointing process built it
+  /// before its first event (same workload generation, same seed) and
+  /// the same ServiceOptions. Returns InvalidArgument with a quoted
+  /// reason on version mismatch or any malformed/missing field; unknown
+  /// fields are ignored (forward compatibility). On error the service
+  /// is not safe to keep using. stats().events tells the caller how
+  /// many trace events the checkpoint had consumed — i.e. where to
+  /// resume the trace.
+  Status RestoreCheckpoint(const std::string& json);
+
  private:
   /// One re-planning round in the speculative pipeline. With workers,
   /// tasks capture the shared_ptr state (never `this`), so destruction
@@ -521,6 +565,18 @@ class PlanningService {
   Result<PlanningStats> Admit(StreamId query, int* reuse_candidates,
                               bool overlapped_arrival = true);
 
+  /// Wraps SqprPlanner::WarmCatalog: records the first-call order of
+  /// warmed queries (the catalog intern log a checkpoint replays to
+  /// reproduce StreamId assignment) and counts graceful catalog
+  /// exhaustion.
+  Status WarmCatalogLogged(StreamId query);
+
+  /// Speculative (wall-dependent) audit record for a solve that
+  /// breached its degraded-mode budget: detail 1 = admitted via the
+  /// solver's best incumbent, 2 = admitted via the greedy heuristic,
+  /// 3 = rejected (retried through the next round once, arrivals only).
+  void AuditDeadlineBreach(StreamId query, const PlanningStats& stats) const;
+
   /// Folds one solve's incremental-path telemetry into the aggregate
   /// counters (loop thread only; worker-side solves are counted when
   /// their proposals commit).
@@ -581,6 +637,18 @@ class PlanningService {
   std::map<HostId, HostSpec> failed_hosts_;
   /// Recently rejected queries (FIFO, bounded), retried after joins.
   std::deque<StreamId> rejected_recently_;
+  /// First-call order of every query whose catalog closure this service
+  /// warmed (WarmCatalogLogged). Interning order decides StreamId
+  /// assignment, so a checkpoint restore replays JoinClosure over this
+  /// log — in order, onto a catalog rebuilt to its pre-service state —
+  /// to reproduce the catalog bit-for-bit.
+  std::vector<StreamId> warm_log_;
+  std::set<StreamId> warm_logged_;
+  /// Queries already granted their one retry after a deadline-breach
+  /// rejection. The single-shot guard keeps the degraded mode from
+  /// looping a query forever when every solve breaches (the
+  /// instantly-expired test budget does exactly that).
+  std::set<StreamId> deadline_retried_;
 
   /// Speculative re-planning pipeline (every worker count), oldest
   /// round at the front; at most ReplanPolicyOptions::pipeline_depth

@@ -72,6 +72,30 @@ void ReplanScheduler::Requeue(const std::vector<StreamId>& queries) {
   if (!group.empty()) groups_.push_front(std::move(group));
 }
 
+std::vector<std::vector<StreamId>> ReplanScheduler::ExportGroups() const {
+  std::vector<std::vector<StreamId>> out;
+  out.reserve(groups_.size());
+  for (const auto& group : groups_) {
+    if (group.empty()) continue;
+    out.emplace_back(group.begin(), group.end());
+  }
+  return out;
+}
+
+void ReplanScheduler::ImportGroups(
+    const std::vector<std::vector<StreamId>>& groups) {
+  groups_.clear();
+  pending_.clear();
+  for (const auto& group : groups) {
+    std::deque<StreamId> restored;
+    for (StreamId q : group) {
+      if (!pending_.insert(q).second) continue;
+      restored.push_back(q);
+    }
+    if (!restored.empty()) groups_.push_back(std::move(restored));
+  }
+}
+
 std::vector<StreamId> ReplanScheduler::PendingQueries() const {
   std::vector<StreamId> out;
   out.reserve(pending_.size());

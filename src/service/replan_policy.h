@@ -113,6 +113,19 @@ class ReplanScheduler {
   /// the audit journal's close.pending record carries.
   std::vector<StreamId> PendingQueries() const;
 
+  /// Checkpoint support (src/service/checkpoint.h). Round composition is
+  /// pinned at enqueue time, so a faithful restore must preserve the
+  /// *group boundaries*, not just the flat candidate order — otherwise a
+  /// restored service would re-cut the backlog into different rounds
+  /// than the uninterrupted run. Empty groups (fully Discarded) are
+  /// dropped on export; they are unobservable, NextRound skips them.
+  std::vector<std::vector<StreamId>> ExportGroups() const;
+
+  /// Replaces the backlog with `groups`, rebuilding the pending set.
+  /// No audit records are emitted: the enqueues were already audited in
+  /// the run that produced the checkpoint.
+  void ImportGroups(const std::vector<std::vector<StreamId>>& groups);
+
   /// Attaches a decision audit journal (null detaches). Genuine
   /// enqueues happen at barrier-retired points, so replan.enqueue
   /// records are canonical (worker/depth-invariant); requeues and

@@ -66,6 +66,27 @@ void MeasurementEngine::ShapeMeasurement(
   }
 }
 
+TelemetryCheckpoint MeasurementEngine::ExportState() const {
+  TelemetryCheckpoint ck;
+  ck.measurements = measurements_;
+  ck.noise_rng_state = noise_rng_.SaveState();
+  ck.rate_ewma = rate_ewma_;
+  ck.cpu_ewma = cpu_ewma_;
+  ck.trajectories = rate_model_.ExportTrajectories();
+  return ck;
+}
+
+Status MeasurementEngine::RestoreState(const TelemetryCheckpoint& checkpoint) {
+  measurements_ = checkpoint.measurements;
+  noise_rng_.RestoreState(checkpoint.noise_rng_state);
+  rate_ewma_ = checkpoint.rate_ewma;
+  cpu_ewma_ = checkpoint.cpu_ewma;
+  for (const auto& [trajectory, install_ms] : checkpoint.trajectories) {
+    SQPR_RETURN_IF_ERROR(rate_model_.Install(trajectory, install_ms));
+  }
+  return Status::OK();
+}
+
 Result<Measurement> MeasurementEngine::Measure(const Deployment& deployment,
                                                int64_t now_ms) {
   // Ground truth at this virtual time (advances random-walk state).

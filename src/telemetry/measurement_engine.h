@@ -1,8 +1,10 @@
 #ifndef SQPR_TELEMETRY_MEASUREMENT_ENGINE_H_
 #define SQPR_TELEMETRY_MEASUREMENT_ENGINE_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -92,6 +94,20 @@ struct Measurement {
   SimReport raw;
 };
 
+/// Serializable state of a MeasurementEngine (src/service/checkpoint.h).
+/// The noise generator's raw words are carried because its draw count is
+/// data-dependent (one draw per shaped sample, and the sample set
+/// depends on the deployment) — unlike the rate model's walks it cannot
+/// be replayed positionally. The rate model itself round-trips as its
+/// trajectory directives; see RateModel::ExportTrajectories.
+struct TelemetryCheckpoint {
+  int64_t measurements = 0;
+  std::array<uint64_t, 4> noise_rng_state = {0, 0, 0, 0};
+  std::map<StreamId, double> rate_ewma;
+  std::vector<double> cpu_ewma;
+  std::vector<std::pair<RateTrajectory, int64_t>> trajectories;
+};
+
 /// The measurement half of the paper's closed control loop (§IV-C):
 /// every measure_period ticks the planning service asks this engine to
 /// measure its own committed deployment. The engine evaluates the
@@ -123,6 +139,14 @@ class MeasurementEngine {
   /// `now_ms`. Advances the rate model (random walks), the noise stream
   /// and the EWMA state.
   Result<Measurement> Measure(const Deployment& deployment, int64_t now_ms);
+
+  /// Checkpoint support (src/service/checkpoint.h).
+  TelemetryCheckpoint ExportState() const;
+  /// Reinstates exported state into an engine built with the *same*
+  /// TelemetryOptions (in particular the same seed — the rate model's
+  /// walk streams are derived from it and are not serialized). Returns
+  /// the first trajectory re-install error, if any.
+  Status RestoreState(const TelemetryCheckpoint& checkpoint);
 
  private:
   double Shape(double sample, double* ewma_state, bool first);

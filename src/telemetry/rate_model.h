@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -93,6 +95,23 @@ class RateModel {
 
   /// True rates of every modelled stream at t_ms.
   std::map<StreamId, double> RatesAt(int64_t t_ms);
+
+  /// Checkpoint support (src/service/checkpoint.h): the installed
+  /// trajectories and their install times, in stream-id order. Walk
+  /// state is deliberately *not* exported — it is a pure function of
+  /// (model seed, stream, install time, latest query time), the walk
+  /// stream is seeded from (seed, stream) alone, and the service only
+  /// queries forward in virtual time; so re-Install()ing these pairs
+  /// into a model with the same seed reproduces every subsequent
+  /// evaluation bit-for-bit.
+  std::vector<std::pair<RateTrajectory, int64_t>> ExportTrajectories() const {
+    std::vector<std::pair<RateTrajectory, int64_t>> out;
+    out.reserve(entries_.size());
+    for (const auto& [s, entry] : entries_) {
+      out.emplace_back(entry.trajectory, entry.install_ms);
+    }
+    return out;
+  }
 
  private:
   struct Entry {

@@ -22,6 +22,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -131,19 +132,29 @@ TraceConfig MakeTraceConfig(uint64_t seed) {
   return tc;
 }
 
-ReplayResult Replay(uint64_t seed, int workers, bool closed_loop = false,
-                    MeasureMode mode = MeasureMode::kEngine,
-                    int pipeline_depth = 2,
-                    obs::AuditJournal* journal = nullptr) {
-  Cluster cluster(3, HostSpec{0.6, 70.0, 70.0, ""}, 140.0);
-  Catalog catalog(CostModel{});
+/// Scenario state rebuilt from scratch per replay (drift reports and
+/// warm-ups mutate the catalog, so nothing may leak between replays).
+/// Owned through pointers because the checkpoint/restore properties
+/// need two independent scenarios alive at once ("the crashed process"
+/// and "the restarted process").
+struct Scenario {
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<Catalog> catalog;
+  std::vector<Event> trace;
+};
+
+Scenario MakeScenario(uint64_t seed, bool closed_loop) {
+  Scenario s;
+  s.cluster =
+      std::make_unique<Cluster>(3, HostSpec{0.6, 70.0, 70.0, ""}, 140.0);
+  s.catalog = std::make_unique<Catalog>(CostModel{});
 
   WorkloadConfig wc;
   wc.num_base_streams = 18;
   wc.num_queries = 30;
   wc.arities = {2, 3};
   wc.seed = seed;
-  Result<Workload> workload = GenerateWorkload(wc, 3, &catalog);
+  Result<Workload> workload = GenerateWorkload(wc, 3, s.catalog.get());
   EXPECT_TRUE(workload.ok()) << workload.status().ToString();
 
   TraceConfig tc = MakeTraceConfig(seed);
@@ -154,9 +165,16 @@ ReplayResult Replay(uint64_t seed, int workers, bool closed_loop = false,
     tc.closed_loop = true;
     tc.tick_weight = 0.55;
   }
-  Result<std::vector<Event>> trace = GenerateTrace(tc, *workload, 3, catalog);
+  Result<std::vector<Event>> trace =
+      GenerateTrace(tc, *workload, 3, *s.catalog);
   EXPECT_TRUE(trace.ok()) << trace.status().ToString();
+  s.trace = std::move(*trace);
+  return s;
+}
 
+ServiceOptions MakeOptions(uint64_t seed, int workers, bool closed_loop,
+                           MeasureMode mode, int pipeline_depth,
+                           obs::AuditJournal* journal) {
   ServiceOptions options;
   // The contract requires a node-bounded solver: a wall-clock deadline
   // that fires mid-search would make the incumbent depend on machine
@@ -183,11 +201,10 @@ ReplayResult Replay(uint64_t seed, int workers, bool closed_loop = false,
     options.telemetry.sim.duration_ms = 400;
   }
   options.audit = journal;
-  PlanningService service(&cluster, &catalog, options);
-  for (const Event& e : *trace) EXPECT_TRUE(service.Enqueue(e).ok());
-  EXPECT_TRUE(service.RunUntilIdle().ok());
-  if (journal != nullptr) service.FinalizeAudit();
+  return options;
+}
 
+ReplayResult Harvest(PlanningService& service) {
   ReplayResult result;
   result.fingerprint = service.deployment().Fingerprint();
   const ServiceStats& stats = service.stats();
@@ -211,6 +228,20 @@ ReplayResult Replay(uint64_t seed, int workers, bool closed_loop = false,
   result.pending_replans = service.pending_replans();
   result.valid = service.deployment().Validate().ok();
   return result;
+}
+
+ReplayResult Replay(uint64_t seed, int workers, bool closed_loop = false,
+                    MeasureMode mode = MeasureMode::kEngine,
+                    int pipeline_depth = 2,
+                    obs::AuditJournal* journal = nullptr) {
+  Scenario s = MakeScenario(seed, closed_loop);
+  PlanningService service(
+      s.cluster.get(), s.catalog.get(),
+      MakeOptions(seed, workers, closed_loop, mode, pipeline_depth, journal));
+  for (const Event& e : s.trace) EXPECT_TRUE(service.Enqueue(e).ok());
+  EXPECT_TRUE(service.RunUntilIdle().ok());
+  if (journal != nullptr) service.FinalizeAudit();
+  return Harvest(service);
 }
 
 class ServiceReplayPropertyTest : public ::testing::TestWithParam<uint64_t> {};
@@ -354,6 +385,206 @@ TEST_P(ServiceReplayPropertyTest, AuditJournalCanonicalBytesMatrixInvariant) {
             << " x workers " << workers << ", seed " << seed;
       }
     }
+  }
+}
+
+// The durability axis of the same contract (docs/ARCHITECTURE.md
+// "Durability & degraded modes"): kill the service after event k,
+// restore the checkpoint into a fresh process, finish the trace — and
+// land exactly where an uninterrupted run lands. Three properties in
+// one sweep over workers {0, 1, 4} x pipeline-depth {1, 2}:
+//
+//   1. The checkpoint taken at event k is BYTE-identical across the
+//      whole matrix (ExportCheckpoint is a pipeline barrier, so every
+//      configuration serializes the same post-barrier state).
+//   2. A fresh scenario (rebuilt from the same seed, as a restarted
+//      process would) restored from that checkpoint and fed the
+//      not-yet-consumed suffix commits the uninterrupted run's
+//      deployment — same fingerprint, same logical statistics.
+//   3. The restored run's final checkpoint is byte-identical to an
+//      uninterrupted run's AT THE SAME configuration, and final
+//      checkpoints are worker-invariant at fixed depth. (They are NOT
+//      depth-invariant: a deeper pipeline may dispatch-and-unwind
+//      speculative rounds the shallow one never starts, which consumes
+//      round ids, plan-cache misses and catalog interning slots for
+//      speculative closures — operational state the checkpoint must
+//      carry for exact resume, deliberately outside the committed-state
+//      contract that DepthInvariantTie pins.)
+//
+// The uninterrupted baseline ALSO checkpoints at event k: exporting is
+// a barrier that finishes in-flight rounds and re-canonicalizes the
+// ledgers (bumping the deployment version), so it is part of the
+// replayed history — crashing and non-crashing runs must share it.
+TEST_P(ServiceReplayPropertyTest, CheckpointRestoreCrashInvariant) {
+  const uint64_t seed = GetParam();
+  constexpr int kCrashAfter = 12;
+
+  std::string checkpoint;      // taken at event k, matrix-invariant
+  std::string baseline_final;  // final checkpoint, uninterrupted run
+  ReplayResult baseline;
+  {
+    Scenario s = MakeScenario(seed, /*closed_loop=*/false);
+    ASSERT_GT(s.trace.size(), static_cast<size_t>(kCrashAfter));
+    PlanningService service(s.cluster.get(), s.catalog.get(),
+                            MakeOptions(seed, /*workers=*/0,
+                                        /*closed_loop=*/false,
+                                        MeasureMode::kEngine,
+                                        /*pipeline_depth=*/1, nullptr));
+    for (const Event& e : s.trace) ASSERT_TRUE(service.Enqueue(e).ok());
+    for (int i = 0; i < kCrashAfter; ++i) {
+      ASSERT_TRUE(service.HasPendingEvents());
+      const Result<EventOutcome> outcome = service.Step();
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    }
+    Result<std::string> ck = service.ExportCheckpoint();
+    ASSERT_TRUE(ck.ok()) << ck.status().ToString();
+    checkpoint = std::move(*ck);
+    ASSERT_TRUE(service.RunUntilIdle().ok());
+    baseline = Harvest(service);
+    ASSERT_TRUE(baseline.valid) << "seed " << seed;
+    Result<std::string> fin = service.ExportCheckpoint();
+    ASSERT_TRUE(fin.ok()) << fin.status().ToString();
+    baseline_final = std::move(*fin);
+  }
+
+  for (const int depth : {1, 2}) {
+    // Final checkpoint of the workers=0 uninterrupted run at this
+    // depth: the reference the other worker counts must hit byte-ly.
+    std::string depth_final;
+    for (const int workers : {0, 1, 4}) {
+      // The "crashing" run: same prefix, different configuration —
+      // then run through so its final export doubles as this cell's
+      // uninterrupted reference.
+      std::string uninterrupted_final;
+      {
+        Scenario s = MakeScenario(seed, /*closed_loop=*/false);
+        PlanningService service(
+            s.cluster.get(), s.catalog.get(),
+            MakeOptions(seed, workers, /*closed_loop=*/false,
+                        MeasureMode::kEngine, depth, nullptr));
+        for (const Event& e : s.trace) ASSERT_TRUE(service.Enqueue(e).ok());
+        for (int i = 0; i < kCrashAfter; ++i) {
+          const Result<EventOutcome> outcome = service.Step();
+          ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+        }
+        const Result<std::string> ck = service.ExportCheckpoint();
+        ASSERT_TRUE(ck.ok()) << ck.status().ToString();
+        EXPECT_EQ(*ck, checkpoint)
+            << "checkpoint at event " << kCrashAfter << " diverged at depth "
+            << depth << " x workers " << workers << ", seed " << seed;
+        ASSERT_TRUE(service.RunUntilIdle().ok());
+        const ReplayResult uninterrupted = Harvest(service);
+        EXPECT_TRUE(baseline.DepthInvariantTie() ==
+                    uninterrupted.DepthInvariantTie())
+            << "uninterrupted run diverged at depth " << depth
+            << " x workers " << workers << ", seed " << seed;
+        Result<std::string> fin = service.ExportCheckpoint();
+        ASSERT_TRUE(fin.ok()) << fin.status().ToString();
+        uninterrupted_final = std::move(*fin);
+        if (workers == 0) {
+          depth_final = uninterrupted_final;
+          if (depth == 1) {
+            EXPECT_EQ(uninterrupted_final, baseline_final)
+                << "depth-1 workers-0 rerun is the baseline, seed " << seed;
+          }
+        } else {
+          EXPECT_EQ(uninterrupted_final, depth_final)
+              << "final checkpoint not worker-invariant at depth " << depth
+              << " x workers " << workers << ", seed " << seed;
+        }
+      }
+
+      // The "restarted process": fresh scenario from the same seed,
+      // restore, replay only the suffix.
+      Scenario s = MakeScenario(seed, /*closed_loop=*/false);
+      PlanningService restored(
+          s.cluster.get(), s.catalog.get(),
+          MakeOptions(seed, workers, /*closed_loop=*/false,
+                      MeasureMode::kEngine, depth, nullptr));
+      const Status ok = restored.RestoreCheckpoint(checkpoint);
+      ASSERT_TRUE(ok.ok())
+          << ok.ToString() << " at depth " << depth << " x workers "
+          << workers << ", seed " << seed;
+      ASSERT_EQ(restored.stats().events, kCrashAfter);
+      for (size_t i = kCrashAfter; i < s.trace.size(); ++i) {
+        ASSERT_TRUE(restored.Enqueue(s.trace[i]).ok());
+      }
+      ASSERT_TRUE(restored.RunUntilIdle().ok());
+      const ReplayResult result = Harvest(restored);
+      EXPECT_TRUE(baseline.DepthInvariantTie() == result.DepthInvariantTie())
+          << "restored run diverged at depth " << depth << " x workers "
+          << workers << ", seed " << seed << "\nbaseline: " << baseline
+          << "\nrestored: " << result;
+      const Result<std::string> fin = restored.ExportCheckpoint();
+      ASSERT_TRUE(fin.ok()) << fin.status().ToString();
+      EXPECT_EQ(*fin, uninterrupted_final)
+          << "final checkpoint diverged after restore at depth " << depth
+          << " x workers " << workers << ", seed " << seed;
+    }
+  }
+}
+
+// The same kill-restore-finish property through the §IV-C closed loop,
+// which adds the telemetry state to the checkpoint: ground-truth
+// trajectories (walk phases are re-derived lazily from virtual time),
+// the raw measurement-noise RNG state (data-dependent draw count, so it
+// is serialized verbatim), EWMA smoothing state and the last measured
+// rates. A reduced matrix keeps the cost proportionate — the open-loop
+// sweep above already covers the full one.
+TEST_P(ServiceReplayPropertyTest, ClosedLoopCheckpointRestoreInvariant) {
+  const uint64_t seed = GetParam();
+  constexpr int kCrashAfter = 12;
+
+  std::string checkpoint;
+  std::string baseline_final;
+  ReplayResult baseline;
+  {
+    Scenario s = MakeScenario(seed, /*closed_loop=*/true);
+    ASSERT_GT(s.trace.size(), static_cast<size_t>(kCrashAfter));
+    PlanningService service(s.cluster.get(), s.catalog.get(),
+                            MakeOptions(seed, /*workers=*/0,
+                                        /*closed_loop=*/true,
+                                        MeasureMode::kEngine,
+                                        /*pipeline_depth=*/2, nullptr));
+    for (const Event& e : s.trace) ASSERT_TRUE(service.Enqueue(e).ok());
+    for (int i = 0; i < kCrashAfter; ++i) {
+      const Result<EventOutcome> outcome = service.Step();
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    }
+    Result<std::string> ck = service.ExportCheckpoint();
+    ASSERT_TRUE(ck.ok()) << ck.status().ToString();
+    checkpoint = std::move(*ck);
+    ASSERT_TRUE(service.RunUntilIdle().ok());
+    baseline = Harvest(service);
+    ASSERT_TRUE(baseline.valid) << "seed " << seed;
+    Result<std::string> fin = service.ExportCheckpoint();
+    ASSERT_TRUE(fin.ok()) << fin.status().ToString();
+    baseline_final = std::move(*fin);
+  }
+
+  for (const int workers : {0, 4}) {
+    Scenario s = MakeScenario(seed, /*closed_loop=*/true);
+    PlanningService restored(
+        s.cluster.get(), s.catalog.get(),
+        MakeOptions(seed, workers, /*closed_loop=*/true, MeasureMode::kEngine,
+                    /*pipeline_depth=*/2, nullptr));
+    const Status ok = restored.RestoreCheckpoint(checkpoint);
+    ASSERT_TRUE(ok.ok()) << ok.ToString() << " at workers " << workers
+                         << ", seed " << seed;
+    for (size_t i = kCrashAfter; i < s.trace.size(); ++i) {
+      ASSERT_TRUE(restored.Enqueue(s.trace[i]).ok());
+    }
+    ASSERT_TRUE(restored.RunUntilIdle().ok());
+    const ReplayResult result = Harvest(restored);
+    EXPECT_TRUE(baseline.DepthInvariantTie() == result.DepthInvariantTie())
+        << "closed loop: restored run diverged at workers " << workers
+        << ", seed " << seed << "\nbaseline: " << baseline
+        << "\nrestored: " << result;
+    const Result<std::string> fin = restored.ExportCheckpoint();
+    ASSERT_TRUE(fin.ok()) << fin.status().ToString();
+    EXPECT_EQ(*fin, baseline_final)
+        << "closed loop: final checkpoint diverged after restore at workers "
+        << workers << ", seed " << seed;
   }
 }
 

@@ -31,6 +31,10 @@ LATENCY_KEYS = (
     "measure_ms_avg",
     "measure_ms_max",
     "measure_ms_p99",
+    "export_first_ms",
+    "export_ms_avg",
+    "write_ms_avg",
+    "restore_ms",
 )
 # Metrics where larger is better.
 THROUGHPUT_KEYS = ("events_per_s",)

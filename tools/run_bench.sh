@@ -9,7 +9,9 @@
 # BENCH_service.json and BENCH_solver_micro.json by default. The files
 # are the checked-in perf trajectory: re-run after perf-relevant
 # changes and commit the diff alongside them, so wins land as numbers
-# and regressions as reviewable diffs. The benches' shape checks gate
+# and regressions as reviewable diffs. BENCH_service.json includes a
+# checkpoint-overhead record (export / atomic-write / restore timings,
+# docs/ARCHITECTURE.md §9) next to the throughput scenarios. The benches' shape checks gate
 # the run (exit 1 on failure); absolute timings are machine-dependent
 # and meaningful only relative to earlier records from comparable
 # hardware.

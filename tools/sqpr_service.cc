@@ -19,8 +19,10 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/stats.h"
 #include "model/catalog.h"
+#include "service/checkpoint.h"
 #include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -69,6 +71,10 @@ struct Args {
   double budget_commit_ms = 0.0;
   double budget_barrier_ms = 0.0;
   double budget_measure_ms = 0.0;
+  std::string checkpoint_out_path;  // crash-durable service checkpoint
+  int64_t checkpoint_every = 0;     // events between checkpoints (0 = final only)
+  std::string restore_path;         // resume from a checkpoint
+  int64_t solve_deadline_ms = 0;    // degraded-mode solve budget (0 = off)
   bool verbose = false;
 };
 
@@ -236,6 +242,57 @@ void Usage(std::FILE* out) {
       "                   STAGE one of admit,solve,commit,barrier,\n"
       "                   measure. Repeatable. Samples over budget bump\n"
       "                   the matching *_budget_breaches counter\n"
+      "\n"
+      "Durability flags (docs/ARCHITECTURE.md \"Durability & degraded\n"
+      "modes\"):\n"
+      "  --checkpoint-out FILE\n"
+      "                   write a sqpr-checkpoint-v1 JSON checkpoint of\n"
+      "                   the full service state to FILE when the replay\n"
+      "                   finishes (and periodically, with\n"
+      "                   --checkpoint-every). Writes go through a\n"
+      "                   temp-file + atomic-rename protocol: a crash\n"
+      "                   mid-write never leaves a torn file under FILE,\n"
+      "                   only the previous intact checkpoint\n"
+      "  --checkpoint-every N\n"
+      "                   also checkpoint after every N consumed events\n"
+      "                   (requires --checkpoint-out). Each checkpoint is\n"
+      "                   a pipeline barrier — in-flight speculative\n"
+      "                   rounds finish first — so a restored run and an\n"
+      "                   uninterrupted run with the same cadence commit\n"
+      "                   bit-identical deployments\n"
+      "  --restore FILE   resume from a checkpoint instead of starting\n"
+      "                   fresh: rebuild the scenario from the SAME\n"
+      "                   scenario/trace flags (same --seed, --hosts,\n"
+      "                   --streams, ... and the same trace), restore the\n"
+      "                   service state from FILE, and replay only the\n"
+      "                   not-yet-consumed suffix of the trace. An\n"
+      "                   unreadable, truncated, corrupted or\n"
+      "                   version-mismatched FILE exits with status 1 and\n"
+      "                   a quoted error on stderr — never an abort.\n"
+      "                   Unknown JSON fields are ignored (forward\n"
+      "                   compatibility)\n"
+      "  --solve-deadline-ms N\n"
+      "                   degraded-mode solving: give each MILP solve a\n"
+      "                   wall-clock deadline of N ms on top of\n"
+      "                   --timeout-ms. On breach the solver returns its\n"
+      "                   best incumbent (or falls back to the greedy\n"
+      "                   heuristic) instead of overrunning the round;\n"
+      "                   breaches are reason-coded in the audit journal\n"
+      "                   and counted in solver_deadline_breaches /\n"
+      "                   heuristic_fallbacks (0 = off; negative forces\n"
+      "                   an instantly-expired deadline on every solve,\n"
+      "                   the deterministic lever the degraded-mode tests\n"
+      "                   use)\n"
+      "\n"
+      "The SQPR_FAULT=<point>:<n> environment variable (see\n"
+      "src/common/fault.h) kills the process with exit code 43 at the\n"
+      "n-th hit of a named crash point (event, mid-round,\n"
+      "checkpoint-write) for crash-restore drills:\n"
+      "  SQPR_FAULT=event:120 sqpr_service --checkpoint-out ck.json \\\n"
+      "      --checkpoint-every 40 ...   # crashes after event 120\n"
+      "  sqpr_service --restore ck.json --checkpoint-out ck.json \\\n"
+      "      --checkpoint-every 40 ...   # finishes the replay\n"
+      "\n"
       "  --verbose        print every event outcome\n"
       "  --help           show this message and exit\n");
 }
@@ -376,6 +433,14 @@ int main(int argc, char** argv) {
         Usage(stderr);
         return 2;
       }
+    } else if (flag == "--checkpoint-out" && (v = next())) {
+      args.checkpoint_out_path = v;
+    } else if (flag == "--checkpoint-every" && (v = next())) {
+      args.checkpoint_every = std::atoll(v);
+    } else if (flag == "--restore" && (v = next())) {
+      args.restore_path = v;
+    } else if (flag == "--solve-deadline-ms" && (v = next())) {
+      args.solve_deadline_ms = std::atoll(v);
     } else if (flag == "--verbose") {
       args.verbose = true;
     } else {
@@ -387,8 +452,14 @@ int main(int argc, char** argv) {
   }
   if (args.hosts < 2 || args.streams < 1 || args.queries < 1 ||
       args.events < 1 || args.workers < 0 || args.pipeline_depth < 1 ||
-      args.measure_period < 1 || args.metrics_interval_ms < 0) {
+      args.measure_period < 1 || args.metrics_interval_ms < 0 ||
+      args.checkpoint_every < 0) {
     std::fprintf(stderr, "invalid scenario parameters\n\n");
+    Usage(stderr);
+    return 2;
+  }
+  if (args.checkpoint_every > 0 && args.checkpoint_out_path.empty()) {
+    std::fprintf(stderr, "--checkpoint-every requires --checkpoint-out\n\n");
     Usage(stderr);
     return 2;
   }
@@ -451,6 +522,7 @@ int main(int argc, char** argv) {
 
   ServiceOptions options;
   options.planner.timeout_ms = args.timeout_ms;
+  options.planner.solve_deadline_ms = args.solve_deadline_ms;
   if (args.max_nodes > 0) options.planner.max_nodes = args.max_nodes;
   options.replan.max_queries_per_round = args.replan_round;
   options.replan.workers = args.workers;
@@ -475,13 +547,61 @@ int main(int argc, char** argv) {
   }
 
   PlanningService service(&cluster, &catalog, options);
-  for (const Event& e : trace) {
-    const Status st = service.Enqueue(e);
+
+  // Resume from a checkpoint before any event is enqueued (the restore
+  // path insists on a fresh service). Every failure mode — missing
+  // file, truncation, corruption, schema mismatch — is a quoted error
+  // and exit 1, never an abort: a bad checkpoint must not take the
+  // operator's shell session down with it.
+  size_t resume_from = 0;
+  if (!args.restore_path.empty()) {
+    Result<std::string> blob = ReadFileToString(args.restore_path);
+    if (!blob.ok()) {
+      std::fprintf(stderr, "restore: cannot read \"%s\": %s\n",
+                   args.restore_path.c_str(),
+                   blob.status().ToString().c_str());
+      return 1;
+    }
+    const Status restored = service.RestoreCheckpoint(*blob);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "restore: \"%s\": %s\n", args.restore_path.c_str(),
+                   restored.ToString().c_str());
+      return 1;
+    }
+    // The checkpoint records how many events the crashed run consumed;
+    // replay only the suffix. The trace must match the crashed run's —
+    // same scenario flags, same --seed or --trace file.
+    resume_from = static_cast<size_t>(service.stats().events);
+    if (resume_from > trace.size()) {
+      std::fprintf(stderr,
+                   "restore: \"%s\" was taken after %zu events but the trace "
+                   "has only %zu — wrong trace or scenario flags?\n",
+                   args.restore_path.c_str(), resume_from, trace.size());
+      return 1;
+    }
+  }
+  for (size_t i = resume_from; i < trace.size(); ++i) {
+    const Status st = service.Enqueue(trace[i]);
     if (!st.ok()) {
       std::fprintf(stderr, "enqueue: %s\n", st.ToString().c_str());
       return 1;
     }
   }
+
+  const auto write_checkpoint = [&]() -> bool {
+    Result<std::string> doc = service.ExportCheckpoint();
+    if (!doc.ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n",
+                   doc.status().ToString().c_str());
+      return false;
+    }
+    const Status written = WriteFileAtomic(args.checkpoint_out_path, *doc);
+    if (!written.ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n", written.ToString().c_str());
+      return false;
+    }
+    return true;
+  };
 
   std::printf(
       "scenario: %d hosts (cpu %.2f, nic %.0f, link %.0f), %d base streams "
@@ -495,8 +615,16 @@ int main(int argc, char** argv) {
         MeasureModeName(args.measure_mode), args.measure_period,
         static_cast<unsigned long long>(options.telemetry.seed));
   }
-  std::printf("replaying %zu events through the planning service...\n\n",
-              trace.size());
+  if (resume_from > 0) {
+    std::printf("restored from %s at event %zu (virtual t=%lld ms); "
+                "replaying the remaining %zu of %zu events...\n\n",
+                args.restore_path.c_str(), resume_from,
+                static_cast<long long>(service.clock().now_ms()),
+                trace.size() - resume_from, trace.size());
+  } else {
+    std::printf("replaying %zu events through the planning service...\n\n",
+                trace.size());
+  }
 
   // Periodic metrics exposition: a private registry fed from
   // ServiceStats by the publisher, sampled on virtual-time interval
@@ -553,8 +681,26 @@ int main(int argc, char** argv) {
       std::printf("  %-70s %7.2f ms\n",
                   outcome->ToString(catalog).c_str(), outcome->wall_ms);
     }
+    // Periodic checkpoint on the event-count cadence (counted by total
+    // consumed events, so a restored run checkpoints at the same
+    // boundaries as the run it resumed), then the injected crash point:
+    // a SQPR_FAULT=event:n drill always crashes with the freshest
+    // eligible checkpoint already renamed into place.
+    if (args.checkpoint_every > 0 &&
+        service.stats().events % args.checkpoint_every == 0) {
+      if (!write_checkpoint()) return 1;
+    }
+    fault::MaybeCrash("event");
   }
   service.FinishInFlightRound();
+  if (!args.checkpoint_out_path.empty()) {
+    // Final checkpoint after the pipeline drains. Written before
+    // FinalizeAudit so the checkpoint barrier's own audit records are
+    // part of the journal like any other round's.
+    if (!write_checkpoint()) return 1;
+    std::printf("checkpoint written to %s\n",
+                args.checkpoint_out_path.c_str());
+  }
   service.FinalizeAudit();
   if (metrics_series) {
     // Final sample after the pipeline drains, so the series always ends
@@ -628,6 +774,14 @@ int main(int argc, char** argv) {
                   stats.measure_ms.mean(), stats.measure_ms.max(),
                   MeasureModeName(args.measure_mode));
     }
+  }
+  if (args.solve_deadline_ms != 0 || stats.solver_deadline_breaches > 0 ||
+      stats.catalog_exhausted > 0) {
+    std::printf("degraded modes: %lld solver deadline breaches, %lld "
+                "heuristic fallbacks, %lld catalog-exhausted rejections\n",
+                static_cast<long long>(stats.solver_deadline_breaches),
+                static_cast<long long>(stats.heuristic_fallbacks),
+                static_cast<long long>(stats.catalog_exhausted));
   }
   std::printf("re-planning: %lld evictions, %lld rounds, "
               "%lld re-admitted, %lld rejected, %d still pending\n",
